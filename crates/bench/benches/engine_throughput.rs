@@ -1,0 +1,88 @@
+//! Criterion benches for the emulation engine: kernel event throughput in
+//! sequential vs parallel execution, and the cost of NetFlow profiling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use massf_core::engine::{run_parallel, run_sequential};
+use massf_core::prelude::*;
+use massf_core::routing::RoutingTables;
+use std::hint::black_box;
+
+struct Fixture {
+    built: BuiltScenario,
+    partition: Partitioning,
+    total_events: u64,
+}
+
+fn fixture(scale: f64) -> Fixture {
+    let built = Scenario::new(Topology::Campus, Workload::Scalapack)
+        .with_scale(scale)
+        .without_background()
+        .build();
+    let partition = built.study.map(Approach::Top, &built.predicted, &built.flows);
+    let cfg = EmulationConfig::new(partition.part.clone(), partition.nparts);
+    let report = run_sequential(&built.study.net, &built.study.tables, &built.flows, &cfg);
+    Fixture { built, partition, total_events: report.total_events() }
+}
+
+fn bench_exec_modes(c: &mut Criterion) {
+    let f = fixture(0.15);
+    let mut group = c.benchmark_group("engine/exec-mode");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(f.total_events));
+    let cfg = EmulationConfig::new(f.partition.part.clone(), f.partition.nparts);
+    group.bench_function("sequential", |b| {
+        b.iter(|| {
+            black_box(run_sequential(&f.built.study.net, &f.built.study.tables, &f.built.flows, &cfg))
+        });
+    });
+    group.bench_function("parallel-threads", |b| {
+        b.iter(|| {
+            black_box(run_parallel(&f.built.study.net, &f.built.study.tables, &f.built.flows, &cfg))
+        });
+    });
+    group.finish();
+}
+
+fn bench_netflow_overhead(c: &mut Criterion) {
+    let f = fixture(0.15);
+    let mut group = c.benchmark_group("engine/netflow");
+    group.sample_size(10);
+    for (name, netflow) in [("off", false), ("on", true)] {
+        let mut cfg = EmulationConfig::new(f.partition.part.clone(), f.partition.nparts);
+        cfg.netflow = netflow;
+        group.bench_with_input(BenchmarkId::from_parameter(name), &cfg, |b, cfg| {
+            b.iter(|| {
+                black_box(run_sequential(
+                    &f.built.study.net,
+                    &f.built.study.tables,
+                    &f.built.flows,
+                    cfg,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_engine_count(c: &mut Criterion) {
+    // Same workload, more engines: how does the conservative protocol scale?
+    let built = Scenario::new(Topology::Brite, Workload::Scalapack)
+        .with_scale(0.1)
+        .without_background()
+        .build();
+    let tables = RoutingTables::build(&built.study.net);
+    let g = built.study.net.to_unit_graph();
+    let mut group = c.benchmark_group("engine/engine-count");
+    group.sample_size(10);
+    for k in [1usize, 2, 4, 8] {
+        let partition = partition_kway(&g, &PartitionConfig::new(k));
+        let cfg = EmulationConfig::new(partition.part, k);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &cfg, |b, cfg| {
+            b.iter(|| black_box(run_sequential(&built.study.net, &tables, &built.flows, cfg)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_exec_modes, bench_netflow_overhead, bench_engine_count);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion benches for the end-to-end mapping approaches: how long does
+//! producing a TOP / PLACE / PROFILE partition take (the paper's mapping
+//! overhead discussion — "should have reasonable results with small
+//! overhead", §2.3), and the per-figure harness cost.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use massf_core::prelude::*;
+use std::hint::black_box;
+
+fn bench_mapping_approaches(c: &mut Criterion) {
+    let built = Scenario::new(Topology::TeraGrid, Workload::Scalapack)
+        .with_scale(0.12)
+        .build();
+    let mut group = c.benchmark_group("mapping/approach");
+    group.sample_size(10);
+    for approach in Approach::ALL {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(approach.label()),
+            &approach,
+            |b, &a| {
+                b.iter(|| black_box(built.study.map(a, &built.predicted, &built.flows)));
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_replay_compression(c: &mut Criterion) {
+    let built = Scenario::new(Topology::Campus, Workload::GridNpb).with_scale(0.3).build();
+    c.bench_function("mapping/replay-compression", |b| {
+        b.iter(|| black_box(massf_core::engine::trace::compress_for_replay(&built.flows)));
+    });
+}
+
+fn bench_figure_cell(c: &mut Criterion) {
+    // One cell of Figure 4: map + evaluate, the harness's unit of work.
+    let built = Scenario::new(Topology::Campus, Workload::Scalapack)
+        .with_scale(0.1)
+        .without_background()
+        .build();
+    c.bench_function("mapping/figure-cell", |b| {
+        b.iter(|| {
+            let p = built.study.map(Approach::Top, &built.predicted, &built.flows);
+            black_box(built.study.evaluate(&p, &built.flows, CostModel::live_application()))
+        });
+    });
+}
+
+criterion_group!(benches, bench_mapping_approaches, bench_replay_compression, bench_figure_cell);
+criterion_main!(benches);

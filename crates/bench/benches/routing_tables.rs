@@ -1,0 +1,50 @@
+//! Criterion benches for the routing substrate: all-pairs table
+//! construction per topology and traceroute discovery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use massf_core::prelude::*;
+use massf_core::routing::traceroute::discover_representative_routes;
+use massf_core::routing::RoutingTables;
+use std::hint::black_box;
+
+fn bench_table_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("routing/build-tables");
+    group.sample_size(10);
+    for topo in [Topology::Campus, Topology::TeraGrid, Topology::Brite, Topology::BriteScaleup] {
+        let net = topo.build();
+        group.bench_with_input(BenchmarkId::from_parameter(topo.label()), &net, |b, net| {
+            b.iter(|| black_box(RoutingTables::build(net)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_traceroute_discovery(c: &mut Criterion) {
+    let net = Topology::TeraGrid.build();
+    let tables = RoutingTables::build(&net);
+    c.bench_function("routing/representative-traceroute", |b| {
+        b.iter(|| black_box(discover_representative_routes(&net, &tables)));
+    });
+}
+
+fn bench_path_queries(c: &mut Criterion) {
+    let net = Topology::Brite.build();
+    let tables = RoutingTables::build(&net);
+    let hosts = net.hosts();
+    c.bench_function("routing/path-queries-1k", |b| {
+        b.iter(|| {
+            let mut hops = 0usize;
+            for i in 0..1000 {
+                let src = hosts[i % hosts.len()];
+                let dst = hosts[(i * 7 + 13) % hosts.len()];
+                if let Some(p) = tables.path(src, dst) {
+                    hops += p.len();
+                }
+            }
+            black_box(hops)
+        });
+    });
+}
+
+criterion_group!(benches, bench_table_build, bench_traceroute_discovery, bench_path_queries);
+criterion_main!(benches);

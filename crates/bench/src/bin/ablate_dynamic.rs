@@ -1,0 +1,111 @@
+//! Extension ablation — dynamic remapping (§6 future work, implemented).
+//!
+//! Two workloads:
+//!
+//! * a **drifting hotspot** (heavy traffic concentrates in one campus
+//!   building per phase, cycling) — the §6 stress case where "traffic
+//!   varies widely" and dynamic remapping should win;
+//! * **GridNPB** — non-recurring workflow phases, where the paper itself
+//!   cautions that profile-driven prediction "is not accurate if the
+//!   application shows great dynamic behavior"; reactive remapping lags
+//!   and the static PROFILE oracle (which saw the whole run beforehand)
+//!   stays ahead. Reported for honesty.
+
+use massf_bench::{dump_json, scale_from_args};
+use massf_core::engine::MigrationCost;
+use massf_core::mapping::dynamic::{run_dynamic, DynamicConfig};
+use massf_core::prelude::*;
+use massf_core::topology::NodeId;
+use massf_metrics::report::ResultTable;
+use massf_metrics::timeseries::mean_active_imbalance;
+use massf_core::traffic::hotspot::{self, HotspotConfig};
+
+/// Campus hosts grouped by the building their router belongs to.
+fn building_groups(net: &Network) -> Vec<Vec<NodeId>> {
+    let mut groups: std::collections::BTreeMap<String, Vec<NodeId>> = Default::default();
+    for h in net.hosts() {
+        let (router, _) = net.neighbors(h)[0];
+        let name = &net.node(router).name;
+        // "bldg{b}-..." -> group key "bldg{b}"; border-attached hosts don't
+        // exist in this topology.
+        let key = name.split('-').next().unwrap_or("misc").to_string();
+        groups.entry(key).or_default().push(h);
+    }
+    groups.into_values().collect()
+}
+
+fn run_case(
+    t: &mut ResultTable,
+    prefix: &str,
+    study: &MappingStudy,
+    predicted: &[PredictedFlow],
+    flows: &[FlowSpec],
+) {
+    // "Isolated network emulation" semantics (§4.1.1): no real-time
+    // pacing floor, so the numbers directly measure mapping quality.
+    for a in Approach::ALL {
+        let p = study.map(a, predicted, flows);
+        let r = study.evaluate(&p, flows, CostModel::default());
+        let row = format!("{prefix} static {}", a.label());
+        t.set(&row, "imbalance", load_imbalance(&r.engine_events));
+        t.set(&row, "fine_grained", mean_active_imbalance(&r.window_series, 32));
+        t.set(&row, "net_time_s", r.emulation_time_s());
+        t.set(&row, "migrated", 0.0);
+    }
+    // Epochs much shorter than hotspot phases: remapping reacts within a
+    // fraction of a phase and then enjoys the rest of it balanced.
+    for (label, epochs) in [("dyn x8", 8usize), ("dyn x16", 16)] {
+        let cfg = DynamicConfig {
+            epochs,
+            migration: MigrationCost::default(),
+            cost: CostModel::default(),
+            ..Default::default()
+        };
+        let out = run_dynamic(study, flows, &cfg);
+        let row = format!("{prefix} {label}");
+        t.set(&row, "imbalance", load_imbalance(&out.report.engine_events));
+        t.set(&row, "fine_grained", mean_active_imbalance(&out.report.window_series, 32));
+        t.set(&row, "net_time_s", out.report.emulation_time_s());
+        t.set(&row, "migrated", out.migrated_nodes as f64);
+    }
+}
+
+fn main() {
+    let scale = scale_from_args();
+    let mut t = ResultTable::new(
+        "ablate_dynamic",
+        "Dynamic remapping vs static mappings (Campus, 3 engines)",
+    );
+
+    // Case 1: drifting hotspot across buildings.
+    {
+        let net = Topology::Campus.build();
+        let groups = building_groups(&net);
+        let mut cfg = HotspotConfig::drift_over(groups);
+        // Long-lived phases (one per building), heavy traffic: the regime
+        // where reacting within a phase pays off.
+        cfg.phases = 4;
+        cfg.phase_len_us = 5_000_000;
+        cfg.flows_per_phase = (60.0 * scale).max(8.0) as usize;
+        let flows = hotspot::generate(&cfg);
+        let mut study = MappingStudy::new(net, MapperConfig::new(3));
+        study.counter_window_us = 500_000;
+        run_case(&mut t, "hotspot", &study, &[], &flows);
+    }
+
+    // Case 2: GridNPB's non-recurring phases (the paper's caveat).
+    {
+        let mut built =
+            Scenario::new(Topology::Campus, Workload::GridNpb).with_scale(scale).build();
+        built.study.counter_window_us = 500_000;
+        run_case(&mut t, "gridnpb", &built.study, &built.predicted, &built.flows);
+    }
+
+    print!("{}", t.render(3));
+    println!("\nexpected: on the drifting hotspot, dynamic beats every static");
+    println!("mapping (static must compromise across phases). On GridNPB's");
+    println!("non-recurring stages, reactive remapping lags and static PROFILE");
+    println!("(an oracle that profiled the identical run beforehand) wins —");
+    println!("the paper's own §6 caveat.");
+    dump_json(&t);
+}

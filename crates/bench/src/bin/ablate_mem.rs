@@ -1,0 +1,45 @@
+//! §5 ablation — the memory-weight "magic number".
+//!
+//! "we must increase the weight of memory when the physical memory becomes
+//! a possible bottleneck". Compares PROFILE with and without the memory
+//! constraint (m = 10 + x² per router) on the single-AS scale-up, where
+//! routing tables dominate memory.
+
+use massf_bench::{dump_json, scale_from_args};
+use massf_core::prelude::*;
+use massf_core::routing::memory::memory_weights;
+use massf_metrics::report::ResultTable;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut t = ResultTable::new(
+        "ablate_mem",
+        "Memory-constraint ablation (PROFILE, Brite-200 single AS, 20 engines)",
+    );
+    for include_memory in [false, true] {
+        let mut scenario =
+            Scenario::new(Topology::BriteScaleup, Workload::Scalapack).with_scale(scale);
+        scenario = scenario.without_background(); // isolate the effect
+        let mut built = scenario.build();
+        built.study.cfg.include_memory = include_memory;
+        let partition = built.study.map(Approach::Profile, &built.predicted, &built.flows);
+        let report =
+            built.study.evaluate(&partition, &built.flows, CostModel::live_application());
+
+        // Memory imbalance: normalized std-dev of per-engine memory weight.
+        let mem = memory_weights(&built.study.net);
+        let mut per_engine = vec![0u64; partition.nparts];
+        for (node, &part) in partition.part.iter().enumerate() {
+            per_engine[part as usize] += mem[node] as u64;
+        }
+        let row = if include_memory { "with memory constraint" } else { "load only" };
+        t.set(row, "mem_imbalance", load_imbalance(&per_engine));
+        t.set(row, "mem_max_engine", *per_engine.iter().max().unwrap() as f64);
+        t.set(row, "load_imbalance", load_imbalance(&report.engine_events));
+        t.set(row, "time_s", report.emulation_time_s());
+    }
+    print!("{}", t.render(3));
+    println!("\nexpected: adding the memory column cuts the worst engine's");
+    println!("routing-table footprint at a small load/time cost.");
+    dump_json(&t);
+}

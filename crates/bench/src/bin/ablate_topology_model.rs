@@ -1,0 +1,53 @@
+//! Design ablation — BRITE growth model: the paper's Table 1 network uses
+//! preferential attachment (heavy-tailed hubs); how do the mapping results
+//! change on a Waxman random-geometric network of the same size?
+
+use massf_bench::{dump_json, scale_from_args};
+use massf_core::mapping::place::foreground_prediction;
+use massf_core::prelude::*;
+use massf_core::topology::brite::{generate, BriteConfig, GrowthModel};
+use massf_core::traffic::scalapack::{self, ScalapackConfig};
+use massf_metrics::report::ResultTable;
+
+fn main() {
+    let scale = scale_from_args();
+    let mut t = ResultTable::new(
+        "ablate_topology_model",
+        "BRITE growth model vs mapping quality (ScaLapack, 8 engines)",
+    );
+    for (label, model) in [
+        ("barabasi-albert", GrowthModel::BarabasiAlbert { m: 2 }),
+        ("waxman", GrowthModel::Waxman { alpha: 0.12, beta: 0.15 }),
+    ] {
+        let net = generate(&BriteConfig { model, ..BriteConfig::paper_brite() });
+        let hosts = net.hosts();
+        let placement = massf_core::scenario::spread_placement(&hosts, 10);
+        let cfg = ScalapackConfig {
+            matrix_n: ((3000.0 * scale) as usize).max(200),
+            ..Default::default()
+        };
+        let flows = scalapack::flows(&cfg, &placement);
+        let predicted = foreground_prediction(&net, &placement);
+        let study = MappingStudy::new(net, MapperConfig::new(8));
+        for a in Approach::ALL {
+            let p = study.map(a, &predicted, &flows);
+            let r = study.evaluate(&p, &flows, CostModel::default());
+            t.set(
+                format!("{label} {}", a.label()),
+                "imbalance",
+                load_imbalance(&r.engine_events),
+            );
+            t.set(format!("{label} {}", a.label()), "net_time_s", r.emulation_time_s());
+            t.set(
+                format!("{label} {}", a.label()),
+                "remote_msgs",
+                r.remote_messages as f64,
+            );
+        }
+    }
+    print!("{}", t.render(3));
+    println!("\nexpected: the TOP>PLACE>PROFILE ordering is model-independent;");
+    println!("hub-heavy BA networks concentrate more traffic per router, so");
+    println!("absolute imbalances run higher than on the flatter Waxman graph.");
+    dump_json(&t);
+}

@@ -1,0 +1,47 @@
+//! Extension ablation — transport model: open-loop paced flows vs
+//! TCP-like window/ACK-clocked transport (MaSSF emulates MPICH-over-TCP
+//! applications). ACKs are real emulated packets, so windowed transport
+//! adds reverse-path load and makes completion RTT-sensitive; the mapping
+//! ordering must survive the transport change.
+
+use massf_bench::{dump_json, scale_from_args};
+use massf_core::mapping::place::foreground_prediction;
+use massf_core::prelude::*;
+use massf_core::scenario::spread_placement;
+use massf_core::traffic::scalapack::{self, ScalapackConfig};
+use massf_metrics::report::ResultTable;
+
+fn main() {
+    let scale = scale_from_args();
+    let net = Topology::TeraGrid.build();
+    let placement = spread_placement(&net.hosts(), 10);
+    let study = MappingStudy::new(net, MapperConfig::new(5));
+    let predicted = foreground_prediction(&study.net, &placement);
+
+    let mut t = ResultTable::new(
+        "ablate_transport",
+        "Paced vs windowed transport (ScaLapack, TeraGrid, 5 engines)",
+    );
+    for (label, window) in [("paced", None), ("tcp w=8", Some(8)), ("tcp w=32", Some(32))] {
+        let cfg = ScalapackConfig {
+            matrix_n: ((3000.0 * scale) as usize).max(200),
+            transport_window: window,
+            ..Default::default()
+        };
+        let flows = scalapack::flows(&cfg, &placement);
+        for a in Approach::ALL {
+            let p = study.map(a, &predicted, &flows);
+            let r = study.evaluate(&p, &flows, CostModel::default());
+            let row = format!("{label} {}", a.label());
+            t.set(&row, "imbalance", load_imbalance(&r.engine_events));
+            t.set(&row, "events", r.total_events() as f64);
+            t.set(&row, "net_time_s", r.emulation_time_s());
+            t.set(&row, "virt_end_s", r.virtual_end_us as f64 / 1e6);
+        }
+    }
+    print!("{}", t.render(3));
+    println!("\nexpected: ACK traffic raises total kernel events ~40-70%; the");
+    println!("TOP > PLACE >= PROFILE ordering holds under every transport;");
+    println!("small windows stretch virtual completion (RTT-bound sending).");
+    dump_json(&t);
+}

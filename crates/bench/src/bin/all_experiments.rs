@@ -1,0 +1,62 @@
+//! Runs every table/figure regenerator in sequence and dumps all JSON
+//! results under `results/`. Pass a scale factor (e.g. `0.25`) for a quick
+//! pass; default is the paper's full problem sizes.
+
+use massf_bench::{dump_json, grid_table, print_with_improvements, run_grid, scale_from_args};
+use massf_core::prelude::*;
+use massf_metrics::report::ResultTable;
+
+fn main() {
+    let scale = scale_from_args();
+    println!("running all experiments at scale {scale}\n");
+
+    // Table 1.
+    let mut t1 = ResultTable::new("table1", "Network Topology Setup");
+    for topo in Topology::TABLE1 {
+        let net = topo.build();
+        t1.set(topo.label(), "Router", net.router_count() as f64);
+        t1.set(topo.label(), "Host", net.host_count() as f64);
+        t1.set(topo.label(), "Engines", topo.engines() as f64);
+    }
+    print!("{}", t1.render(0));
+    dump_json(&t1);
+    println!();
+
+    // Figures 4-10 share the two workload grids.
+    for (workload, imb_id, time_id, replay_id) in [
+        (Workload::Scalapack, "fig4", "fig6", "fig9"),
+        (Workload::GridNpb, "fig5", "fig7", "fig10"),
+    ] {
+        let grid = run_grid(workload, scale);
+        let label = workload.label();
+        let imb = grid_table(imb_id, &format!("Load Imbalance for {label}"), &grid, |r| {
+            r.load_imbalance
+        });
+        print_with_improvements(&imb, 3);
+        dump_json(&imb);
+        let time = grid_table(time_id, &format!("Emulation Time for {label} (s)"), &grid, |r| {
+            r.emulation_time_s
+        });
+        print_with_improvements(&time, 2);
+        dump_json(&time);
+        let rep = grid_table(
+            replay_id,
+            &format!("{label} Isolated Network Emulation (s)"),
+            &grid,
+            |r| r.replay_time_s,
+        );
+        print_with_improvements(&rep, 2);
+        dump_json(&rep);
+    }
+
+    // Table 2.
+    let built =
+        Scenario::new(Topology::BriteScaleup, Workload::Scalapack).with_scale(scale).build();
+    let mut t2 = ResultTable::new("table2", "ScaLapack on Larger Network (20 engines)");
+    for r in built.run_all() {
+        t2.set("Load Imbalance (Std. Deviation)", r.approach.label(), r.load_imbalance);
+        t2.set("Execution Time (second)", r.approach.label(), r.emulation_time_s);
+    }
+    print!("{}", t2.render(3));
+    dump_json(&t2);
+}

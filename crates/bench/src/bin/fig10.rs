@@ -1,0 +1,19 @@
+//! Figure 10 — GridNPB isolated network emulation (replay).
+
+use massf_bench::{dump_json, grid_table, print_with_improvements, run_grid, scale_from_args};
+use massf_core::prelude::*;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = run_grid(Workload::GridNpb, scale);
+    let t = grid_table(
+        "fig10",
+        "GridNPB Isolated Network Emulation, seconds (paper Figure 10)",
+        &grid,
+        |r| r.replay_time_s,
+    );
+    print_with_improvements(&t, 2);
+    println!("paper shape: ~30% network-emulation-time reduction even though");
+    println!("whole-application time (Figure 7) barely moves.");
+    dump_json(&t);
+}

@@ -1,0 +1,20 @@
+//! Figure 4 — load imbalance for ScaLapack: normalized std-dev of engine
+//! event rates for every topology × mapping approach.
+
+use massf_bench::{dump_json, grid_table, print_with_improvements, run_grid, scale_from_args};
+use massf_core::prelude::*;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = run_grid(Workload::Scalapack, scale);
+    let t = grid_table(
+        "fig4",
+        "Load Imbalance for ScaLapack (paper Figure 4)",
+        &grid,
+        |r| r.load_imbalance,
+    );
+    print_with_improvements(&t, 3);
+    println!("paper shape: TOP > PLACE >= PROFILE on every topology; PROFILE");
+    println!("improves on TOP by up to 66%; imbalance grows with engine count.");
+    dump_json(&t);
+}

@@ -1,0 +1,20 @@
+//! Figure 5 — load imbalance for GridNPB.
+
+use massf_bench::{dump_json, grid_table, print_with_improvements, run_grid, scale_from_args};
+use massf_core::prelude::*;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = run_grid(Workload::GridNpb, scale);
+    let t = grid_table(
+        "fig5",
+        "Load Imbalance for GridNPB (paper Figure 5)",
+        &grid,
+        |r| r.load_imbalance,
+    );
+    print_with_improvements(&t, 3);
+    println!("paper shape: PROFILE's edge over PLACE is larger than for");
+    println!("ScaLapack — GridNPB's irregular traffic defeats the placement");
+    println!("prediction (paper: up to 48% PROFILE improvement).");
+    dump_json(&t);
+}

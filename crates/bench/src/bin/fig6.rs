@@ -1,0 +1,18 @@
+//! Figure 6 — application emulation time for ScaLapack (modeled seconds).
+
+use massf_bench::{dump_json, grid_table, print_with_improvements, run_grid, scale_from_args};
+use massf_core::prelude::*;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = run_grid(Workload::Scalapack, scale);
+    let t = grid_table(
+        "fig6",
+        "Emulation Time for ScaLapack, seconds (paper Figure 6)",
+        &grid,
+        |r| r.emulation_time_s,
+    );
+    print_with_improvements(&t, 2);
+    println!("paper shape: PLACE cuts ~40% off TOP; PROFILE up to 50%.");
+    dump_json(&t);
+}

@@ -1,0 +1,20 @@
+//! Figure 7 — application emulation time for GridNPB (modeled seconds).
+
+use massf_bench::{dump_json, grid_table, print_with_improvements, run_grid, scale_from_args};
+use massf_core::prelude::*;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = run_grid(Workload::GridNpb, scale);
+    let t = grid_table(
+        "fig7",
+        "Emulation Time for GridNPB, seconds (paper Figure 7)",
+        &grid,
+        |r| r.emulation_time_s,
+    );
+    print_with_improvements(&t, 2);
+    println!("paper shape: improvements much smaller than ScaLapack (~17%) —");
+    println!("GridNPB is computation- rather than communication-intensive, so");
+    println!("faster network emulation buys little overall runtime.");
+    dump_json(&t);
+}

@@ -1,0 +1,20 @@
+//! Figure 9 — ScaLapack isolated network emulation: the recorded traffic
+//! trace is replayed as fast as possible (no application compute), a
+//! direct measurement of the mapping quality.
+
+use massf_bench::{dump_json, grid_table, print_with_improvements, run_grid, scale_from_args};
+use massf_core::prelude::*;
+
+fn main() {
+    let scale = scale_from_args();
+    let grid = run_grid(Workload::Scalapack, scale);
+    let t = grid_table(
+        "fig9",
+        "ScaLapack Isolated Network Emulation, seconds (paper Figure 9)",
+        &grid,
+        |r| r.replay_time_s,
+    );
+    print_with_improvements(&t, 2);
+    println!("paper shape: significant improvement, consistent with Figure 6.");
+    dump_json(&t);
+}

@@ -1,0 +1,20 @@
+//! Table 1 — network topology setup: routers, hosts, emulation engine
+//! nodes per topology (plus link counts as a bonus column).
+
+use massf_bench::dump_json;
+use massf_core::prelude::*;
+use massf_metrics::report::ResultTable;
+
+fn main() {
+    let mut t = ResultTable::new("table1", "Network Topology Setup (paper Table 1)");
+    for topo in Topology::TABLE1 {
+        let net = topo.build();
+        t.set(topo.label(), "Router", net.router_count() as f64);
+        t.set(topo.label(), "Host", net.host_count() as f64);
+        t.set(topo.label(), "Engines", topo.engines() as f64);
+        t.set(topo.label(), "Links", net.link_count() as f64);
+    }
+    print!("{}", t.render(0));
+    println!("\npaper: Campus 20/40/3, TeraGrid 27/150/5, Brite 160/132/8");
+    dump_json(&t);
+}

@@ -1,0 +1,115 @@
+//! # massf-bench
+//!
+//! The benchmark harness: one binary per table/figure of the paper's
+//! evaluation section (run them with
+//! `cargo run -p massf-bench --release --bin <id>`), plus criterion
+//! timing benches (`cargo bench`).
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 — network topology setup |
+//! | `fig2` | Figure 2 — load variation over the emulation lifetime |
+//! | `fig4` / `fig5` | Figures 4/5 — load imbalance (ScaLapack / GridNPB) |
+//! | `fig6` / `fig7` | Figures 6/7 — application emulation time |
+//! | `fig8` | Figure 8 — fine-grained load imbalance (GridNPB, Campus) |
+//! | `fig9` / `fig10` | Figures 9/10 — isolated network emulation (replay) |
+//! | `table2` | Table 2 — ScaLapack on the 200-router scale-up |
+//! | `ablate_p` | §5 — latency/traffic priority sweep |
+//! | `ablate_mem` | §5 — memory-constraint weight study |
+//! | `ablate_baselines` | §5 — multilevel vs greedy k-cluster / random / BFS |
+//! | `all_experiments` | everything above, with JSON dumps |
+//!
+//! Every binary accepts an optional first argument: the problem-size scale
+//! in `(0, 1]` (default 1.0 = the paper's sizes). `0.25` gives a quick
+//! smoke run.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use massf_core::prelude::*;
+use massf_metrics::report::ResultTable;
+
+/// Parses the scale argument (first CLI arg, default 1.0).
+pub fn scale_from_args() -> f64 {
+    let scale = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse::<f64>().ok())
+        .unwrap_or(1.0);
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    scale
+}
+
+/// Runs the three approaches for one workload on the Table 1 topologies.
+/// Returns `(topology, results)` rows.
+pub fn run_grid(workload: Workload, scale: f64) -> Vec<(Topology, Vec<ApproachResult>)> {
+    Topology::TABLE1
+        .iter()
+        .map(|&topo| {
+            let built = Scenario::new(topo, workload).with_scale(scale).build();
+            (topo, built.run_all())
+        })
+        .collect()
+}
+
+/// Builds a topology × approach table from a metric extractor.
+pub fn grid_table(
+    id: &str,
+    caption: &str,
+    grid: &[(Topology, Vec<ApproachResult>)],
+    metric: impl Fn(&ApproachResult) -> f64,
+) -> ResultTable {
+    let mut t = ResultTable::new(id, caption);
+    for (topo, results) in grid {
+        for r in results {
+            t.set(topo.label(), r.approach.label(), metric(r));
+        }
+    }
+    t
+}
+
+/// Prints the table and the improvement summary the paper quotes
+/// (PROFILE vs TOP, per row).
+pub fn print_with_improvements(table: &ResultTable, precision: usize) {
+    print!("{}", table.render(precision));
+    for row in &table.rows {
+        if let (Some(top), Some(profile)) = (table.get(row, "TOP"), table.get(row, "PROFILE")) {
+            println!(
+                "  {row}: PROFILE improves on TOP by {:.0}%",
+                massf_metrics::improvement_pct(top, profile)
+            );
+        }
+    }
+    println!();
+}
+
+/// Writes a table's JSON next to the binary outputs (under `results/`).
+pub fn dump_json(table: &ResultTable) {
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_ok() {
+        let path = dir.join(format!("{}.json", table.id));
+        if let Err(e) = std::fs::write(&path, table.to_json()) {
+            eprintln!("warning: could not write {}: {e}", path.display());
+        } else {
+            println!("(wrote {})", path.display());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_runs_at_tiny_scale() {
+        let grid = run_grid(Workload::Scalapack, 0.07);
+        assert_eq!(grid.len(), 3);
+        let t = grid_table("t", "c", &grid, |r| r.load_imbalance);
+        assert_eq!(t.rows.len(), 3);
+        assert_eq!(t.cols.len(), 3);
+        for row in &t.rows {
+            for col in &t.cols {
+                assert!(t.get(row, col).is_some(), "missing {row}/{col}");
+            }
+        }
+    }
+}

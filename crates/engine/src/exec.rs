@@ -1,0 +1,473 @@
+//! Executors: the synchronous conservative protocol, run either in one
+//! thread (for determinism-testing and cheap sweeps) or with one thread per
+//! engine (the real parallel substrate). Both produce bit-identical
+//! reports.
+
+use crate::cost::{CostModel, WallClock};
+use crate::engine::{lookahead_us, Engine, RemoteEvent, Shared};
+use crate::netflow::merge_dumps;
+use crate::report::EmulationReport;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use massf_routing::RoutingTables;
+use massf_topology::Network;
+use massf_traffic::FlowSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+/// Configuration of one emulation run.
+#[derive(Debug, Clone)]
+pub struct EmulationConfig {
+    /// Node → engine assignment (length = node count).
+    pub partition: Vec<u32>,
+    /// Number of engines (labels in `partition` must be `< nengines`).
+    pub nengines: usize,
+    /// Virtual-time bucket width for the fine-grained load series; the
+    /// paper samples "in two second intervals" (Figure 8).
+    pub counter_window_us: u64,
+    /// Enable NetFlow profiling (the PROFILE approach's initial run).
+    pub netflow: bool,
+    /// Wall-clock model.
+    pub cost: CostModel,
+    /// Relative CPU speed per engine (1.0 = baseline). `None` means the
+    /// paper's homogeneous cluster. Only affects the modeled wall clock,
+    /// never emulation results.
+    pub engine_speeds: Option<Vec<f64>>,
+}
+
+impl EmulationConfig {
+    /// A run over `partition` with sane defaults (2 s counter buckets,
+    /// NetFlow off, replay cost model).
+    pub fn new(partition: Vec<u32>, nengines: usize) -> Self {
+        Self {
+            partition,
+            nengines,
+            counter_window_us: 2_000_000,
+            netflow: false,
+            cost: CostModel::default(),
+            engine_speeds: None,
+        }
+    }
+
+    /// Sets relative engine speeds (length must equal `nengines`).
+    pub fn with_engine_speeds(mut self, speeds: Vec<f64>) -> Self {
+        assert_eq!(speeds.len(), self.nengines);
+        assert!(speeds.iter().all(|&s| s > 0.0));
+        self.engine_speeds = Some(speeds);
+        self
+    }
+
+    /// The speed of engine `e`.
+    fn speed(&self, e: usize) -> f64 {
+        self.engine_speeds.as_ref().map(|v| v[e]).unwrap_or(1.0)
+    }
+
+    /// Enables NetFlow profiling.
+    pub fn with_netflow(mut self) -> Self {
+        self.netflow = true;
+        self
+    }
+
+    /// Replaces the cost model.
+    pub fn with_cost(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+}
+
+fn validate(net: &Network, cfg: &EmulationConfig) {
+    assert_eq!(cfg.partition.len(), net.node_count(), "partition length mismatch");
+    assert!(cfg.nengines >= 1);
+    assert!(
+        cfg.partition.iter().all(|&p| (p as usize) < cfg.nengines),
+        "partition label out of range"
+    );
+}
+
+/// Runs the emulation in a single thread, simulating the synchronous
+/// rounds. Deterministic; used by tests, sweeps, and benches.
+pub fn run_sequential(
+    net: &Network,
+    tables: &RoutingTables,
+    flows: &[FlowSpec],
+    cfg: &EmulationConfig,
+) -> EmulationReport {
+    validate(net, cfg);
+    let shared = Shared { net, tables, flows, partition: &cfg.partition };
+    let lookahead = lookahead_us(net, &cfg.partition);
+
+    let mut engines: Vec<Engine> = (0..cfg.nengines as u32)
+        .map(|id| Engine::new(id, cfg.counter_window_us, cfg.netflow))
+        .collect();
+    for (i, f) in flows.iter().enumerate() {
+        engines[cfg.partition[f.src as usize] as usize].seed_flow(i as u32, f, &shared);
+    }
+
+    let mut wall = WallClock::default();
+    let mut rounds = 0u64;
+    let mut virtual_now = 0u64;
+
+    while let Some(gmin) = engines.iter().filter_map(Engine::next_time).min() {
+        let lbts = gmin.saturating_add(lookahead);
+        if rounds == 0 {
+            virtual_now = gmin;
+        }
+
+        let mut max_busy = 0.0f64;
+        let mut progress = lbts;
+        let mut all_out: Vec<RemoteEvent> = Vec::new();
+        for (idx, e) in engines.iter_mut().enumerate() {
+            let sent_before = e.remote_sent();
+            let n = e.process_window(lbts, &shared);
+            let sent = e.remote_sent() - sent_before;
+            max_busy = max_busy.max(cfg.cost.engine_busy_us(n, sent, cfg.speed(idx)));
+            // An idle engine's frontier is its last processed event, not
+            // lbts — with one engine the lookahead is effectively infinite
+            // and lbts would wreck the virtual clock.
+            let frontier = e.next_time().unwrap_or(e.counters.last_event_us);
+            progress = progress.min(frontier.min(lbts));
+            all_out.append(&mut e.take_outbox());
+        }
+        // Virtual progress this round: the new global frontier, capped by
+        // lbts and never behind gmin (matches the parallel executor).
+        let progress = progress.max(gmin);
+        let span = progress.saturating_sub(virtual_now);
+        virtual_now = virtual_now.max(progress);
+        wall.add_busy_window(&cfg.cost, max_busy, span);
+        rounds += 1;
+
+        for RemoteEvent { to_engine, event } in all_out {
+            engines[to_engine as usize].enqueue(event);
+        }
+    }
+
+    let _ = virtual_now;
+    finalize(engines, cfg, wall, rounds)
+}
+
+/// Runs the emulation with one OS thread per engine, exchanging events over
+/// crossbeam channels under the synchronous conservative protocol. Produces
+/// the same report as [`run_sequential`] for the same inputs.
+pub fn run_parallel(
+    net: &Network,
+    tables: &RoutingTables,
+    flows: &[FlowSpec],
+    cfg: &EmulationConfig,
+) -> EmulationReport {
+    validate(net, cfg);
+    let n = cfg.nengines;
+    if n == 1 {
+        // One engine needs no protocol; the sequential path is identical.
+        return run_sequential(net, tables, flows, cfg);
+    }
+    let lookahead = lookahead_us(net, &cfg.partition);
+
+    // n×n channel mesh: mesh[i][j] carries events from engine i to j.
+    let mut senders: Vec<Vec<Sender<RemoteEvent>>> = vec![Vec::with_capacity(n); n];
+    let mut receivers: Vec<Vec<Receiver<RemoteEvent>>> = (0..n).map(|_| Vec::new()).collect();
+    for i in 0..n {
+        for j in 0..n {
+            let (tx, rx) = unbounded();
+            senders[i].push(tx);
+            receivers[j].push(rx);
+        }
+    }
+
+    let speeds_vec: Vec<f64> = (0..n).map(|e| cfg.speed(e)).collect();
+    let mins: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(u64::MAX)).collect();
+    let win_events: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let win_remote: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let win_progress: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
+    let barrier = Barrier::new(n);
+
+    let results: Vec<(Engine, WallClock, u64, u64)> = crossbeam::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for (id, (my_senders, my_receivers)) in
+            senders.drain(..).zip(receivers.drain(..)).enumerate()
+        {
+            let mins = &mins;
+            let win_events = &win_events;
+            let win_remote = &win_remote;
+            let win_progress = &win_progress;
+            let barrier = &barrier;
+            let partition = &cfg.partition;
+            let cost = cfg.cost;
+            let speeds = &speeds_vec;
+            let handle = scope.spawn(move |_| {
+                let shared = Shared { net, tables, flows, partition };
+                let mut engine = Engine::new(id as u32, cfg.counter_window_us, cfg.netflow);
+                for (i, f) in flows.iter().enumerate() {
+                    engine.seed_flow(i as u32, f, &shared);
+                }
+                let mut wall = WallClock::default();
+                let mut rounds = 0u64;
+                let mut virtual_now = 0u64;
+
+                loop {
+                    // Phase 1: publish local min, agree on LBTS.
+                    mins[id].store(engine.next_time().unwrap_or(u64::MAX), Ordering::SeqCst);
+                    barrier.wait();
+                    let gmin =
+                        mins.iter().map(|m| m.load(Ordering::SeqCst)).min().expect("n >= 1");
+                    barrier.wait(); // everyone has read before anyone rewrites
+                    if gmin == u64::MAX {
+                        break;
+                    }
+                    let lbts = gmin.saturating_add(lookahead);
+                    if rounds == 0 {
+                        virtual_now = gmin;
+                    }
+
+                    // Phase 2: process the window and ship remote events.
+                    let sent_before = engine.remote_sent();
+                    let events = engine.process_window(lbts, &shared);
+                    let sent = engine.remote_sent() - sent_before;
+                    for RemoteEvent { to_engine, event } in engine.take_outbox() {
+                        my_senders[to_engine as usize]
+                            .send(RemoteEvent { to_engine, event })
+                            .expect("peer thread alive");
+                    }
+                    win_events[id].store(events, Ordering::SeqCst);
+                    win_remote[id].store(sent, Ordering::SeqCst);
+                    let frontier =
+                        engine.next_time().unwrap_or(engine.counters.last_event_us);
+                    win_progress[id].store(frontier.min(lbts), Ordering::SeqCst);
+                    barrier.wait(); // all sends complete
+
+                    // Phase 3: drain inbox, account the window.
+                    for rx in &my_receivers {
+                        for remote in rx.try_iter() {
+                            engine.enqueue(remote.event);
+                        }
+                    }
+                    let mut max_busy = 0.0f64;
+                    for e in 0..n {
+                        let ev = win_events[e].load(Ordering::SeqCst);
+                        let rm = win_remote[e].load(Ordering::SeqCst);
+                        max_busy = max_busy.max(cost.engine_busy_us(ev, rm, speeds[e]));
+                    }
+                    let progress = win_progress
+                        .iter()
+                        .map(|x| x.load(Ordering::SeqCst))
+                        .min()
+                        .unwrap_or(lbts)
+                        .max(gmin);
+                    let span = progress.saturating_sub(virtual_now);
+                    virtual_now = virtual_now.max(progress);
+                    wall.add_busy_window(&cost, max_busy, span);
+                    rounds += 1;
+                }
+                (engine, wall, rounds, virtual_now)
+            });
+            handles.push(handle);
+        }
+        handles.into_iter().map(|h| h.join().expect("engine thread panicked")).collect()
+    })
+    .expect("emulation scope");
+
+    let mut engines = Vec::with_capacity(n);
+    let mut wall = WallClock::default();
+    let mut rounds = 0;
+    for (i, (e, w, r, _virtual_now)) in results.into_iter().enumerate() {
+        if i == 0 {
+            wall = w;
+            rounds = r;
+        }
+        engines.push(e);
+    }
+    finalize(engines, cfg, wall, rounds)
+}
+
+/// Merges per-engine state into the final report.
+fn finalize(
+    engines: Vec<Engine>,
+    cfg: &EmulationConfig,
+    wall: WallClock,
+    rounds: u64,
+) -> EmulationReport {
+    let nengines = cfg.nengines;
+    let mut engine_events = Vec::with_capacity(nengines);
+    let mut delivered = 0;
+    let mut dropped = 0;
+    let mut latency_sum_us = 0u128;
+    let mut remote_messages = 0;
+    let mut dumps = Vec::with_capacity(nengines);
+    let mut raw_windows = Vec::with_capacity(nengines);
+    let mut last_event_us = 0u64;
+    for e in engines {
+        engine_events.push(e.counters.events);
+        delivered += e.counters.delivered;
+        dropped += e.counters.dropped;
+        latency_sum_us += e.counters.latency_sum_us;
+        remote_messages += e.counters.remote_sent;
+        last_event_us = last_event_us.max(e.counters.last_event_us);
+        raw_windows.push(e.counters.windows().to_vec());
+        dumps.push(e.netflow.into_records());
+    }
+    let buckets = raw_windows.iter().map(Vec::len).max().unwrap_or(0);
+    let window_series = raw_windows
+        .into_iter()
+        .map(|mut w| {
+            w.resize(buckets, 0);
+            w
+        })
+        .collect();
+
+    EmulationReport {
+        nengines,
+        engine_events,
+        delivered,
+        dropped,
+        latency_sum_us,
+        remote_messages,
+        rounds,
+        virtual_end_us: last_event_us,
+        counter_window_us: cfg.counter_window_us,
+        window_series,
+        netflow: merge_dumps(dumps),
+        wall,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::teragrid::teragrid;
+    use massf_topology::Network;
+    use massf_traffic::FlowSpec;
+
+    fn star() -> Network {
+        let mut net = Network::new();
+        let r = net.add_router("r", 0);
+        for i in 0..4 {
+            let h = net.add_host(format!("h{i}"), 0);
+            net.add_link(h, r, 100.0, 25);
+        }
+        net
+    }
+
+    fn flows_star() -> Vec<FlowSpec> {
+        vec![
+            FlowSpec { src: 1, dst: 2, start_us: 0, packets: 10, bytes: 15_000, packet_interval_us: 100, window: None },
+            FlowSpec { src: 3, dst: 4, start_us: 50, packets: 5, bytes: 7_500, packet_interval_us: 200, window: None },
+            FlowSpec { src: 2, dst: 3, start_us: 1_000, packets: 3, bytes: 4_500, packet_interval_us: 50, window: None },
+        ]
+    }
+
+    #[test]
+    fn sequential_delivers_everything() {
+        let net = star();
+        let tables = RoutingTables::build(&net);
+        let cfg = EmulationConfig::new(vec![0, 0, 0, 1, 1], 2);
+        let r = run_sequential(&net, &tables, &flows_star(), &cfg);
+        assert_eq!(r.delivered, 18);
+        assert_eq!(r.dropped, 0);
+        // events: per packet, 1 inject + 1 router hop + 1 delivery = 3.
+        assert_eq!(r.total_events(), 54);
+        assert!(r.remote_messages > 0, "split partition must ship events");
+        assert!(r.rounds > 0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential_exactly() {
+        let net = star();
+        let tables = RoutingTables::build(&net);
+        for part in [vec![0u32, 0, 0, 1, 1], vec![0, 1, 0, 1, 0], vec![1, 0, 0, 0, 1]] {
+            let cfg = EmulationConfig::new(part.clone(), 2).with_netflow();
+            let seq = run_sequential(&net, &tables, &flows_star(), &cfg);
+            let par = run_parallel(&net, &tables, &flows_star(), &cfg);
+            assert_eq!(seq.engine_events, par.engine_events, "partition {part:?}");
+            assert_eq!(seq.delivered, par.delivered);
+            assert_eq!(seq.latency_sum_us, par.latency_sum_us);
+            assert_eq!(seq.remote_messages, par.remote_messages);
+            assert_eq!(seq.rounds, par.rounds);
+            assert_eq!(seq.netflow, par.netflow);
+            assert_eq!(seq.window_series, par.window_series);
+            assert!((seq.wall.total_us - par.wall.total_us).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn netflow_disabled_by_default() {
+        let net = star();
+        let tables = RoutingTables::build(&net);
+        let cfg = EmulationConfig::new(vec![0; 5], 1);
+        let r = run_sequential(&net, &tables, &flows_star(), &cfg);
+        assert!(r.netflow.is_empty());
+    }
+
+    #[test]
+    fn netflow_counts_router_sightings() {
+        let net = star();
+        let tables = RoutingTables::build(&net);
+        let cfg = EmulationConfig::new(vec![0; 5], 1).with_netflow();
+        let r = run_sequential(&net, &tables, &flows_star(), &cfg);
+        let total_pkts: u64 = r.netflow.iter().map(|f| f.packets).sum();
+        assert_eq!(total_pkts, 18, "every packet crosses the one router once");
+        assert_eq!(r.netflow.len(), 3, "one record per flow at the router");
+    }
+
+    #[test]
+    fn single_engine_has_no_remote_traffic() {
+        let net = star();
+        let tables = RoutingTables::build(&net);
+        let cfg = EmulationConfig::new(vec![0; 5], 1);
+        let r = run_parallel(&net, &tables, &flows_star(), &cfg);
+        assert_eq!(r.remote_messages, 0);
+        assert_eq!(r.delivered, 18);
+    }
+
+    #[test]
+    fn empty_flow_set_terminates_immediately() {
+        let net = star();
+        let tables = RoutingTables::build(&net);
+        let cfg = EmulationConfig::new(vec![0, 0, 1, 1, 1], 2);
+        let r = run_parallel(&net, &tables, &[], &cfg);
+        assert_eq!(r.total_events(), 0);
+        assert_eq!(r.rounds, 0);
+    }
+
+    #[test]
+    fn worse_balance_costs_more_modeled_time() {
+        let net = star();
+        let tables = RoutingTables::build(&net);
+        let flows = flows_star();
+        // Balanced-ish: hosts split across engines. Skewed: everything on 0,
+        // one idle host on 1 (same cut structure through the router).
+        let balanced = EmulationConfig::new(vec![0, 0, 0, 1, 1], 2);
+        let skewed = EmulationConfig::new(vec![0, 0, 0, 0, 1], 2);
+        let rb = run_sequential(&net, &tables, &flows, &balanced);
+        let rs = run_sequential(&net, &tables, &flows, &skewed);
+        let ib = rb.engine_events.iter().copied().max().unwrap();
+        let is_ = rs.engine_events.iter().copied().max().unwrap();
+        assert!(is_ >= ib, "skewed partition should load engine 0 at least as much");
+    }
+
+    #[test]
+    fn teragrid_bulk_run_is_consistent() {
+        let net = teragrid();
+        let tables = RoutingTables::build(&net);
+        let hosts = net.hosts();
+        let flows: Vec<FlowSpec> = (0..20)
+            .map(|i| FlowSpec {
+                src: hosts[i],
+                dst: hosts[(i * 7 + 40) % hosts.len()],
+                start_us: (i as u64) * 500,
+                packets: 20,
+                bytes: 30_000,
+                packet_interval_us: 120, window: None })
+            .collect();
+        // 5 engines: site s -> engine s-1 via AS id, backbone to engine 0.
+        let part: Vec<u32> = net
+            .nodes()
+            .iter()
+            .map(|n| if n.as_id == 0 { 0 } else { n.as_id - 1 })
+            .collect();
+        let cfg = EmulationConfig::new(part, 5);
+        let seq = run_sequential(&net, &tables, &flows, &cfg);
+        let par = run_parallel(&net, &tables, &flows, &cfg);
+        assert_eq!(seq.delivered, 400);
+        assert_eq!(seq.engine_events, par.engine_events);
+        assert_eq!(seq.rounds, par.rounds);
+        assert_eq!(seq.latency_sum_us, par.latency_sum_us);
+    }
+}

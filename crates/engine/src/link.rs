@@ -1,0 +1,137 @@
+//! Link transmission modeling: store-and-forward serialization plus
+//! propagation, with per-direction busy tracking.
+
+use massf_topology::{Link, LinkId};
+use std::collections::HashMap;
+
+/// Serialization time of `bytes` at `bandwidth_mbps`, in whole microseconds
+/// (≥ 1). `bits / Mbps` is exactly microseconds.
+#[inline]
+pub fn tx_time_us(bytes: u32, bandwidth_mbps: f64) -> u64 {
+    debug_assert!(bandwidth_mbps > 0.0);
+    (((bytes as f64) * 8.0 / bandwidth_mbps).ceil() as u64).max(1)
+}
+
+/// Per-direction link occupancy owned by the engine of the sending node.
+///
+/// A direction is identified by `(link, from_a)` where `from_a` is true for
+/// transmissions from the link's `a` endpoint. Because a node's outgoing
+/// transmissions are only ever scheduled by the engine that owns the node,
+/// each direction's state has exactly one writer and needs no locking.
+#[derive(Debug, Default)]
+pub struct LinkOccupancy {
+    next_free_us: HashMap<(LinkId, bool), u64>,
+}
+
+/// Outcome of scheduling one packet onto a link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Transit {
+    /// When serialization starts (after any queueing).
+    pub depart_us: u64,
+    /// When the packet fully arrives at the far end.
+    pub arrive_us: u64,
+}
+
+impl LinkOccupancy {
+    /// Creates empty occupancy state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules a packet of `bytes` onto `link` in direction `from_a` at
+    /// time `now`; returns departure and arrival times and marks the
+    /// direction busy until serialization completes (FIFO queueing).
+    pub fn schedule(
+        &mut self,
+        link_id: LinkId,
+        link: &Link,
+        from_a: bool,
+        now_us: u64,
+        bytes: u32,
+    ) -> Transit {
+        let slot = self.next_free_us.entry((link_id, from_a)).or_insert(0);
+        let depart = now_us.max(*slot);
+        let tx = tx_time_us(bytes, link.bandwidth_mbps);
+        *slot = depart + tx;
+        Transit { depart_us: depart, arrive_us: depart + tx + link.latency_us }
+    }
+
+    /// Clears all occupancy (between independent runs).
+    pub fn reset(&mut self) {
+        self.next_free_us.clear();
+    }
+
+    /// Removes and returns all occupancy entries (node migration hands the
+    /// sending-side state to the node's new engine).
+    pub fn drain_all(&mut self) -> Vec<((LinkId, bool), u64)> {
+        self.next_free_us.drain().collect()
+    }
+
+    /// Inserts an occupancy entry, keeping the later busy-until time if the
+    /// direction already exists.
+    pub fn insert(&mut self, key: (LinkId, bool), busy_until_us: u64) {
+        let slot = self.next_free_us.entry(key).or_insert(0);
+        *slot = (*slot).max(busy_until_us);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::Link;
+
+    fn link() -> Link {
+        Link { a: 0, b: 1, bandwidth_mbps: 12.0, latency_us: 100 }
+    }
+
+    #[test]
+    fn tx_time_is_bits_over_mbps() {
+        // 1500 B = 12000 bits at 12 Mbps = 1000 µs.
+        assert_eq!(tx_time_us(1500, 12.0), 1000);
+        assert_eq!(tx_time_us(1, 1000.0), 1);
+        assert_eq!(tx_time_us(1500, 100_000.0), 1);
+    }
+
+    #[test]
+    fn idle_link_departs_immediately() {
+        let mut occ = LinkOccupancy::new();
+        let t = occ.schedule(LinkId(0), &link(), true, 50, 1500);
+        assert_eq!(t.depart_us, 50);
+        assert_eq!(t.arrive_us, 50 + 1000 + 100);
+    }
+
+    #[test]
+    fn back_to_back_packets_queue_fifo() {
+        let mut occ = LinkOccupancy::new();
+        let t1 = occ.schedule(LinkId(0), &link(), true, 0, 1500);
+        let t2 = occ.schedule(LinkId(0), &link(), true, 0, 1500);
+        assert_eq!(t1.depart_us, 0);
+        assert_eq!(t2.depart_us, 1000, "second packet waits for serialization");
+        assert_eq!(t2.arrive_us, 2000 + 100);
+    }
+
+    #[test]
+    fn directions_are_independent() {
+        let mut occ = LinkOccupancy::new();
+        occ.schedule(LinkId(0), &link(), true, 0, 1500);
+        let rev = occ.schedule(LinkId(0), &link(), false, 0, 1500);
+        assert_eq!(rev.depart_us, 0, "full duplex: reverse direction is free");
+    }
+
+    #[test]
+    fn different_links_are_independent() {
+        let mut occ = LinkOccupancy::new();
+        occ.schedule(LinkId(0), &link(), true, 0, 1500);
+        let other = occ.schedule(LinkId(1), &link(), true, 0, 1500);
+        assert_eq!(other.depart_us, 0);
+    }
+
+    #[test]
+    fn reset_clears_occupancy() {
+        let mut occ = LinkOccupancy::new();
+        occ.schedule(LinkId(0), &link(), true, 0, 1500);
+        occ.reset();
+        let t = occ.schedule(LinkId(0), &link(), true, 0, 1500);
+        assert_eq!(t.depart_us, 0);
+    }
+}

@@ -1,0 +1,211 @@
+//! NetFlow-style traffic profiling (§3.3).
+//!
+//! "We implement the Cisco NetFlow-like function on each emulated router.
+//! This functionality is used to record every traffic flow on each router
+//! to a local file. The dump files record the average bandwidth and
+//! duration of every flow on every router."
+//!
+//! Here each engine keeps its routers' flow tables in memory; dumps are
+//! merged into a single sorted record list at the end of the run.
+
+use crate::event::Packet;
+use massf_topology::NodeId;
+use std::collections::HashMap;
+
+/// One flow record at one router — a NetFlow dump line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlowRecord {
+    /// The observing router.
+    pub router: NodeId,
+    /// Flow index (maps back to the generating `FlowSpec`).
+    pub flow: u32,
+    /// Flow source host.
+    pub src: NodeId,
+    /// Flow destination host.
+    pub dst: NodeId,
+    /// Packets of this flow seen at this router.
+    pub packets: u64,
+    /// Bytes of this flow seen at this router.
+    pub bytes: u64,
+    /// First sighting (µs).
+    pub first_us: u64,
+    /// Last sighting (µs).
+    pub last_us: u64,
+}
+
+impl FlowRecord {
+    /// Flow duration as observed at this router, in µs (≥ 1).
+    pub fn duration_us(&self) -> u64 {
+        (self.last_us - self.first_us).max(1)
+    }
+
+    /// Average observed bandwidth in Mbps (bits / µs).
+    pub fn average_mbps(&self) -> f64 {
+        (self.bytes * 8) as f64 / self.duration_us() as f64
+    }
+}
+
+/// Per-engine NetFlow collector.
+#[derive(Debug, Default)]
+pub struct NetFlowCollector {
+    records: HashMap<(NodeId, u32), FlowRecord>,
+    enabled: bool,
+}
+
+impl NetFlowCollector {
+    /// Creates a collector; a disabled collector records nothing (profiling
+    /// is only turned on for PROFILE's initial run).
+    pub fn new(enabled: bool) -> Self {
+        Self { records: HashMap::new(), enabled }
+    }
+
+    /// Whether recording is active.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records a packet sighting at `router`.
+    #[inline]
+    pub fn record(&mut self, router: NodeId, pkt: &Packet, now_us: u64) {
+        if !self.enabled {
+            return;
+        }
+        let rec = self.records.entry((router, pkt.flow)).or_insert_with(|| FlowRecord {
+            router,
+            flow: pkt.flow,
+            src: pkt.src,
+            dst: pkt.dst,
+            packets: 0,
+            bytes: 0,
+            first_us: now_us,
+            last_us: now_us,
+        });
+        rec.packets += 1;
+        rec.bytes += pkt.bytes as u64;
+        rec.first_us = rec.first_us.min(now_us);
+        rec.last_us = rec.last_us.max(now_us);
+    }
+
+    /// Clones the records accumulated so far (a live dump, used by the
+    /// dynamic-remapping driver at epoch boundaries).
+    pub fn snapshot(&self) -> Vec<FlowRecord> {
+        let mut v: Vec<FlowRecord> = self.records.values().cloned().collect();
+        v.sort_by_key(|r| (r.router, r.flow));
+        v
+    }
+
+    /// Drains this collector's records (the per-router "dump files").
+    pub fn into_records(self) -> Vec<FlowRecord> {
+        let mut v: Vec<FlowRecord> = self.records.into_values().collect();
+        v.sort_by_key(|r| (r.router, r.flow));
+        v
+    }
+}
+
+/// Merges per-engine dumps into one sorted list ("parsing the dump files
+/// allows computation of the aggregated traffic on every router and link").
+pub fn merge_dumps(dumps: Vec<Vec<FlowRecord>>) -> Vec<FlowRecord> {
+    let mut all: Vec<FlowRecord> = dumps.into_iter().flatten().collect();
+    all.sort_by_key(|r| (r.router, r.flow));
+    all
+}
+
+/// Aggregated per-router packet totals from merged records.
+pub fn packets_per_router(records: &[FlowRecord], node_count: usize) -> Vec<u64> {
+    let mut out = vec![0u64; node_count];
+    for r in records {
+        out[r.router as usize] += r.packets;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(flow: u32, no: u64, bytes: u32) -> Packet {
+        Packet::for_flow(flow, no, 10, 20, bytes, 0)
+    }
+
+    #[test]
+    fn aggregates_per_flow_per_router() {
+        let mut c = NetFlowCollector::new(true);
+        c.record(5, &pkt(0, 0, 1500), 100);
+        c.record(5, &pkt(0, 1, 1500), 300);
+        c.record(5, &pkt(1, 0, 500), 200);
+        c.record(6, &pkt(0, 2, 1500), 400);
+        let recs = c.into_records();
+        assert_eq!(recs.len(), 3);
+        let r = &recs[0];
+        assert_eq!((r.router, r.flow, r.packets, r.bytes), (5, 0, 2, 3000));
+        assert_eq!((r.first_us, r.last_us), (100, 300));
+    }
+
+    #[test]
+    fn disabled_collector_records_nothing() {
+        let mut c = NetFlowCollector::new(false);
+        c.record(5, &pkt(0, 0, 1500), 100);
+        assert!(c.into_records().is_empty());
+    }
+
+    #[test]
+    fn bandwidth_and_duration() {
+        let r = FlowRecord {
+            router: 1,
+            flow: 0,
+            src: 0,
+            dst: 9,
+            packets: 10,
+            bytes: 15_000,
+            first_us: 1000,
+            last_us: 2000,
+        };
+        assert_eq!(r.duration_us(), 1000);
+        assert!((r.average_mbps() - 120.0).abs() < 1e-9); // 120000 bits / 1000 µs
+    }
+
+    #[test]
+    fn single_sighting_duration_clamped() {
+        let r = FlowRecord {
+            router: 1,
+            flow: 0,
+            src: 0,
+            dst: 9,
+            packets: 1,
+            bytes: 100,
+            first_us: 5,
+            last_us: 5,
+        };
+        assert_eq!(r.duration_us(), 1);
+    }
+
+    #[test]
+    fn merge_sorts_across_engines() {
+        let a = vec![FlowRecord {
+            router: 7,
+            flow: 1,
+            src: 0,
+            dst: 1,
+            packets: 1,
+            bytes: 1,
+            first_us: 0,
+            last_us: 0,
+        }];
+        let b = vec![FlowRecord {
+            router: 2,
+            flow: 0,
+            src: 0,
+            dst: 1,
+            packets: 2,
+            bytes: 2,
+            first_us: 0,
+            last_us: 0,
+        }];
+        let merged = merge_dumps(vec![a, b]);
+        assert_eq!(merged[0].router, 2);
+        assert_eq!(merged[1].router, 7);
+        let per = packets_per_router(&merged, 8);
+        assert_eq!(per[2], 2);
+        assert_eq!(per[7], 1);
+    }
+}

@@ -1,0 +1,111 @@
+//! The outcome of an emulation run.
+
+use crate::cost::WallClock;
+use crate::netflow::FlowRecord;
+
+/// Everything a mapping study needs from one emulation run.
+#[derive(Debug, Clone)]
+pub struct EmulationReport {
+    /// Number of simulation engines.
+    pub nengines: usize,
+    /// Kernel events processed per engine — the paper's load metric.
+    pub engine_events: Vec<u64>,
+    /// Packets delivered end-to-end.
+    pub delivered: u64,
+    /// Packets dropped (unreachable destinations).
+    pub dropped: u64,
+    /// Sum of end-to-end latencies over delivered packets (µs).
+    pub latency_sum_us: u128,
+    /// Total cross-engine event shipments.
+    pub remote_messages: u64,
+    /// Conservative synchronization rounds executed.
+    pub rounds: u64,
+    /// Largest event timestamp processed (virtual end of the run).
+    pub virtual_end_us: u64,
+    /// Width of the virtual-time buckets in `window_series`.
+    pub counter_window_us: u64,
+    /// Kernel events per engine per virtual-time bucket
+    /// (`[engine][bucket]`, all rows equal length).
+    pub window_series: Vec<Vec<u64>>,
+    /// Merged NetFlow records (empty unless profiling was enabled).
+    pub netflow: Vec<FlowRecord>,
+    /// Modeled wall-clock accounting.
+    pub wall: WallClock,
+}
+
+impl EmulationReport {
+    /// Total kernel events across engines.
+    pub fn total_events(&self) -> u64 {
+        self.engine_events.iter().sum()
+    }
+
+    /// Mean end-to-end packet latency in µs (0 when nothing delivered).
+    pub fn mean_latency_us(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.latency_sum_us as f64 / self.delivered as f64
+        }
+    }
+
+    /// Modeled emulation time in seconds — the quantity Figures 6/7/9/10
+    /// report.
+    pub fn emulation_time_s(&self) -> f64 {
+        self.wall.total_seconds()
+    }
+
+    /// Per-engine imbalance summary line for logs and examples.
+    pub fn balance_line(&self) -> String {
+        let total = self.total_events().max(1);
+        let shares: Vec<String> = self
+            .engine_events
+            .iter()
+            .map(|&e| format!("{:.1}%", 100.0 * e as f64 / total as f64))
+            .collect();
+        format!("events/engine: [{}] of {}", shares.join(", "), total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> EmulationReport {
+        EmulationReport {
+            nengines: 2,
+            engine_events: vec![30, 10],
+            delivered: 4,
+            dropped: 0,
+            latency_sum_us: 400,
+            remote_messages: 2,
+            rounds: 7,
+            virtual_end_us: 1000,
+            counter_window_us: 100,
+            window_series: vec![vec![3, 0], vec![1, 0]],
+            netflow: vec![],
+            wall: WallClock { total_us: 2_000_000.0, busy_us: 100.0, windows: 7 },
+        }
+    }
+
+    #[test]
+    fn totals_and_means() {
+        let r = report();
+        assert_eq!(r.total_events(), 40);
+        assert!((r.mean_latency_us() - 100.0).abs() < 1e-9);
+        assert!((r.emulation_time_s() - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_delivery_mean_is_zero() {
+        let mut r = report();
+        r.delivered = 0;
+        assert_eq!(r.mean_latency_us(), 0.0);
+    }
+
+    #[test]
+    fn balance_line_shows_shares() {
+        let line = report().balance_line();
+        assert!(line.contains("75.0%"), "{line}");
+        assert!(line.contains("25.0%"), "{line}");
+    }
+}

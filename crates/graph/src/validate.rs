@@ -1,0 +1,123 @@
+//! Structural validation of CSR graphs.
+
+use crate::{CsrGraph, GraphError, VertexId};
+
+/// Checks all CSR invariants:
+///
+/// * `xadj` is monotone and spans `adjncy` exactly;
+/// * `adjwgt` is parallel to `adjncy`;
+/// * `vwgt` has `nvtxs * ncon` entries, all non-negative;
+/// * no self-loops, neighbour ids in range;
+/// * each adjacency list strictly sorted (implies no parallel edges);
+/// * the adjacency relation is symmetric with matching weights.
+pub fn validate(g: &CsrGraph) -> Result<(), GraphError> {
+    let nvtxs = g.nvtxs();
+    let xadj = g.xadj();
+    let adjncy = g.adjncy();
+    let adjwgt = g.adjwgt();
+
+    if g.ncon() == 0 {
+        return Err(GraphError::Corrupt("ncon == 0"));
+    }
+    if xadj.first() != Some(&0) {
+        return Err(GraphError::Corrupt("xadj[0] != 0"));
+    }
+    if *xadj.last().expect("xadj non-empty") != adjncy.len() {
+        return Err(GraphError::Corrupt("xadj does not span adjncy"));
+    }
+    if xadj.windows(2).any(|w| w[0] > w[1]) {
+        return Err(GraphError::Corrupt("xadj not monotone"));
+    }
+    if adjwgt.len() != adjncy.len() {
+        return Err(GraphError::Corrupt("adjwgt length mismatch"));
+    }
+    if g.vwgt().len() != nvtxs * g.ncon() {
+        return Err(GraphError::Corrupt("vwgt length mismatch"));
+    }
+    if g.vwgt().iter().any(|&w| w < 0) {
+        return Err(GraphError::NegativeWeight);
+    }
+    if adjwgt.iter().any(|&w| w < 0) {
+        return Err(GraphError::NegativeWeight);
+    }
+
+    for v in 0..nvtxs as VertexId {
+        let nbrs = g.neighbors(v);
+        if nbrs.windows(2).any(|w| w[0] >= w[1]) {
+            return Err(GraphError::Corrupt("adjacency list not strictly sorted"));
+        }
+        for &n in nbrs {
+            if n == v {
+                return Err(GraphError::SelfLoop(v));
+            }
+            if n as usize >= nvtxs {
+                return Err(GraphError::VertexOutOfRange { vertex: n, nvtxs });
+            }
+        }
+    }
+
+    // Symmetry with equal weights.
+    for v in 0..nvtxs as VertexId {
+        for (n, w) in g.edges(v) {
+            match g.edge_weight_between(n, v) {
+                Some(wb) if wb == w => {}
+                _ => return Err(GraphError::Corrupt("asymmetric adjacency")),
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CsrGraph;
+
+    #[test]
+    fn valid_path_graph_passes() {
+        let g = CsrGraph::from_parts(
+            1,
+            vec![0, 1, 3, 4],
+            vec![1, 0, 2, 1],
+            vec![7, 7, 9, 9],
+            vec![1, 1, 1],
+        );
+        assert!(g.is_ok());
+    }
+
+    #[test]
+    fn asymmetric_weight_fails() {
+        let g = CsrGraph::from_parts(
+            1,
+            vec![0, 1, 2],
+            vec![1, 0],
+            vec![7, 8],
+            vec![1, 1],
+        );
+        assert!(matches!(g, Err(GraphError::Corrupt(_))));
+    }
+
+    #[test]
+    fn dangling_neighbor_fails() {
+        let g = CsrGraph::from_parts(1, vec![0, 1, 2], vec![1, 5], vec![1, 1], vec![1, 1]);
+        assert!(g.is_err());
+    }
+
+    #[test]
+    fn self_loop_fails() {
+        let g = CsrGraph::from_parts(1, vec![0, 1], vec![0], vec![1], vec![1]);
+        assert!(matches!(g, Err(GraphError::SelfLoop(0))));
+    }
+
+    #[test]
+    fn negative_vertex_weight_fails() {
+        let g = CsrGraph::from_parts(1, vec![0, 0], vec![], vec![], vec![-1]);
+        assert!(matches!(g, Err(GraphError::NegativeWeight)));
+    }
+
+    #[test]
+    fn bad_xadj_fails() {
+        let g = CsrGraph::from_parts(1, vec![0, 2, 1], vec![1, 0], vec![1, 1], vec![1, 1]);
+        assert!(g.is_err());
+    }
+}

@@ -1,0 +1,190 @@
+//! Emulation-phase clustering for PROFILE (§3.3).
+//!
+//! "The clustering algorithm first removes segments that have little
+//! traffic. Then it gets a smooth load curve … The dominating node of
+//! special point is the node with the maximal load. The change of
+//! dominating node identifies a major load variation of the emulation
+//! system. So we can split the whole emulation period at these odd points
+//! and use each segment as a constraint to the graph partitioning
+//! algorithm."
+
+/// A half-open bucket range `[start, end)` forming one load phase.
+pub type Segment = (usize, usize);
+
+/// Clusters `[node][bucket]` loads into at most `max_segments` phases.
+///
+/// 1. Buckets whose total load is below `min_bucket_total` are idle; they
+///    never trigger splits and attach to the preceding segment.
+/// 2. Per-node curves are smoothed with a centered moving average of
+///    `smooth` buckets.
+/// 3. A new segment starts whenever the *dominating node* (argmax of the
+///    smoothed loads) changes between consecutive active buckets.
+/// 4. Adjacent segments are merged smallest-total-first until at most
+///    `max_segments` remain.
+///
+/// Returns segments covering `[0, nbuckets)`; an all-idle input yields one
+/// segment.
+pub fn cluster_segments(
+    node_loads: &[Vec<u64>],
+    min_bucket_total: u64,
+    smooth: usize,
+    max_segments: usize,
+) -> Vec<Segment> {
+    let nbuckets = node_loads.iter().map(Vec::len).max().unwrap_or(0);
+    if nbuckets == 0 {
+        return vec![];
+    }
+    let max_segments = max_segments.max(1);
+    let nnodes = node_loads.len();
+    let get = |n: usize, b: usize| node_loads[n].get(b).copied().unwrap_or(0);
+
+    // Bucket totals and activity mask.
+    let totals: Vec<u64> = (0..nbuckets).map(|b| (0..nnodes).map(|n| get(n, b)).sum()).collect();
+    let active: Vec<bool> = totals.iter().map(|&t| t >= min_bucket_total).collect();
+
+    // Smoothed dominating node per active bucket.
+    let half = smooth.max(1) / 2;
+    let dominating: Vec<Option<usize>> = (0..nbuckets)
+        .map(|b| {
+            if !active[b] {
+                return None;
+            }
+            let lo = b.saturating_sub(half);
+            let hi = (b + half).min(nbuckets - 1);
+            (0..nnodes)
+                .map(|n| (lo..=hi).map(|bb| get(n, bb)).sum::<u64>())
+                .enumerate()
+                .max_by_key(|&(n, s)| (s, std::cmp::Reverse(n)))
+                .map(|(n, _)| n)
+        })
+        .collect();
+
+    // Split at dominating-node changes between consecutive active buckets.
+    let mut boundaries = vec![0usize];
+    let mut last_dom: Option<usize> = None;
+    for b in 0..nbuckets {
+        if let Some(d) = dominating[b] {
+            if let Some(prev) = last_dom {
+                if prev != d {
+                    boundaries.push(b);
+                }
+            }
+            last_dom = Some(d);
+        }
+    }
+    boundaries.push(nbuckets);
+    let mut segments: Vec<Segment> =
+        boundaries.windows(2).map(|w| (w[0], w[1])).filter(|&(a, b)| a < b).collect();
+
+    // Merge smallest adjacent pairs until within budget.
+    let seg_total = |s: &Segment| -> u64 { (s.0..s.1).map(|b| totals[b]).sum() };
+    while segments.len() > max_segments {
+        let i = (0..segments.len() - 1)
+            .min_by_key(|&i| seg_total(&segments[i]).saturating_add(seg_total(&segments[i + 1])))
+            .expect("at least two segments");
+        let merged = (segments[i].0, segments[i + 1].1);
+        segments.splice(i..=i + 1, [merged]);
+    }
+    segments
+}
+
+/// Builds the multi-constraint vertex-weight matrix: one column per
+/// segment, `weight[node][seg] = 1 + events of node in segment`. Flattened
+/// row-major as the partitioner expects.
+pub fn segment_vertex_weights(node_loads: &[Vec<u64>], segments: &[Segment]) -> Vec<i64> {
+    let nnodes = node_loads.len();
+    let ncon = segments.len().max(1);
+    let mut out = vec![1i64; nnodes * ncon];
+    for (n, row) in node_loads.iter().enumerate() {
+        for (s, &(a, b)) in segments.iter().enumerate() {
+            let sum: u64 = (a..b.min(row.len())).map(|bb| row[bb]).sum();
+            out[n * ncon + s] = 1 + sum as i64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Node 0 dominates buckets 0–3, node 1 dominates 6–9; 4–5 idle.
+    fn two_phase() -> Vec<Vec<u64>> {
+        vec![
+            vec![100, 100, 100, 100, 1, 0, 5, 5, 5, 5],
+            vec![5, 5, 5, 5, 0, 1, 100, 100, 100, 100],
+        ]
+    }
+
+    #[test]
+    fn detects_the_phase_change() {
+        let segs = cluster_segments(&two_phase(), 10, 1, 8);
+        assert_eq!(segs.len(), 2, "{segs:?}");
+        assert_eq!(segs[0].0, 0);
+        assert_eq!(segs.last().unwrap().1, 10);
+        // The split lands inside the idle region or at the second burst.
+        let split = segs[0].1;
+        assert!((4..=6).contains(&split), "split at {split}");
+    }
+
+    #[test]
+    fn idle_buckets_do_not_split() {
+        // Same dominator on both sides of an idle gap: one segment.
+        let loads = vec![vec![50, 50, 0, 0, 50, 50], vec![1, 1, 0, 0, 1, 1]];
+        let segs = cluster_segments(&loads, 5, 1, 8);
+        assert_eq!(segs, vec![(0, 6)]);
+    }
+
+    #[test]
+    fn merging_respects_budget() {
+        // Alternating dominator every bucket: many raw segments.
+        let a: Vec<u64> = (0..12).map(|b| if b % 2 == 0 { 100 } else { 1 }).collect();
+        let b: Vec<u64> = (0..12).map(|b| if b % 2 == 1 { 100 } else { 1 }).collect();
+        let segs = cluster_segments(&[a, b], 1, 1, 3);
+        assert!(segs.len() <= 3);
+        // Coverage is contiguous and complete.
+        assert_eq!(segs[0].0, 0);
+        for w in segs.windows(2) {
+            assert_eq!(w[0].1, w[1].0);
+        }
+        assert_eq!(segs.last().unwrap().1, 12);
+    }
+
+    #[test]
+    fn all_idle_is_one_segment() {
+        let loads = vec![vec![0, 0, 0], vec![1, 0, 0]];
+        let segs = cluster_segments(&loads, 10, 1, 4);
+        assert_eq!(segs, vec![(0, 3)]);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(cluster_segments(&[], 1, 1, 4).is_empty());
+    }
+
+    #[test]
+    fn weights_have_one_column_per_segment() {
+        let loads = two_phase();
+        let segs = cluster_segments(&loads, 10, 1, 8);
+        let w = segment_vertex_weights(&loads, &segs);
+        assert_eq!(w.len(), 2 * segs.len());
+        // Node 0's first-segment weight reflects its burst.
+        let ncon = segs.len();
+        assert!(w[ncon - ncon] > 300, "node 0 seg 0: {w:?}");
+        // Node 1 dominates the last segment.
+        assert!(w[ncon + (ncon - 1)] > 300);
+        // All weights have the +1 floor.
+        assert!(w.iter().all(|&x| x >= 1));
+    }
+
+    #[test]
+    fn smoothing_suppresses_single_bucket_flips() {
+        // A one-bucket spike of node 1 inside node 0's phase should not
+        // split when smoothed over 3 buckets.
+        let loads = vec![vec![100, 100, 100, 100, 100], vec![1, 1, 160, 1, 1]];
+        let raw = cluster_segments(&loads, 1, 1, 8);
+        let smoothed = cluster_segments(&loads, 1, 3, 8);
+        assert!(raw.len() >= 2, "unsmoothed sees the flip: {raw:?}");
+        assert_eq!(smoothed.len(), 1, "smoothed ignores it: {smoothed:?}");
+    }
+}

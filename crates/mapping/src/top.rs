@@ -1,0 +1,71 @@
+//! The topology-based mapping approach — TOP (§3.1).
+//!
+//! "Each virtual node is weighted with the total bandwidth in and out of
+//! it. The optimization objective is to maximize the link latency between
+//! simulation engine nodes. … This basic approach is simple and fast,
+//! therefore, it forms a performance baseline for our experiments."
+
+use crate::weights::{append_memory_constraint, latency_graph, with_vertex_weights};
+use crate::MapperConfig;
+use massf_partition::{partition_kway, Partitioning};
+use massf_topology::Network;
+
+/// Maps the network using topology information only.
+pub fn map_top(net: &Network, cfg: &MapperConfig) -> Partitioning {
+    let mut g = latency_graph(net);
+    if cfg.include_memory {
+        let (ncon, w) = append_memory_constraint(net, 1, g.vwgt());
+        g = with_vertex_weights(&g, ncon, w);
+    }
+    partition_kway(&g, &cfg.partition_config())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_partition::quality::{min_cut_edge_weight, worst_balance};
+    use massf_topology::campus::campus;
+    use massf_topology::teragrid::teragrid;
+
+    #[test]
+    fn campus_three_way_is_valid_and_balanced() {
+        let net = campus();
+        let p = map_top(&net, &MapperConfig::new(3));
+        assert_eq!(p.nparts, 3);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+        let g = latency_graph(&net);
+        assert!(worst_balance(&g, &p.part, 3) < 1.6);
+    }
+
+    #[test]
+    fn teragrid_cuts_prefer_high_latency_links() {
+        // TOP should cut backbone/site links (high latency, low weight)
+        // rather than LAN links: the minimum *cut weight* corresponds to
+        // the maximum cut latency.
+        let net = teragrid();
+        let p = map_top(&net, &MapperConfig::new(5));
+        let g = latency_graph(&net);
+        let min_cut = min_cut_edge_weight(&g, &p.part).expect("5 parts cut something");
+        // Site gateway links have latency 2000 µs -> weight 500; LAN links
+        // weight 10000 or 100000. A good TOP cut stays at low weights.
+        assert!(
+            min_cut <= 10_000,
+            "expected cut on a wide-area link, min cut weight {min_cut}"
+        );
+    }
+
+    #[test]
+    fn memory_constraint_accepted() {
+        let net = teragrid();
+        let cfg = MapperConfig::new(5).with_memory_constraint(true);
+        let p = map_top(&net, &cfg);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn deterministic() {
+        let net = campus();
+        let cfg = MapperConfig::new(3);
+        assert_eq!(map_top(&net, &cfg), map_top(&net, &cfg));
+    }
+}

@@ -1,0 +1,369 @@
+//! Construction of the partitioner's weighted input graphs (§2.2).
+//!
+//! All graphs produced here share one structure — vertex `i` is network
+//! node `i`, one edge per link — so the §2.3 multi-objective combination
+//! can mix their edge weights. They differ only in weights:
+//!
+//! * **latency view** — edge weight `K / latency`: the partitioner
+//!   minimizes cut weight, so cheap-to-cut edges are the high-latency ones,
+//!   which *maximizes* cut latency and hence conservative lookahead;
+//! * **predicted-traffic view** (PLACE) — edge weight ∝ predicted Mbps
+//!   crossing the link, vertex weight ∝ predicted traffic through the node;
+//! * **measured-traffic view** (PROFILE) — the same quantities from
+//!   NetFlow records, in packets ("we use the number of packets in a flow,
+//!   since the real load in the emulator depends on the number of packets
+//!   it processes", §3.3).
+
+use massf_engine::netflow::FlowRecord;
+use massf_graph::{CsrGraph, GraphBuilder, Weight};
+use massf_routing::RoutingTables;
+use massf_topology::{Network, NodeId, NodeKind};
+use massf_traffic::PredictedFlow;
+use std::collections::HashMap;
+
+/// Numerator for the latency objective: `w = LATENCY_SCALE / latency_us`.
+pub const LATENCY_SCALE: f64 = 1_000_000.0;
+
+/// Fixed-point multiplier when quantizing Mbps to integer edge weights.
+pub const MBPS_SCALE: f64 = 16.0;
+
+/// Builds the shared graph skeleton with the supplied weight functions.
+fn build_graph(
+    net: &Network,
+    ncon: usize,
+    vertex_weight: impl Fn(NodeId) -> Vec<Weight>,
+    edge_weight: impl Fn(usize) -> Weight,
+) -> CsrGraph {
+    let mut b = GraphBuilder::with_capacity(ncon, net.node_count(), net.link_count());
+    for n in net.nodes() {
+        let w = vertex_weight(n.id);
+        assert_eq!(w.len(), ncon);
+        b.add_vertex(&w);
+    }
+    for (i, l) in net.links().iter().enumerate() {
+        b.add_edge(l.a, l.b, edge_weight(i)).expect("network links are valid edges");
+    }
+    b.build().expect("network graph valid")
+}
+
+/// The latency objective's edge weight for a link of `latency_us`.
+#[inline]
+pub fn latency_weight(latency_us: u64) -> Weight {
+    ((LATENCY_SCALE / latency_us as f64).round() as Weight).max(1)
+}
+
+/// TOP's input graph: vertex weight = total incident bandwidth (Mbps,
+/// rounded, ≥ 1); edge weight = the latency objective (§3.1).
+pub fn latency_graph(net: &Network) -> CsrGraph {
+    build_graph(
+        net,
+        1,
+        |n| vec![(net.total_bandwidth(n).round() as Weight).max(1)],
+        |i| latency_weight(net.links()[i].latency_us),
+    )
+}
+
+/// Routes every predicted flow and accumulates per-link and per-node Mbps.
+/// Returns `(per_link, per_node)`; a flow contributes to every node on its
+/// path, endpoints included.
+pub fn accumulate_predicted(
+    net: &Network,
+    tables: &RoutingTables,
+    flows: &[PredictedFlow],
+) -> (Vec<f64>, Vec<f64>) {
+    let mut per_link = vec![0.0f64; net.link_count()];
+    let mut per_node = vec![0.0f64; net.node_count()];
+    for f in flows {
+        if f.src == f.dst {
+            continue;
+        }
+        let Some(links) = tables.path_links(f.src, f.dst) else { continue };
+        let Some(path) = tables.path(f.src, f.dst) else { continue };
+        for l in links {
+            per_link[l.0 as usize] += f.bandwidth_mbps;
+        }
+        for n in path {
+            per_node[n as usize] += f.bandwidth_mbps;
+        }
+    }
+    (per_link, per_node)
+}
+
+/// PLACE's traffic view: edge weight ∝ predicted Mbps on the link, vertex
+/// weight ∝ predicted Mbps through the node (both quantized, with a floor
+/// of 1 so idle regions remain partitionable).
+pub fn predicted_traffic_graph(
+    net: &Network,
+    tables: &RoutingTables,
+    flows: &[PredictedFlow],
+) -> CsrGraph {
+    let (per_link, per_node) = accumulate_predicted(net, tables, flows);
+    build_graph(
+        net,
+        1,
+        |n| vec![quantize(per_node[n as usize])],
+        |i| quantize(per_link[i]),
+    )
+}
+
+/// Groups NetFlow records by flow: `(src, dst, packets)` where `packets`
+/// is the maximum seen at any single router (the flow's true packet count,
+/// robust to partial paths).
+pub fn flow_totals(records: &[FlowRecord]) -> Vec<(NodeId, NodeId, u64)> {
+    let mut per_flow: HashMap<u32, (NodeId, NodeId, u64)> = HashMap::new();
+    for r in records {
+        let e = per_flow.entry(r.flow).or_insert((r.src, r.dst, 0));
+        e.2 = e.2.max(r.packets);
+    }
+    let mut v: Vec<_> = per_flow.into_values().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Accumulates measured per-link and per-node *packet* counts from NetFlow
+/// dumps. Router loads come straight from the records; host endpoint loads
+/// and link crossings are reconstructed by routing each flow.
+pub fn accumulate_measured(
+    net: &Network,
+    tables: &RoutingTables,
+    records: &[FlowRecord],
+) -> (Vec<u64>, Vec<u64>) {
+    let mut per_link = vec![0u64; net.link_count()];
+    let mut per_node = vec![0u64; net.node_count()];
+    for r in records {
+        per_node[r.router as usize] += r.packets;
+    }
+    for (src, dst, packets) in flow_totals(records) {
+        // Endpoint hosts process one event per packet (inject / deliver).
+        per_node[src as usize] += packets;
+        per_node[dst as usize] += packets;
+        if let Some(links) = tables.path_links(src, dst) {
+            for l in links {
+                per_link[l.0 as usize] += packets;
+            }
+        }
+    }
+    (per_link, per_node)
+}
+
+/// PROFILE's traffic view from NetFlow dumps: weights in packets.
+pub fn measured_traffic_graph(
+    net: &Network,
+    tables: &RoutingTables,
+    records: &[FlowRecord],
+) -> CsrGraph {
+    let (per_link, per_node) = accumulate_measured(net, tables, records);
+    build_graph(
+        net,
+        1,
+        |n| vec![(per_node[n as usize] as Weight).max(1)],
+        |i| (per_link[i] as Weight).max(1),
+    )
+}
+
+/// Per-node load over virtual-time buckets, `[node][bucket]`, spreading
+/// each record's packets uniformly over its observed duration. Feeds the
+/// §3.3 phase clustering.
+pub fn node_time_loads(
+    net: &Network,
+    records: &[FlowRecord],
+    bucket_us: u64,
+) -> Vec<Vec<u64>> {
+    let bucket_us = bucket_us.max(1);
+    let nbuckets = records
+        .iter()
+        .map(|r| (r.last_us / bucket_us) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut loads = vec![vec![0u64; nbuckets]; net.node_count()];
+    let mut spread = |node: NodeId, packets: u64, first: u64, last: u64| {
+        let b0 = (first / bucket_us) as usize;
+        let b1 = (last / bucket_us) as usize;
+        let n = (b1 - b0 + 1) as u64;
+        for b in b0..=b1 {
+            loads[node as usize][b] += packets / n;
+        }
+        loads[node as usize][b0] += packets % n;
+    };
+    for r in records {
+        spread(r.router, r.packets, r.first_us, r.last_us);
+    }
+    // Endpoint hosts mirror their flows' activity windows.
+    let mut flow_span: HashMap<u32, (NodeId, NodeId, u64, u64, u64)> = HashMap::new();
+    for r in records {
+        let e = flow_span.entry(r.flow).or_insert((r.src, r.dst, 0, r.first_us, r.last_us));
+        e.2 = e.2.max(r.packets);
+        e.3 = e.3.min(r.first_us);
+        e.4 = e.4.max(r.last_us);
+    }
+    let mut spans: Vec<_> = flow_span.into_values().collect();
+    spans.sort_unstable();
+    for (src, dst, packets, first, last) in spans {
+        if net.node(src).kind == NodeKind::Host {
+            spread(src, packets, first, last);
+        }
+        if net.node(dst).kind == NodeKind::Host {
+            spread(dst, packets, first, last);
+        }
+    }
+    loads
+}
+
+/// Overlays new vertex weights (possibly multi-constraint) onto a weighted
+/// view, keeping its edge weights.
+pub fn with_vertex_weights(graph: &CsrGraph, ncon: usize, vwgt: Vec<Weight>) -> CsrGraph {
+    graph.with_vertex_weights(ncon, vwgt).expect("weight overlay arity matches")
+}
+
+/// Appends the memory-model weights (§5, `m = 10 + x²`) as an extra
+/// constraint column to a flattened weight matrix.
+pub fn append_memory_constraint(
+    net: &Network,
+    ncon: usize,
+    vwgt: &[Weight],
+) -> (usize, Vec<Weight>) {
+    let mem = massf_routing::memory::memory_weights(net);
+    let n = net.node_count();
+    assert_eq!(vwgt.len(), n * ncon);
+    let mut out = Vec::with_capacity(n * (ncon + 1));
+    for v in 0..n {
+        out.extend_from_slice(&vwgt[v * ncon..(v + 1) * ncon]);
+        out.push(mem[v]);
+    }
+    (ncon + 1, out)
+}
+
+fn quantize(mbps: f64) -> Weight {
+    ((mbps * MBPS_SCALE).round() as Weight).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::campus::campus;
+    use massf_topology::Network;
+
+    fn line() -> Network {
+        let mut net = Network::new();
+        let h0 = net.add_host("h0", 0);
+        let r0 = net.add_router("r0", 0);
+        let r1 = net.add_router("r1", 0);
+        let h1 = net.add_host("h1", 0);
+        net.add_link(h0, r0, 100.0, 10);
+        net.add_link(r0, r1, 1000.0, 5000);
+        net.add_link(r1, h1, 100.0, 10);
+        net
+    }
+
+    #[test]
+    fn latency_graph_inverts_latency() {
+        let net = line();
+        let g = latency_graph(&net);
+        // Host link: 1e6/10 = 100000; core link: 1e6/5000 = 200.
+        assert_eq!(g.edge_weight_between(0, 1), Some(100_000));
+        assert_eq!(g.edge_weight_between(1, 2), Some(200));
+        // Cutting the high-latency core link is cheapest — by design.
+    }
+
+    #[test]
+    fn latency_graph_vertex_weight_is_bandwidth() {
+        let net = line();
+        let g = latency_graph(&net);
+        assert_eq!(g.vertex_weight0(1), 1100); // 100 + 1000
+        assert_eq!(g.vertex_weight0(0), 100);
+    }
+
+    #[test]
+    fn predicted_accumulation_routes_flows() {
+        let net = line();
+        let tables = RoutingTables::build(&net);
+        let flows =
+            vec![PredictedFlow { src: 0, dst: 3, bandwidth_mbps: 10.0 }, PredictedFlow {
+                src: 3,
+                dst: 0,
+                bandwidth_mbps: 2.5,
+            }];
+        let (per_link, per_node) = accumulate_predicted(&net, &tables, &flows);
+        for l in 0..3 {
+            assert!((per_link[l] - 12.5).abs() < 1e-9, "link {l}");
+        }
+        for n in 0..4 {
+            assert!((per_node[n] - 12.5).abs() < 1e-9, "node {n}");
+        }
+    }
+
+    #[test]
+    fn predicted_graph_quantizes_with_floor() {
+        let net = line();
+        let tables = RoutingTables::build(&net);
+        let g = predicted_traffic_graph(&net, &tables, &[]);
+        // No traffic: all weights floor at 1.
+        assert_eq!(g.edge_weight_between(0, 1), Some(1));
+        assert_eq!(g.vertex_weight0(2), 1);
+        // Structure matches the latency view for multi-objective mixing.
+        assert_eq!(g.adjncy(), latency_graph(&net).adjncy());
+    }
+
+    #[test]
+    fn measured_accumulation_uses_max_router_count() {
+        let net = line();
+        let tables = RoutingTables::build(&net);
+        let rec = |router: NodeId, flow: u32, packets: u64| FlowRecord {
+            router,
+            flow,
+            src: 0,
+            dst: 3,
+            packets,
+            bytes: packets * 1500,
+            first_us: 0,
+            last_us: 1000,
+        };
+        // Flow 0 seen at both routers (10 packets each).
+        let records = vec![rec(1, 0, 10), rec(2, 0, 10)];
+        let (per_link, per_node) = accumulate_measured(&net, &tables, &records);
+        assert_eq!(per_node[1], 10);
+        assert_eq!(per_node[2], 10);
+        assert_eq!(per_node[0], 10, "source host endpoint load");
+        assert_eq!(per_node[3], 10, "destination host endpoint load");
+        assert_eq!(per_link, vec![10, 10, 10]);
+    }
+
+    #[test]
+    fn node_time_loads_spread_over_duration() {
+        let net = line();
+        let records = vec![FlowRecord {
+            router: 1,
+            flow: 0,
+            src: 0,
+            dst: 3,
+            packets: 10,
+            bytes: 0,
+            first_us: 0,
+            last_us: 4999,
+        }];
+        let loads = node_time_loads(&net, &records, 1000);
+        assert_eq!(loads[1].len(), 5);
+        assert_eq!(loads[1].iter().sum::<u64>(), 10);
+        assert!(loads[1].iter().all(|&x| x >= 2), "roughly uniform spread");
+        // Host endpoints mirrored.
+        assert_eq!(loads[0].iter().sum::<u64>(), 10);
+        assert_eq!(loads[3].iter().sum::<u64>(), 10);
+        // The untouched router has zeros.
+        assert_eq!(loads[2].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn memory_constraint_appends_column() {
+        let net = campus();
+        let n = net.node_count();
+        let base = vec![1 as Weight; n];
+        let (ncon, w) = append_memory_constraint(&net, 1, &base);
+        assert_eq!(ncon, 2);
+        assert_eq!(w.len(), 2 * n);
+        // Routers in the 20-router AS get 10 + 400.
+        let router = net.routers()[0] as usize;
+        assert_eq!(w[router * 2 + 1], 410);
+        let host = net.hosts()[0] as usize;
+        assert_eq!(w[host * 2 + 1], 10);
+    }
+}

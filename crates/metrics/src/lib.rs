@@ -1,0 +1,22 @@
+//! # massf-metrics
+//!
+//! Evaluation metrics and reporting for the MaSSF reproduction (§4.1.1):
+//!
+//! * [`imbalance`] — the paper's load-imbalance metric: the normalized
+//!   standard deviation of per-engine kernel event rates;
+//! * [`timeseries`] — fine-grained per-interval imbalance series
+//!   (Figures 2 and 8);
+//! * [`report`] — table/figure text rendering and JSON export for the
+//!   benchmark harness.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// CSR-style code indexes several parallel arrays with one counter; the
+// iterator rewrites clippy suggests are less clear there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod imbalance;
+pub mod report;
+pub mod timeseries;
+
+pub use imbalance::{improvement_pct, load_imbalance};

@@ -1,0 +1,95 @@
+//! Fine-grained load series (Figures 2 and 8).
+//!
+//! Figure 2 plots each engine's load over the emulation lifetime; Figure 8
+//! plots the *imbalance* computed per 2-second interval. Both derive from
+//! the engine counters' virtual-time buckets.
+
+use crate::imbalance::load_imbalance;
+
+/// Per-interval imbalance from a `[engine][bucket]` event matrix.
+///
+/// Buckets whose total activity falls below `min_events` are reported as
+/// 0.0 — the paper's clustering likewise discards segments where "the
+/// traffic load is so low that even heavy load imbalance has no appreciable
+/// affect" (§3.3).
+pub fn imbalance_series(window_series: &[Vec<u64>], min_events: u64) -> Vec<f64> {
+    let Some(buckets) = window_series.iter().map(Vec::len).max() else {
+        return Vec::new();
+    };
+    let mut out = Vec::with_capacity(buckets);
+    for b in 0..buckets {
+        let loads: Vec<u64> =
+            window_series.iter().map(|e| e.get(b).copied().unwrap_or(0)).collect();
+        let total: u64 = loads.iter().sum();
+        out.push(if total < min_events { 0.0 } else { load_imbalance(&loads) });
+    }
+    out
+}
+
+/// Per-interval total load (Figure 2's per-engine curves summed, or pass a
+/// single engine's row for its individual curve).
+pub fn total_series(window_series: &[Vec<u64>]) -> Vec<u64> {
+    let Some(buckets) = window_series.iter().map(Vec::len).max() else {
+        return Vec::new();
+    };
+    (0..buckets)
+        .map(|b| window_series.iter().map(|e| e.get(b).copied().unwrap_or(0)).sum())
+        .collect()
+}
+
+/// Time-averaged imbalance over the active buckets only.
+pub fn mean_active_imbalance(window_series: &[Vec<u64>], min_events: u64) -> f64 {
+    let series = imbalance_series(window_series, min_events);
+    let active: Vec<f64> = series.into_iter().filter(|&x| x > 0.0).collect();
+    if active.is_empty() {
+        0.0
+    } else {
+        active.iter().sum::<f64>() / active.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn series_per_bucket() {
+        let ws = vec![vec![10, 0, 5], vec![10, 0, 15]];
+        let s = imbalance_series(&ws, 1);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s[0], 0.0, "balanced bucket");
+        assert_eq!(s[1], 0.0, "idle bucket filtered");
+        assert!((s[2] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn low_traffic_buckets_filtered() {
+        let ws = vec![vec![3, 0], vec![0, 0]];
+        let s = imbalance_series(&ws, 10);
+        assert_eq!(s, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn ragged_rows_padded_with_zero() {
+        let ws = vec![vec![4], vec![4, 8]];
+        let s = imbalance_series(&ws, 1);
+        assert_eq!(s.len(), 2);
+        assert!(s[1] > 0.9, "engine 0 idle in bucket 1: full skew");
+    }
+
+    #[test]
+    fn totals() {
+        let ws = vec![vec![1, 2], vec![3, 4]];
+        assert_eq!(total_series(&ws), vec![4, 6]);
+        assert!(total_series(&[]).is_empty());
+    }
+
+    #[test]
+    fn mean_active_ignores_idle() {
+        let ws = vec![vec![10, 0, 10], vec![30, 0, 10]];
+        // Bucket 0: loads [10, 30] -> cv 0.5; bucket 2 balanced (0, not
+        // active); bucket 1 idle. Mean over active buckets = 0.5.
+        let m = mean_active_imbalance(&ws, 1);
+        assert!((m - 0.5).abs() < 1e-12, "only bucket 0 contributes: {m}");
+    }
+}

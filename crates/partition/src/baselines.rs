@@ -1,0 +1,246 @@
+//! Baseline partitioners from the paper's related-work discussion (§5):
+//! random assignment, BFS-contiguous chunking (a stand-in for "simple
+//! hierarchical" partitioning), and the greedy k-cluster algorithm used by
+//! ModelNet/Netbed ("randomly selects k nodes … and greedily selects links
+//! from the current connected component in a round-robin fashion").
+
+use crate::Partitioning;
+use massf_graph::{CsrGraph, VertexId, Weight};
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::VecDeque;
+
+/// Uniform random assignment of vertices to parts (every part gets at least
+/// one vertex when possible).
+pub fn random_partition<R: Rng>(g: &CsrGraph, nparts: usize, rng: &mut R) -> Partitioning {
+    assert!(nparts >= 1 && nparts <= g.nvtxs().max(1));
+    let n = g.nvtxs();
+    let mut part: Vec<u32> = (0..n).map(|_| rng.gen_range(0..nparts) as u32).collect();
+    // Repair empty parts by stealing random vertices.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(rng);
+    let mut cursor = 0;
+    for p in 0..nparts as u32 {
+        if !part.contains(&p) {
+            while cursor < n {
+                let v = order[cursor];
+                cursor += 1;
+                let q = part[v];
+                if part.iter().filter(|&&x| x == q).count() > 1 {
+                    part[v] = p;
+                    break;
+                }
+            }
+        }
+    }
+    Partitioning { part, nparts }
+}
+
+/// Chunks a BFS ordering into `nparts` slices of roughly equal
+/// constraint-0 weight. Contiguous but traffic-blind — a reasonable model of
+/// the "simple hierarchical graph partitioners" the paper cites.
+pub fn bfs_contiguous(g: &CsrGraph, nparts: usize) -> Partitioning {
+    assert!(nparts >= 1 && nparts <= g.nvtxs());
+    let n = g.nvtxs();
+    // Full BFS order across components.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    for s in 0..n {
+        if seen[s] {
+            continue;
+        }
+        seen[s] = true;
+        let mut q = VecDeque::from([s as VertexId]);
+        while let Some(v) = q.pop_front() {
+            order.push(v);
+            for &u in g.neighbors(v) {
+                if !seen[u as usize] {
+                    seen[u as usize] = true;
+                    q.push_back(u);
+                }
+            }
+        }
+    }
+
+    let total: Weight = g.total_vertex_weight()[0].max(1);
+    let mut part = vec![0u32; n];
+    let mut current = 0u32;
+    let mut acc: Weight = 0;
+    let mut assigned_in_current = 0usize;
+    for (i, &v) in order.iter().enumerate() {
+        let target = total / nparts as Weight;
+        // Parts current+1..nparts each still need a vertex; advance while we
+        // can still feed them from the n-i vertices remaining.
+        let unstarted = (nparts - 1 - current as usize) as u32;
+        let must_leave_room = (n - i) as u32 <= unstarted && assigned_in_current > 0;
+        if current as usize + 1 < nparts
+            && assigned_in_current > 0
+            && (acc >= target || must_leave_room)
+        {
+            current += 1;
+            acc = 0;
+            assigned_in_current = 0;
+        }
+        part[v as usize] = current;
+        acc += g.vertex_weight0(v);
+        assigned_in_current += 1;
+    }
+    Partitioning { part, nparts }
+}
+
+/// The greedy k-cluster algorithm (ModelNet/Netbed, per the paper's §5):
+/// pick `k` random seed vertices, then grow all clusters in round-robin
+/// fashion, each step claiming an unassigned vertex adjacent to the cluster
+/// (preferring the heaviest connecting edge). Disconnected leftovers are
+/// appended to the smallest cluster.
+pub fn greedy_k_cluster<R: Rng>(g: &CsrGraph, nparts: usize, rng: &mut R) -> Partitioning {
+    assert!(nparts >= 1 && nparts <= g.nvtxs());
+    let n = g.nvtxs();
+    const FREE: u32 = u32::MAX;
+    let mut part = vec![FREE; n];
+
+    let mut seeds: Vec<VertexId> = (0..n as VertexId).collect();
+    seeds.shuffle(rng);
+    for (p, &s) in seeds.iter().take(nparts).enumerate() {
+        part[s as usize] = p as u32;
+    }
+
+    let mut assigned = nparts;
+    let mut stuck = vec![false; nparts];
+    while assigned < n && !stuck.iter().all(|&s| s) {
+        for p in 0..nparts as u32 {
+            if stuck[p as usize] || assigned >= n {
+                continue;
+            }
+            // Claim the free neighbour with the heaviest edge into cluster p.
+            let mut best: Option<(Weight, VertexId)> = None;
+            for v in 0..n as VertexId {
+                if part[v as usize] != p {
+                    continue;
+                }
+                for (u, w) in g.edges(v) {
+                    if part[u as usize] == FREE {
+                        let better = match best {
+                            None => true,
+                            Some((bw, bu)) => w > bw || (w == bw && u < bu),
+                        };
+                        if better {
+                            best = Some((w, u));
+                        }
+                    }
+                }
+            }
+            match best {
+                Some((_, u)) => {
+                    part[u as usize] = p;
+                    assigned += 1;
+                }
+                None => stuck[p as usize] = true,
+            }
+        }
+    }
+
+    // Leftovers (disconnected from every cluster): smallest cluster wins.
+    if assigned < n {
+        let mut sizes = vec![0usize; nparts];
+        for &p in &part {
+            if p != FREE {
+                sizes[p as usize] += 1;
+            }
+        }
+        for v in 0..n {
+            if part[v] == FREE {
+                let p = (0..nparts).min_by_key(|&p| sizes[p]).expect("nparts >= 1");
+                part[v] = p as u32;
+                sizes[p] += 1;
+            }
+        }
+    }
+    Partitioning { part, nparts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_graph::GraphBuilder;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(5)
+    }
+
+    fn path(n: usize) -> CsrGraph {
+        let mut b = GraphBuilder::new(1);
+        b.add_unit_vertices(n);
+        for i in 0..n - 1 {
+            b.add_edge(i as VertexId, (i + 1) as VertexId, 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn random_covers_all_parts() {
+        let g = path(20);
+        let p = random_partition(&g, 5, &mut rng());
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+        assert!(p.part.iter().all(|&x| (x as usize) < 5));
+    }
+
+    #[test]
+    fn bfs_contiguous_cut_on_path_is_minimal() {
+        let g = path(30);
+        let p = bfs_contiguous(&g, 3);
+        // Contiguous chunks of a path cut exactly nparts-1 edges.
+        assert_eq!(crate::quality::edge_cut(&g, &p.part), 2);
+        let sizes = p.part_sizes();
+        assert!(sizes.iter().all(|&s| (8..=12).contains(&s)), "{sizes:?}");
+    }
+
+    #[test]
+    fn bfs_contiguous_weighted_targets() {
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(&[10]);
+        for _ in 0..10 {
+            b.add_vertex(&[1]);
+        }
+        for i in 0..10u32 {
+            b.add_edge(i, i + 1, 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let p = bfs_contiguous(&g, 2);
+        // First part should stop early because vertex 0 is heavy.
+        let s = p.part_sizes();
+        assert!(s[0] < s[1], "sizes {s:?}");
+    }
+
+    #[test]
+    fn greedy_k_cluster_assigns_everything() {
+        let g = path(17);
+        let p = greedy_k_cluster(&g, 4, &mut rng());
+        assert_eq!(p.part.len(), 17);
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn greedy_k_cluster_handles_disconnected() {
+        let mut b = GraphBuilder::new(1);
+        b.add_unit_vertices(9);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        b.add_edge(3, 4, 1).unwrap();
+        // 5..9 isolated.
+        let g = b.build().unwrap();
+        let p = greedy_k_cluster(&g, 3, &mut rng());
+        assert!(p.part.iter().all(|&x| (x as usize) < 3));
+        assert!(p.part_sizes().iter().all(|&s| s > 0));
+    }
+
+    #[test]
+    fn baselines_deterministic_with_seed() {
+        let g = path(25);
+        let p1 = greedy_k_cluster(&g, 4, &mut ChaCha8Rng::seed_from_u64(11));
+        let p2 = greedy_k_cluster(&g, 4, &mut ChaCha8Rng::seed_from_u64(11));
+        assert_eq!(p1, p2);
+    }
+}

@@ -1,0 +1,272 @@
+//! Partition quality metrics: edge cut, balance, and boundary statistics.
+
+use crate::Partitioning;
+use massf_graph::{CsrGraph, VertexId, Weight};
+
+/// Sum of weights of edges whose endpoints lie in different parts.
+pub fn edge_cut(g: &CsrGraph, part: &[u32]) -> Weight {
+    debug_assert_eq!(part.len(), g.nvtxs());
+    let mut cut = 0;
+    for u in 0..g.nvtxs() as VertexId {
+        for (v, w) in g.edges(u) {
+            if u < v && part[u as usize] != part[v as usize] {
+                cut += w;
+            }
+        }
+    }
+    cut
+}
+
+/// Number (not weight) of cut edges.
+pub fn cut_edge_count(g: &CsrGraph, part: &[u32]) -> usize {
+    let mut n = 0;
+    for u in 0..g.nvtxs() as VertexId {
+        for (v, _) in g.edges(u) {
+            if u < v && part[u as usize] != part[v as usize] {
+                n += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Per-part totals of each vertex-weight component: `[nparts][ncon]`.
+pub fn part_weights(g: &CsrGraph, part: &[u32], nparts: usize) -> Vec<Vec<Weight>> {
+    let ncon = g.ncon();
+    let mut pw = vec![vec![0 as Weight; ncon]; nparts];
+    for v in 0..g.nvtxs() {
+        let p = part[v] as usize;
+        let wv = g.vertex_weight(v as VertexId);
+        for c in 0..ncon {
+            pw[p][c] += wv[c];
+        }
+    }
+    pw
+}
+
+/// Balance of constraint `c`: `nparts * max_part_weight / total_weight`.
+///
+/// 1.0 is perfect; METIS reports the same statistic. Returns 1.0 when the
+/// total weight of the component is zero.
+pub fn balance(g: &CsrGraph, part: &[u32], nparts: usize, c: usize) -> f64 {
+    let pw = part_weights(g, part, nparts);
+    let total: Weight = pw.iter().map(|p| p[c]).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let max = pw.iter().map(|p| p[c]).max().unwrap_or(0);
+    nparts as f64 * max as f64 / total as f64
+}
+
+/// Worst balance over all constraints.
+pub fn worst_balance(g: &CsrGraph, part: &[u32], nparts: usize) -> f64 {
+    (0..g.ncon())
+        .map(|c| balance(g, part, nparts, c))
+        .fold(1.0, f64::max)
+}
+
+/// The minimum edge weight among cut edges, or `None` when nothing is cut.
+///
+/// Under the paper's latency encoding (`w = K / latency`) the *minimum* cut
+/// weight corresponds to the *maximum*-latency link, and therefore to the
+/// conservative engine's lookahead; see `massf-mapping::weights`.
+pub fn min_cut_edge_weight(g: &CsrGraph, part: &[u32]) -> Option<Weight> {
+    let mut min: Option<Weight> = None;
+    for u in 0..g.nvtxs() as VertexId {
+        for (v, w) in g.edges(u) {
+            if u < v && part[u as usize] != part[v as usize] {
+                min = Some(min.map_or(w, |m: Weight| m.min(w)));
+            }
+        }
+    }
+    min
+}
+
+/// A bundled quality report for one partitioning.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QualityReport {
+    /// Total cut edge weight.
+    pub edge_cut: Weight,
+    /// Number of cut edges.
+    pub cut_edges: usize,
+    /// Balance per constraint (1.0 = perfect).
+    pub balance: Vec<f64>,
+    /// Vertices per part.
+    pub part_sizes: Vec<usize>,
+}
+
+/// Computes the full [`QualityReport`] for a partitioning.
+pub fn report(g: &CsrGraph, p: &Partitioning) -> QualityReport {
+    QualityReport {
+        edge_cut: edge_cut(g, &p.part),
+        cut_edges: cut_edge_count(g, &p.part),
+        balance: (0..g.ncon()).map(|c| balance(g, &p.part, p.nparts, c)).collect(),
+        part_sizes: p.part_sizes(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_graph::GraphBuilder;
+
+    fn path4() -> CsrGraph {
+        let mut b = GraphBuilder::new(1);
+        b.add_unit_vertices(4);
+        b.add_edge(0, 1, 5).unwrap();
+        b.add_edge(1, 2, 7).unwrap();
+        b.add_edge(2, 3, 9).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn cut_of_middle_split() {
+        let g = path4();
+        assert_eq!(edge_cut(&g, &[0, 0, 1, 1]), 7);
+        assert_eq!(cut_edge_count(&g, &[0, 0, 1, 1]), 1);
+        assert_eq!(min_cut_edge_weight(&g, &[0, 0, 1, 1]), Some(7));
+    }
+
+    #[test]
+    fn cut_of_alternating_split() {
+        let g = path4();
+        assert_eq!(edge_cut(&g, &[0, 1, 0, 1]), 21);
+        assert_eq!(cut_edge_count(&g, &[0, 1, 0, 1]), 3);
+        assert_eq!(min_cut_edge_weight(&g, &[0, 1, 0, 1]), Some(5));
+    }
+
+    #[test]
+    fn no_cut_when_single_part() {
+        let g = path4();
+        assert_eq!(edge_cut(&g, &[0, 0, 0, 0]), 0);
+        assert_eq!(min_cut_edge_weight(&g, &[0, 0, 0, 0]), None);
+    }
+
+    #[test]
+    fn perfect_balance_is_one() {
+        let g = path4();
+        assert!((balance(&g, &[0, 0, 1, 1], 2, 0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn skewed_balance() {
+        let g = path4();
+        // 3 vertices vs 1: max = 3, total = 4, nparts = 2 -> 1.5
+        assert!((balance(&g, &[0, 0, 0, 1], 2, 0) - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn multiconstraint_balance_independent() {
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(&[1, 100]);
+        b.add_vertex(&[1, 0]);
+        b.add_vertex(&[1, 0]);
+        b.add_vertex(&[1, 100]);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(2, 3, 1).unwrap();
+        let g = b.build().unwrap();
+        // Split {0,1} | {2,3}: constraint 0 perfect, constraint 1 perfect.
+        assert!((worst_balance(&g, &[0, 0, 1, 1], 2) - 1.0).abs() < 1e-12);
+        // Split {0,3} | {1,2}: constraint 1 totally skewed -> 2.0.
+        assert!((worst_balance(&g, &[0, 1, 1, 0], 2) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_bundles_everything() {
+        let g = path4();
+        let p = Partitioning { part: vec![0, 0, 1, 1], nparts: 2 };
+        let r = report(&g, &p);
+        assert_eq!(r.edge_cut, 7);
+        assert_eq!(r.cut_edges, 1);
+        assert_eq!(r.part_sizes, vec![2, 2]);
+        assert_eq!(r.balance.len(), 1);
+    }
+
+    #[test]
+    fn zero_total_weight_component_is_balanced() {
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(&[1, 0]);
+        b.add_vertex(&[1, 0]);
+        let g = b.build().unwrap();
+        assert!((balance(&g, &[0, 1], 2, 1) - 1.0).abs() < 1e-12);
+    }
+}
+
+/// Balance of constraint `c` against *per-part target fractions*:
+/// `max_p( weight_p / (fraction_p * total) )`. Equals [`balance`] for
+/// uniform fractions; 1.0 is perfect. Returns 1.0 for zero total weight.
+pub fn target_balance(g: &CsrGraph, part: &[u32], fractions: &[f64], c: usize) -> f64 {
+    let nparts = fractions.len();
+    let pw = part_weights(g, part, nparts);
+    let total: Weight = pw.iter().map(|p| p[c]).sum();
+    if total == 0 {
+        return 1.0;
+    }
+    let mut worst = 0.0f64;
+    for p in 0..nparts {
+        debug_assert!(fractions[p] > 0.0);
+        worst = worst.max(pw[p][c] as f64 / (fractions[p] * total as f64));
+    }
+    worst
+}
+
+/// Worst [`target_balance`] over all constraints.
+pub fn worst_target_balance(g: &CsrGraph, part: &[u32], fractions: &[f64]) -> f64 {
+    (0..g.ncon())
+        .map(|c| target_balance(g, part, fractions, c))
+        .fold(1.0, f64::max)
+}
+
+#[cfg(test)]
+mod target_tests {
+    use super::*;
+    use massf_graph::GraphBuilder;
+
+    fn weighted_path() -> CsrGraph {
+        let mut b = GraphBuilder::new(1);
+        for w in [30i64, 30, 20, 20] {
+            b.add_vertex(&[w]);
+        }
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 2, 1).unwrap();
+        b.add_edge(2, 3, 1).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_targets_match_balance() {
+        let g = weighted_path();
+        let part = vec![0, 0, 1, 1];
+        let uni = vec![0.5, 0.5];
+        assert!((target_balance(&g, &part, &uni, 0) - balance(&g, &part, 2, 0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn proportional_targets_perfect_when_matched() {
+        // Part 0 target 60%, part 1 target 40% — exactly the weight split.
+        let g = weighted_path();
+        let part = vec![0, 0, 1, 1];
+        let t = target_balance(&g, &part, &[0.6, 0.4], 0);
+        assert!((t - 1.0).abs() < 1e-12, "t = {t}");
+    }
+
+    #[test]
+    fn mismatched_targets_show_overload() {
+        // Give part 1 only 20% target while it holds 40% of the weight.
+        let g = weighted_path();
+        let part = vec![0, 0, 1, 1];
+        let t = target_balance(&g, &part, &[0.8, 0.2], 0);
+        assert!((t - 2.0).abs() < 1e-12, "t = {t}");
+    }
+
+    #[test]
+    fn worst_target_balance_covers_constraints() {
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(&[10, 0]);
+        b.add_vertex(&[10, 100]);
+        b.add_edge(0, 1, 1).unwrap();
+        let g = b.build().unwrap();
+        let w = worst_target_balance(&g, &[0, 1], &[0.5, 0.5]);
+        assert!((w - 2.0).abs() < 1e-12, "constraint 1 fully on part 1: {w}");
+    }
+}

@@ -1,0 +1,125 @@
+//! Property-based tests: every partitioner must return a *valid* partition
+//! (full coverage of labels, no empty parts, refinement never worsens cut)
+//! on arbitrary connected graphs.
+
+use massf_graph::{CsrGraph, GraphBuilder, VertexId};
+use massf_partition::baselines::{bfs_contiguous, greedy_k_cluster, random_partition};
+use massf_partition::quality::{edge_cut, worst_balance};
+use massf_partition::refine::kway_refine;
+use massf_partition::{partition_kway, PartitionConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a connected random graph: a random spanning tree plus extras.
+fn connected_graph() -> impl Strategy<Value = CsrGraph> {
+    (4usize..60, any::<u64>(), 0usize..80).prop_map(|(n, seed, extra)| {
+        use rand::Rng;
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut b = GraphBuilder::new(1);
+        for _ in 0..n {
+            b.add_vertex(&[rng.gen_range(1..20)]);
+        }
+        for v in 1..n as VertexId {
+            let u = rng.gen_range(0..v);
+            b.add_edge(u, v, rng.gen_range(1..100)).unwrap();
+        }
+        for _ in 0..extra {
+            let u = rng.gen_range(0..n as VertexId);
+            let v = rng.gen_range(0..n as VertexId);
+            if u != v {
+                b.add_edge(u, v, rng.gen_range(1..100)).unwrap();
+            }
+        }
+        b.build().unwrap()
+    })
+}
+
+fn assert_valid_partition(part: &[u32], nparts: usize, nvtxs: usize) {
+    assert_eq!(part.len(), nvtxs);
+    let mut seen = vec![false; nparts];
+    for &p in part {
+        assert!((p as usize) < nparts, "label {p} out of range");
+        seen[p as usize] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "some part is empty");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn multilevel_partition_is_valid(g in connected_graph(), k in 2usize..6, seed in any::<u64>()) {
+        prop_assume!(k <= g.nvtxs());
+        let p = partition_kway(&g, &PartitionConfig::new(k).with_seed(seed));
+        assert_valid_partition(&p.part, k, g.nvtxs());
+    }
+
+    #[test]
+    fn multilevel_balance_is_bounded(g in connected_graph(), k in 2usize..5) {
+        prop_assume!(k <= g.nvtxs());
+        let p = partition_kway(&g, &PartitionConfig::new(k));
+        let wb = worst_balance(&g, &p.part, k);
+        // With unit-to-20 weights and the loose feasibility clause the
+        // partitioner may exceed ubfactor, but a single vertex bounds it.
+        let max_v = (0..g.nvtxs() as VertexId).map(|v| g.vertex_weight0(v)).max().unwrap();
+        let avg = g.total_vertex_weight()[0] as f64 / k as f64;
+        let bound = 1.10f64.max((avg + max_v as f64) / avg) + 0.35;
+        prop_assert!(wb <= bound, "balance {wb} > bound {bound}");
+    }
+
+    #[test]
+    fn refinement_never_increases_cut(g in connected_graph(), k in 2usize..5, seed in any::<u64>()) {
+        prop_assume!(k <= g.nvtxs());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let start = random_partition(&g, k, &mut rng);
+        let before = edge_cut(&g, &start.part);
+        let mut part = start.part.clone();
+        kway_refine(&g, &mut part, &massf_partition::refine::BalanceSpec::uniform(k, vec![1.3]), 6, &mut rng);
+        let after = edge_cut(&g, &part);
+        prop_assert!(after <= before, "cut went {before} -> {after}");
+        assert_valid_partition(&part, k, g.nvtxs());
+    }
+
+    #[test]
+    fn multilevel_not_dominated_by_random(g in connected_graph(), seed in any::<u64>()) {
+        prop_assume!(g.nvtxs() >= 8);
+        let k = 3;
+        let cfg = PartitionConfig::new(k).with_seed(seed);
+        let ml = partition_kway(&g, &cfg);
+        let ml_cut = edge_cut(&g, &ml.part);
+        let ml_bal = worst_balance(&g, &ml.part, k);
+        // The partitioner trades cut for balance, so the honest property is
+        // non-domination: no random partition may be at least as *balanced*
+        // AND strictly cheaper (with slack for the randomized heuristic).
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..3 {
+            let r = random_partition(&g, k, &mut rng);
+            let r_cut = edge_cut(&g, &r.part);
+            let r_bal = worst_balance(&g, &r.part, k);
+            let dominates =
+                r_bal <= ml_bal + 1e-9 && (r_cut as f64) < ml_cut as f64 * 0.95 - 5.0;
+            prop_assert!(
+                !dominates,
+                "random (bal={r_bal:.3}, cut={r_cut}) dominates multilevel \
+                 (bal={ml_bal:.3}, cut={ml_cut})"
+            );
+        }
+    }
+
+    #[test]
+    fn baselines_are_valid(g in connected_graph(), k in 2usize..5, seed in any::<u64>()) {
+        prop_assume!(k <= g.nvtxs());
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        assert_valid_partition(&random_partition(&g, k, &mut rng).part, k, g.nvtxs());
+        assert_valid_partition(&bfs_contiguous(&g, k).part, k, g.nvtxs());
+        assert_valid_partition(&greedy_k_cluster(&g, k, &mut rng).part, k, g.nvtxs());
+    }
+
+    #[test]
+    fn partitioner_is_deterministic(g in connected_graph(), k in 2usize..5, seed in any::<u64>()) {
+        prop_assume!(k <= g.nvtxs());
+        let cfg = PartitionConfig::new(k).with_seed(seed);
+        prop_assert_eq!(partition_kway(&g, &cfg), partition_kway(&g, &cfg));
+    }
+}

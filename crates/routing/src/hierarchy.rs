@@ -1,0 +1,338 @@
+//! Two-level (AS-aware) routing — the structure behind the paper's memory
+//! model.
+//!
+//! The paper sizes routing tables by `O(n²)` *per AS* (§2.2.2) because
+//! real networks route hierarchically: full shortest-path state inside an
+//! autonomous system, and BGP-style gateway routes between systems. This
+//! module builds routing tables with exactly that structure:
+//!
+//! * **intra-AS**: latency-shortest paths restricted to the AS's own nodes;
+//! * **inter-AS**: shortest paths on the AS-level graph (one vertex per AS,
+//!   edges = inter-AS links weighted by latency); a node routes toward its
+//!   AS's egress gateway for the destination AS, crosses the inter-AS link,
+//!   and the next AS takes over — classic hot-potato forwarding.
+//!
+//! The result materializes into an ordinary [`RoutingTables`], so every
+//! consumer (engine, traceroute, mappers) works unchanged. Hierarchical
+//! paths can be *longer* than global SPF paths (the well-known path
+//! stretch of policy routing); [`path_stretch`] quantifies it.
+
+use crate::spf;
+use crate::tables::{RoutingTables, NO_LINK};
+use massf_topology::{LinkId, Network, NodeId};
+use std::collections::BTreeMap;
+
+/// An inter-AS adjacency: the chosen border link between two ASes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Border {
+    /// Node inside the source AS.
+    egress: NodeId,
+    /// Node inside the neighbouring AS.
+    ingress: NodeId,
+    /// The border link.
+    link: LinkId,
+    /// Its latency.
+    latency_us: u64,
+}
+
+/// Builds two-level routing tables for `net`.
+///
+/// # Panics
+/// Panics if some AS is internally disconnected (every AS must be routable
+/// on its own, as in real networks).
+pub fn build_hierarchical(net: &Network) -> RoutingTables {
+    let n = net.node_count();
+
+    // Dense AS indexing.
+    let as_ids: Vec<u32> = {
+        let mut ids: Vec<u32> = net.nodes().iter().map(|nd| nd.as_id).collect::<Vec<_>>();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    };
+    let as_index: BTreeMap<u32, usize> = as_ids.iter().enumerate().map(|(i, &a)| (a, i)).collect();
+    let nas = as_ids.len();
+    let as_of: Vec<usize> = net.nodes().iter().map(|nd| as_index[&nd.as_id]).collect();
+
+    // *All* border links between AS pairs (real hot-potato picks the
+    // nearest of several egress points), plus the cheapest per pair for the
+    // AS-level shortest paths.
+    let mut borders: BTreeMap<(usize, usize), Vec<Border>> = BTreeMap::new();
+    for (li, l) in net.links().iter().enumerate() {
+        let (aa, ab) = (as_of[l.a as usize], as_of[l.b as usize]);
+        if aa == ab {
+            continue;
+        }
+        for (from, egress, ingress) in [(aa, l.a, l.b), (ab, l.b, l.a)] {
+            let to = if from == aa { ab } else { aa };
+            borders.entry((from, to)).or_default().push(Border {
+                egress,
+                ingress,
+                link: LinkId(li as u32),
+                latency_us: l.latency_us,
+            });
+        }
+    }
+    for v in borders.values_mut() {
+        v.sort_by_key(|b| (b.latency_us, b.link.0));
+    }
+
+    // AS-level shortest paths (Dijkstra over the AS graph, each AS pair
+    // weighted by its cheapest border). as_hop[a][b] = next AS from a
+    // toward b.
+    let mut as_hop: Vec<Vec<Option<usize>>> = vec![vec![None; nas]; nas];
+    for src_as in 0..nas {
+        let mut dist = vec![u64::MAX; nas];
+        let mut first: Vec<Option<usize>> = vec![None; nas];
+        let mut done = vec![false; nas];
+        dist[src_as] = 0;
+        let mut heap = std::collections::BinaryHeap::new();
+        heap.push(std::cmp::Reverse((0u64, src_as)));
+        while let Some(std::cmp::Reverse((d, a))) = heap.pop() {
+            if done[a] {
+                continue;
+            }
+            done[a] = true;
+            for (&(from, to), bs) in borders.range((a, 0)..(a + 1, 0)) {
+                debug_assert_eq!(from, a);
+                let nd = d + bs[0].latency_us;
+                if nd < dist[to] {
+                    dist[to] = nd;
+                    first[to] = if a == src_as { Some(to) } else { first[a] };
+                    heap.push(std::cmp::Reverse((nd, to)));
+                }
+            }
+        }
+        as_hop[src_as] = first;
+    }
+
+    // Intra-AS SPF trees over induced member subnetworks.
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); nas];
+    for v in 0..n {
+        members[as_of[v]].push(v as NodeId);
+    }
+    // intra_next[src][dst] defined only for same-AS pairs; intra_dist
+    // additionally feeds the hot-potato nearest-egress choice.
+    let mut next_hop = vec![NodeId::MAX; n * n];
+    let mut next_link = vec![NO_LINK; n * n];
+    let mut intra_dist: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
+    for (a, mem) in members.iter().enumerate() {
+        let local_index: BTreeMap<NodeId, usize> =
+            mem.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        // Build an induced sub-Network preserving link identities via a map.
+        let mut sub = Network::new();
+        for &v in mem {
+            match net.node(v).kind {
+                massf_topology::NodeKind::Router => sub.add_router(net.node(v).name.clone(), 0),
+                massf_topology::NodeKind::Host => sub.add_host(net.node(v).name.clone(), 0),
+            };
+        }
+        let mut sub_link_to_real: Vec<LinkId> = Vec::new();
+        for (li, l) in net.links().iter().enumerate() {
+            if as_of[l.a as usize] == a && as_of[l.b as usize] == a {
+                sub.add_link(
+                    local_index[&l.a] as NodeId,
+                    local_index[&l.b] as NodeId,
+                    l.bandwidth_mbps,
+                    l.latency_us,
+                );
+                sub_link_to_real.push(LinkId(li as u32));
+            }
+        }
+        assert!(
+            sub.is_connected(),
+            "AS {} is internally disconnected — hierarchical routing impossible",
+            as_ids[a]
+        );
+        for (si, &sv) in mem.iter().enumerate() {
+            let tree = spf::shortest_paths(&sub, si as NodeId);
+            for (di, &dv) in mem.iter().enumerate() {
+                if si == di {
+                    continue;
+                }
+                intra_dist.insert((sv, dv), tree.dist_us[di]);
+                // First hop from si toward di in the subnetwork.
+                let mut cur = di as NodeId;
+                while tree.prev[cur as usize] != si as NodeId {
+                    cur = tree.prev[cur as usize];
+                }
+                let hop_local = cur;
+                let hop = mem[hop_local as usize];
+                let idx = sv as usize * n + dv as usize;
+                next_hop[idx] = hop;
+                next_link[idx] = net
+                    .link_between(sv, hop)
+                    .expect("intra-AS hop must be adjacent in the full network");
+            }
+        }
+    }
+
+    // Inter-AS entries: hot-potato — each node exits through its *nearest*
+    // egress among the borders to the AS-level next hop. Loop-free: the
+    // intra-AS distance to the nearest egress strictly decreases hop by
+    // hop, whichever egress each router individually prefers.
+    for src in 0..n {
+        let sa = as_of[src];
+        for dst in 0..n {
+            if src == dst || as_of[dst] == sa {
+                continue;
+            }
+            let Some(next_as) = as_hop[sa][as_of[dst]] else { continue };
+            let candidates = &borders[&(sa, next_as)];
+            let border = candidates
+                .iter()
+                .min_by_key(|b| {
+                    let d = if b.egress as usize == src {
+                        0
+                    } else {
+                        intra_dist
+                            .get(&(src as NodeId, b.egress))
+                            .copied()
+                            .unwrap_or(u64::MAX)
+                    };
+                    (d, b.latency_us, b.link.0)
+                })
+                .expect("at least one border to the next AS");
+            let idx = src * n + dst;
+            if src as NodeId == border.egress {
+                next_hop[idx] = border.ingress;
+                next_link[idx] = border.link;
+            } else {
+                // Follow the intra-AS route toward the egress gateway.
+                let via = src * n + border.egress as usize;
+                next_hop[idx] = next_hop[via];
+                next_link[idx] = next_link[via];
+            }
+        }
+    }
+
+    // Materialize latencies by walking next hops (also validates
+    // loop-freedom: a walk longer than n means a routing loop).
+    let mut latency_us = vec![u64::MAX; n * n];
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst {
+                latency_us[src * n + dst] = 0;
+                continue;
+            }
+            let mut cur = src;
+            let mut lat = 0u64;
+            let mut hops = 0usize;
+            loop {
+                let idx = cur * n + dst;
+                if next_hop[idx] == NodeId::MAX {
+                    break; // unreachable
+                }
+                lat += net.link(next_link[idx]).latency_us;
+                cur = next_hop[idx] as usize;
+                hops += 1;
+                assert!(hops <= n, "routing loop {src} -> {dst}");
+                if cur == dst {
+                    latency_us[src * n + dst] = lat;
+                    break;
+                }
+            }
+        }
+    }
+
+    RoutingTables { n, next_hop, latency_us, next_link }
+}
+
+/// Mean multiplicative path stretch of `hier` over `flat` across all
+/// reachable pairs (1.0 = no stretch).
+pub fn path_stretch(flat: &RoutingTables, hier: &RoutingTables) -> f64 {
+    let n = flat.node_count();
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for src in 0..n as NodeId {
+        for dst in 0..n as NodeId {
+            if src == dst {
+                continue;
+            }
+            if let (Some(f), Some(h)) = (flat.latency_us(src, dst), hier.latency_us(src, dst)) {
+                sum += h as f64 / f.max(1) as f64;
+                count += 1;
+            }
+        }
+    }
+    if count == 0 {
+        1.0
+    } else {
+        sum / count as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::teragrid::teragrid;
+    use massf_topology::campus::campus;
+
+    #[test]
+    fn single_as_matches_flat_routing() {
+        // Campus is one AS: hierarchical must equal global SPF exactly.
+        let net = campus();
+        let flat = RoutingTables::build(&net);
+        let hier = build_hierarchical(&net);
+        let n = net.node_count() as NodeId;
+        for a in 0..n {
+            for b in 0..n {
+                assert_eq!(flat.latency_us(a, b), hier.latency_us(a, b), "{a}->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn teragrid_all_pairs_reachable_and_loop_free() {
+        let net = teragrid();
+        let hier = build_hierarchical(&net);
+        let n = net.node_count() as NodeId;
+        for a in 0..n {
+            for b in 0..n {
+                let path = hier.path(a, b).expect("hierarchical must reach everything");
+                assert!(path.len() <= net.node_count());
+                assert_eq!(*path.last().unwrap(), b);
+            }
+        }
+    }
+
+    #[test]
+    fn intra_as_paths_equal_flat_spf() {
+        let net = teragrid();
+        let flat = RoutingTables::build(&net);
+        let hier = build_hierarchical(&net);
+        // Two hosts in the same site route identically under both schemes.
+        let hosts = net.hosts();
+        let (a, b) = (hosts[0], hosts[20]); // both NCSA
+        assert_eq!(net.node(a).as_id, net.node(b).as_id);
+        assert_eq!(flat.latency_us(a, b), hier.latency_us(a, b));
+    }
+
+    #[test]
+    fn inter_as_stretch_is_bounded() {
+        let net = teragrid();
+        let flat = RoutingTables::build(&net);
+        let hier = build_hierarchical(&net);
+        let s = path_stretch(&flat, &hier);
+        assert!(s >= 1.0 - 1e-9, "stretch below 1: {s}");
+        assert!(s < 1.5, "hot-potato stretch should be modest on TeraGrid: {s}");
+    }
+
+    #[test]
+    fn paths_cross_exactly_the_chosen_gateways() {
+        let net = teragrid();
+        let hier = build_hierarchical(&net);
+        // NCSA host -> SDSC host must pass both site gateways.
+        let hosts = net.hosts();
+        let (a, b) = (hosts[0], hosts[40]);
+        let path = hier.path(a, b).unwrap();
+        let names: Vec<&str> =
+            path.iter().map(|&v| net.node(v).name.as_str()).collect();
+        assert!(names.iter().any(|s| s.ends_with("-gw")), "no gateway in {names:?}");
+        assert!(
+            names.iter().any(|s| s.starts_with("hub-")),
+            "no backbone hub in {names:?}"
+        );
+    }
+
+}

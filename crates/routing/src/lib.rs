@@ -1,0 +1,22 @@
+//! # massf-routing
+//!
+//! Routing substrate for the MaSSF reproduction: shortest-path routing
+//! tables over the virtual network, traceroute-style path discovery (the
+//! PLACE approach runs `traceroute` against the emulator to learn routes,
+//! §3.2), and the paper's routing-table memory model
+//! (`m = 10 + x²` for a router in an AS of `x` routers, §5).
+//!
+//! Routes are latency-weighted shortest paths (ties broken by hop count,
+//! then node id), computed by per-source Dijkstra and stored as dense
+//! next-hop tables — the same information a router's FIB would hold.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hierarchy;
+pub mod memory;
+pub mod spf;
+pub mod tables;
+pub mod traceroute;
+
+pub use tables::RoutingTables;

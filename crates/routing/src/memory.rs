@@ -1,0 +1,84 @@
+//! The paper's memory-requirement model (§2.2.2, §5).
+//!
+//! "The memory requirement is mainly based on the routing table size. The
+//! routing table size is in the order of O(n²), where n is the number of
+//! routers in an AS." And from §5: "we use m = 10 + x·x as the memory
+//! requirement for a router, where x is the size of an AS."
+
+use massf_topology::{Network, NodeId, NodeKind};
+
+/// Memory weight of a single router in an AS of `as_size` routers:
+/// `m = 10 + x²`.
+#[inline]
+pub fn router_memory_weight(as_size: usize) -> i64 {
+    10 + (as_size as i64) * (as_size as i64)
+}
+
+/// Memory weight of a host. Hosts keep only a default route; the constant
+/// matches the paper's additive base term.
+#[inline]
+pub fn host_memory_weight() -> i64 {
+    10
+}
+
+/// Per-node memory weights for the whole network, in node-id order.
+pub fn memory_weights(net: &Network) -> Vec<i64> {
+    let as_sizes = net.as_router_sizes();
+    net.nodes()
+        .iter()
+        .map(|n| match n.kind {
+            NodeKind::Router => {
+                router_memory_weight(*as_sizes.get(&n.as_id).unwrap_or(&1))
+            }
+            NodeKind::Host => host_memory_weight(),
+        })
+        .collect()
+}
+
+/// Total memory weight of a set of nodes (one engine's memory footprint).
+pub fn total_memory(net: &Network, nodes: &[NodeId]) -> i64 {
+    let w = memory_weights(net);
+    nodes.iter().map(|&n| w[n as usize]).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::teragrid::teragrid;
+
+    #[test]
+    fn paper_formula() {
+        assert_eq!(router_memory_weight(0), 10);
+        assert_eq!(router_memory_weight(5), 35);
+        assert_eq!(router_memory_weight(200), 40_010);
+    }
+
+    #[test]
+    fn teragrid_weights() {
+        let net = teragrid();
+        let w = memory_weights(&net);
+        // Node 0 is a hub in the 2-router backbone AS: 10 + 4.
+        assert_eq!(w[0], 14);
+        // Node 2 is a site gateway in a 5-router AS: 10 + 25.
+        assert_eq!(w[2], 35);
+        // Hosts get the base weight.
+        let host = net.hosts()[0];
+        assert_eq!(w[host as usize], 10);
+    }
+
+    #[test]
+    fn quadratic_growth_dominates_at_scale() {
+        // The paper's stated limit: ~200 routers in one AS exhausts memory.
+        let small = router_memory_weight(20);
+        let large = router_memory_weight(200);
+        assert!(large > 90 * small);
+    }
+
+    #[test]
+    fn total_memory_sums() {
+        let net = teragrid();
+        let all: Vec<_> = (0..net.node_count() as u32).collect();
+        let w = memory_weights(&net);
+        assert_eq!(total_memory(&net, &all), w.iter().sum::<i64>());
+    }
+}

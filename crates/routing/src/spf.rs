@@ -1,0 +1,155 @@
+//! Per-source Dijkstra shortest-path-first computation.
+
+use massf_topology::{Network, NodeId};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Result of one SPF run from a source node.
+#[derive(Debug, Clone)]
+pub struct SpfTree {
+    /// The source node.
+    pub source: NodeId,
+    /// Total latency (µs) from the source; `u64::MAX` when unreachable.
+    pub dist_us: Vec<u64>,
+    /// Hop count from the source; `u32::MAX` when unreachable.
+    pub hops: Vec<u32>,
+    /// Predecessor on the shortest path; `u32::MAX` for source/unreachable.
+    pub prev: Vec<NodeId>,
+}
+
+/// Sentinel for "no predecessor".
+pub const NO_PREV: NodeId = NodeId::MAX;
+
+/// Runs Dijkstra from `source` with latency cost, deterministic
+/// tie-breaking by `(latency, hops, node id)`.
+pub fn shortest_paths(net: &Network, source: NodeId) -> SpfTree {
+    let n = net.node_count();
+    let mut dist_us = vec![u64::MAX; n];
+    let mut hops = vec![u32::MAX; n];
+    let mut prev = vec![NO_PREV; n];
+    let mut done = vec![false; n];
+
+    let mut heap: BinaryHeap<Reverse<(u64, u32, NodeId)>> = BinaryHeap::new();
+    dist_us[source as usize] = 0;
+    hops[source as usize] = 0;
+    heap.push(Reverse((0, 0, source)));
+
+    while let Some(Reverse((d, h, v))) = heap.pop() {
+        if done[v as usize] {
+            continue;
+        }
+        done[v as usize] = true;
+        for &(u, l) in net.neighbors(v) {
+            if done[u as usize] {
+                continue;
+            }
+            let link = net.link(l);
+            let nd = d + link.latency_us;
+            let nh = h + 1;
+            let better = nd < dist_us[u as usize]
+                || (nd == dist_us[u as usize]
+                    && (nh < hops[u as usize]
+                        || (nh == hops[u as usize] && v < prev[u as usize])));
+            if better {
+                dist_us[u as usize] = nd;
+                hops[u as usize] = nh;
+                prev[u as usize] = v;
+                heap.push(Reverse((nd, nh, u)));
+            }
+        }
+    }
+    SpfTree { source, dist_us, hops, prev }
+}
+
+impl SpfTree {
+    /// Reconstructs the node path `source → dst` (inclusive), or `None`
+    /// when `dst` is unreachable.
+    pub fn path_to(&self, dst: NodeId) -> Option<Vec<NodeId>> {
+        if self.dist_us[dst as usize] == u64::MAX {
+            return None;
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while cur != self.source {
+            cur = self.prev[cur as usize];
+            debug_assert_ne!(cur, NO_PREV);
+            path.push(cur);
+        }
+        path.reverse();
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::Network;
+
+    /// Diamond: 0-1-3 (fast), 0-2-3 (slow), plus direct 0-3 (slowest).
+    fn diamond() -> Network {
+        let mut net = Network::new();
+        for i in 0..4 {
+            net.add_router(format!("r{i}"), 0);
+        }
+        net.add_link(0, 1, 100.0, 10);
+        net.add_link(1, 3, 100.0, 10);
+        net.add_link(0, 2, 100.0, 50);
+        net.add_link(2, 3, 100.0, 50);
+        net.add_link(0, 3, 100.0, 1000);
+        net
+    }
+
+    #[test]
+    fn picks_lowest_latency_path() {
+        let t = shortest_paths(&diamond(), 0);
+        assert_eq!(t.dist_us[3], 20);
+        assert_eq!(t.path_to(3), Some(vec![0, 1, 3]));
+    }
+
+    #[test]
+    fn source_distance_is_zero() {
+        let t = shortest_paths(&diamond(), 2);
+        assert_eq!(t.dist_us[2], 0);
+        assert_eq!(t.path_to(2), Some(vec![2]));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut net = diamond();
+        net.add_router("island", 0);
+        let t = shortest_paths(&net, 0);
+        assert_eq!(t.dist_us[4], u64::MAX);
+        assert_eq!(t.path_to(4), None);
+    }
+
+    #[test]
+    fn hop_tiebreak() {
+        // Two equal-latency routes 0→3: 0-1-3 (20+20) vs 0-3 (40 direct).
+        let mut net = Network::new();
+        for i in 0..4 {
+            net.add_router(format!("r{i}"), 0);
+        }
+        net.add_link(0, 1, 100.0, 20);
+        net.add_link(1, 3, 100.0, 20);
+        net.add_link(0, 3, 100.0, 40);
+        net.add_link(0, 2, 100.0, 5);
+        let t = shortest_paths(&net, 0);
+        assert_eq!(t.dist_us[3], 40);
+        assert_eq!(t.path_to(3), Some(vec![0, 3]), "fewer hops must win ties");
+    }
+
+    #[test]
+    fn paths_are_consistent_with_distances() {
+        let net = massf_topology::teragrid::teragrid();
+        let t = shortest_paths(&net, 0);
+        for dst in 0..net.node_count() as NodeId {
+            let path = t.path_to(dst).expect("teragrid is connected");
+            let mut lat = 0u64;
+            for w in path.windows(2) {
+                let l = net.link_between(w[0], w[1]).expect("consecutive nodes adjacent");
+                lat += net.link(l).latency_us;
+            }
+            assert_eq!(lat, t.dist_us[dst as usize], "path latency mismatch for {dst}");
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Dense all-pairs next-hop routing tables.
+
+use crate::spf::{shortest_paths, NO_PREV};
+use massf_topology::{LinkId, Network, NodeId};
+
+/// All-pairs routing state: for every `(src, dst)` the next hop out of
+/// `src`, plus path latencies. Built once per topology ("we instantiate the
+/// emulated network and detect the actual routes used", §3.2).
+#[derive(Debug, Clone)]
+pub struct RoutingTables {
+    pub(crate) n: usize,
+    /// `next_hop[src * n + dst]`; `NodeId::MAX` when `src == dst` or
+    /// unreachable.
+    pub(crate) next_hop: Vec<NodeId>,
+    /// `latency_us[src * n + dst]`; `u64::MAX` when unreachable.
+    pub(crate) latency_us: Vec<u64>,
+    /// `next_link[src * n + dst]`: the link to the next hop.
+    pub(crate) next_link: Vec<LinkId>,
+}
+
+/// Sentinel link id stored where no next hop exists.
+pub(crate) const NO_LINK: LinkId = LinkId(u32::MAX);
+
+impl RoutingTables {
+    /// Computes routing tables for the whole network (n Dijkstra runs).
+    pub fn build(net: &Network) -> Self {
+        let n = net.node_count();
+        let mut next_hop = vec![NodeId::MAX; n * n];
+        let mut latency_us = vec![u64::MAX; n * n];
+        let mut next_link = vec![NO_LINK; n * n];
+
+        for src in 0..n as NodeId {
+            let tree = shortest_paths(net, src);
+            for dst in 0..n as NodeId {
+                let idx = src as usize * n + dst as usize;
+                latency_us[idx] = tree.dist_us[dst as usize];
+                if dst == src || tree.dist_us[dst as usize] == u64::MAX {
+                    continue;
+                }
+                // Walk predecessors from dst back to the node after src.
+                let mut cur = dst;
+                while tree.prev[cur as usize] != src {
+                    cur = tree.prev[cur as usize];
+                    debug_assert_ne!(cur, NO_PREV);
+                }
+                next_hop[idx] = cur;
+                next_link[idx] =
+                    net.link_between(src, cur).expect("next hop must be adjacent");
+            }
+        }
+        Self { n, next_hop, latency_us, next_link }
+    }
+
+    /// Number of nodes the tables cover.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Next hop from `src` toward `dst`, or `None` at destination /
+    /// unreachable.
+    #[inline]
+    pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
+        let h = self.next_hop[src as usize * self.n + dst as usize];
+        (h != NodeId::MAX).then_some(h)
+    }
+
+    /// The link carrying traffic from `src` toward `dst`.
+    #[inline]
+    pub fn next_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
+        let l = self.next_link[src as usize * self.n + dst as usize];
+        (l != NO_LINK).then_some(l)
+    }
+
+    /// End-to-end latency (µs) of the routed path, `None` if unreachable.
+    #[inline]
+    pub fn latency_us(&self, src: NodeId, dst: NodeId) -> Option<u64> {
+        let l = self.latency_us[src as usize * self.n + dst as usize];
+        (l != u64::MAX).then_some(l)
+    }
+
+    /// The full node path `src → dst` (inclusive), following next hops.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        if src == dst {
+            return Some(vec![src]);
+        }
+        self.latency_us(src, dst)?;
+        let mut path = vec![src];
+        let mut cur = src;
+        while cur != dst {
+            cur = self.next_hop(cur, dst).expect("reachable destination has next hops");
+            path.push(cur);
+            debug_assert!(path.len() <= self.n, "routing loop detected");
+        }
+        Some(path)
+    }
+
+    /// The links along the routed path `src → dst`.
+    pub fn path_links(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
+        let path = self.path(src, dst)?;
+        let mut links = Vec::with_capacity(path.len().saturating_sub(1));
+        let mut cur = src;
+        for &next in &path[1..] {
+            links.push(self.next_link(cur, dst).expect("link exists along path"));
+            cur = next;
+        }
+        Some(links)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::campus::campus;
+    use massf_topology::Network;
+
+    fn line() -> Network {
+        let mut net = Network::new();
+        for i in 0..4 {
+            net.add_router(format!("r{i}"), 0);
+        }
+        net.add_link(0, 1, 100.0, 10);
+        net.add_link(1, 2, 100.0, 10);
+        net.add_link(2, 3, 100.0, 10);
+        net
+    }
+
+    #[test]
+    fn next_hops_follow_the_line() {
+        let t = RoutingTables::build(&line());
+        assert_eq!(t.next_hop(0, 3), Some(1));
+        assert_eq!(t.next_hop(1, 3), Some(2));
+        assert_eq!(t.next_hop(2, 3), Some(3));
+        assert_eq!(t.next_hop(3, 3), None);
+    }
+
+    #[test]
+    fn path_and_latency() {
+        let t = RoutingTables::build(&line());
+        assert_eq!(t.path(0, 3), Some(vec![0, 1, 2, 3]));
+        assert_eq!(t.latency_us(0, 3), Some(30));
+        assert_eq!(t.path(2, 0), Some(vec![2, 1, 0]));
+    }
+
+    #[test]
+    fn path_links_match_path() {
+        let net = line();
+        let t = RoutingTables::build(&net);
+        let links = t.path_links(0, 3).unwrap();
+        assert_eq!(links.len(), 3);
+        let path = t.path(0, 3).unwrap();
+        for (i, l) in links.iter().enumerate() {
+            let link = net.link(*l);
+            let (a, b) = (path[i], path[i + 1]);
+            assert!(
+                (link.a == a && link.b == b) || (link.a == b && link.b == a),
+                "link {i} does not join {a} and {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn self_path_is_singleton() {
+        let t = RoutingTables::build(&line());
+        assert_eq!(t.path(2, 2), Some(vec![2]));
+        assert_eq!(t.path_links(2, 2), Some(vec![]));
+        assert_eq!(t.latency_us(2, 2), Some(0));
+    }
+
+    #[test]
+    fn unreachable_gives_none() {
+        let mut net = line();
+        net.add_host("island", 0);
+        // Can't add a link: host must stay isolated for this test.
+        let t = RoutingTables::build(&net);
+        assert_eq!(t.path(0, 4), None);
+        assert_eq!(t.latency_us(0, 4), None);
+        assert_eq!(t.next_hop(0, 4), None);
+    }
+
+    #[test]
+    fn campus_all_pairs_reachable_and_symmetric_latency() {
+        let net = campus();
+        let t = RoutingTables::build(&net);
+        let n = net.node_count() as NodeId;
+        for a in 0..n {
+            for b in 0..n {
+                let lat_ab = t.latency_us(a, b).expect("campus connected");
+                let lat_ba = t.latency_us(b, a).expect("campus connected");
+                assert_eq!(lat_ab, lat_ba, "latency asymmetry {a}<->{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn routes_are_consistent_prefixes() {
+        // Routing consistency: if path(a,c) passes through b, then the
+        // suffix from b equals path(b,c). Guaranteed by deterministic
+        // Dijkstra tie-breaking; the emulator relies on it for hop-by-hop
+        // forwarding.
+        let net = campus();
+        let t = RoutingTables::build(&net);
+        let hosts = net.hosts();
+        for &a in hosts.iter().take(6) {
+            for &c in hosts.iter().rev().take(6) {
+                if a == c {
+                    continue;
+                }
+                let path = t.path(a, c).unwrap();
+                for (i, &b) in path.iter().enumerate() {
+                    let sub = t.path(b, c).unwrap();
+                    assert_eq!(&path[i..], &sub[..], "suffix mismatch at {b}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! The Campus topology (§4.1.3): a section of a university campus network
+//! with 20 routers and 40 hosts, emulated on 3 engine nodes in the paper.
+//!
+//! Structure (typical three-tier campus design):
+//!
+//! * 2 border/core routers joined to each other and to every building core;
+//! * 4 buildings, each with 1 building-core router and 4 department
+//!   routers hanging off it (2 + 4·(1+4) = 22 — so we use 2 border + 4
+//!   building cores + 14 department routers = 20, with departments spread
+//!   3/4/3/4 across the buildings);
+//! * 40 hosts: 2 per department router (28) plus 3 per building core (12).
+
+use crate::model::{Network, NodeId};
+
+/// Number of engine nodes the paper uses for this topology (Table 1).
+pub const CAMPUS_ENGINES: usize = 3;
+
+/// Builds the Campus network: exactly 20 routers and 40 hosts.
+pub fn campus() -> Network {
+    let mut net = Network::new();
+    let as_id = 0;
+
+    // Border / core layer.
+    let border: Vec<NodeId> =
+        (0..2).map(|i| net.add_router(format!("border{i}"), as_id)).collect();
+    net.add_link(border[0], border[1], 1000.0, 2000);
+
+    // Buildings: cores and departments (3/4/3/4 departments = 14 routers).
+    let dept_counts = [3usize, 4, 3, 4];
+    let mut host_idx = 0usize;
+    let mut new_host = |net: &mut Network, attach: NodeId, bw: f64| {
+        let h = net.add_host(format!("host{host_idx}"), as_id);
+        host_idx += 1;
+        net.add_link(h, attach, bw, 100);
+    };
+
+    for (b, &ndept) in dept_counts.iter().enumerate() {
+        let core = net.add_router(format!("bldg{b}-core"), as_id);
+        // Dual-home each building core to both border routers.
+        net.add_link(core, border[0], 1000.0, 1500);
+        net.add_link(core, border[1], 1000.0, 1500);
+        for d in 0..ndept {
+            let dept = net.add_router(format!("bldg{b}-dept{d}"), as_id);
+            net.add_link(dept, core, 100.0, 500);
+            for _ in 0..2 {
+                new_host(&mut net, dept, 100.0);
+            }
+        }
+        for _ in 0..3 {
+            new_host(&mut net, core, 100.0);
+        }
+    }
+
+    debug_assert_eq!(net.router_count(), 20);
+    debug_assert_eq!(net.host_count(), 40);
+    debug_assert!(net.is_connected());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::NodeKind;
+
+    #[test]
+    fn paper_counts() {
+        let net = campus();
+        assert_eq!(net.router_count(), 20, "Table 1: Campus has 20 routers");
+        assert_eq!(net.host_count(), 40, "Table 1: Campus has 40 hosts");
+    }
+
+    #[test]
+    fn connected_single_as() {
+        let net = campus();
+        assert!(net.is_connected());
+        assert_eq!(net.as_router_sizes().len(), 1);
+    }
+
+    #[test]
+    fn hosts_are_leaves() {
+        let net = campus();
+        for h in net.hosts() {
+            assert_eq!(net.degree(h), 1, "host {h} must be singly homed");
+            let (nbr, _) = net.neighbors(h)[0];
+            assert_eq!(net.node(nbr).kind, NodeKind::Router);
+        }
+    }
+
+    #[test]
+    fn building_cores_are_dual_homed() {
+        let net = campus();
+        // border0 and border1 are ids 0 and 1; each building core links both.
+        let cores: Vec<_> = net
+            .nodes()
+            .iter()
+            .filter(|n| n.name.ends_with("-core"))
+            .map(|n| n.id)
+            .collect();
+        assert_eq!(cores.len(), 4);
+        for c in cores {
+            assert!(net.link_between(c, 0).is_some());
+            assert!(net.link_between(c, 1).is_some());
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(campus(), campus());
+    }
+}

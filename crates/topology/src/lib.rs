@@ -1,0 +1,29 @@
+//! # massf-topology
+//!
+//! The virtual-network model and the topology generators used by the paper's
+//! evaluation (§4.1.3):
+//!
+//! * [`campus`] — a section of a university campus network
+//!   (20 routers / 40 hosts, emulated on 3 engine nodes);
+//! * [`teragrid`] — the 5-site TeraGrid of Figure 3
+//!   (27 routers / 150 hosts, 5 engine nodes);
+//! * [`brite`] — a BRITE-like Internet topology generator
+//!   (Barabási–Albert and Waxman router models) used for the 160-router and
+//!   the 200-router scale-up experiments.
+//!
+//! A [`model::Network`] is pure structure: nodes (routers and hosts), links
+//! (bandwidth + latency), and AS membership. Partitioning weights are
+//! derived from it by `massf-mapping`; routing by `massf-routing`; traffic
+//! by `massf-traffic`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asys;
+pub mod brite;
+pub mod campus;
+pub mod dml;
+pub mod model;
+pub mod teragrid;
+
+pub use model::{Link, LinkId, Network, Node, NodeId, NodeKind};

@@ -1,0 +1,101 @@
+//! The TeraGrid topology of the paper's Figure 3: five sites (NCSA, SDSC,
+//! ANL, CIT, PSC) joined by a 40 Gbps backbone, 27 routers and 150 hosts
+//! total, emulated on 5 engine nodes in the paper.
+//!
+//! Layout: two backbone hub routers (Chicago and Los Angeles, as in the
+//! real 2003 TeraGrid); each site contributes one gateway router and four
+//! cluster routers; 30 hosts per site hang off the cluster routers.
+
+use crate::model::{Network, NodeId};
+
+/// Number of engine nodes the paper uses for this topology (Table 1).
+pub const TERAGRID_ENGINES: usize = 5;
+
+/// The five TeraGrid sites of Figure 3.
+pub const SITES: [&str; 5] = ["NCSA", "SDSC", "ANL", "CIT", "PSC"];
+
+/// Builds the TeraGrid network: exactly 27 routers and 150 hosts.
+///
+/// Each site is its own AS (ids 1–5); the backbone hubs form AS 0.
+pub fn teragrid() -> Network {
+    let mut net = Network::new();
+
+    // 40 Gbps backbone between the two hubs.
+    let hub_chi = net.add_router("hub-Chicago", 0);
+    let hub_la = net.add_router("hub-LosAngeles", 0);
+    net.add_link(hub_chi, hub_la, 40_000.0, 10_000);
+
+    // Which hub each site homes to (real 2003 topology).
+    let home: [NodeId; 5] = [hub_chi, hub_la, hub_chi, hub_la, hub_chi];
+
+    for (s, &site) in SITES.iter().enumerate() {
+        let as_id = s as u32 + 1;
+        let gw = net.add_router(format!("{site}-gw"), as_id);
+        net.add_link(gw, home[s], 40_000.0, 2_000);
+        for c in 0..4 {
+            let cluster = net.add_router(format!("{site}-r{c}"), as_id);
+            net.add_link(cluster, gw, 1_000.0, 500);
+            // 30 hosts per site: 8/8/7/7 across the four cluster routers.
+            let nhosts = if c < 2 { 8 } else { 7 };
+            for h in 0..nhosts {
+                let host = net.add_host(format!("{site}-n{c}-{h}"), as_id);
+                net.add_link(host, cluster, 1_000.0, 100);
+            }
+        }
+    }
+
+    debug_assert_eq!(net.router_count(), 27);
+    debug_assert_eq!(net.host_count(), 150);
+    debug_assert!(net.is_connected());
+    net
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_counts() {
+        let net = teragrid();
+        assert_eq!(net.router_count(), 27, "Table 1: TeraGrid has 27 routers");
+        assert_eq!(net.host_count(), 150, "Table 1: TeraGrid has 150 hosts");
+    }
+
+    #[test]
+    fn five_site_ases_plus_backbone() {
+        let net = teragrid();
+        let sizes = net.as_router_sizes();
+        assert_eq!(sizes.len(), 6);
+        assert_eq!(sizes[&0], 2, "backbone AS has the two hubs");
+        for s in 1..=5u32 {
+            assert_eq!(sizes[&s], 5, "site AS {s} has gw + 4 cluster routers");
+        }
+    }
+
+    #[test]
+    fn hosts_per_site_is_thirty() {
+        let net = teragrid();
+        for (s, site) in SITES.iter().enumerate() {
+            let count = net
+                .nodes()
+                .iter()
+                .filter(|n| n.kind == crate::model::NodeKind::Host && n.as_id == s as u32 + 1)
+                .count();
+            assert_eq!(count, 30, "{site} should host 30 nodes");
+        }
+    }
+
+    #[test]
+    fn backbone_is_40gbps() {
+        let net = teragrid();
+        let l = net.link(net.link_between(0, 1).expect("hub link"));
+        assert!((l.bandwidth_mbps - 40_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn connected_and_deterministic() {
+        let net = teragrid();
+        assert!(net.is_connected());
+        assert_eq!(net, teragrid());
+    }
+}

@@ -1,0 +1,172 @@
+//! A drifting-hotspot background workload — the §6 stress case.
+//!
+//! "Load imbalance happens due to burst/variation of traffic injected from
+//! the application. Static partitions are fundamentally limited for large
+//! emulation if traffic varies widely." This generator makes that
+//! variation explicit: the emulation period is divided into phases, and in
+//! phase `i` traffic concentrates inside host group `i` (e.g. one campus
+//! building, one grid site). Any single static partition must either split
+//! every group across engines (large cut, small lookahead) or tolerate a
+//! per-phase hotspot on one engine; a dynamic mapper can follow the drift.
+
+use crate::flow::FlowSpec;
+use massf_topology::NodeId;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Parameters of the drifting-hotspot generator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HotspotConfig {
+    /// Host groups; phase `i` concentrates traffic inside
+    /// `groups[i % groups.len()]`.
+    pub groups: Vec<Vec<NodeId>>,
+    /// Length of one phase in µs.
+    pub phase_len_us: u64,
+    /// Number of phases (total horizon = phases × phase_len).
+    pub phases: usize,
+    /// Concurrent transfers inside the hot group per phase.
+    pub flows_per_phase: usize,
+    /// Bytes per transfer.
+    pub bytes_per_flow: u64,
+    /// Transfer rate in Mbps.
+    pub rate_mbps: f64,
+    /// Background trickle between random hosts of *all* groups, as a
+    /// fraction of `flows_per_phase` (keeps the quiet groups warm).
+    pub trickle_ratio: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl HotspotConfig {
+    /// A default drift over the given groups: 6 phases of 2 s each.
+    pub fn drift_over(groups: Vec<Vec<NodeId>>) -> Self {
+        Self {
+            groups,
+            phase_len_us: 2_000_000,
+            phases: 6,
+            flows_per_phase: 24,
+            bytes_per_flow: 600_000,
+            rate_mbps: 80.0,
+            trickle_ratio: 0.15,
+            seed: 0x407,
+        }
+    }
+}
+
+/// Generates the drifting-hotspot schedule.
+pub fn generate(cfg: &HotspotConfig) -> Vec<FlowSpec> {
+    assert!(!cfg.groups.is_empty(), "need at least one host group");
+    assert!(cfg.groups.iter().all(|g| g.len() >= 2), "groups need >= 2 hosts");
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut out = Vec::new();
+    let all_hosts: Vec<NodeId> = cfg.groups.iter().flatten().copied().collect();
+
+    for phase in 0..cfg.phases {
+        let start = phase as u64 * cfg.phase_len_us;
+        let hot = &cfg.groups[phase % cfg.groups.len()];
+        for _ in 0..cfg.flows_per_phase {
+            let (src, dst) = distinct_pair(hot, &mut rng);
+            let offset = rng.gen_range(0..cfg.phase_len_us / 2);
+            out.push(FlowSpec::from_bytes(
+                src,
+                dst,
+                start + offset,
+                cfg.bytes_per_flow,
+                cfg.rate_mbps,
+            ));
+        }
+        let trickle = (cfg.flows_per_phase as f64 * cfg.trickle_ratio) as usize;
+        for _ in 0..trickle {
+            let (src, dst) = distinct_pair(&all_hosts, &mut rng);
+            let offset = rng.gen_range(0..cfg.phase_len_us);
+            out.push(FlowSpec::from_bytes(
+                src,
+                dst,
+                start + offset,
+                cfg.bytes_per_flow / 10,
+                cfg.rate_mbps,
+            ));
+        }
+    }
+    out.sort_by_key(|f| (f.start_us, f.src, f.dst));
+    out
+}
+
+fn distinct_pair<R: Rng>(hosts: &[NodeId], rng: &mut R) -> (NodeId, NodeId) {
+    loop {
+        let a = hosts[rng.gen_range(0..hosts.len())];
+        let b = hosts[rng.gen_range(0..hosts.len())];
+        if a != b {
+            return (a, b);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn groups() -> Vec<Vec<NodeId>> {
+        vec![vec![0, 1, 2], vec![10, 11, 12], vec![20, 21, 22]]
+    }
+
+    #[test]
+    fn phases_concentrate_in_their_group() {
+        let cfg = HotspotConfig { trickle_ratio: 0.0, ..HotspotConfig::drift_over(groups()) };
+        let flows = generate(&cfg);
+        for f in &flows {
+            let phase = (f.start_us / cfg.phase_len_us) as usize;
+            let hot: HashSet<NodeId> =
+                cfg.groups[phase % cfg.groups.len()].iter().copied().collect();
+            assert!(
+                hot.contains(&f.src) && hot.contains(&f.dst),
+                "flow {f:?} escaped its phase group"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_cycles_through_groups() {
+        let cfg = HotspotConfig { trickle_ratio: 0.0, ..HotspotConfig::drift_over(groups()) };
+        let flows = generate(&cfg);
+        // Phase 3 wraps back to group 0.
+        let phase3: Vec<_> = flows
+            .iter()
+            .filter(|f| (f.start_us / cfg.phase_len_us) == 3)
+            .collect();
+        assert!(!phase3.is_empty());
+        assert!(phase3.iter().all(|f| cfg.groups[0].contains(&f.src)));
+    }
+
+    #[test]
+    fn trickle_reaches_other_groups() {
+        let cfg = HotspotConfig { trickle_ratio: 0.5, ..HotspotConfig::drift_over(groups()) };
+        let flows = generate(&cfg);
+        let phase0_srcs: HashSet<NodeId> = flows
+            .iter()
+            .filter(|f| f.start_us < cfg.phase_len_us)
+            .map(|f| f.src)
+            .collect();
+        let outside = phase0_srcs.iter().any(|s| !cfg.groups[0].contains(s));
+        assert!(outside, "trickle should involve non-hot hosts: {phase0_srcs:?}");
+    }
+
+    #[test]
+    fn flow_count_and_determinism() {
+        let cfg = HotspotConfig::drift_over(groups());
+        let flows = generate(&cfg);
+        let expected =
+            cfg.phases * (cfg.flows_per_phase + (cfg.flows_per_phase as f64 * cfg.trickle_ratio) as usize);
+        assert_eq!(flows.len(), expected);
+        assert_eq!(flows, generate(&cfg));
+    }
+
+    #[test]
+    #[should_panic(expected = "groups need")]
+    fn tiny_groups_rejected() {
+        let cfg = HotspotConfig::drift_over(vec![vec![1]]);
+        generate(&cfg);
+    }
+}

@@ -1,0 +1,38 @@
+//! # massf-traffic
+//!
+//! Traffic workloads for the MaSSF reproduction (§4.1.4):
+//!
+//! * [`http`] — the background HTTP generator (Barford–Crovella style),
+//!   parameterized exactly like the paper's example spec (request size,
+//!   think time, clients per server, server count);
+//! * [`scalapack`] — a synthetic model of the paper's ScaLapack foreground
+//!   workload: a block-cyclic dense solve on a 2×5 process grid with
+//!   regular, evenly distributed communication;
+//! * [`gridnpb`] — a synthetic model of GridNPB 3.0: Helical Chain,
+//!   Visualization Pipeline, and Mixed Bag workflow DAGs with irregular,
+//!   bursty transfers;
+//! * [`spec`] — parser for the paper's background-traffic description
+//!   blocks;
+//! * [`flow`] — the flow abstraction shared by generators, the emulation
+//!   engine, and the PLACE traffic predictor.
+//!
+//! All generators are deterministic in their seeds and emit virtual-time
+//! schedules in microseconds.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+// CSR-style code indexes several parallel arrays with one counter; the
+// iterator rewrites clippy suggests are less clear there.
+#![allow(clippy::needless_range_loop)]
+
+pub mod cbr;
+pub mod flow;
+pub mod gridnpb;
+pub mod hotspot;
+pub mod http;
+pub mod onoff;
+pub mod scalapack;
+pub mod spec;
+pub mod tracefile;
+
+pub use flow::{FlowSpec, PredictedFlow, MTU_BYTES};

@@ -1,0 +1,295 @@
+//! Parser for the paper's background-traffic description blocks (§4.1.4):
+//!
+//! ```text
+//! traffic {
+//!   name HTTP
+//!   request_size 200KByte
+//!   think_time 12
+//!   client_per_server 10
+//!   server_number 107
+//! }
+//! ```
+
+use crate::http::HttpConfig;
+
+/// Errors from [`parse_http`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SpecError {
+    /// The block did not have the `traffic { ... }` shape.
+    Malformed(String),
+    /// A key had an unparsable value.
+    BadValue {
+        /// The offending key.
+        key: String,
+        /// The raw value text.
+        value: String,
+    },
+    /// The `name` was not a supported generator.
+    UnknownGenerator(String),
+}
+
+impl std::fmt::Display for SpecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SpecError::Malformed(m) => write!(f, "malformed traffic block: {m}"),
+            SpecError::BadValue { key, value } => write!(f, "bad value for {key}: {value:?}"),
+            SpecError::UnknownGenerator(n) => write!(f, "unknown traffic generator {n:?}"),
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+/// Parses a size literal: plain bytes, or with `KByte` / `MByte` / `KB` /
+/// `MB` suffix (case-insensitive, 1024-based as in the paper's 200KByte).
+pub fn parse_size(text: &str) -> Option<u64> {
+    let t = text.trim();
+    let lower = t.to_ascii_lowercase();
+    for (suffix, mult) in
+        [("kbyte", 1024u64), ("mbyte", 1024 * 1024), ("kb", 1024), ("mb", 1024 * 1024)]
+    {
+        if let Some(num) = lower.strip_suffix(suffix) {
+            return num.trim().parse::<u64>().ok().map(|v| v * mult);
+        }
+    }
+    lower.parse().ok()
+}
+
+/// Parses a `traffic { ... }` block into an [`HttpConfig`]. Unknown keys are
+/// rejected; absent keys keep their defaults.
+pub fn parse_http(text: &str) -> Result<HttpConfig, SpecError> {
+    let body = extract_body(text)?;
+    let mut cfg = HttpConfig::default();
+    let mut named = false;
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| SpecError::Malformed(format!("no value on line {line:?}")))?;
+        let value = value.trim();
+        let bad = || SpecError::BadValue { key: key.into(), value: value.into() };
+        match key {
+            "name" => {
+                if !value.eq_ignore_ascii_case("http") {
+                    return Err(SpecError::UnknownGenerator(value.into()));
+                }
+                named = true;
+            }
+            "request_size" => cfg.request_size_bytes = parse_size(value).ok_or_else(bad)?,
+            "think_time" => cfg.think_time_s = value.parse().map_err(|_| bad())?,
+            "client_per_server" => cfg.clients_per_server = value.parse().map_err(|_| bad())?,
+            "server_number" => cfg.server_count = value.parse().map_err(|_| bad())?,
+            "seed" => cfg.seed = value.parse().map_err(|_| bad())?,
+            _ => return Err(SpecError::Malformed(format!("unknown key {key:?}"))),
+        }
+    }
+    if !named {
+        return Err(SpecError::Malformed("missing 'name' key".into()));
+    }
+    Ok(cfg)
+}
+
+fn extract_body(text: &str) -> Result<&str, SpecError> {
+    let t = text.trim();
+    let rest = t
+        .strip_prefix("traffic")
+        .ok_or_else(|| SpecError::Malformed("must start with 'traffic'".into()))?
+        .trim_start();
+    let rest = rest
+        .strip_prefix('{')
+        .ok_or_else(|| SpecError::Malformed("missing '{'".into()))?;
+    let close = rest.rfind('}').ok_or_else(|| SpecError::Malformed("missing '}'".into()))?;
+    Ok(&rest[..close])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PAPER_BLOCK: &str = r#"
+traffic {
+  name HTTP
+  request_size 200KByte
+  think_time 12
+  client_per_server 10
+  server_number 107
+}
+"#;
+
+    #[test]
+    fn parses_the_papers_example() {
+        let cfg = parse_http(PAPER_BLOCK).unwrap();
+        assert_eq!(cfg.request_size_bytes, 200 * 1024);
+        assert_eq!(cfg.think_time_s, 12.0);
+        assert_eq!(cfg.clients_per_server, 10);
+        assert_eq!(cfg.server_count, 107);
+    }
+
+    #[test]
+    fn size_suffixes() {
+        assert_eq!(parse_size("200KByte"), Some(200 * 1024));
+        assert_eq!(parse_size("2MByte"), Some(2 * 1024 * 1024));
+        assert_eq!(parse_size("512"), Some(512));
+        assert_eq!(parse_size("3kb"), Some(3 * 1024));
+        assert_eq!(parse_size("x"), None);
+    }
+
+    #[test]
+    fn defaults_preserved_for_absent_keys() {
+        let cfg = parse_http("traffic { name HTTP }").unwrap();
+        assert_eq!(cfg, HttpConfig::default());
+    }
+
+    #[test]
+    fn rejects_unknown_generator() {
+        let err = parse_http("traffic { name FTP }").unwrap_err();
+        assert!(matches!(err, SpecError::UnknownGenerator(_)));
+    }
+
+    #[test]
+    fn rejects_unknown_key() {
+        assert!(matches!(
+            parse_http("traffic { name HTTP\n bogus 3 }"),
+            Err(SpecError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_value() {
+        assert!(matches!(
+            parse_http("traffic { name HTTP\n think_time soon }"),
+            Err(SpecError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_braces() {
+        assert!(parse_http("traffic name HTTP").is_err());
+        assert!(parse_http("name HTTP").is_err());
+    }
+}
+
+/// Any background generator the spec format can describe.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficKind {
+    /// The paper's HTTP generator (§4.1.4).
+    Http(crate::http::HttpConfig),
+    /// Constant bit rate.
+    Cbr(crate::cbr::CbrConfig),
+    /// Poisson on/off sources.
+    OnOff(crate::onoff::OnOffConfig),
+}
+
+/// Parses any supported `traffic { ... }` block, dispatching on `name`
+/// (HTTP, CBR, ONOFF — case-insensitive).
+pub fn parse_traffic(text: &str) -> Result<TrafficKind, SpecError> {
+    let body = extract_body(text)?;
+    let name = body
+        .lines()
+        .map(str::trim)
+        .find_map(|l| l.strip_prefix("name").map(|v| v.trim().to_string()))
+        .ok_or_else(|| SpecError::Malformed("missing 'name' key".into()))?;
+    match name.to_ascii_lowercase().as_str() {
+        "http" => parse_http(text).map(TrafficKind::Http),
+        "cbr" => parse_cbr(body).map(TrafficKind::Cbr),
+        "onoff" => parse_onoff(body).map(TrafficKind::OnOff),
+        _ => Err(SpecError::UnknownGenerator(name)),
+    }
+}
+
+fn parse_cbr(body: &str) -> Result<crate::cbr::CbrConfig, SpecError> {
+    let mut cfg = crate::cbr::CbrConfig::default();
+    for_each_kv(body, |key, value| {
+        let bad = || SpecError::BadValue { key: key.into(), value: value.into() };
+        match key {
+            "name" => Ok(()),
+            "sessions" => value.parse().map(|v| cfg.sessions = v).map_err(|_| bad()),
+            "rate_mbps" => value.parse().map(|v| cfg.rate_mbps = v).map_err(|_| bad()),
+            "seed" => value.parse().map(|v| cfg.seed = v).map_err(|_| bad()),
+            _ => Err(SpecError::Malformed(format!("unknown key {key:?}"))),
+        }
+    })?;
+    Ok(cfg)
+}
+
+fn parse_onoff(body: &str) -> Result<crate::onoff::OnOffConfig, SpecError> {
+    let mut cfg = crate::onoff::OnOffConfig::default();
+    for_each_kv(body, |key, value| {
+        let bad = || SpecError::BadValue { key: key.into(), value: value.into() };
+        match key {
+            "name" => Ok(()),
+            "sessions" => value.parse().map(|v| cfg.sessions = v).map_err(|_| bad()),
+            "peak_mbps" => value.parse().map(|v| cfg.peak_mbps = v).map_err(|_| bad()),
+            "mean_on_ms" => {
+                value.parse::<f64>().map(|v| cfg.mean_on_us = v * 1e3).map_err(|_| bad())
+            }
+            "mean_off_ms" => {
+                value.parse::<f64>().map(|v| cfg.mean_off_us = v * 1e3).map_err(|_| bad())
+            }
+            "seed" => value.parse().map(|v| cfg.seed = v).map_err(|_| bad()),
+            _ => Err(SpecError::Malformed(format!("unknown key {key:?}"))),
+        }
+    })?;
+    Ok(cfg)
+}
+
+fn for_each_kv(
+    body: &str,
+    mut f: impl FnMut(&str, &str) -> Result<(), SpecError>,
+) -> Result<(), SpecError> {
+    for line in body.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let (key, value) = line
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| SpecError::Malformed(format!("no value on line {line:?}")))?;
+        f(key, value.trim())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod kind_tests {
+    use super::*;
+
+    #[test]
+    fn dispatches_on_name() {
+        assert!(matches!(parse_traffic("traffic { name HTTP }"), Ok(TrafficKind::Http(_))));
+        assert!(matches!(parse_traffic("traffic { name CBR }"), Ok(TrafficKind::Cbr(_))));
+        assert!(matches!(parse_traffic("traffic { name OnOff }"), Ok(TrafficKind::OnOff(_))));
+        assert!(matches!(
+            parse_traffic("traffic { name Carrier }"),
+            Err(SpecError::UnknownGenerator(_))
+        ));
+    }
+
+    #[test]
+    fn cbr_fields() {
+        let k = parse_traffic("traffic { name CBR\n sessions 7\n rate_mbps 3.5 }").unwrap();
+        let TrafficKind::Cbr(cfg) = k else { panic!("wrong kind") };
+        assert_eq!(cfg.sessions, 7);
+        assert!((cfg.rate_mbps - 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn onoff_fields_in_milliseconds() {
+        let k = parse_traffic(
+            "traffic { name ONOFF\n peak_mbps 20\n mean_on_ms 100\n mean_off_ms 400 }",
+        )
+        .unwrap();
+        let TrafficKind::OnOff(cfg) = k else { panic!("wrong kind") };
+        assert!((cfg.peak_mbps - 20.0).abs() < 1e-12);
+        assert!((cfg.mean_on_us - 100_000.0).abs() < 1e-9);
+        assert!((cfg.duty_cycle() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unknown_cbr_key_rejected() {
+        assert!(parse_traffic("traffic { name CBR\n color blue }").is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! On-disk traffic traces.
+//!
+//! "MaSSF records all network traffic trace of an emulation execution, and
+//! then replays it" (§4.1.1). This module gives the recorded schedule a
+//! stable, line-oriented text format so traces can be saved, diffed,
+//! shipped between machines, and replayed from the CLI:
+//!
+//! ```text
+//! # massf-trace v1
+//! flow <src> <dst> <start_us> <packets> <bytes> <interval_us> [w<window>]
+//! ```
+//!
+//! One line per flow, everything else is a comment. Round-trips exactly.
+
+use crate::flow::FlowSpec;
+use massf_topology::NodeId;
+
+/// Magic first line of a trace file.
+pub const HEADER: &str = "# massf-trace v1";
+
+/// Errors from [`parse`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A flow line could not be parsed.
+    BadLine {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::BadHeader => write!(f, "not a massf trace (missing '{HEADER}')"),
+            TraceError::BadLine { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serializes a flow schedule.
+pub fn write(flows: &[FlowSpec]) -> String {
+    let mut out = String::with_capacity(40 * flows.len() + 64);
+    out.push_str(HEADER);
+    out.push('\n');
+    out.push_str(&format!("# {} flows\n", flows.len()));
+    for f in flows {
+        out.push_str(&format!(
+            "flow {} {} {} {} {} {}",
+            f.src, f.dst, f.start_us, f.packets, f.bytes, f.packet_interval_us
+        ));
+        if let Some(w) = f.window {
+            out.push_str(&format!(" w{w}"));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a trace file.
+pub fn parse(text: &str) -> Result<Vec<FlowSpec>, TraceError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, l)) if l.trim() == HEADER => {}
+        _ => return Err(TraceError::BadHeader),
+    }
+    let mut flows = Vec::new();
+    for (i, raw) in lines {
+        let line_no = i + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let bad = |message: &str| TraceError::BadLine { line: line_no, message: message.into() };
+        let Some(rest) = line.strip_prefix("flow ") else {
+            return Err(bad("expected 'flow ...'"));
+        };
+        let toks: Vec<&str> = rest.split_whitespace().collect();
+        if !(6..=7).contains(&toks.len()) {
+            return Err(bad("expected 6 fields plus optional window"));
+        }
+        let parse_u64 = |t: &str, what: &str| {
+            t.parse::<u64>().map_err(|_| bad(&format!("bad {what}: {t:?}")))
+        };
+        let src = parse_u64(toks[0], "src")? as NodeId;
+        let dst = parse_u64(toks[1], "dst")? as NodeId;
+        let start_us = parse_u64(toks[2], "start")?;
+        let packets = parse_u64(toks[3], "packets")?;
+        let bytes = parse_u64(toks[4], "bytes")?;
+        let packet_interval_us = parse_u64(toks[5], "interval")?;
+        if packets == 0 {
+            return Err(bad("packets must be >= 1"));
+        }
+        if packet_interval_us == 0 {
+            return Err(bad("interval must be >= 1"));
+        }
+        let window = match toks.get(6) {
+            None => None,
+            Some(t) => {
+                let w = t
+                    .strip_prefix('w')
+                    .and_then(|x| x.parse::<u32>().ok())
+                    .ok_or_else(|| bad(&format!("bad window {t:?}")))?;
+                if w == 0 {
+                    return Err(bad("window must be >= 1"));
+                }
+                Some(w)
+            }
+        };
+        flows.push(FlowSpec { src, dst, start_us, packets, bytes, packet_interval_us, window });
+    }
+    Ok(flows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<FlowSpec> {
+        vec![
+            FlowSpec {
+                src: 3,
+                dst: 9,
+                start_us: 100,
+                packets: 40,
+                bytes: 60_000,
+                packet_interval_us: 120,
+                window: None,
+            },
+            FlowSpec {
+                src: 9,
+                dst: 3,
+                start_us: 5_000,
+                packets: 10,
+                bytes: 15_000,
+                packet_interval_us: 50,
+                window: Some(4),
+            },
+        ]
+    }
+
+    #[test]
+    fn roundtrip() {
+        let flows = sample();
+        assert_eq!(parse(&write(&flows)).unwrap(), flows);
+    }
+
+    #[test]
+    fn empty_trace_roundtrips() {
+        assert_eq!(parse(&write(&[])).unwrap(), vec![]);
+    }
+
+    #[test]
+    fn missing_header_rejected() {
+        assert_eq!(parse("flow 1 2 0 1 100 1\n"), Err(TraceError::BadHeader));
+    }
+
+    #[test]
+    fn bad_lines_rejected_with_location() {
+        let text = format!("{HEADER}\nflow 1 2 0 1 100\n");
+        match parse(&text) {
+            Err(TraceError::BadLine { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected BadLine, got {other:?}"),
+        }
+        assert!(parse(&format!("{HEADER}\nflow 1 2 0 0 100 1\n")).is_err(), "zero packets");
+        assert!(parse(&format!("{HEADER}\nflow 1 2 0 1 100 1 w0\n")).is_err(), "zero window");
+        assert!(parse(&format!("{HEADER}\nblah\n")).is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let text = format!("{HEADER}\n# a comment\n\nflow 1 2 0 1 100 1\n");
+        assert_eq!(parse(&text).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn window_suffix_roundtrips() {
+        let text = format!("{HEADER}\nflow 1 2 0 5 7500 10 w8\n");
+        let flows = parse(&text).unwrap();
+        assert_eq!(flows[0].window, Some(8));
+        assert_eq!(parse(&write(&flows)).unwrap(), flows);
+    }
+}

@@ -1,0 +1,81 @@
+//! Custom topology end-to-end: author a network in the DML-like
+//! description format, parse the paper's HTTP background-traffic spec, and
+//! compare TOP against PROFILE on it.
+//!
+//! ```sh
+//! cargo run --release --example custom_topology
+//! ```
+
+use massf_core::prelude::*;
+use massf_core::topology::dml;
+use massf_core::traffic::http;
+use massf_core::traffic::spec::parse_http;
+
+/// A small dumbbell: two LANs joined by a slow WAN link.
+const NETWORK: &str = r#"
+# dumbbell: two sites, slow core
+node 0 router "left-core" as 0
+node 1 router "right-core" as 1
+node 2 router "left-edge" as 0
+node 3 router "right-edge" as 1
+node 4 host "l0" as 0
+node 5 host "l1" as 0
+node 6 host "l2" as 0
+node 7 host "r0" as 1
+node 8 host "r1" as 1
+node 9 host "r2" as 1
+link 0 1 bw 45 lat 20000
+link 0 2 bw 1000 lat 300
+link 1 3 bw 1000 lat 300
+link 2 4 bw 100 lat 100
+link 2 5 bw 100 lat 100
+link 2 6 bw 100 lat 100
+link 3 7 bw 100 lat 100
+link 3 8 bw 100 lat 100
+link 3 9 bw 100 lat 100
+"#;
+
+/// The paper's background-traffic block format (§4.1.4), shrunk to fit.
+const TRAFFIC: &str = r#"
+traffic {
+  name HTTP
+  request_size 200KByte
+  think_time 2
+  client_per_server 2
+  server_number 3
+}
+"#;
+
+fn main() {
+    let net = dml::parse(NETWORK).expect("valid description");
+    println!("parsed network: {}", net.summary());
+
+    let http_cfg = parse_http(TRAFFIC).expect("valid traffic block");
+    println!(
+        "background: {} servers x {} clients, {} KiB responses, {}s think time",
+        http_cfg.server_count,
+        http_cfg.clients_per_server,
+        http_cfg.request_size_bytes / 1024,
+        http_cfg.think_time_s
+    );
+
+    let hosts = net.hosts();
+    let flows = http::generate(&hosts, &http_cfg, 20_000_000); // 20 s
+    let predicted = http::predict(&hosts, &http_cfg);
+    println!("generated {} flows over 20 s of virtual time\n", flows.len());
+
+    let study = MappingStudy::new(net, MapperConfig::new(2));
+    for approach in [Approach::Top, Approach::Profile] {
+        let partition = study.map(approach, &predicted, &flows);
+        let report = study.evaluate(&partition, &flows, CostModel::replay());
+        println!(
+            "{:8} imbalance {:.3}, network emulation {:.2}s, cut spans the WAN: {}",
+            approach.label(),
+            load_imbalance(&report.engine_events),
+            report.emulation_time_s(),
+            partition.part[0] != partition.part[1],
+        );
+    }
+    println!("\nBoth approaches should split the dumbbell at the 20 ms WAN link —");
+    println!("it maximizes lookahead — but PROFILE also balances the measured load.");
+}

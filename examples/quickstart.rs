@@ -1,0 +1,44 @@
+//! Quickstart: emulate ScaLapack on the Campus network and compare the
+//! paper's three mapping approaches.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use massf_core::prelude::*;
+
+fn main() {
+    // The paper's Campus/ScaLapack experiment, scaled to run in seconds.
+    let scenario = Scenario::new(Topology::Campus, Workload::Scalapack).with_scale(0.4);
+    let built = scenario.build();
+
+    println!("network : {}", built.study.net.summary());
+    println!("engines : {}", built.study.cfg.engines);
+    println!("flows   : {} (foreground ScaLapack + HTTP background)", built.flows.len());
+    println!();
+    println!(
+        "{:8} {:>14} {:>16} {:>14}",
+        "approach", "load imbalance", "emulation time", "replay time"
+    );
+
+    let results = built.run_all();
+    for r in &results {
+        println!(
+            "{:8} {:>14.3} {:>15.1}s {:>13.1}s",
+            r.approach.label(),
+            r.load_imbalance,
+            r.emulation_time_s,
+            r.replay_time_s
+        );
+    }
+
+    let top = &results[0];
+    let profile = &results[2];
+    println!(
+        "\nPROFILE improves load balance by {:.0}% and emulation time by {:.0}% over TOP",
+        improvement_pct(top.load_imbalance, profile.load_imbalance),
+        improvement_pct(top.emulation_time_s, profile.emulation_time_s),
+    );
+    println!("engine loads under TOP    : {}", top.report.balance_line());
+    println!("engine loads under PROFILE: {}", profile.report.balance_line());
+}

@@ -1,0 +1,43 @@
+//! Route discovery the PLACE way: traceroute across the emulated TeraGrid,
+//! as §3.2 does with the real Linux tool against MaSSF's in-emulator ICMP.
+//!
+//! ```sh
+//! cargo run --release --example traceroute
+//! ```
+
+use massf_core::routing::traceroute::{probe_count, subnet_representatives, traceroute};
+use massf_core::routing::RoutingTables;
+use massf_core::topology::teragrid::teragrid;
+
+fn main() {
+    let net = teragrid();
+    let tables = RoutingTables::build(&net);
+    println!("{}\n", net.summary());
+
+    // A cross-country route: NCSA host -> SDSC host.
+    let hosts = net.hosts();
+    let (src, dst) = (hosts[0], hosts[35]);
+    println!(
+        "traceroute {} -> {}",
+        net.node(src).name,
+        net.node(dst).name
+    );
+    let hops = traceroute(&tables, src, dst).expect("teragrid is connected");
+    for (i, hop) in hops.iter().enumerate() {
+        println!("  {:2}  {:18} {:8.3} ms", i + 1, net.node(hop.node).name, hop.rtt_us as f64 / 1000.0);
+    }
+    println!("  ({} probe packets)\n", probe_count(&hops));
+
+    // The §3.2 optimization: one representative per sub-network.
+    let reps = subnet_representatives(&net);
+    println!("representative endpoints (one per site): ");
+    for r in &reps {
+        println!("  {}", net.node(*r).name);
+    }
+    let pairs = reps.len() * (reps.len() - 1) / 2;
+    let full = hosts.len() * (hosts.len() - 1) / 2;
+    println!(
+        "\nroute discovery needs {pairs} traceroutes instead of {full} — a {}x reduction",
+        full / pairs
+    );
+}

@@ -1,0 +1,12 @@
+//! Thin shim over [`massf_repro::cli`].
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match massf_repro::cli::run(&args) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("massf: {e}");
+            std::process::exit(1);
+        }
+    }
+}

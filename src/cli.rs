@@ -1,0 +1,461 @@
+//! The `massf` command-line tool: generate topologies, partition them, run
+//! emulations, and probe routes — the whole reproduction stack from a
+//! shell.
+//!
+//! Subcommands (see `massf help`):
+//!
+//! ```text
+//! massf topology <campus|teragrid|brite|brite-scaleup>
+//! massf partition <network.dml> --engines K [--seed N]
+//! massf run <network.dml> --engines K --traffic <spec.txt> --duration-s S
+//!           [--approach top|place|profile] [--replay]
+//! massf ping <network.dml> <src-name> <dst-name>
+//! ```
+//!
+//! All logic lives here (testable); `src/bin/massf.rs` is a thin shim.
+
+use massf_core::prelude::*;
+use massf_core::engine::probe;
+use massf_core::routing::RoutingTables;
+use massf_core::topology::dml;
+use massf_core::topology::NodeId;
+use massf_core::traffic::spec::{parse_traffic, TrafficKind};
+use massf_core::traffic::{cbr, http, onoff};
+
+/// A CLI failure with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+massf — traffic-based load balance for scalable network emulation
+
+USAGE:
+  massf topology <campus|teragrid|brite|brite-scaleup>
+      Print the network in the description format.
+
+  massf partition <network.dml> --engines K [--seed N]
+      Partition the network with the TOP approach; prints node -> engine.
+
+  massf run <network.dml> --engines K --traffic <spec.txt> --duration-s S
+            [--approach top|place|profile] [--replay]
+      Generate background traffic from the spec, map it with the chosen
+      approach, emulate, and print the load-balance report.
+
+  massf ping <network.dml> <src-name> <dst-name>
+      Emulate an ICMP echo through the discrete-event engine.
+
+  massf record <network.dml> --traffic <spec.txt> --duration-s S --out <trace.txt>
+      Generate a traffic schedule from the spec and save it as a trace.
+
+  massf replay <network.dml> <trace.txt> --engines K [--approach top|place|profile]
+      Replay a recorded trace as fast as possible (isolated network
+      emulation, the paper's Figures 9/10 measurement).
+
+  massf help
+      Show this text.
+";
+
+/// Runs the CLI; returns the text to print or an error message.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    match args.first().map(String::as_str) {
+        None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
+        Some("topology") => cmd_topology(&args[1..]),
+        Some("partition") => cmd_partition(&args[1..]),
+        Some("run") => cmd_run(&args[1..]),
+        Some("ping") => cmd_ping(&args[1..]),
+        Some("record") => cmd_record(&args[1..]),
+        Some("replay") => cmd_replay(&args[1..]),
+        Some(other) => Err(err(format!("unknown command {other:?}; try `massf help`"))),
+    }
+}
+
+fn cmd_topology(args: &[String]) -> Result<String, CliError> {
+    let name = args.first().ok_or_else(|| err("usage: massf topology <name>"))?;
+    let topo = match name.as_str() {
+        "campus" => Topology::Campus,
+        "teragrid" => Topology::TeraGrid,
+        "brite" => Topology::Brite,
+        "brite-scaleup" => Topology::BriteScaleup,
+        other => return Err(err(format!("unknown topology {other:?}"))),
+    };
+    Ok(dml::write(&topo.build()))
+}
+
+fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+}
+
+fn load_network(path: &str) -> Result<Network, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let net = dml::parse(&text).map_err(|e| err(format!("{path}: {e}")))?;
+    if !net.is_connected() {
+        return Err(err(format!("{path}: network is not connected")));
+    }
+    Ok(net)
+}
+
+fn cmd_partition(args: &[String]) -> Result<String, CliError> {
+    let path = args.first().ok_or_else(|| err("usage: massf partition <network.dml> --engines K"))?;
+    let engines: usize = flag(args, "--engines")
+        .ok_or_else(|| err("missing --engines"))?
+        .parse()
+        .map_err(|_| err("--engines must be a number"))?;
+    let net = load_network(path)?;
+    if engines == 0 || engines > net.node_count() {
+        return Err(err(format!(
+            "--engines must be in 1..={} for this network",
+            net.node_count()
+        )));
+    }
+    let mut cfg = MapperConfig::new(engines);
+    if let Some(seed) = flag(args, "--seed") {
+        cfg = cfg.with_seed(seed.parse().map_err(|_| err("--seed must be a number"))?);
+    }
+    let partition = massf_core::mapping::top::map_top(&net, &cfg);
+    let mut out = String::new();
+    for n in net.nodes() {
+        out.push_str(&format!("{}\t{}\n", n.name, partition.part[n.id as usize]));
+    }
+    out.push_str(&format!("# {} engines, sizes {:?}\n", engines, partition.part_sizes()));
+    Ok(out)
+}
+
+fn generate_traffic(
+    net: &Network,
+    kind: &TrafficKind,
+    duration_us: u64,
+) -> (Vec<FlowSpec>, Vec<PredictedFlow>) {
+    let hosts = net.hosts();
+    match kind {
+        TrafficKind::Http(cfg) => {
+            (http::generate(&hosts, cfg, duration_us), http::predict(&hosts, cfg))
+        }
+        TrafficKind::Cbr(cfg) => {
+            (cbr::generate(&hosts, cfg, duration_us), cbr::predict(&hosts, cfg))
+        }
+        TrafficKind::OnOff(cfg) => {
+            (onoff::generate(&hosts, cfg, duration_us), onoff::predict(&hosts, cfg))
+        }
+    }
+}
+
+fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    let path = args
+        .first()
+        .ok_or_else(|| err("usage: massf run <network.dml> --engines K --traffic <spec> --duration-s S"))?;
+    let net = load_network(path)?;
+    let engines: usize = flag(args, "--engines")
+        .ok_or_else(|| err("missing --engines"))?
+        .parse()
+        .map_err(|_| err("--engines must be a number"))?;
+    let spec_path = flag(args, "--traffic").ok_or_else(|| err("missing --traffic"))?;
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| err(format!("cannot read {spec_path}: {e}")))?;
+    let kind = parse_traffic(&spec_text).map_err(|e| err(format!("{spec_path}: {e}")))?;
+    let duration_s: f64 = flag(args, "--duration-s")
+        .ok_or_else(|| err("missing --duration-s"))?
+        .parse()
+        .map_err(|_| err("--duration-s must be a number"))?;
+    let duration_us = (duration_s * 1e6) as u64;
+    let approach = match flag(args, "--approach").unwrap_or("profile") {
+        "top" => Approach::Top,
+        "place" => Approach::Place,
+        "profile" => Approach::Profile,
+        other => return Err(err(format!("unknown approach {other:?}"))),
+    };
+    let replay = args.iter().any(|a| a == "--replay");
+
+    let (flows, predicted) = generate_traffic(&net, &kind, duration_us);
+    if flows.is_empty() {
+        return Err(err("the traffic spec generated no flows for this duration"));
+    }
+    let study = MappingStudy::new(net, MapperConfig::new(engines));
+    let partition = study.map(approach, &predicted, &flows);
+    let report = if replay {
+        study.replay(&partition, &flows)
+    } else {
+        study.evaluate(&partition, &flows, CostModel::live_application())
+    };
+
+    let mut out = String::new();
+    out.push_str(&format!("network      : {}\n", study.net.summary()));
+    out.push_str(&format!("approach     : {}\n", approach.label()));
+    out.push_str(&format!("flows        : {}\n", flows.len()));
+    out.push_str(&format!("delivered    : {} packets ({} dropped)\n", report.delivered, report.dropped));
+    out.push_str(&format!("kernel events: {}\n", report.total_events()));
+    out.push_str(&format!("imbalance    : {:.3}\n", load_imbalance(&report.engine_events)));
+    out.push_str(&format!(
+        "emulation    : {:.2}s modeled ({} sync rounds, {} cross-engine events)\n",
+        report.emulation_time_s(),
+        report.rounds,
+        report.remote_messages
+    ));
+    out.push_str(&format!("{}\n", report.balance_line()));
+    Ok(out)
+}
+
+fn cmd_record(args: &[String]) -> Result<String, CliError> {
+    let path = args.first().ok_or_else(|| {
+        err("usage: massf record <network.dml> --traffic <spec> --duration-s S --out <trace>")
+    })?;
+    let net = load_network(path)?;
+    let spec_path = flag(args, "--traffic").ok_or_else(|| err("missing --traffic"))?;
+    let spec_text = std::fs::read_to_string(spec_path)
+        .map_err(|e| err(format!("cannot read {spec_path}: {e}")))?;
+    let kind = parse_traffic(&spec_text).map_err(|e| err(format!("{spec_path}: {e}")))?;
+    let duration_s: f64 = flag(args, "--duration-s")
+        .ok_or_else(|| err("missing --duration-s"))?
+        .parse()
+        .map_err(|_| err("--duration-s must be a number"))?;
+    let out_path = flag(args, "--out").ok_or_else(|| err("missing --out"))?;
+    let (flows, _) = generate_traffic(&net, &kind, (duration_s * 1e6) as u64);
+    let text = massf_core::traffic::tracefile::write(&flows);
+    std::fs::write(out_path, &text).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    Ok(format!("recorded {} flows to {out_path}
+", flows.len()))
+}
+
+fn cmd_replay(args: &[String]) -> Result<String, CliError> {
+    let [path, trace_path, rest @ ..] = args else {
+        return Err(err("usage: massf replay <network.dml> <trace.txt> --engines K"));
+    };
+    let net = load_network(path)?;
+    let trace_text = std::fs::read_to_string(trace_path)
+        .map_err(|e| err(format!("cannot read {trace_path}: {e}")))?;
+    let flows = massf_core::traffic::tracefile::parse(&trace_text)
+        .map_err(|e| err(format!("{trace_path}: {e}")))?;
+    if flows.is_empty() {
+        return Err(err("trace contains no flows"));
+    }
+    if flows.iter().any(|f| {
+        f.src as usize >= net.node_count() || f.dst as usize >= net.node_count()
+    }) {
+        return Err(err("trace references nodes outside this network"));
+    }
+    let engines: usize = flag(rest, "--engines")
+        .ok_or_else(|| err("missing --engines"))?
+        .parse()
+        .map_err(|_| err("--engines must be a number"))?;
+    let approach = match flag(rest, "--approach").unwrap_or("profile") {
+        "top" => Approach::Top,
+        "place" => Approach::Place,
+        "profile" => Approach::Profile,
+        other => return Err(err(format!("unknown approach {other:?}"))),
+    };
+    let study = MappingStudy::new(net, MapperConfig::new(engines));
+    let partition = study.map(approach, &[], &flows);
+    let report = study.replay(&partition, &flows);
+    Ok(format!(
+        "replayed {} flows under {}: {} packets in {:.2}s modeled, imbalance {:.3}
+{}
+",
+        flows.len(),
+        approach.label(),
+        report.delivered,
+        report.emulation_time_s(),
+        load_imbalance(&report.engine_events),
+        report.balance_line()
+    ))
+}
+
+fn find_node(net: &Network, name: &str) -> Result<NodeId, CliError> {
+    net.nodes()
+        .iter()
+        .find(|n| n.name == name)
+        .map(|n| n.id)
+        .ok_or_else(|| err(format!("no node named {name:?}")))
+}
+
+fn cmd_ping(args: &[String]) -> Result<String, CliError> {
+    let [path, src, dst] = args else {
+        return Err(err("usage: massf ping <network.dml> <src-name> <dst-name>"));
+    };
+    let net = load_network(path)?;
+    let tables = RoutingTables::build(&net);
+    let (s, d) = (find_node(&net, src)?, find_node(&net, dst)?);
+    let report = probe::ping(&net, &tables, s, d)
+        .ok_or_else(|| err(format!("{dst} is unreachable from {src}")))?;
+    Ok(format!(
+        "PING {dst} from {src}: rtt {:.3} ms (request {:.3} ms, reply {:.3} ms)\n",
+        report.rtt_us() as f64 / 1000.0,
+        report.request_us as f64 / 1000.0,
+        report.reply_us as f64 / 1000.0,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|x| x.to_string()).collect()
+    }
+
+    fn write_campus() -> tempfile_path::TempPath {
+        let text = run(&args(&["topology", "campus"])).unwrap();
+        tempfile_path::write("massf_cli_campus.dml", &text)
+    }
+
+    /// Minimal self-cleaning temp-file helper (std-only).
+    mod tempfile_path {
+        pub struct TempPath(pub std::path::PathBuf);
+        impl Drop for TempPath {
+            fn drop(&mut self) {
+                let _ = std::fs::remove_file(&self.0);
+            }
+        }
+        impl TempPath {
+            pub fn as_str(&self) -> &str {
+                self.0.to_str().expect("utf8 path")
+            }
+        }
+        pub fn write(name: &str, content: &str) -> TempPath {
+            let mut p = std::env::temp_dir();
+            p.push(format!("{}-{}", std::process::id(), name));
+            std::fs::write(&p, content).expect("write temp file");
+            TempPath(p)
+        }
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run(&[]).unwrap().contains("USAGE"));
+        assert!(run(&args(&["help"])).unwrap().contains("massf topology"));
+        let e = run(&args(&["frobnicate"])).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+    }
+
+    #[test]
+    fn topology_dumps_parseable_dml() {
+        let text = run(&args(&["topology", "teragrid"])).unwrap();
+        let net = massf_core::topology::dml::parse(&text).unwrap();
+        assert_eq!(net.router_count(), 27);
+        assert!(run(&args(&["topology", "atlantis"])).is_err());
+    }
+
+    #[test]
+    fn partition_command_partitions() {
+        let f = write_campus();
+        let out = run(&args(&["partition", f.as_str(), "--engines", "3"])).unwrap();
+        assert!(out.contains("# 3 engines"));
+        // One line per node plus the summary.
+        assert_eq!(out.lines().count(), 60 + 1);
+        // Engine labels are 0..3.
+        for line in out.lines().filter(|l| !l.starts_with('#')) {
+            let label: usize = line.split('\t').nth(1).unwrap().parse().unwrap();
+            assert!(label < 3);
+        }
+    }
+
+    #[test]
+    fn partition_rejects_bad_engine_count() {
+        let f = write_campus();
+        assert!(run(&args(&["partition", f.as_str(), "--engines", "0"])).is_err());
+        assert!(run(&args(&["partition", f.as_str(), "--engines", "x"])).is_err());
+        assert!(run(&args(&["partition", f.as_str()])).is_err());
+    }
+
+    #[test]
+    fn run_command_emulates_cbr() {
+        let net_file = write_campus();
+        let spec = tempfile_path::write(
+            "massf_cli_cbr.txt",
+            "traffic { name CBR\n sessions 6\n rate_mbps 4 }",
+        );
+        let out = run(&args(&[
+            "run",
+            net_file.as_str(),
+            "--engines",
+            "3",
+            "--traffic",
+            spec.as_str(),
+            "--duration-s",
+            "2",
+            "--approach",
+            "profile",
+        ]))
+        .unwrap();
+        assert!(out.contains("delivered"), "{out}");
+        assert!(out.contains("imbalance"), "{out}");
+        assert!(out.contains("(0 dropped)"), "{out}");
+    }
+
+    #[test]
+    fn run_rejects_bad_spec() {
+        let net_file = write_campus();
+        let spec = tempfile_path::write("massf_cli_bad.txt", "traffic { name FTP }");
+        let e = run(&args(&[
+            "run",
+            net_file.as_str(),
+            "--engines",
+            "3",
+            "--traffic",
+            spec.as_str(),
+            "--duration-s",
+            "1",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("unknown traffic generator"), "{e}");
+    }
+
+    #[test]
+    fn record_and_replay_roundtrip() {
+        let net_file = write_campus();
+        let spec = tempfile_path::write(
+            "massf_cli_rec.txt",
+            "traffic { name CBR\n sessions 5\n rate_mbps 3 }",
+        );
+        let trace = tempfile_path::write("massf_cli_trace.txt", "");
+        let out = run(&args(&[
+            "record",
+            net_file.as_str(),
+            "--traffic",
+            spec.as_str(),
+            "--duration-s",
+            "2",
+            "--out",
+            trace.as_str(),
+        ]))
+        .unwrap();
+        assert!(out.contains("recorded 5 flows"), "{out}");
+        let out = run(&args(&["replay", net_file.as_str(), trace.as_str(), "--engines", "3"]))
+            .unwrap();
+        assert!(out.contains("replayed 5 flows"), "{out}");
+        assert!(out.contains("imbalance"), "{out}");
+    }
+
+    #[test]
+    fn replay_rejects_foreign_trace() {
+        let net_file = write_campus();
+        let trace = tempfile_path::write(
+            "massf_cli_foreign.txt",
+            "# massf-trace v1\nflow 900 901 0 1 100 1\n",
+        );
+        let e = run(&args(&["replay", net_file.as_str(), trace.as_str(), "--engines", "3"]))
+            .unwrap_err();
+        assert!(e.0.contains("outside this network"), "{e}");
+    }
+
+    #[test]
+    fn ping_command_reports_rtt() {
+        let f = write_campus();
+        let out = run(&args(&["ping", f.as_str(), "host0", "host39"])).unwrap();
+        assert!(out.starts_with("PING host39 from host0"), "{out}");
+        assert!(out.contains("rtt"), "{out}");
+        assert!(run(&args(&["ping", f.as_str(), "host0", "nowhere"])).is_err());
+    }
+}

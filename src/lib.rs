@@ -1,0 +1,9 @@
+//! Top-level crate of the MaSSF reproduction workspace.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The actual library lives in the
+//! `massf-*` crates under `crates/`; start from [`massf_core`].
+
+pub use massf_core as core_api;
+
+pub mod cli;

@@ -1,0 +1,43 @@
+//! The network description format must round-trip every generated topology
+//! and preserve routing behaviour exactly.
+
+use massf_core::prelude::*;
+use massf_core::routing::RoutingTables;
+use massf_core::topology::dml;
+
+#[test]
+fn all_paper_topologies_roundtrip() {
+    for topo in [Topology::Campus, Topology::TeraGrid, Topology::Brite, Topology::BriteScaleup] {
+        let net = topo.build();
+        let text = dml::write(&net);
+        let back = dml::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", topo.label()));
+        assert_eq!(net, back, "{} did not round-trip", topo.label());
+    }
+}
+
+#[test]
+fn parsed_network_routes_identically() {
+    let net = Topology::Campus.build();
+    let parsed = dml::parse(&dml::write(&net)).expect("roundtrip");
+    let t1 = RoutingTables::build(&net);
+    let t2 = RoutingTables::build(&parsed);
+    let hosts = net.hosts();
+    for &a in hosts.iter().take(8) {
+        for &b in hosts.iter().rev().take(8) {
+            assert_eq!(t1.path(a, b), t2.path(a, b));
+            assert_eq!(t1.latency_us(a, b), t2.latency_us(a, b));
+        }
+    }
+}
+
+#[test]
+fn description_is_humanly_stable() {
+    // The file should be line-oriented with one node/link per line, so
+    // diffs stay reviewable.
+    let net = Topology::Campus.build();
+    let text = dml::write(&net);
+    let nodes = text.lines().filter(|l| l.starts_with("node ")).count();
+    let links = text.lines().filter(|l| l.starts_with("link ")).count();
+    assert_eq!(nodes, net.node_count());
+    assert_eq!(links, net.link_count());
+}

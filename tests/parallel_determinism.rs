@@ -1,0 +1,59 @@
+//! The parallel substrate must be bit-identical to the sequential
+//! reference on real scenarios, for every approach and topology.
+
+use massf_core::engine::{run_parallel, run_sequential};
+use massf_core::prelude::*;
+
+fn check(topo: Topology, wl: Workload, approach: Approach) {
+    let built = Scenario::new(topo, wl).with_scale(0.08).without_background().build();
+    let partition = built.study.map(approach, &built.predicted, &built.flows);
+    let cfg = EmulationConfig::new(partition.part.clone(), partition.nparts).with_netflow();
+    let seq = run_sequential(&built.study.net, &built.study.tables, &built.flows, &cfg);
+    let par = run_parallel(&built.study.net, &built.study.tables, &built.flows, &cfg);
+    assert_eq!(seq.engine_events, par.engine_events, "{topo:?}/{wl:?}/{approach:?}");
+    assert_eq!(seq.delivered, par.delivered);
+    assert_eq!(seq.dropped, par.dropped);
+    assert_eq!(seq.latency_sum_us, par.latency_sum_us);
+    assert_eq!(seq.remote_messages, par.remote_messages);
+    assert_eq!(seq.rounds, par.rounds);
+    assert_eq!(seq.virtual_end_us, par.virtual_end_us);
+    assert_eq!(seq.netflow, par.netflow);
+    assert_eq!(seq.window_series, par.window_series);
+    assert!((seq.wall.total_us - par.wall.total_us).abs() < 1e-6);
+}
+
+#[test]
+fn campus_all_approaches() {
+    for a in Approach::ALL {
+        check(Topology::Campus, Workload::Scalapack, a);
+    }
+}
+
+#[test]
+fn teragrid_gridnpb_profile() {
+    check(Topology::TeraGrid, Workload::GridNpb, Approach::Profile);
+}
+
+#[test]
+fn brite_scalapack_top() {
+    check(Topology::Brite, Workload::Scalapack, Approach::Top);
+}
+
+#[test]
+fn repeated_parallel_runs_are_stable() {
+    // Thread scheduling must not leak into results: run the parallel
+    // executor several times and demand identical reports.
+    let built = Scenario::new(Topology::Campus, Workload::GridNpb)
+        .with_scale(0.1)
+        .without_background()
+        .build();
+    let partition = built.study.map(Approach::Place, &built.predicted, &built.flows);
+    let cfg = EmulationConfig::new(partition.part.clone(), partition.nparts);
+    let first = run_parallel(&built.study.net, &built.study.tables, &built.flows, &cfg);
+    for _ in 0..4 {
+        let again = run_parallel(&built.study.net, &built.study.tables, &built.flows, &cfg);
+        assert_eq!(first.engine_events, again.engine_events);
+        assert_eq!(first.latency_sum_us, again.latency_sum_us);
+        assert_eq!(first.rounds, again.rounds);
+    }
+}

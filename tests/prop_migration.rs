@@ -1,0 +1,130 @@
+//! Property-based tests for the stepping/migration substrate: migrating
+//! nodes at arbitrary instants, to arbitrary valid partitions, must never
+//! change the discrete outcome of the emulation.
+
+use massf_core::engine::stepping::{MigrationCost, SteppableEmulation};
+use massf_core::engine::{run_sequential, EmulationConfig};
+use massf_core::prelude::*;
+use massf_core::routing::RoutingTables;
+use massf_core::topology::brite::{generate, BriteConfig, GrowthModel};
+use proptest::prelude::*;
+use rand::{Rng, SeedableRng};
+
+fn small_net(seed: u64) -> Network {
+    generate(&BriteConfig {
+        routers: 10,
+        hosts: 8,
+        model: GrowthModel::BarabasiAlbert { m: 2 },
+        seed,
+        ..BriteConfig::paper_brite()
+    })
+}
+
+fn random_flows(net: &Network, seed: u64, count: usize) -> Vec<FlowSpec> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let hosts = net.hosts();
+    (0..count)
+        .filter_map(|_| {
+            let src = hosts[rng.gen_range(0..hosts.len())];
+            let dst = hosts[rng.gen_range(0..hosts.len())];
+            (src != dst).then(|| FlowSpec {
+                src,
+                dst,
+                start_us: rng.gen_range(0..1_500_000),
+                packets: rng.gen_range(1..30),
+                bytes: rng.gen_range(200..45_000),
+                packet_interval_us: rng.gen_range(1..1_500),
+                window: if rng.gen_bool(0.3) { Some(rng.gen_range(1..6)) } else { None },
+            })
+        })
+        .collect()
+}
+
+fn random_partition_vec<R: Rng>(n: usize, k: usize, rng: &mut R) -> Vec<u32> {
+    let mut part: Vec<u32> = (0..n).map(|_| rng.gen_range(0..k) as u32).collect();
+    for p in 0..k {
+        part[p % n] = p as u32; // every engine owns something
+    }
+    part
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn migrations_never_change_the_emulation(
+        net_seed in any::<u64>(),
+        flow_seed in any::<u64>(),
+        remap_seed in any::<u64>(),
+        k in 2usize..4,
+        nremaps in 1usize..4,
+    ) {
+        let net = small_net(net_seed);
+        let tables = RoutingTables::build(&net);
+        let flows = random_flows(&net, flow_seed, 15);
+        prop_assume!(!flows.is_empty());
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(remap_seed);
+        let n = net.node_count();
+
+        // Reference: a plain batch run under the initial partition.
+        let initial = random_partition_vec(n, k, &mut rng);
+        let reference = run_sequential(
+            &net,
+            &tables,
+            &flows,
+            &EmulationConfig::new(initial.clone(), k),
+        );
+
+        // Stepped run with random mid-flight remaps.
+        let horizon = massf_core::traffic::flow::horizon_us(&flows) + 1;
+        let mut emu = SteppableEmulation::new(
+            &net,
+            &tables,
+            &flows,
+            EmulationConfig::new(initial, k),
+        );
+        for _ in 0..nremaps {
+            let t = rng.gen_range(1..horizon.max(2));
+            emu.run_until(t);
+            let next = random_partition_vec(n, k, &mut rng);
+            emu.repartition(next, MigrationCost::default());
+        }
+        emu.run_to_completion();
+        let report = emu.finish();
+
+        // Discrete outcomes are partition-independent, hence also
+        // migration-independent.
+        prop_assert_eq!(report.delivered, reference.delivered);
+        prop_assert_eq!(report.dropped, reference.dropped);
+        prop_assert_eq!(report.total_events(), reference.total_events());
+        prop_assert_eq!(report.latency_sum_us, reference.latency_sum_us);
+        prop_assert_eq!(report.virtual_end_us, reference.virtual_end_us);
+    }
+
+    #[test]
+    fn stepping_in_arbitrary_increments_matches_batch(
+        net_seed in any::<u64>(),
+        flow_seed in any::<u64>(),
+        step_us in 1_000u64..400_000,
+    ) {
+        let net = small_net(net_seed);
+        let tables = RoutingTables::build(&net);
+        let flows = random_flows(&net, flow_seed, 12);
+        prop_assume!(!flows.is_empty());
+        let part = vec![0u32; net.node_count()];
+        let cfg = EmulationConfig::new(part, 1).with_netflow();
+
+        let batch = run_sequential(&net, &tables, &flows, &cfg);
+        let mut emu = SteppableEmulation::new(&net, &tables, &flows, cfg);
+        let mut t = step_us;
+        while !emu.finished() {
+            emu.run_until(t);
+            t += step_us;
+        }
+        let stepped = emu.finish();
+        prop_assert_eq!(stepped.engine_events, batch.engine_events);
+        prop_assert_eq!(stepped.delivered, batch.delivered);
+        prop_assert_eq!(stepped.latency_sum_us, batch.latency_sum_us);
+        prop_assert_eq!(stepped.netflow, batch.netflow);
+    }
+}

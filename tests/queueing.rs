@@ -1,0 +1,125 @@
+//! Link-queueing behaviour: the emulator's store-and-forward model must
+//! show the textbook congestion signatures — latency grows when offered
+//! load exceeds capacity, and sharing a bottleneck is fair in aggregate.
+
+use massf_core::engine::{run_sequential, EmulationConfig};
+use massf_core::prelude::*;
+use massf_core::routing::RoutingTables;
+use massf_core::topology::Network;
+
+/// h0 - r - h1 with a deliberately slow middle link.
+fn bottleneck(bw_mbps: f64) -> Network {
+    let mut net = Network::new();
+    let h0 = net.add_host("h0", 0);
+    let r0 = net.add_router("r0", 0);
+    let r1 = net.add_router("r1", 0);
+    let h1 = net.add_host("h1", 0);
+    net.add_link(h0, r0, 1000.0, 100);
+    net.add_link(r0, r1, bw_mbps, 1_000); // the bottleneck
+    net.add_link(r1, h1, 1000.0, 100);
+    net
+}
+
+fn one_flow(rate_mbps: f64, packets: u64) -> FlowSpec {
+    // Packets injected at `rate_mbps` on the wire.
+    let interval = ((1500.0 * 8.0) / rate_mbps).round().max(1.0) as u64;
+    FlowSpec {
+        src: 0,
+        dst: 3,
+        start_us: 0,
+        packets,
+        bytes: packets * 1500,
+        packet_interval_us: interval,
+        window: None,
+    }
+}
+
+fn mean_latency(net: &Network, flows: &[FlowSpec]) -> f64 {
+    let tables = RoutingTables::build(net);
+    let cfg = EmulationConfig::new(vec![0; net.node_count()], 1);
+    let r = run_sequential(net, &tables, flows, &cfg);
+    assert_eq!(r.dropped, 0);
+    r.mean_latency_us()
+}
+
+#[test]
+fn underload_latency_is_flat() {
+    // 10 Mbps offered into a 50 Mbps bottleneck: no queueing, latency is
+    // propagation + serialization for every packet.
+    let net = bottleneck(50.0);
+    let lat = mean_latency(&net, &[one_flow(10.0, 100)]);
+    // Serialization: 12 µs + 240 µs + 12 µs; propagation: 1200 µs.
+    let expected = 1200.0 + 12.0 + 240.0 + 12.0;
+    assert!(
+        (lat - expected).abs() < 2.0,
+        "underloaded latency {lat} vs expected {expected}"
+    );
+}
+
+#[test]
+fn overload_builds_a_queue() {
+    // 100 Mbps offered into a 50 Mbps bottleneck: the queue grows linearly,
+    // so mean latency far exceeds the unloaded baseline.
+    let net = bottleneck(50.0);
+    let unloaded = mean_latency(&net, &[one_flow(10.0, 100)]);
+    let overloaded = mean_latency(&net, &[one_flow(100.0, 100)]);
+    assert!(
+        overloaded > 3.0 * unloaded,
+        "overload should queue heavily: {overloaded} vs unloaded {unloaded}"
+    );
+}
+
+#[test]
+fn latency_grows_monotonically_with_offered_load() {
+    let net = bottleneck(50.0);
+    let mut last = 0.0;
+    for rate in [10.0, 40.0, 60.0, 100.0, 150.0] {
+        let lat = mean_latency(&net, &[one_flow(rate, 80)]);
+        assert!(
+            lat >= last - 1.0,
+            "latency must not drop as load rises: {lat} after {last} at {rate} Mbps"
+        );
+        last = lat;
+    }
+}
+
+#[test]
+fn two_flows_share_the_bottleneck() {
+    // Two 40 Mbps flows into 50 Mbps: each sees more delay than alone.
+    let net = bottleneck(50.0);
+    let alone = mean_latency(&net, &[one_flow(40.0, 80)]);
+    let mut both = vec![one_flow(40.0, 80)];
+    both.push(FlowSpec { start_us: 7, ..one_flow(40.0, 80) });
+    let shared = mean_latency(&net, &both);
+    assert!(
+        shared > alone * 1.2,
+        "sharing must add queueing delay: {shared} vs alone {alone}"
+    );
+}
+
+#[test]
+fn reverse_direction_is_unaffected() {
+    // Full duplex: a flood h0->h1 must not delay h1->h0 traffic.
+    let net = bottleneck(50.0);
+    let back = FlowSpec {
+        src: 3,
+        dst: 0,
+        start_us: 0,
+        packets: 50,
+        bytes: 75_000,
+        packet_interval_us: 500,
+        window: None,
+    };
+    let quiet = mean_latency(&net, std::slice::from_ref(&back));
+    let tables = RoutingTables::build(&net);
+    let cfg = EmulationConfig::new(vec![0; 4], 1);
+    let r = run_sequential(&net, &tables, &[one_flow(150.0, 200), back.clone()], &cfg);
+    // Isolate the reverse flow's latency: total latency minus the flood's.
+    let flood = run_sequential(&net, &tables, &[one_flow(150.0, 200)], &cfg);
+    let reverse_lat =
+        (r.latency_sum_us - flood.latency_sum_us) as f64 / back.packets as f64;
+    assert!(
+        (reverse_lat - quiet).abs() < 2.0,
+        "duplex violated: reverse latency {reverse_lat} vs quiet {quiet}"
+    );
+}

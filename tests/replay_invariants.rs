@@ -1,0 +1,98 @@
+//! Replay (isolated network emulation, §4.1.1) invariants: compression
+//! removes idle time but preserves the traffic itself and its causality.
+
+use massf_core::engine::trace::compress_for_replay;
+use massf_core::prelude::*;
+use massf_core::traffic::flow::{horizon_us, total_packets};
+use std::collections::HashMap;
+
+fn built() -> BuiltScenario {
+    Scenario::new(Topology::Campus, Workload::GridNpb).with_scale(0.2).build()
+}
+
+#[test]
+fn replay_preserves_packet_population() {
+    let b = built();
+    let compressed = compress_for_replay(&b.flows);
+    assert_eq!(b.flows.len(), compressed.len());
+    assert_eq!(total_packets(&b.flows), total_packets(&compressed));
+    let bytes = |fs: &[FlowSpec]| fs.iter().map(|f| f.bytes).sum::<u64>();
+    assert_eq!(bytes(&b.flows), bytes(&compressed));
+}
+
+#[test]
+fn replay_compresses_the_horizon() {
+    // GridNPB has long compute gaps; replay must squeeze them out.
+    let b = built();
+    let compressed = compress_for_replay(&b.flows);
+    let before = horizon_us(&b.flows);
+    let after = horizon_us(&compressed);
+    assert!(
+        after < before / 2,
+        "expected at least 2x horizon compression: {before} -> {after}"
+    );
+}
+
+#[test]
+fn replay_keeps_per_source_order() {
+    let b = built();
+    let compressed = compress_for_replay(&b.flows);
+    // For each source host, the original start order must be preserved.
+    let mut orig_order: HashMap<u32, Vec<usize>> = HashMap::new();
+    let mut idx: Vec<usize> = (0..b.flows.len()).collect();
+    idx.sort_by_key(|&i| (b.flows[i].start_us, b.flows[i].src, b.flows[i].dst));
+    for &i in &idx {
+        orig_order.entry(b.flows[i].src).or_default().push(i);
+    }
+    for (src, order) in orig_order {
+        let mut last_start = 0u64;
+        for &i in &order {
+            assert!(
+                compressed[i].start_us >= last_start,
+                "source {src}: flow {i} reordered"
+            );
+            last_start = compressed[i].start_us;
+        }
+    }
+}
+
+#[test]
+fn replay_delivers_the_same_packets_faster() {
+    let b = built();
+    let partition = b.study.map(Approach::Top, &b.predicted, &b.flows);
+    let live = b.study.evaluate(&partition, &b.flows, CostModel::live_application());
+    let replay = b.study.replay(&partition, &b.flows);
+    assert_eq!(live.delivered, replay.delivered);
+    assert!(
+        replay.emulation_time_s() < live.emulation_time_s(),
+        "replay {:.2}s !< live {:.2}s",
+        replay.emulation_time_s(),
+        live.emulation_time_s()
+    );
+}
+
+#[test]
+fn replay_ranks_mappings_like_live_imbalance() {
+    // Figures 9/10's purpose: replay is a *direct* measurement of mapping
+    // quality. The worst live mapping must not become the best in replay.
+    let b = built();
+    let mut times = Vec::new();
+    for a in Approach::ALL {
+        let p = b.study.map(a, &b.predicted, &b.flows);
+        let live = b.study.evaluate(&p, &b.flows, CostModel::live_application());
+        let rep = b.study.replay(&p, &b.flows);
+        times.push((a, massf_metrics::load_imbalance(&live.engine_events), rep.emulation_time_s()));
+    }
+    let worst_live = times
+        .iter()
+        .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("non-empty");
+    let best_replay = times
+        .iter()
+        .min_by(|a, b| a.2.partial_cmp(&b.2).unwrap())
+        .expect("non-empty");
+    assert_ne!(
+        worst_live.0, best_replay.0,
+        "the most imbalanced mapping should not replay fastest: {times:?}"
+    );
+}
