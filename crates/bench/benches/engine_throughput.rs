@@ -18,10 +18,16 @@ fn fixture(scale: f64) -> Fixture {
         .with_scale(scale)
         .without_background()
         .build();
-    let partition = built.study.map(Approach::Top, &built.predicted, &built.flows);
+    let partition = built
+        .study
+        .map(Approach::Top, &built.predicted, &built.flows);
     let cfg = EmulationConfig::new(partition.part.clone(), partition.nparts);
     let report = run_sequential(&built.study.net, &built.study.tables, &built.flows, &cfg);
-    Fixture { built, partition, total_events: report.total_events() }
+    Fixture {
+        built,
+        partition,
+        total_events: report.total_events(),
+    }
 }
 
 fn bench_exec_modes(c: &mut Criterion) {
@@ -32,12 +38,22 @@ fn bench_exec_modes(c: &mut Criterion) {
     let cfg = EmulationConfig::new(f.partition.part.clone(), f.partition.nparts);
     group.bench_function("sequential", |b| {
         b.iter(|| {
-            black_box(run_sequential(&f.built.study.net, &f.built.study.tables, &f.built.flows, &cfg))
+            black_box(run_sequential(
+                &f.built.study.net,
+                &f.built.study.tables,
+                &f.built.flows,
+                &cfg,
+            ))
         });
     });
     group.bench_function("parallel-threads", |b| {
         b.iter(|| {
-            black_box(run_parallel(&f.built.study.net, &f.built.study.tables, &f.built.flows, &cfg))
+            black_box(run_parallel(
+                &f.built.study.net,
+                &f.built.study.tables,
+                &f.built.flows,
+                &cfg,
+            ))
         });
     });
     group.finish();
@@ -84,5 +100,10 @@ fn bench_engine_count(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_exec_modes, bench_netflow_overhead, bench_engine_count);
+criterion_group!(
+    benches,
+    bench_exec_modes,
+    bench_netflow_overhead,
+    bench_engine_count
+);
 criterion_main!(benches);

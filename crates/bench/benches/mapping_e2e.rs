@@ -25,8 +25,33 @@ fn bench_mapping_approaches(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_mapping_threads(c: &mut Criterion) {
+    // The whole pipeline (tables + accumulators + partitioner restarts) at
+    // 1 worker (the exact serial reference) vs more, same PROFILE mapping.
+    let mut group = c.benchmark_group("mapping/profile-threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        let built = Scenario::new(Topology::TeraGrid, Workload::Scalapack)
+            .with_scale(0.12)
+            .with_threads(threads)
+            .build();
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &built, |b, built| {
+            b.iter(|| {
+                black_box(
+                    built
+                        .study
+                        .map(Approach::Profile, &built.predicted, &built.flows),
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_replay_compression(c: &mut Criterion) {
-    let built = Scenario::new(Topology::Campus, Workload::GridNpb).with_scale(0.3).build();
+    let built = Scenario::new(Topology::Campus, Workload::GridNpb)
+        .with_scale(0.3)
+        .build();
     c.bench_function("mapping/replay-compression", |b| {
         b.iter(|| black_box(massf_core::engine::trace::compress_for_replay(&built.flows)));
     });
@@ -40,11 +65,23 @@ fn bench_figure_cell(c: &mut Criterion) {
         .build();
     c.bench_function("mapping/figure-cell", |b| {
         b.iter(|| {
-            let p = built.study.map(Approach::Top, &built.predicted, &built.flows);
-            black_box(built.study.evaluate(&p, &built.flows, CostModel::live_application()))
+            let p = built
+                .study
+                .map(Approach::Top, &built.predicted, &built.flows);
+            black_box(
+                built
+                    .study
+                    .evaluate(&p, &built.flows, CostModel::live_application()),
+            )
         });
     });
 }
 
-criterion_group!(benches, bench_mapping_approaches, bench_replay_compression, bench_figure_cell);
+criterion_group!(
+    benches,
+    bench_mapping_approaches,
+    bench_mapping_threads,
+    bench_replay_compression,
+    bench_figure_cell
+);
 criterion_main!(benches);

@@ -23,10 +23,12 @@ fn grid_graph(side: usize, ncon: usize) -> CsrGraph {
     for y in 0..side {
         for x in 0..side {
             if x + 1 < side {
-                b.add_edge(id(x, y), id(x + 1, y), 1 + ((x * y) % 5) as i64).unwrap();
+                b.add_edge(id(x, y), id(x + 1, y), 1 + ((x * y) % 5) as i64)
+                    .unwrap();
             }
             if y + 1 < side {
-                b.add_edge(id(x, y), id(x, y + 1), 1 + ((x + y) % 5) as i64).unwrap();
+                b.add_edge(id(x, y), id(x, y + 1), 1 + ((x + y) % 5) as i64)
+                    .unwrap();
             }
         }
     }
@@ -41,6 +43,22 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(side * side), &g, |b, g| {
             let cfg = PartitionConfig::new(8);
             b.iter(|| black_box(partition_kway(g, &cfg)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_restart_threads(c: &mut Criterion) {
+    // Best-of-N restart search with the serial fold (threads = 1) as
+    // baseline; each restart is an independent multilevel run, so this is
+    // the partitioner's parallel speedup ceiling.
+    let g = grid_graph(80, 1);
+    let mut group = c.benchmark_group("partition/restart-threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            let cfg = PartitionConfig::new(8).with_threads(Parallelism::new(t));
+            b.iter(|| black_box(partition_kway(&g, &cfg)));
         });
     }
     group.finish();
@@ -88,6 +106,7 @@ fn bench_baselines(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_scaling,
+    bench_restart_threads,
     bench_multiconstraint,
     bench_multiobjective,
     bench_baselines

@@ -10,10 +10,30 @@ use std::hint::black_box;
 fn bench_table_build(c: &mut Criterion) {
     let mut group = c.benchmark_group("routing/build-tables");
     group.sample_size(10);
-    for topo in [Topology::Campus, Topology::TeraGrid, Topology::Brite, Topology::BriteScaleup] {
+    for topo in [
+        Topology::Campus,
+        Topology::TeraGrid,
+        Topology::Brite,
+        Topology::BriteScaleup,
+    ] {
         let net = topo.build();
         group.bench_with_input(BenchmarkId::from_parameter(topo.label()), &net, |b, net| {
             b.iter(|| black_box(RoutingTables::build(net)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_table_build_threads(c: &mut Criterion) {
+    // Serial baseline (threads = 1 runs the exact old code path) against
+    // the sharded build at increasing worker counts, on the largest
+    // topology so the per-source Dijkstra work dominates thread overhead.
+    let net = Topology::BriteScaleup.build();
+    let mut group = c.benchmark_group("routing/build-tables-threads");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(RoutingTables::build_with(&net, Parallelism::new(t))));
         });
     }
     group.finish();
@@ -46,5 +66,11 @@ fn bench_path_queries(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_table_build, bench_traceroute_discovery, bench_path_queries);
+criterion_group!(
+    benches,
+    bench_table_build,
+    bench_table_build_threads,
+    bench_traceroute_discovery,
+    bench_path_queries
+);
 criterion_main!(benches);

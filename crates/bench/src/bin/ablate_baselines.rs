@@ -3,14 +3,16 @@
 //! BFS-contiguous chunking, against our multilevel TOP/PROFILE.
 
 use massf_bench::{dump_json, scale_from_args};
-use massf_core::prelude::*;
 use massf_core::partition::baselines::{bfs_contiguous, greedy_k_cluster, random_partition};
+use massf_core::prelude::*;
 use massf_metrics::report::ResultTable;
 use rand::SeedableRng;
 
 fn main() {
     let scale = scale_from_args();
-    let built = Scenario::new(Topology::Brite, Workload::GridNpb).with_scale(scale).build();
+    let built = Scenario::new(Topology::Brite, Workload::GridNpb)
+        .with_scale(scale)
+        .build();
     let g = built.study.net.to_unit_graph();
     let k = built.study.cfg.engines;
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(42);
@@ -19,14 +21,25 @@ fn main() {
         ("random", random_partition(&g, k, &mut rng)),
         ("bfs-contiguous", bfs_contiguous(&g, k)),
         ("greedy-k-cluster", greedy_k_cluster(&g, k, &mut rng)),
-        ("multilevel TOP", built.study.map(Approach::Top, &built.predicted, &built.flows)),
-        ("multilevel PROFILE", built.study.map(Approach::Profile, &built.predicted, &built.flows)),
+        (
+            "multilevel TOP",
+            built
+                .study
+                .map(Approach::Top, &built.predicted, &built.flows),
+        ),
+        (
+            "multilevel PROFILE",
+            built
+                .study
+                .map(Approach::Profile, &built.predicted, &built.flows),
+        ),
     ];
 
     let mut t = ResultTable::new("ablate_baselines", "Partitioner baselines (Brite/GridNPB)");
     for (name, partition) in candidates.drain(..) {
-        let report =
-            built.study.evaluate(&partition, &built.flows, CostModel::live_application());
+        let report = built
+            .study
+            .evaluate(&partition, &built.flows, CostModel::live_application());
         t.set(name, "imbalance", load_imbalance(&report.engine_events));
         t.set(name, "time_s", report.emulation_time_s());
         t.set(name, "remote_msgs", report.remote_messages as f64);

@@ -16,9 +16,9 @@ use massf_core::engine::MigrationCost;
 use massf_core::mapping::dynamic::{run_dynamic, DynamicConfig};
 use massf_core::prelude::*;
 use massf_core::topology::NodeId;
+use massf_core::traffic::hotspot::{self, HotspotConfig};
 use massf_metrics::report::ResultTable;
 use massf_metrics::timeseries::mean_active_imbalance;
-use massf_core::traffic::hotspot::{self, HotspotConfig};
 
 /// Campus hosts grouped by the building their router belongs to.
 fn building_groups(net: &Network) -> Vec<Vec<NodeId>> {
@@ -48,7 +48,11 @@ fn run_case(
         let r = study.evaluate(&p, flows, CostModel::default());
         let row = format!("{prefix} static {}", a.label());
         t.set(&row, "imbalance", load_imbalance(&r.engine_events));
-        t.set(&row, "fine_grained", mean_active_imbalance(&r.window_series, 32));
+        t.set(
+            &row,
+            "fine_grained",
+            mean_active_imbalance(&r.window_series, 32),
+        );
         t.set(&row, "net_time_s", r.emulation_time_s());
         t.set(&row, "migrated", 0.0);
     }
@@ -64,7 +68,11 @@ fn run_case(
         let out = run_dynamic(study, flows, &cfg);
         let row = format!("{prefix} {label}");
         t.set(&row, "imbalance", load_imbalance(&out.report.engine_events));
-        t.set(&row, "fine_grained", mean_active_imbalance(&out.report.window_series, 32));
+        t.set(
+            &row,
+            "fine_grained",
+            mean_active_imbalance(&out.report.window_series, 32),
+        );
         t.set(&row, "net_time_s", out.report.emulation_time_s());
         t.set(&row, "migrated", out.migrated_nodes as f64);
     }
@@ -95,10 +103,17 @@ fn main() {
 
     // Case 2: GridNPB's non-recurring phases (the paper's caveat).
     {
-        let mut built =
-            Scenario::new(Topology::Campus, Workload::GridNpb).with_scale(scale).build();
+        let mut built = Scenario::new(Topology::Campus, Workload::GridNpb)
+            .with_scale(scale)
+            .build();
         built.study.counter_window_us = 500_000;
-        run_case(&mut t, "gridnpb", &built.study, &built.predicted, &built.flows);
+        run_case(
+            &mut t,
+            "gridnpb",
+            &built.study,
+            &built.predicted,
+            &built.flows,
+        );
     }
 
     print!("{}", t.render(3));

@@ -20,18 +20,28 @@ fn main() {
             .build();
         let partition = if aware {
             built.study.cfg = built.study.cfg.clone().with_engine_capacities(caps.clone());
-            built.study.map(Approach::Profile, &built.predicted, &built.flows)
+            built
+                .study
+                .map(Approach::Profile, &built.predicted, &built.flows)
         } else {
-            let p = built.study.map(Approach::Profile, &built.predicted, &built.flows);
+            let p = built
+                .study
+                .map(Approach::Profile, &built.predicted, &built.flows);
             // Evaluate the blind partition on the same lopsided hardware.
             built.study.cfg.engine_capacities = Some(caps.clone());
             p
         };
-        let report = built.study.evaluate(&partition, &built.flows, CostModel::replay());
+        let report = built
+            .study
+            .evaluate(&partition, &built.flows, CostModel::replay());
         t.set(row, "replay_time_s", report.emulation_time_s());
         let share0 = report.engine_events[0] as f64 / report.total_events() as f64;
         t.set(row, "fast_engine_share", share0);
-        t.set(row, "events_imbalance", load_imbalance(&report.engine_events));
+        t.set(
+            row,
+            "events_imbalance",
+            load_imbalance(&report.engine_events),
+        );
     }
     print!("{}", t.render(3));
     println!("\nexpected: the capacity-aware mapping routes ~60% of events to the");

@@ -22,9 +22,12 @@ fn main() {
         scenario = scenario.without_background(); // isolate the effect
         let mut built = scenario.build();
         built.study.cfg.include_memory = include_memory;
-        let partition = built.study.map(Approach::Profile, &built.predicted, &built.flows);
-        let report =
-            built.study.evaluate(&partition, &built.flows, CostModel::live_application());
+        let partition = built
+            .study
+            .map(Approach::Profile, &built.predicted, &built.flows);
+        let report = built
+            .study
+            .evaluate(&partition, &built.flows, CostModel::live_application());
 
         // Memory imbalance: normalized std-dev of per-engine memory weight.
         let mem = memory_weights(&built.study.net);
@@ -32,9 +35,17 @@ fn main() {
         for (node, &part) in partition.part.iter().enumerate() {
             per_engine[part as usize] += mem[node] as u64;
         }
-        let row = if include_memory { "with memory constraint" } else { "load only" };
+        let row = if include_memory {
+            "with memory constraint"
+        } else {
+            "load only"
+        };
         t.set(row, "mem_imbalance", load_imbalance(&per_engine));
-        t.set(row, "mem_max_engine", *per_engine.iter().max().unwrap() as f64);
+        t.set(
+            row,
+            "mem_max_engine",
+            *per_engine.iter().max().unwrap() as f64,
+        );
         t.set(row, "load_imbalance", load_imbalance(&report.engine_events));
         t.set(row, "time_s", report.emulation_time_s());
     }

@@ -6,21 +6,32 @@
 //! and synchronization rounds.
 
 use massf_bench::{dump_json, scale_from_args};
-use massf_core::prelude::*;
 use massf_core::mapping::place::map_place;
+use massf_core::prelude::*;
 use massf_metrics::report::ResultTable;
 
 fn main() {
     let scale = scale_from_args();
-    let built = Scenario::new(Topology::TeraGrid, Workload::Scalapack).with_scale(scale).build();
-    let mut t = ResultTable::new("ablate_p", "Latency-priority sweep (PLACE, TeraGrid/ScaLapack)");
+    let built = Scenario::new(Topology::TeraGrid, Workload::Scalapack)
+        .with_scale(scale)
+        .build();
+    let mut t = ResultTable::new(
+        "ablate_p",
+        "Latency-priority sweep (PLACE, TeraGrid/ScaLapack)",
+    );
     for p10 in [0, 2, 4, 6, 8, 10] {
         let p = p10 as f64 / 10.0;
         let mut cfg = built.study.cfg.clone();
         cfg.latency_priority = p;
-        let partition = map_place(&built.study.net, &built.study.tables, &built.predicted, &cfg);
-        let report =
-            built.study.evaluate(&partition, &built.flows, CostModel::live_application());
+        let partition = map_place(
+            &built.study.net,
+            &built.study.tables,
+            &built.predicted,
+            &cfg,
+        );
+        let report = built
+            .study
+            .evaluate(&partition, &built.flows, CostModel::live_application());
         let label = format!("p={p:.1}");
         t.set(&label, "imbalance", load_imbalance(&report.engine_events));
         t.set(&label, "time_s", report.emulation_time_s());

@@ -31,7 +31,11 @@ fn main() {
         let row = format!("restarts={restarts}");
         t.set(&row, "mean_cut", cut_sum / trials as f64);
         t.set(&row, "mean_balance", bal_sum / trials as f64);
-        t.set(&row, "ms_per_partition", t0.elapsed().as_secs_f64() * 1000.0 / trials as f64);
+        t.set(
+            &row,
+            "ms_per_partition",
+            t0.elapsed().as_secs_f64() * 1000.0 / trials as f64,
+        );
     }
     print!("{}", t.render(3));
     println!("\nexpected: cut quality improves steeply to ~4-6 restarts, then");

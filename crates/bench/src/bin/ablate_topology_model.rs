@@ -17,9 +17,18 @@ fn main() {
     );
     for (label, model) in [
         ("barabasi-albert", GrowthModel::BarabasiAlbert { m: 2 }),
-        ("waxman", GrowthModel::Waxman { alpha: 0.12, beta: 0.15 }),
+        (
+            "waxman",
+            GrowthModel::Waxman {
+                alpha: 0.12,
+                beta: 0.15,
+            },
+        ),
     ] {
-        let net = generate(&BriteConfig { model, ..BriteConfig::paper_brite() });
+        let net = generate(&BriteConfig {
+            model,
+            ..BriteConfig::paper_brite()
+        });
         let hosts = net.hosts();
         let placement = massf_core::scenario::spread_placement(&hosts, 10);
         let cfg = ScalapackConfig {
@@ -37,7 +46,11 @@ fn main() {
                 "imbalance",
                 load_imbalance(&r.engine_events),
             );
-            t.set(format!("{label} {}", a.label()), "net_time_s", r.emulation_time_s());
+            t.set(
+                format!("{label} {}", a.label()),
+                "net_time_s",
+                r.emulation_time_s(),
+            );
             t.set(
                 format!("{label} {}", a.label()),
                 "remote_msgs",

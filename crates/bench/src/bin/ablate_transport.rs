@@ -22,7 +22,11 @@ fn main() {
         "ablate_transport",
         "Paced vs windowed transport (ScaLapack, TeraGrid, 5 engines)",
     );
-    for (label, window) in [("paced", None), ("tcp w=8", Some(8)), ("tcp w=32", Some(32))] {
+    for (label, window) in [
+        ("paced", None),
+        ("tcp w=8", Some(8)),
+        ("tcp w=32", Some(32)),
+    ] {
         let cfg = ScalapackConfig {
             matrix_n: ((3000.0 * scale) as usize).max(200),
             transport_window: window,

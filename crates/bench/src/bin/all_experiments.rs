@@ -34,9 +34,12 @@ fn main() {
         });
         print_with_improvements(&imb, 3);
         dump_json(&imb);
-        let time = grid_table(time_id, &format!("Emulation Time for {label} (s)"), &grid, |r| {
-            r.emulation_time_s
-        });
+        let time = grid_table(
+            time_id,
+            &format!("Emulation Time for {label} (s)"),
+            &grid,
+            |r| r.emulation_time_s,
+        );
         print_with_improvements(&time, 2);
         dump_json(&time);
         let rep = grid_table(
@@ -50,12 +53,21 @@ fn main() {
     }
 
     // Table 2.
-    let built =
-        Scenario::new(Topology::BriteScaleup, Workload::Scalapack).with_scale(scale).build();
+    let built = Scenario::new(Topology::BriteScaleup, Workload::Scalapack)
+        .with_scale(scale)
+        .build();
     let mut t2 = ResultTable::new("table2", "ScaLapack on Larger Network (20 engines)");
     for r in built.run_all() {
-        t2.set("Load Imbalance (Std. Deviation)", r.approach.label(), r.load_imbalance);
-        t2.set("Execution Time (second)", r.approach.label(), r.emulation_time_s);
+        t2.set(
+            "Load Imbalance (Std. Deviation)",
+            r.approach.label(),
+            r.load_imbalance,
+        );
+        t2.set(
+            "Execution Time (second)",
+            r.approach.label(),
+            r.emulation_time_s,
+        );
     }
     print!("{}", t2.render(3));
     dump_json(&t2);

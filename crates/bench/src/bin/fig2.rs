@@ -8,12 +8,18 @@ use massf_metrics::report::bar;
 
 fn main() {
     let scale = scale_from_args();
-    let mut built = Scenario::new(Topology::Campus, Workload::GridNpb).with_scale(scale).build();
+    let mut built = Scenario::new(Topology::Campus, Workload::GridNpb)
+        .with_scale(scale)
+        .build();
     // The paper samples 2 s intervals over a ~15 min run (~0.2% of the
     // horizon); our scaled runs last seconds, so sample proportionally.
     built.study.counter_window_us = 250_000;
-    let partition = built.study.map(Approach::Top, &built.predicted, &built.flows);
-    let report = built.study.evaluate(&partition, &built.flows, CostModel::live_application());
+    let partition = built
+        .study
+        .map(Approach::Top, &built.predicted, &built.flows);
+    let report = built
+        .study
+        .evaluate(&partition, &built.flows, CostModel::live_application());
 
     println!("== fig2 — Load Variation Over the Lifetime of an Emulation ==");
     println!(
@@ -22,12 +28,24 @@ fn main() {
         report.nengines
     );
     let buckets = report.window_series.first().map(Vec::len).unwrap_or(0);
-    let max = report.window_series.iter().flatten().copied().max().unwrap_or(1) as f64;
-    println!("{:>8} {:>10}  per-engine load (events/interval)", "t (s)", "total");
+    let max = report
+        .window_series
+        .iter()
+        .flatten()
+        .copied()
+        .max()
+        .unwrap_or(1) as f64;
+    println!(
+        "{:>8} {:>10}  per-engine load (events/interval)",
+        "t (s)", "total"
+    );
     for b in 0..buckets {
         let loads: Vec<u64> = report.window_series.iter().map(|e| e[b]).collect();
         let total: u64 = loads.iter().sum();
-        print!("{:>8.1} {total:>10} ", b as f64 * report.counter_window_us as f64 / 1e6);
+        print!(
+            "{:>8.1} {total:>10} ",
+            b as f64 * report.counter_window_us as f64 / 1e6
+        );
         for (e, &l) in loads.iter().enumerate() {
             print!(" e{e}:{:<12}", bar(l as f64, max, 10));
         }

@@ -11,7 +11,11 @@ fn main() {
     let tables = RoutingTables::build(&net);
 
     println!("== fig3 — TeraGrid Site Network Architecture ==\n");
-    println!("  {}  <== 40 Gbps ==>  {}\n", net.node(0).name, net.node(1).name);
+    println!(
+        "  {}  <== 40 Gbps ==>  {}\n",
+        net.node(0).name,
+        net.node(1).name
+    );
     for (s, site) in SITES.iter().enumerate() {
         let as_id = s as u32 + 1;
         let routers: Vec<String> = net
@@ -43,6 +47,9 @@ fn main() {
     // Cross-country RTT sample, as the diagram's 40 Gbps mesh implies.
     let hosts = net.hosts();
     let rtt = 2 * tables.latency_us(hosts[0], hosts[40]).expect("connected");
-    println!("\nsample NCSA <-> SDSC RTT (propagation): {:.1} ms", rtt as f64 / 1000.0);
+    println!(
+        "\nsample NCSA <-> SDSC RTT (propagation): {:.1} ms",
+        rtt as f64 / 1000.0
+    );
     println!("paper: any of the five sites connected with 40Gbps network ✓");
 }

@@ -10,7 +10,9 @@ use massf_metrics::timeseries::{imbalance_series, mean_active_imbalance};
 
 fn main() {
     let scale = scale_from_args();
-    let mut built = Scenario::new(Topology::Campus, Workload::GridNpb).with_scale(scale).build();
+    let mut built = Scenario::new(Topology::Campus, Workload::GridNpb)
+        .with_scale(scale)
+        .build();
     // The paper samples 2 s intervals over a ~15 min run (~0.2% of the
     // horizon); our scaled runs last seconds, so sample proportionally.
     built.study.counter_window_us = 500_000;
@@ -18,13 +20,21 @@ fn main() {
     let mut series = Vec::new();
     for approach in [Approach::Top, Approach::Profile] {
         let partition = built.study.map(approach, &built.predicted, &built.flows);
-        let report =
-            built.study.evaluate(&partition, &built.flows, CostModel::live_application());
-        series.push((approach, imbalance_series(&report.window_series, 32), report));
+        let report = built
+            .study
+            .evaluate(&partition, &built.flows, CostModel::live_application());
+        series.push((
+            approach,
+            imbalance_series(&report.window_series, 32),
+            report,
+        ));
     }
 
     println!("== fig8 — Fine-Grained Load Imbalance of GridNPB (Campus) ==");
-    println!("per-{}-ms-interval imbalance, TOP vs PROFILE\n", series[0].2.counter_window_us / 1000);
+    println!(
+        "per-{}-ms-interval imbalance, TOP vs PROFILE\n",
+        series[0].2.counter_window_us / 1000
+    );
     let buckets = series.iter().map(|(_, s, _)| s.len()).max().unwrap_or(0);
     println!("{:>8}  {:<24} {:<24}", "t (s)", "TOP", "PROFILE");
     for b in 0..buckets {
@@ -52,7 +62,11 @@ fn main() {
             num += imb * w as f64;
             den += w as f64;
         }
-        if den == 0.0 { 0.0 } else { num / den }
+        if den == 0.0 {
+            0.0
+        } else {
+            num / den
+        }
     };
     let w_top = weighted(&series[0].1, &series[0].2.window_series);
     let w_prof = weighted(&series[1].1, &series[1].2.window_series);

@@ -8,15 +8,24 @@ use massf_metrics::report::ResultTable;
 
 fn main() {
     let scale = scale_from_args();
-    let built =
-        Scenario::new(Topology::BriteScaleup, Workload::Scalapack).with_scale(scale).build();
+    let built = Scenario::new(Topology::BriteScaleup, Workload::Scalapack)
+        .with_scale(scale)
+        .build();
     let mut t = ResultTable::new(
         "table2",
         "Results of ScaLapack on Larger Network (paper Table 2): 200 routers, 364 hosts, 20 engines",
     );
     for r in built.run_all() {
-        t.set("Load Imbalance (Std. Deviation)", r.approach.label(), r.load_imbalance);
-        t.set("Execution Time (second)", r.approach.label(), r.emulation_time_s);
+        t.set(
+            "Load Imbalance (Std. Deviation)",
+            r.approach.label(),
+            r.load_imbalance,
+        );
+        t.set(
+            "Execution Time (second)",
+            r.approach.label(),
+            r.emulation_time_s,
+        );
     }
     print!("{}", t.render(3));
     println!("\npaper: imbalance 1.019 / 0.722 / 0.688; time 559.3 / 484.6 / 460.5 s");

@@ -33,14 +33,19 @@ pub trait ExperimentRun {
 
     /// Runs all three approaches (TOP, PLACE, PROFILE).
     fn run_all(&self) -> Vec<ApproachResult> {
-        Approach::ALL.iter().map(|&a| self.run_approach(a)).collect()
+        Approach::ALL
+            .iter()
+            .map(|&a| self.run_approach(a))
+            .collect()
     }
 }
 
 impl ExperimentRun for BuiltScenario {
     fn run_approach(&self, approach: Approach) -> ApproachResult {
         let partitioning = self.study.map(approach, &self.predicted, &self.flows);
-        let report = self.study.evaluate(&partitioning, &self.flows, CostModel::live_application());
+        let report = self
+            .study
+            .evaluate(&partitioning, &self.flows, CostModel::live_application());
         let replay = self.study.replay(&partitioning, &self.flows);
         ApproachResult {
             approach,

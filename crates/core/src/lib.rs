@@ -47,7 +47,7 @@ pub mod prelude {
     pub use crate::experiment::{ApproachResult, ExperimentRun};
     pub use crate::scenario::{BuiltScenario, Scenario, Topology, Workload};
     pub use massf_engine::{CostModel, EmulationConfig, EmulationReport};
-    pub use massf_mapping::{Approach, MapperConfig, MappingStudy};
+    pub use massf_mapping::{Approach, MapperConfig, MappingStudy, Parallelism};
     pub use massf_metrics::{improvement_pct, load_imbalance};
     pub use massf_partition::{partition_kway, PartitionConfig, Partitioning};
     pub use massf_topology::Network;

@@ -1,6 +1,6 @@
 //! Experiment scenarios: the paper's topology × workload grid (§4.1).
 
-use massf_mapping::{MapperConfig, MappingStudy};
+use massf_mapping::{MapperConfig, MappingStudy, Parallelism};
 use massf_topology::brite::{BriteConfig, BRITE_ENGINES, SCALEUP_ENGINES};
 use massf_topology::campus::{campus, CAMPUS_ENGINES};
 use massf_topology::teragrid::{teragrid, TERAGRID_ENGINES};
@@ -105,14 +105,25 @@ pub struct Scenario {
     pub scale: f64,
     /// Mapper seed.
     pub seed: u64,
+    /// Mapping-pipeline worker threads (routing tables, accumulation,
+    /// partitioner restarts). Results are bit-identical at every setting;
+    /// `Parallelism::serial()` runs the exact single-threaded paths.
+    pub parallelism: Parallelism,
 }
 
 impl Scenario {
     /// The paper's setup for `topology` × `workload` with moderate
     /// background traffic.
     pub fn new(topology: Topology, workload: Workload) -> Self {
-        Self { topology, workload, background: None, scale: 1.0, seed: 0x5c2003 }
-            .with_moderate_background()
+        Self {
+            topology,
+            workload,
+            background: None,
+            scale: 1.0,
+            seed: 0x5c2003,
+            parallelism: Parallelism::available(),
+        }
+        .with_moderate_background()
     }
 
     /// Replaces the background with the paper's "moderate" setting scaled
@@ -145,6 +156,12 @@ impl Scenario {
     /// Sets the seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Sets the mapping-pipeline thread count (`1` = exact serial paths).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallelism = Parallelism::new(threads);
         self
     }
 
@@ -182,7 +199,9 @@ impl Scenario {
         }
         flows.sort_by_key(|f| (f.start_us, f.src, f.dst));
 
-        let cfg = MapperConfig::new(self.topology.engines()).with_seed(self.seed);
+        let cfg = MapperConfig::new(self.topology.engines())
+            .with_seed(self.seed)
+            .with_parallelism(self.parallelism);
         BuiltScenario {
             scenario: self.clone(),
             study: MappingStudy::new(net, cfg),
@@ -294,7 +313,12 @@ mod tests {
             .iter()
             .map(|&h| {
                 let (r, _) = net.neighbors(h)[0];
-                net.node(r).name.split('-').next().unwrap_or("x").to_string()
+                net.node(r)
+                    .name
+                    .split('-')
+                    .next()
+                    .unwrap_or("x")
+                    .to_string()
             })
             .collect();
         assert!(buildings.len() <= 3, "placement too spread: {buildings:?}");
@@ -322,8 +346,9 @@ mod tests {
 
     #[test]
     fn built_scenario_has_foreground_and_background() {
-        let built =
-            Scenario::new(Topology::Campus, Workload::Scalapack).with_scale(0.1).build();
+        let built = Scenario::new(Topology::Campus, Workload::Scalapack)
+            .with_scale(0.1)
+            .build();
         assert_eq!(built.placement.len(), 10);
         assert!(!built.flows.is_empty());
         assert!(!built.predicted.is_empty());

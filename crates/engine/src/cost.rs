@@ -45,7 +45,12 @@ impl Default for CostModel {
     /// per-window synchronization (MaSSF's conservative channels are
     /// asynchronous, so the window cost is small but not free).
     fn default() -> Self {
-        Self { event_cost_us: 35.0, remote_msg_cost_us: 25.0, sync_cost_us: 50.0, rt_factor: 0.0 }
+        Self {
+            event_cost_us: 35.0,
+            remote_msg_cost_us: 25.0,
+            sync_cost_us: 50.0,
+            rt_factor: 0.0,
+        }
     }
 }
 
@@ -57,7 +62,10 @@ impl CostModel {
     /// communication-bound ScaLapack improves ~40-50 % but the
     /// computation-bound GridNPB only ~17 % (§4.2.2).
     pub fn live_application() -> Self {
-        Self { rt_factor: 1.0, ..Self::default() }
+        Self {
+            rt_factor: 1.0,
+            ..Self::default()
+        }
     }
 
     /// The model used for trace replay (Figures 9 and 10): no pacing.
@@ -92,8 +100,7 @@ impl CostModel {
     #[inline]
     pub fn engine_busy_us(&self, events: u64, remote_sent: u64, speed: f64) -> f64 {
         debug_assert!(speed > 0.0);
-        events as f64 * self.event_cost_us / speed
-            + remote_sent as f64 * self.remote_msg_cost_us
+        events as f64 * self.event_cost_us / speed + remote_sent as f64 * self.remote_msg_cost_us
     }
 }
 
@@ -118,8 +125,8 @@ impl WallClock {
         max_remote: u64,
         virtual_span_us: u64,
     ) {
-        let busy = max_events as f64 * model.event_cost_us
-            + max_remote as f64 * model.remote_msg_cost_us;
+        let busy =
+            max_events as f64 * model.event_cost_us + max_remote as f64 * model.remote_msg_cost_us;
         self.add_busy_window(model, busy, virtual_span_us);
     }
 
@@ -144,9 +151,10 @@ mod tests {
     fn busy_window_costs_events_and_messages() {
         let m = CostModel::default();
         let w = m.window_wall_us(100, 10, 0);
-        assert!((w - (100.0 * m.event_cost_us + 10.0 * m.remote_msg_cost_us + m.sync_cost_us))
-            .abs()
-            < 1e-9);
+        assert!(
+            (w - (100.0 * m.event_cost_us + 10.0 * m.remote_msg_cost_us + m.sync_cost_us)).abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -181,9 +189,7 @@ mod tests {
         c.add_window(&m, 10, 0, 0);
         c.add_window(&m, 20, 5, 0);
         assert_eq!(c.windows, 2);
-        assert!(
-            (c.busy_us - (30.0 * m.event_cost_us + 5.0 * m.remote_msg_cost_us)).abs() < 1e-9
-        );
+        assert!((c.busy_us - (30.0 * m.event_cost_us + 5.0 * m.remote_msg_cost_us)).abs() < 1e-9);
         assert!(c.total_us > c.busy_us);
         assert!(c.total_seconds() > 0.0);
     }

@@ -67,7 +67,10 @@ impl Engine {
             self.queue.push(Reverse(Event {
                 time_us: flow.start_us,
                 node: flow.src,
-                kind: EventKind::Inject { flow: idx, packet_no: 0 },
+                kind: EventKind::Inject {
+                    flow: idx,
+                    packet_no: 0,
+                },
             }));
         }
     }
@@ -143,7 +146,10 @@ impl Engine {
                     self.queue.push(Reverse(Event {
                         time_us: ev.time_us + f.packet_interval_us,
                         node: f.src,
-                        kind: EventKind::Inject { flow, packet_no: next },
+                        kind: EventKind::Inject {
+                            flow,
+                            packet_no: next,
+                        },
                     }));
                 }
                 let bytes = packet_bytes(f, packet_no);
@@ -165,7 +171,10 @@ impl Engine {
                             self.queue.push(Reverse(Event {
                                 time_us: ev.time_us,
                                 node: ev.node,
-                                kind: EventKind::Inject { flow: pkt.flow, packet_no: released },
+                                kind: EventKind::Inject {
+                                    flow: pkt.flow,
+                                    packet_no: released,
+                                },
                             }));
                         }
                     }
@@ -190,16 +199,24 @@ impl Engine {
         };
         let link = shared.net.link(link_id);
         let from_a = link.a == node;
-        let transit = self.links.schedule(link_id, link, from_a, now_us, pkt.bytes);
+        let transit = self
+            .links
+            .schedule(link_id, link, from_a, now_us, pkt.bytes);
         let next = link.opposite(node);
-        let event =
-            Event { time_us: transit.arrive_us, node: next, kind: EventKind::Arrive { pkt } };
+        let event = Event {
+            time_us: transit.arrive_us,
+            node: next,
+            kind: EventKind::Arrive { pkt },
+        };
         let owner = shared.partition[next as usize];
         if owner == self.id {
             self.queue.push(Reverse(event));
         } else {
             self.counters.remote_sent += 1;
-            self.outbox.push(RemoteEvent { to_engine: owner, event });
+            self.outbox.push(RemoteEvent {
+                to_engine: owner,
+                event,
+            });
         }
     }
 }
@@ -248,7 +265,15 @@ mod tests {
     }
 
     fn flow(src: NodeId, dst: NodeId, packets: u64) -> FlowSpec {
-        FlowSpec { src, dst, start_us: 0, packets, bytes: packets * 1500, packet_interval_us: 200, window: None }
+        FlowSpec {
+            src,
+            dst,
+            start_us: 0,
+            packets,
+            bytes: packets * 1500,
+            packet_interval_us: 200,
+            window: None,
+        }
     }
 
     #[test]
@@ -257,7 +282,12 @@ mod tests {
         let tables = RoutingTables::build(&net);
         let flows = vec![flow(0, 2, 5)];
         let partition = vec![0u32; 3];
-        let shared = Shared { net: &net, tables: &tables, flows: &flows, partition: &partition };
+        let shared = Shared {
+            net: &net,
+            tables: &tables,
+            flows: &flows,
+            partition: &partition,
+        };
         let mut e = Engine::new(0, 1_000_000, true);
         e.seed_flow(0, &flows[0], &shared);
         e.process_window(u64::MAX, &shared);
@@ -277,7 +307,12 @@ mod tests {
         let tables = RoutingTables::build(&net);
         let flows = vec![flow(0, 2, 1)];
         let partition = vec![0u32; 3];
-        let shared = Shared { net: &net, tables: &tables, flows: &flows, partition: &partition };
+        let shared = Shared {
+            net: &net,
+            tables: &tables,
+            flows: &flows,
+            partition: &partition,
+        };
         let mut e = Engine::new(0, 1_000_000, false);
         e.seed_flow(0, &flows[0], &shared);
         e.process_window(u64::MAX, &shared);
@@ -291,7 +326,12 @@ mod tests {
         let tables = RoutingTables::build(&net);
         let flows = vec![flow(0, 2, 1)];
         let partition = vec![0u32, 0, 1];
-        let shared = Shared { net: &net, tables: &tables, flows: &flows, partition: &partition };
+        let shared = Shared {
+            net: &net,
+            tables: &tables,
+            flows: &flows,
+            partition: &partition,
+        };
         let mut e = Engine::new(0, 1_000_000, false);
         e.seed_flow(0, &flows[0], &shared);
         e.process_window(u64::MAX, &shared);
@@ -309,7 +349,12 @@ mod tests {
         let tables = RoutingTables::build(&net);
         let flows = vec![flow(0, 2, 3)]; // injections at 0, 200, 400
         let partition = vec![0u32; 3];
-        let shared = Shared { net: &net, tables: &tables, flows: &flows, partition: &partition };
+        let shared = Shared {
+            net: &net,
+            tables: &tables,
+            flows: &flows,
+            partition: &partition,
+        };
         let mut e = Engine::new(0, 1_000_000, false);
         e.seed_flow(0, &flows[0], &shared);
         let n = e.process_window(150, &shared);
@@ -326,7 +371,12 @@ mod tests {
         let tables = RoutingTables::build(&net);
         let flows = vec![flow(0, island, 2)];
         let partition = vec![0u32; 4];
-        let shared = Shared { net: &net, tables: &tables, flows: &flows, partition: &partition };
+        let shared = Shared {
+            net: &net,
+            tables: &tables,
+            flows: &flows,
+            partition: &partition,
+        };
         let mut e = Engine::new(0, 1_000_000, false);
         e.seed_flow(0, &flows[0], &shared);
         e.process_window(u64::MAX, &shared);
@@ -336,11 +386,27 @@ mod tests {
 
     #[test]
     fn packet_sizing_last_packet_carries_remainder() {
-        let f = FlowSpec { src: 0, dst: 1, start_us: 0, packets: 3, bytes: 3200, packet_interval_us: 1, window: None };
+        let f = FlowSpec {
+            src: 0,
+            dst: 1,
+            start_us: 0,
+            packets: 3,
+            bytes: 3200,
+            packet_interval_us: 1,
+            window: None,
+        };
         assert_eq!(packet_bytes(&f, 0), 1500);
         assert_eq!(packet_bytes(&f, 1), 1500);
         assert_eq!(packet_bytes(&f, 2), 200);
-        let single = FlowSpec { src: 0, dst: 1, start_us: 0, packets: 1, bytes: 300, packet_interval_us: 1, window: None };
+        let single = FlowSpec {
+            src: 0,
+            dst: 1,
+            start_us: 0,
+            packets: 1,
+            bytes: 300,
+            packet_interval_us: 1,
+            window: None,
+        };
         assert_eq!(packet_bytes(&single, 0), 300);
     }
 

@@ -111,9 +111,12 @@ impl Event {
     /// enqueued the event first.
     fn key(&self) -> (u64, u8, u64, NodeId) {
         match self.kind {
-            EventKind::Inject { flow, packet_no } => {
-                (self.time_us, 0, ((flow as u64) << 32) | packet_no, self.node)
-            }
+            EventKind::Inject { flow, packet_no } => (
+                self.time_us,
+                0,
+                ((flow as u64) << 32) | packet_no,
+                self.node,
+            ),
             EventKind::Arrive { pkt } => (self.time_us, 1, pkt.id, self.node),
         }
     }
@@ -150,19 +153,37 @@ mod tests {
         let early = Event {
             time_us: 5,
             node: 9,
-            kind: EventKind::Arrive { pkt: Packet::for_flow(9, 9, 0, 1, 1, 0) },
+            kind: EventKind::Arrive {
+                pkt: Packet::for_flow(9, 9, 0, 1, 1, 0),
+            },
         };
-        let late = Event { time_us: 6, node: 0, kind: EventKind::Inject { flow: 0, packet_no: 0 } };
+        let late = Event {
+            time_us: 6,
+            node: 0,
+            kind: EventKind::Inject {
+                flow: 0,
+                packet_no: 0,
+            },
+        };
         assert!(early < late);
     }
 
     #[test]
     fn injects_precede_arrivals_at_same_time() {
-        let inj = Event { time_us: 5, node: 3, kind: EventKind::Inject { flow: 0, packet_no: 0 } };
+        let inj = Event {
+            time_us: 5,
+            node: 3,
+            kind: EventKind::Inject {
+                flow: 0,
+                packet_no: 0,
+            },
+        };
         let arr = Event {
             time_us: 5,
             node: 2,
-            kind: EventKind::Arrive { pkt: Packet::for_flow(0, 0, 0, 1, 1, 0) },
+            kind: EventKind::Arrive {
+                pkt: Packet::for_flow(0, 0, 0, 1, 1, 0),
+            },
         };
         assert!(inj < arr);
     }
@@ -170,8 +191,16 @@ mod tests {
     #[test]
     fn same_packet_different_nodes_still_ordered() {
         let pkt = Packet::for_flow(0, 0, 0, 1, 1, 0);
-        let a = Event { time_us: 5, node: 2, kind: EventKind::Arrive { pkt } };
-        let b = Event { time_us: 5, node: 3, kind: EventKind::Arrive { pkt } };
+        let a = Event {
+            time_us: 5,
+            node: 2,
+            kind: EventKind::Arrive { pkt },
+        };
+        let b = Event {
+            time_us: 5,
+            node: 3,
+            kind: EventKind::Arrive { pkt },
+        };
         assert!(a < b);
         assert_ne!(a, b);
     }

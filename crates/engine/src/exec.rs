@@ -7,11 +7,11 @@ use crate::cost::{CostModel, WallClock};
 use crate::engine::{lookahead_us, Engine, RemoteEvent, Shared};
 use crate::netflow::merge_dumps;
 use crate::report::EmulationReport;
-use crossbeam_channel::{unbounded, Receiver, Sender};
 use massf_routing::RoutingTables;
 use massf_topology::Network;
 use massf_traffic::FlowSpec;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
 
 /// Configuration of one emulation run.
@@ -75,7 +75,11 @@ impl EmulationConfig {
 }
 
 fn validate(net: &Network, cfg: &EmulationConfig) {
-    assert_eq!(cfg.partition.len(), net.node_count(), "partition length mismatch");
+    assert_eq!(
+        cfg.partition.len(),
+        net.node_count(),
+        "partition length mismatch"
+    );
     assert!(cfg.nengines >= 1);
     assert!(
         cfg.partition.iter().all(|&p| (p as usize) < cfg.nengines),
@@ -92,7 +96,12 @@ pub fn run_sequential(
     cfg: &EmulationConfig,
 ) -> EmulationReport {
     validate(net, cfg);
-    let shared = Shared { net, tables, flows, partition: &cfg.partition };
+    let shared = Shared {
+        net,
+        tables,
+        flows,
+        partition: &cfg.partition,
+    };
     let lookahead = lookahead_us(net, &cfg.partition);
 
     let mut engines: Vec<Engine> = (0..cfg.nengines as u32)
@@ -145,7 +154,7 @@ pub fn run_sequential(
 }
 
 /// Runs the emulation with one OS thread per engine, exchanging events over
-/// crossbeam channels under the synchronous conservative protocol. Produces
+/// `mpsc` channels under the synchronous conservative protocol. Produces
 /// the same report as [`run_sequential`] for the same inputs.
 pub fn run_parallel(
     net: &Network,
@@ -166,7 +175,7 @@ pub fn run_parallel(
     let mut receivers: Vec<Vec<Receiver<RemoteEvent>>> = (0..n).map(|_| Vec::new()).collect();
     for i in 0..n {
         for j in 0..n {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders[i].push(tx);
             receivers[j].push(rx);
         }
@@ -179,7 +188,7 @@ pub fn run_parallel(
     let win_progress: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let barrier = Barrier::new(n);
 
-    let results: Vec<(Engine, WallClock, u64, u64)> = crossbeam::thread::scope(|scope| {
+    let results: Vec<(Engine, WallClock, u64, u64)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (id, (my_senders, my_receivers)) in
             senders.drain(..).zip(receivers.drain(..)).enumerate()
@@ -192,8 +201,13 @@ pub fn run_parallel(
             let partition = &cfg.partition;
             let cost = cfg.cost;
             let speeds = &speeds_vec;
-            let handle = scope.spawn(move |_| {
-                let shared = Shared { net, tables, flows, partition };
+            let handle = scope.spawn(move || {
+                let shared = Shared {
+                    net,
+                    tables,
+                    flows,
+                    partition,
+                };
                 let mut engine = Engine::new(id as u32, cfg.counter_window_us, cfg.netflow);
                 for (i, f) in flows.iter().enumerate() {
                     engine.seed_flow(i as u32, f, &shared);
@@ -206,8 +220,11 @@ pub fn run_parallel(
                     // Phase 1: publish local min, agree on LBTS.
                     mins[id].store(engine.next_time().unwrap_or(u64::MAX), Ordering::SeqCst);
                     barrier.wait();
-                    let gmin =
-                        mins.iter().map(|m| m.load(Ordering::SeqCst)).min().expect("n >= 1");
+                    let gmin = mins
+                        .iter()
+                        .map(|m| m.load(Ordering::SeqCst))
+                        .min()
+                        .expect("n >= 1");
                     barrier.wait(); // everyone has read before anyone rewrites
                     if gmin == u64::MAX {
                         break;
@@ -228,8 +245,7 @@ pub fn run_parallel(
                     }
                     win_events[id].store(events, Ordering::SeqCst);
                     win_remote[id].store(sent, Ordering::SeqCst);
-                    let frontier =
-                        engine.next_time().unwrap_or(engine.counters.last_event_us);
+                    let frontier = engine.next_time().unwrap_or(engine.counters.last_event_us);
                     win_progress[id].store(frontier.min(lbts), Ordering::SeqCst);
                     barrier.wait(); // all sends complete
 
@@ -260,9 +276,11 @@ pub fn run_parallel(
             });
             handles.push(handle);
         }
-        handles.into_iter().map(|h| h.join().expect("engine thread panicked")).collect()
-    })
-    .expect("emulation scope");
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("engine thread panicked"))
+            .collect()
+    });
 
     let mut engines = Vec::with_capacity(n);
     let mut wall = WallClock::default();
@@ -347,9 +365,33 @@ mod tests {
 
     fn flows_star() -> Vec<FlowSpec> {
         vec![
-            FlowSpec { src: 1, dst: 2, start_us: 0, packets: 10, bytes: 15_000, packet_interval_us: 100, window: None },
-            FlowSpec { src: 3, dst: 4, start_us: 50, packets: 5, bytes: 7_500, packet_interval_us: 200, window: None },
-            FlowSpec { src: 2, dst: 3, start_us: 1_000, packets: 3, bytes: 4_500, packet_interval_us: 50, window: None },
+            FlowSpec {
+                src: 1,
+                dst: 2,
+                start_us: 0,
+                packets: 10,
+                bytes: 15_000,
+                packet_interval_us: 100,
+                window: None,
+            },
+            FlowSpec {
+                src: 3,
+                dst: 4,
+                start_us: 50,
+                packets: 5,
+                bytes: 7_500,
+                packet_interval_us: 200,
+                window: None,
+            },
+            FlowSpec {
+                src: 2,
+                dst: 3,
+                start_us: 1_000,
+                packets: 3,
+                bytes: 4_500,
+                packet_interval_us: 50,
+                window: None,
+            },
         ]
     }
 
@@ -371,7 +413,11 @@ mod tests {
     fn parallel_matches_sequential_exactly() {
         let net = star();
         let tables = RoutingTables::build(&net);
-        for part in [vec![0u32, 0, 0, 1, 1], vec![0, 1, 0, 1, 0], vec![1, 0, 0, 0, 1]] {
+        for part in [
+            vec![0u32, 0, 0, 1, 1],
+            vec![0, 1, 0, 1, 0],
+            vec![1, 0, 0, 0, 1],
+        ] {
             let cfg = EmulationConfig::new(part.clone(), 2).with_netflow();
             let seq = run_sequential(&net, &tables, &flows_star(), &cfg);
             let par = run_parallel(&net, &tables, &flows_star(), &cfg);
@@ -439,7 +485,10 @@ mod tests {
         let rs = run_sequential(&net, &tables, &flows, &skewed);
         let ib = rb.engine_events.iter().copied().max().unwrap();
         let is_ = rs.engine_events.iter().copied().max().unwrap();
-        assert!(is_ >= ib, "skewed partition should load engine 0 at least as much");
+        assert!(
+            is_ >= ib,
+            "skewed partition should load engine 0 at least as much"
+        );
     }
 
     #[test]
@@ -454,7 +503,9 @@ mod tests {
                 start_us: (i as u64) * 500,
                 packets: 20,
                 bytes: 30_000,
-                packet_interval_us: 120, window: None })
+                packet_interval_us: 120,
+                window: None,
+            })
             .collect();
         // 5 engines: site s -> engine s-1 via AS id, backbone to engine 0.
         let part: Vec<u32> = net

@@ -26,7 +26,7 @@
 //!
 //! Execution is available in two modes producing bit-identical results:
 //! [`exec::run_sequential`] (rounds simulated in one thread) and
-//! [`exec::run_parallel`] (one thread per engine over crossbeam channels).
+//! [`exec::run_parallel`] (one thread per engine over `mpsc` channels).
 //!
 //! ## Instrumentation
 //!
@@ -83,5 +83,5 @@ pub mod trace;
 
 pub use cost::CostModel;
 pub use exec::{run_parallel, run_sequential, EmulationConfig};
-pub use stepping::{MigrationCost, SteppableEmulation};
 pub use report::EmulationReport;
+pub use stepping::{MigrationCost, SteppableEmulation};

@@ -53,7 +53,10 @@ impl LinkOccupancy {
         let depart = now_us.max(*slot);
         let tx = tx_time_us(bytes, link.bandwidth_mbps);
         *slot = depart + tx;
-        Transit { depart_us: depart, arrive_us: depart + tx + link.latency_us }
+        Transit {
+            depart_us: depart,
+            arrive_us: depart + tx + link.latency_us,
+        }
     }
 
     /// Clears all occupancy (between independent runs).
@@ -81,7 +84,12 @@ mod tests {
     use massf_topology::Link;
 
     fn link() -> Link {
-        Link { a: 0, b: 1, bandwidth_mbps: 12.0, latency_us: 100 }
+        Link {
+            a: 0,
+            b: 1,
+            bandwidth_mbps: 12.0,
+            latency_us: 100,
+        }
     }
 
     #[test]

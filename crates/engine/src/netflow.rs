@@ -56,7 +56,10 @@ impl NetFlowCollector {
     /// Creates a collector; a disabled collector records nothing (profiling
     /// is only turned on for PROFILE's initial run).
     pub fn new(enabled: bool) -> Self {
-        Self { records: HashMap::new(), enabled }
+        Self {
+            records: HashMap::new(),
+            enabled,
+        }
     }
 
     /// Whether recording is active.
@@ -70,16 +73,19 @@ impl NetFlowCollector {
         if !self.enabled {
             return;
         }
-        let rec = self.records.entry((router, pkt.flow)).or_insert_with(|| FlowRecord {
-            router,
-            flow: pkt.flow,
-            src: pkt.src,
-            dst: pkt.dst,
-            packets: 0,
-            bytes: 0,
-            first_us: now_us,
-            last_us: now_us,
-        });
+        let rec = self
+            .records
+            .entry((router, pkt.flow))
+            .or_insert_with(|| FlowRecord {
+                router,
+                flow: pkt.flow,
+                src: pkt.src,
+                dst: pkt.dst,
+                packets: 0,
+                bytes: 0,
+                first_us: now_us,
+                last_us: now_us,
+            });
         rec.packets += 1;
         rec.bytes += pkt.bytes as u64;
         rec.first_us = rec.first_us.min(now_us);

@@ -37,15 +37,13 @@ pub const ECHO_BYTES: u64 = 64;
 ///
 /// The request is emulated first, then the reply (the reply leaves only
 /// after the request arrives, as in the real protocol).
-pub fn ping(
-    net: &Network,
-    tables: &RoutingTables,
-    src: NodeId,
-    dst: NodeId,
-) -> Option<PingReport> {
+pub fn ping(net: &Network, tables: &RoutingTables, src: NodeId, dst: NodeId) -> Option<PingReport> {
     let request_us = one_way(net, tables, src, dst)?;
     let reply_us = one_way(net, tables, dst, src)?;
-    Some(PingReport { request_us, reply_us })
+    Some(PingReport {
+        request_us,
+        reply_us,
+    })
 }
 
 /// Emulates a single `ECHO_BYTES` packet and returns its delivery latency.
@@ -60,7 +58,9 @@ fn one_way(net: &Network, tables: &RoutingTables, src: NodeId, dst: NodeId) -> O
         start_us: 0,
         packets: 1,
         bytes: ECHO_BYTES,
-        packet_interval_us: 1, window: None };
+        packet_interval_us: 1,
+        window: None,
+    };
     let cfg = EmulationConfig::new(vec![0; net.node_count()], 1);
     let report = run_sequential(net, tables, &[flow], &cfg);
     (report.delivered == 1).then_some(report.latency_sum_us as u64)
@@ -68,7 +68,12 @@ fn one_way(net: &Network, tables: &RoutingTables, src: NodeId, dst: NodeId) -> O
 
 /// The emulated serialization overhead a probe should see on top of pure
 /// propagation: the per-hop store-and-forward delay of `ECHO_BYTES`.
-pub fn expected_serialization_us(net: &Network, tables: &RoutingTables, src: NodeId, dst: NodeId) -> Option<u64> {
+pub fn expected_serialization_us(
+    net: &Network,
+    tables: &RoutingTables,
+    src: NodeId,
+    dst: NodeId,
+) -> Option<u64> {
     let links = tables.path_links(src, dst)?;
     Some(
         links
@@ -92,7 +97,11 @@ mod tests {
         let net = teragrid();
         let tables = RoutingTables::build(&net);
         let hosts = net.hosts();
-        for (a, b) in [(hosts[0], hosts[40]), (hosts[10], hosts[149]), (hosts[5], hosts[6])] {
+        for (a, b) in [
+            (hosts[0], hosts[40]),
+            (hosts[10], hosts[149]),
+            (hosts[5], hosts[6]),
+        ] {
             let report = ping(&net, &tables, a, b).expect("teragrid connected");
             let expect = tables.latency_us(a, b).unwrap()
                 + expected_serialization_us(&net, &tables, a, b).unwrap();
@@ -108,7 +117,13 @@ mod tests {
         let net = teragrid();
         let tables = RoutingTables::build(&net);
         let h = net.hosts()[0];
-        assert_eq!(ping(&net, &tables, h, h), Some(PingReport { request_us: 0, reply_us: 0 }));
+        assert_eq!(
+            ping(&net, &tables, h, h),
+            Some(PingReport {
+                request_us: 0,
+                reply_us: 0
+            })
+        );
     }
 
     #[test]

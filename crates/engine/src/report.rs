@@ -83,7 +83,11 @@ mod tests {
             counter_window_us: 100,
             window_series: vec![vec![3, 0], vec![1, 0]],
             netflow: vec![],
-            wall: WallClock { total_us: 2_000_000.0, busy_us: 100.0, windows: 7 },
+            wall: WallClock {
+                total_us: 2_000_000.0,
+                busy_us: 100.0,
+                windows: 7,
+            },
         }
     }
 

@@ -34,7 +34,10 @@ impl Default for MigrationCost {
     fn default() -> Self {
         // Moving a virtual router's state (routing table, queues) across
         // 100 Mbps Ethernet is on the order of milliseconds.
-        Self { fixed_us: 20_000.0, per_node_us: 2_000.0 }
+        Self {
+            fixed_us: 20_000.0,
+            per_node_us: 2_000.0,
+        }
     }
 }
 
@@ -65,14 +68,23 @@ impl<'a> SteppableEmulation<'a> {
         flows: &'a [FlowSpec],
         cfg: EmulationConfig,
     ) -> Self {
-        assert_eq!(cfg.partition.len(), net.node_count(), "partition length mismatch");
+        assert_eq!(
+            cfg.partition.len(),
+            net.node_count(),
+            "partition length mismatch"
+        );
         assert!(cfg.partition.iter().all(|&p| (p as usize) < cfg.nengines));
         let lookahead = lookahead_us(net, &cfg.partition);
         let mut engines: Vec<Engine> = (0..cfg.nengines as u32)
             .map(|id| Engine::new(id, cfg.counter_window_us, cfg.netflow))
             .collect();
         {
-            let shared = Shared { net, tables, flows, partition: &cfg.partition };
+            let shared = Shared {
+                net,
+                tables,
+                flows,
+                partition: &cfg.partition,
+            };
             for (i, f) in flows.iter().enumerate() {
                 engines[cfg.partition[f.src as usize] as usize].seed_flow(i as u32, f, &shared);
             }
@@ -137,7 +149,12 @@ impl<'a> SteppableEmulation<'a> {
                 let sent_before = e.remote_sent();
                 let n = e.process_window(lbts, &shared);
                 let sent = e.remote_sent() - sent_before;
-                let speed = self.cfg.engine_speeds.as_ref().map(|v| v[idx]).unwrap_or(1.0);
+                let speed = self
+                    .cfg
+                    .engine_speeds
+                    .as_ref()
+                    .map(|v| v[idx])
+                    .unwrap_or(1.0);
                 max_busy = max_busy.max(self.cfg.cost.engine_busy_us(n, sent, speed));
                 let frontier = e.next_time().unwrap_or(e.counters.last_event_us);
                 progress = progress.min(frontier.min(lbts));
@@ -172,7 +189,9 @@ impl<'a> SteppableEmulation<'a> {
     /// Returns the number of nodes that changed engines.
     pub fn repartition(&mut self, new_partition: Vec<u32>, cost: MigrationCost) -> usize {
         assert_eq!(new_partition.len(), self.net.node_count());
-        assert!(new_partition.iter().all(|&p| (p as usize) < self.cfg.nengines));
+        assert!(new_partition
+            .iter()
+            .all(|&p| (p as usize) < self.cfg.nengines));
         let moved = self
             .cfg
             .partition
@@ -274,9 +293,33 @@ mod tests {
             hosts.push(h);
         }
         let flows = vec![
-            FlowSpec { src: hosts[0], dst: hosts[4], start_us: 0, packets: 20, bytes: 30_000, packet_interval_us: 150, window: None },
-            FlowSpec { src: hosts[5], dst: hosts[1], start_us: 2_000, packets: 15, bytes: 22_500, packet_interval_us: 200, window: None },
-            FlowSpec { src: hosts[2], dst: hosts[3], start_us: 8_000, packets: 10, bytes: 15_000, packet_interval_us: 100, window: None },
+            FlowSpec {
+                src: hosts[0],
+                dst: hosts[4],
+                start_us: 0,
+                packets: 20,
+                bytes: 30_000,
+                packet_interval_us: 150,
+                window: None,
+            },
+            FlowSpec {
+                src: hosts[5],
+                dst: hosts[1],
+                start_us: 2_000,
+                packets: 15,
+                bytes: 22_500,
+                packet_interval_us: 200,
+                window: None,
+            },
+            FlowSpec {
+                src: hosts[2],
+                dst: hosts[3],
+                start_us: 8_000,
+                packets: 10,
+                bytes: 15_000,
+                packet_interval_us: 100,
+                window: None,
+            },
         ];
         (net, flows)
     }
@@ -343,16 +386,15 @@ mod tests {
         let injected: u64 = flows.iter().map(|f| f.packets).sum();
         assert_eq!(report.delivered, injected, "no packet lost in migration");
         assert_eq!(report.dropped, 0);
-        assert_eq!(step_total_is_stable(&net, &tables, &flows), report.total_events());
+        assert_eq!(
+            step_total_is_stable(&net, &tables, &flows),
+            report.total_events()
+        );
     }
 
     /// Total kernel events of the never-remapped run (migration must not
     /// change what is emulated).
-    fn step_total_is_stable(
-        net: &Network,
-        tables: &RoutingTables,
-        flows: &[FlowSpec],
-    ) -> u64 {
+    fn step_total_is_stable(net: &Network, tables: &RoutingTables, flows: &[FlowSpec]) -> u64 {
         let part = partition_by_router(net);
         let cfg = EmulationConfig::new(part, 2);
         run_sequential(net, tables, flows, &cfg).total_events()
@@ -370,14 +412,23 @@ mod tests {
             step.run_until(3_000);
             if remap {
                 let swapped: Vec<u32> = part.iter().map(|&p| 1 - p).collect();
-                step.repartition(swapped, MigrationCost { fixed_us: 1e6, per_node_us: 0.0 });
+                step.repartition(
+                    swapped,
+                    MigrationCost {
+                        fixed_us: 1e6,
+                        per_node_us: 0.0,
+                    },
+                );
             }
             step.run_to_completion();
             step.finish().wall.total_us
         };
         let without = run(false);
         let with = run(true);
-        assert!(with >= without + 1e6 - 1.0, "remap cost missing: {with} vs {without}");
+        assert!(
+            with >= without + 1e6 - 1.0,
+            "remap cost missing: {with} vs {without}"
+        );
     }
 
     #[test]

@@ -37,7 +37,15 @@ pub fn compress_for_replay(flows: &[FlowSpec]) -> Vec<FlowSpec> {
     let mut last_inbound: HashMap<u32, (u64, u64)> = HashMap::new(); // h -> (orig_end, new_end)
 
     let mut out = vec![
-        FlowSpec { src: 0, dst: 0, start_us: 0, packets: 1, bytes: 1, packet_interval_us: 1, window: None };
+        FlowSpec {
+            src: 0,
+            dst: 0,
+            start_us: 0,
+            packets: 1,
+            bytes: 1,
+            packet_interval_us: 1,
+            window: None
+        };
         flows.len()
     ];
     for &i in &order {
@@ -50,7 +58,10 @@ pub fn compress_for_replay(flows: &[FlowSpec]) -> Vec<FlowSpec> {
                 start = start.max(new_end);
             }
         }
-        let new = FlowSpec { start_us: start, ..f.clone() };
+        let new = FlowSpec {
+            start_us: start,
+            ..f.clone()
+        };
         let new_end = new.end_us() + new.packet_interval_us;
         ready_src.insert(f.src, new_end);
         // Record this flow as inbound state at its destination.
@@ -76,13 +87,25 @@ mod tests {
     use super::*;
 
     fn f(src: u32, dst: u32, start: u64, packets: u64) -> FlowSpec {
-        FlowSpec { src, dst, start_us: start, packets, bytes: packets * 1500, packet_interval_us: 100, window: None }
+        FlowSpec {
+            src,
+            dst,
+            start_us: start,
+            packets,
+            bytes: packets * 1500,
+            packet_interval_us: 100,
+            window: None,
+        }
     }
 
     #[test]
     fn gaps_are_squeezed_out() {
         // One source, three flows with huge think times.
-        let flows = vec![f(1, 2, 0, 10), f(1, 2, 10_000_000, 10), f(1, 3, 30_000_000, 10)];
+        let flows = vec![
+            f(1, 2, 0, 10),
+            f(1, 2, 10_000_000, 10),
+            f(1, 3, 30_000_000, 10),
+        ];
         let replay = compress_for_replay(&flows);
         assert_eq!(replay[0].start_us, 0);
         assert_eq!(replay[1].start_us, replay[0].end_us() + 100);

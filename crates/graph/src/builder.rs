@@ -24,7 +24,11 @@ impl GraphBuilder {
     /// Panics if `ncon == 0`; every vertex needs at least one balance weight.
     pub fn new(ncon: usize) -> Self {
         assert!(ncon >= 1, "ncon must be >= 1");
-        Self { ncon, vwgt: Vec::new(), edges: Vec::new() }
+        Self {
+            ncon,
+            vwgt: Vec::new(),
+            edges: Vec::new(),
+        }
     }
 
     /// Creates a builder pre-sized for `nvtxs` vertices and `nedges` edges.
@@ -141,8 +145,11 @@ impl GraphBuilder {
         }
         for v in 0..nvtxs {
             let (s, e) = (xadj[v], xadj[v + 1]);
-            let mut pairs: Vec<(VertexId, Weight)> =
-                adjncy[s..e].iter().copied().zip(adjwgt[s..e].iter().copied()).collect();
+            let mut pairs: Vec<(VertexId, Weight)> = adjncy[s..e]
+                .iter()
+                .copied()
+                .zip(adjwgt[s..e].iter().copied())
+                .collect();
             pairs.sort_unstable_by_key(|&(n, _)| n);
             for (i, (n, w)) in pairs.into_iter().enumerate() {
                 adjncy[s + i] = n;
@@ -180,7 +187,10 @@ mod tests {
     fn out_of_range_rejected() {
         let mut b = GraphBuilder::new(1);
         b.add_unit_vertices(1);
-        assert!(matches!(b.add_edge(0, 3, 1), Err(GraphError::VertexOutOfRange { .. })));
+        assert!(matches!(
+            b.add_edge(0, 3, 1),
+            Err(GraphError::VertexOutOfRange { .. })
+        ));
     }
 
     #[test]
@@ -220,7 +230,10 @@ mod tests {
         let g = b.build().unwrap();
         for v in 0..5 {
             let n = g.neighbors(v);
-            assert!(n.windows(2).all(|w| w[0] < w[1]), "unsorted list at {v}: {n:?}");
+            assert!(
+                n.windows(2).all(|w| w[0] < w[1]),
+                "unsorted list at {v}: {n:?}"
+            );
         }
     }
 

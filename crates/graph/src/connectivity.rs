@@ -54,7 +54,10 @@ pub fn connected_components(g: &CsrGraph) -> Components {
         }
         count += 1;
     }
-    Components { labels, count: count as usize }
+    Components {
+        labels,
+        count: count as usize,
+    }
 }
 
 /// True when the graph is connected (the empty graph counts as connected).

@@ -37,7 +37,13 @@ impl CsrGraph {
         adjwgt: Vec<Weight>,
         vwgt: Vec<Weight>,
     ) -> Result<Self, GraphError> {
-        let g = Self { ncon, xadj, adjncy, adjwgt, vwgt };
+        let g = Self {
+            ncon,
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        };
         crate::validate::validate(&g)?;
         Ok(g)
     }
@@ -54,7 +60,13 @@ impl CsrGraph {
         adjwgt: Vec<Weight>,
         vwgt: Vec<Weight>,
     ) -> Self {
-        let g = Self { ncon, xadj, adjncy, adjwgt, vwgt };
+        let g = Self {
+            ncon,
+            xadj,
+            adjncy,
+            adjwgt,
+            vwgt,
+        };
         debug_assert!(crate::validate::validate(&g).is_ok());
         g
     }
@@ -101,7 +113,10 @@ impl CsrGraph {
     /// Iterates `(neighbour, edge_weight)` pairs of `v`.
     #[inline]
     pub fn edges(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
-        self.neighbors(v).iter().copied().zip(self.edge_weights(v).iter().copied())
+        self.neighbors(v)
+            .iter()
+            .copied()
+            .zip(self.edge_weights(v).iter().copied())
     }
 
     /// The `ncon` weight components of vertex `v`.
@@ -175,7 +190,10 @@ impl CsrGraph {
     /// Replaces all edge weights. `new_weights(u, v, old)` is called once per
     /// directed arc; it must be symmetric in `(u, v)` for the result to
     /// remain a valid undirected graph (checked in debug builds).
-    pub fn map_edge_weights(&self, mut new_weight: impl FnMut(VertexId, VertexId, Weight) -> Weight) -> Self {
+    pub fn map_edge_weights(
+        &self,
+        mut new_weight: impl FnMut(VertexId, VertexId, Weight) -> Weight,
+    ) -> Self {
         let mut adjwgt = Vec::with_capacity(self.adjwgt.len());
         for u in 0..self.nvtxs() as VertexId {
             for (v, w) in self.edges(u) {

@@ -24,7 +24,11 @@ impl Subgraph {
 pub fn induced_subgraph(g: &CsrGraph, keep: &[VertexId]) -> Subgraph {
     let mut local_of = vec![u32::MAX; g.nvtxs()];
     for (i, &v) in keep.iter().enumerate() {
-        debug_assert_eq!(local_of[v as usize], u32::MAX, "duplicate vertex in keep set");
+        debug_assert_eq!(
+            local_of[v as usize],
+            u32::MAX,
+            "duplicate vertex in keep set"
+        );
         local_of[v as usize] = i as u32;
     }
     let mut b = GraphBuilder::with_capacity(g.ncon(), keep.len(), keep.len() * 2);
@@ -36,11 +40,15 @@ pub fn induced_subgraph(g: &CsrGraph, keep: &[VertexId]) -> Subgraph {
             let ln = local_of[n as usize];
             // Emit each retained edge once, from the lower local id.
             if ln != u32::MAX && (li as u32) < ln {
-                b.add_edge(li as VertexId, ln, w).expect("induced edge valid by construction");
+                b.add_edge(li as VertexId, ln, w)
+                    .expect("induced edge valid by construction");
             }
         }
     }
-    Subgraph { graph: b.build().expect("induced subgraph valid"), to_parent: keep.to_vec() }
+    Subgraph {
+        graph: b.build().expect("induced subgraph valid"),
+        to_parent: keep.to_vec(),
+    }
 }
 
 /// Splits `g` by a partition vector into one induced subgraph per part.

@@ -87,13 +87,7 @@ mod tests {
 
     #[test]
     fn asymmetric_weight_fails() {
-        let g = CsrGraph::from_parts(
-            1,
-            vec![0, 1, 2],
-            vec![1, 0],
-            vec![7, 8],
-            vec![1, 1],
-        );
+        let g = CsrGraph::from_parts(1, vec![0, 1, 2], vec![1, 0], vec![7, 8], vec![1, 1]);
         assert!(matches!(g, Err(GraphError::Corrupt(_))));
     }
 

@@ -12,10 +12,14 @@ use std::collections::{HashMap, HashSet};
 /// An arbitrary undirected multigraph as an edge soup (self-loops filtered).
 fn edge_soup(max_n: usize, max_e: usize) -> impl Strategy<Value = (usize, Vec<(u32, u32, i64)>)> {
     (2..max_n).prop_flat_map(move |n| {
-        let edge = (0..n as u32, 0..n as u32, 0i64..1000).prop_filter_map(
-            "no self loops",
-            |(u, v, w)| if u == v { None } else { Some((u, v, w)) },
-        );
+        let edge =
+            (0..n as u32, 0..n as u32, 0i64..1000).prop_filter_map("no self loops", |(u, v, w)| {
+                if u == v {
+                    None
+                } else {
+                    Some((u, v, w))
+                }
+            });
         (Just(n), prop::collection::vec(edge, 0..max_e))
     })
 }

@@ -94,14 +94,21 @@ pub fn run_dynamic(
         // early bursts that will never recur.
         let lookback = now.saturating_sub(2 * epoch_len);
         let mut records = emu.netflow_snapshot();
-        let recent: Vec<_> =
-            records.iter().filter(|r| r.last_us >= lookback).cloned().collect();
+        let recent: Vec<_> = records
+            .iter()
+            .filter(|r| r.last_us >= lookback)
+            .cloned()
+            .collect();
         if !recent.is_empty() {
             records = recent;
         }
         let candidate = map_profile(&study.net, &study.tables, &records, &study.cfg);
-        let moved =
-            current.part.iter().zip(&candidate.part).filter(|(a, b)| a != b).count();
+        let moved = current
+            .part
+            .iter()
+            .zip(&candidate.part)
+            .filter(|(a, b)| a != b)
+            .count();
         if moved >= cfg.min_moved_nodes {
             emu.repartition(candidate.part.clone(), cfg.migration);
             current = candidate;
@@ -111,7 +118,12 @@ pub fn run_dynamic(
     emu.run_to_completion();
     let migrated_nodes = emu.migrated_nodes;
     let remaps_applied = emu.remaps;
-    DynamicOutcome { report: emu.finish(), epoch_partitions, migrated_nodes, remaps_applied }
+    DynamicOutcome {
+        report: emu.finish(),
+        epoch_partitions,
+        migrated_nodes,
+        remaps_applied,
+    }
 }
 
 #[cfg(test)]
@@ -131,7 +143,10 @@ mod tests {
         // GridNPB's staged DAGs shift load between host groups over time.
         let hosts = study.net.hosts();
         let placement: Vec<_> = hosts.iter().step_by(4).take(9).copied().collect();
-        let cfg = GridNpbConfig { base_bytes: 400_000, ..Default::default() };
+        let cfg = GridNpbConfig {
+            base_bytes: 400_000,
+            ..Default::default()
+        };
         gridnpb::flows(&cfg, &gridnpb::paper_suite(&cfg), &placement)
     }
 
@@ -149,7 +164,10 @@ mod tests {
     fn one_epoch_is_static_top() {
         let s = study();
         let flows = phase_shifting_flows(&s);
-        let cfg = DynamicConfig { epochs: 1, ..Default::default() };
+        let cfg = DynamicConfig {
+            epochs: 1,
+            ..Default::default()
+        };
         let out = run_dynamic(&s, &flows, &cfg);
         assert_eq!(out.remaps_applied, 0);
         assert_eq!(out.epoch_partitions.len(), 1);
@@ -180,17 +198,26 @@ mod tests {
         let s = study();
         let flows = phase_shifting_flows(&s);
         let cheap = DynamicConfig {
-            migration: MigrationCost { fixed_us: 0.0, per_node_us: 0.0 },
+            migration: MigrationCost {
+                fixed_us: 0.0,
+                per_node_us: 0.0,
+            },
             ..Default::default()
         };
         let dear = DynamicConfig {
-            migration: MigrationCost { fixed_us: 5e6, per_node_us: 1e5 },
+            migration: MigrationCost {
+                fixed_us: 5e6,
+                per_node_us: 1e5,
+            },
             ..Default::default()
         };
         let out_cheap = run_dynamic(&s, &flows, &cheap);
         let out_dear = run_dynamic(&s, &flows, &dear);
         // Identical emulation, different modeled cost.
-        assert_eq!(out_cheap.report.total_events(), out_dear.report.total_events());
+        assert_eq!(
+            out_cheap.report.total_events(),
+            out_dear.report.total_events()
+        );
         if out_cheap.remaps_applied > 0 {
             assert!(out_dear.report.wall.total_us > out_cheap.report.wall.total_us);
         }

@@ -47,6 +47,7 @@ pub mod top;
 pub mod weights;
 
 pub use dynamic::{run_dynamic, DynamicConfig, DynamicOutcome};
+pub use massf_par::Parallelism;
 pub use pipeline::{Approach, MappingStudy};
 
 /// Shared configuration of all mapping approaches.
@@ -73,6 +74,12 @@ pub struct MapperConfig {
     /// targets weight shares proportional to capacity and the cost model
     /// scales per-engine event processing accordingly.
     pub engine_capacities: Option<Vec<f64>>,
+    /// Worker threads for the mapping pipeline (routing-table build,
+    /// traffic accumulation, partitioner restarts). Defaults to
+    /// [`Parallelism::available`]; every stage is bit-identical at every
+    /// thread count, and `Parallelism::serial()` runs the exact
+    /// single-threaded reference paths.
+    pub parallelism: Parallelism,
 }
 
 impl MapperConfig {
@@ -88,11 +95,12 @@ impl MapperConfig {
             engines,
             latency_priority: 0.6,
             ubfactor: 1.25,
-            seed: 0x6a55f,
+            seed: 0x6a55e,
             include_memory: false,
             max_segments: 3,
             min_bucket_events: 16,
             engine_capacities: None,
+            parallelism: Parallelism::available(),
         }
     }
 
@@ -121,11 +129,25 @@ impl MapperConfig {
         self
     }
 
+    /// Builder: set the pipeline thread count (`1` = the exact serial
+    /// code paths).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.parallelism = Parallelism::new(threads);
+        self
+    }
+
+    /// Builder: set the pipeline parallelism directly.
+    pub fn with_parallelism(mut self, par: Parallelism) -> Self {
+        self.parallelism = par;
+        self
+    }
+
     /// The underlying partitioner configuration.
     pub fn partition_config(&self) -> massf_partition::PartitionConfig {
         let cfg = massf_partition::PartitionConfig::new(self.engines)
             .with_seed(self.seed)
-            .with_ubfactor(self.ubfactor);
+            .with_ubfactor(self.ubfactor)
+            .with_threads(self.parallelism);
         match &self.engine_capacities {
             Some(caps) => cfg.with_capacities(caps),
             None => cfg,

@@ -51,10 +51,16 @@ pub struct MappingStudy {
 }
 
 impl MappingStudy {
-    /// Builds routing tables and wraps everything up.
+    /// Builds routing tables (threaded per `cfg.parallelism`) and wraps
+    /// everything up.
     pub fn new(net: Network, cfg: MapperConfig) -> Self {
-        let tables = RoutingTables::build(&net);
-        Self { net, tables, cfg, counter_window_us: 2_000_000 }
+        let tables = RoutingTables::build_with(&net, cfg.parallelism);
+        Self {
+            net,
+            tables,
+            cfg,
+            counter_window_us: 2_000_000,
+        }
     }
 
     /// Produces the partition for `approach`.
@@ -84,11 +90,7 @@ impl MappingStudy {
 
     /// Runs the profiling emulation (NetFlow on) under `initial` and
     /// returns the merged dumps.
-    pub fn profile_records(
-        &self,
-        flows: &[FlowSpec],
-        initial: &Partitioning,
-    ) -> Vec<FlowRecord> {
+    pub fn profile_records(&self, flows: &[FlowSpec], initial: &Partitioning) -> Vec<FlowRecord> {
         let cfg = EmulationConfig {
             partition: initial.part.clone(),
             nengines: initial.nparts,
@@ -142,7 +144,10 @@ mod tests {
     fn workload(study: &MappingStudy) -> (Vec<FlowSpec>, Vec<PredictedFlow>) {
         let hosts = study.net.hosts();
         let placement: Vec<_> = hosts.iter().step_by(4).take(10).copied().collect();
-        let cfg = ScalapackConfig { matrix_n: 600, ..Default::default() };
+        let cfg = ScalapackConfig {
+            matrix_n: 600,
+            ..Default::default()
+        };
         let flows = scalapack::flows(&cfg, &placement);
         let predicted = foreground_prediction(&study.net, &placement);
         (flows, predicted)

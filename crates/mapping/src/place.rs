@@ -15,7 +15,7 @@
 //! objective against cut-traffic minimization.
 
 use crate::weights::{
-    append_memory_constraint, latency_graph, predicted_traffic_graph, with_vertex_weights,
+    append_memory_constraint, latency_graph, predicted_traffic_graph_with, with_vertex_weights,
 };
 use crate::MapperConfig;
 use massf_partition::multiobjective::combine_and_partition;
@@ -28,7 +28,10 @@ use massf_traffic::PredictedFlow;
 /// `injection_points`: each point saturates its access link and spreads
 /// the bandwidth evenly over all other points (§3.2).
 pub fn foreground_prediction(net: &Network, injection_points: &[NodeId]) -> Vec<PredictedFlow> {
-    let access: Vec<f64> = injection_points.iter().map(|&h| net.total_bandwidth(h)).collect();
+    let access: Vec<f64> = injection_points
+        .iter()
+        .map(|&h| net.total_bandwidth(h))
+        .collect();
     massf_traffic::scalapack::predict_uniform(injection_points, &access)
 }
 
@@ -42,7 +45,7 @@ pub fn map_place(
     predicted: &[PredictedFlow],
     cfg: &MapperConfig,
 ) -> Partitioning {
-    let traffic = predicted_traffic_graph(net, tables, predicted);
+    let traffic = predicted_traffic_graph_with(net, tables, predicted, cfg.parallelism);
     // Both objective views must balance the same quantity: the predicted
     // per-node traffic (the computation constraint of §2.2.2), optionally
     // plus memory.
@@ -54,15 +57,20 @@ pub fn map_place(
     let latency = with_vertex_weights(&latency_graph(net), ncon, vwgt.clone());
     let traffic = with_vertex_weights(&traffic, ncon, vwgt);
 
-    combine_and_partition(&latency, &traffic, cfg.latency_priority, &cfg.partition_config())
-        .partitioning
+    combine_and_partition(
+        &latency,
+        &traffic,
+        cfg.latency_priority,
+        &cfg.partition_config(),
+    )
+    .partitioning
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::top::map_top;
-    use crate::weights::accumulate_predicted;
+    use crate::weights::{accumulate_predicted, predicted_traffic_graph};
     use massf_partition::quality::edge_cut;
     use massf_topology::campus::campus;
     use massf_topology::teragrid::teragrid;
@@ -98,8 +106,12 @@ mod tests {
         let tables = RoutingTables::build(&net);
         // Application on 10 hosts of two sites: heavy site-to-site traffic.
         let hosts = net.hosts();
-        let injection: Vec<NodeId> =
-            hosts.iter().take(5).chain(hosts.iter().skip(30).take(5)).copied().collect();
+        let injection: Vec<NodeId> = hosts
+            .iter()
+            .take(5)
+            .chain(hosts.iter().skip(30).take(5))
+            .copied()
+            .collect();
         let pred = foreground_prediction(&net, &injection);
         let cfg = MapperConfig::new(5);
         let top = map_top(&net, &cfg);
@@ -138,6 +150,9 @@ mod tests {
         let tables = RoutingTables::build(&net);
         let pred = foreground_prediction(&net, &net.hosts()[..6]);
         let cfg = MapperConfig::new(3);
-        assert_eq!(map_place(&net, &tables, &pred, &cfg), map_place(&net, &tables, &pred, &cfg));
+        assert_eq!(
+            map_place(&net, &tables, &pred, &cfg),
+            map_place(&net, &tables, &pred, &cfg)
+        );
     }
 }

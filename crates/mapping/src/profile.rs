@@ -12,7 +12,7 @@
 use crate::segments::{cluster_segments, segment_vertex_weights};
 use crate::top::map_top;
 use crate::weights::{
-    append_memory_constraint, latency_graph, measured_traffic_graph, node_time_loads,
+    append_memory_constraint, latency_graph, measured_traffic_graph_with, node_time_loads,
     with_vertex_weights,
 };
 use crate::MapperConfig;
@@ -41,20 +41,30 @@ pub fn map_profile(
     if records.is_empty() {
         return map_top(net, cfg);
     }
-    let horizon = records.iter().map(|r| r.last_us).max().expect("records non-empty");
+    let horizon = records
+        .iter()
+        .map(|r| r.last_us)
+        .max()
+        .expect("records non-empty");
     let bucket_us = (horizon / PROFILE_BUCKETS).max(1);
 
     let loads = node_time_loads(net, records, bucket_us);
-    let segments =
-        cluster_segments(&loads, cfg.min_bucket_events, SMOOTH_BUCKETS, cfg.max_segments);
+    let segments = cluster_segments(
+        &loads,
+        cfg.min_bucket_events,
+        SMOOTH_BUCKETS,
+        cfg.max_segments,
+    );
     // Constraint 0 is always the *total* measured load — the quantity the
     // paper's imbalance metric scores. Each detected phase adds a column so
     // stage-local imbalance is bounded too (§3.3); with a single phase the
     // segment column would duplicate the total, so it is dropped.
     let (mut ncon, mut vwgt) = {
         let nvtxs = net.node_count();
-        let totals: Vec<i64> =
-            loads.iter().map(|row| 1 + row.iter().sum::<u64>() as i64).collect();
+        let totals: Vec<i64> = loads
+            .iter()
+            .map(|row| 1 + row.iter().sum::<u64>() as i64)
+            .collect();
         if segments.len() <= 1 {
             (1, totals)
         } else {
@@ -74,7 +84,7 @@ pub fn map_profile(
         vwgt = appended.1;
     }
 
-    let traffic = measured_traffic_graph(net, tables, records);
+    let traffic = measured_traffic_graph_with(net, tables, records, cfg.parallelism);
     let latency = with_vertex_weights(&latency_graph(net), ncon, vwgt.clone());
     let traffic = with_vertex_weights(&traffic, ncon, vwgt);
 
@@ -97,7 +107,15 @@ mod tests {
     use massf_topology::campus::campus;
     use massf_topology::NodeId;
 
-    fn record(router: NodeId, flow: u32, src: NodeId, dst: NodeId, packets: u64, t0: u64, t1: u64) -> FlowRecord {
+    fn record(
+        router: NodeId,
+        flow: u32,
+        src: NodeId,
+        dst: NodeId,
+        packets: u64,
+        t0: u64,
+        t1: u64,
+    ) -> FlowRecord {
         FlowRecord {
             router,
             flow,
@@ -152,9 +170,16 @@ mod tests {
         let mut records = vec![record(router, 0, a, b, 3_000, 0, 5_000_000)];
         // Background: moderate flows between far-apart hosts, observed at
         // their routers, so total load dwarfs the hot pair.
-        for (i, w) in [(10usize, 35usize), (12, 30), (14, 25), (16, 38), (20, 28), (22, 33)]
-            .iter()
-            .enumerate()
+        for (i, w) in [
+            (10usize, 35usize),
+            (12, 30),
+            (14, 25),
+            (16, 38),
+            (20, 28),
+            (22, 33),
+        ]
+        .iter()
+        .enumerate()
         {
             let (src, dst) = (hosts[w.0], hosts[w.1]);
             let p = tables.path(src, dst).unwrap();
@@ -164,7 +189,10 @@ mod tests {
         }
         let p = map_profile(&net, &tables, &records, &MapperConfig::new(3));
         assert_eq!(p.part[a as usize], p.part[b as usize], "hot pair split");
-        assert_eq!(p.part[a as usize], p.part[router as usize], "host split from router");
+        assert_eq!(
+            p.part[a as usize], p.part[router as usize],
+            "host split from router"
+        );
     }
 
     #[test]
@@ -174,8 +202,16 @@ mod tests {
         let hosts = net.hosts();
         // Irregular measured load across several subtrees.
         let mut records = Vec::new();
-        for (i, w) in
-            [(0usize, 39usize), (3, 20), (7, 31), (11, 15), (18, 36), (25, 5)].iter().enumerate()
+        for (i, w) in [
+            (0usize, 39usize),
+            (3, 20),
+            (7, 31),
+            (11, 15),
+            (18, 36),
+            (25, 5),
+        ]
+        .iter()
+        .enumerate()
         {
             let (src, dst) = (hosts[w.0], hosts[w.1]);
             let p = tables.path(src, dst).unwrap();
@@ -216,7 +252,15 @@ mod tests {
         let hosts = net.hosts();
         let records = vec![
             record(net.routers()[2], 0, hosts[0], hosts[10], 500, 0, 1_000_000),
-            record(net.routers()[8], 1, hosts[12], hosts[30], 400, 3_000_000, 4_000_000),
+            record(
+                net.routers()[8],
+                1,
+                hosts[12],
+                hosts[30],
+                400,
+                3_000_000,
+                4_000_000,
+            ),
         ];
         let cfg = MapperConfig::new(3).with_memory_constraint(true);
         let p = map_profile(&net, &tables, &records, &cfg);

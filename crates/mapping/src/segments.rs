@@ -39,7 +39,9 @@ pub fn cluster_segments(
     let get = |n: usize, b: usize| node_loads[n].get(b).copied().unwrap_or(0);
 
     // Bucket totals and activity mask.
-    let totals: Vec<u64> = (0..nbuckets).map(|b| (0..nnodes).map(|n| get(n, b)).sum()).collect();
+    let totals: Vec<u64> = (0..nbuckets)
+        .map(|b| (0..nnodes).map(|n| get(n, b)).sum())
+        .collect();
     let active: Vec<bool> = totals.iter().map(|&t| t >= min_bucket_total).collect();
 
     // Smoothed dominating node per active bucket.
@@ -73,8 +75,11 @@ pub fn cluster_segments(
         }
     }
     boundaries.push(nbuckets);
-    let mut segments: Vec<Segment> =
-        boundaries.windows(2).map(|w| (w[0], w[1])).filter(|&(a, b)| a < b).collect();
+    let mut segments: Vec<Segment> = boundaries
+        .windows(2)
+        .map(|w| (w[0], w[1]))
+        .filter(|&(a, b)| a < b)
+        .collect();
 
     // Merge smallest adjacent pairs until within budget.
     let seg_total = |s: &Segment| -> u64 { (s.0..s.1).map(|b| totals[b]).sum() };

@@ -16,10 +16,20 @@
 
 use massf_engine::netflow::FlowRecord;
 use massf_graph::{CsrGraph, GraphBuilder, Weight};
+use massf_par::{par_indexed_map, Parallelism};
 use massf_routing::RoutingTables;
 use massf_topology::{Network, NodeId, NodeKind};
 use massf_traffic::PredictedFlow;
 use std::collections::HashMap;
+
+/// Flows per work block when fanning accumulation over threads.
+///
+/// Accumulators always process flows in fixed blocks of this size and
+/// merge the per-block partial sums in ascending block order, so the
+/// floating-point reduction tree — and therefore the bit pattern of every
+/// `f64` total — is a function of the input alone, never of the thread
+/// count or scheduling.
+const FLOW_BLOCK: usize = 4096;
 
 /// Numerator for the latency objective: `w = LATENCY_SCALE / latency_us`.
 pub const LATENCY_SCALE: f64 = 1_000_000.0;
@@ -41,7 +51,8 @@ fn build_graph(
         b.add_vertex(&w);
     }
     for (i, l) in net.links().iter().enumerate() {
-        b.add_edge(l.a, l.b, edge_weight(i)).expect("network links are valid edges");
+        b.add_edge(l.a, l.b, edge_weight(i))
+            .expect("network links are valid edges");
     }
     b.build().expect("network graph valid")
 }
@@ -63,30 +74,89 @@ pub fn latency_graph(net: &Network) -> CsrGraph {
     )
 }
 
+/// Fans `items` over threads in fixed [`FLOW_BLOCK`]-sized blocks; each
+/// block produces partial `(per_link, per_node)` vectors via `accumulate`
+/// and the partials are merged in ascending block order with `merge`.
+/// Serial and parallel runs share the identical blocked reduction
+/// structure, so results are bit-identical at every thread count.
+fn blocked_accumulate<T, L, N>(
+    par: Parallelism,
+    items: &[T],
+    nlinks: usize,
+    nnodes: usize,
+    accumulate: impl Fn(&T, &mut [L], &mut [N]) + Sync,
+    merge: impl Fn(&mut L, &L) + Copy,
+    merge_node: impl Fn(&mut N, &N) + Copy,
+) -> (Vec<L>, Vec<N>)
+where
+    T: Sync,
+    L: Clone + Default + Send + Sync,
+    N: Clone + Default + Send + Sync,
+{
+    let nblocks = items.len().div_ceil(FLOW_BLOCK).max(1);
+    let partials = par_indexed_map(par, nblocks, |b| {
+        let mut link = vec![L::default(); nlinks];
+        let mut node = vec![N::default(); nnodes];
+        let lo = b * FLOW_BLOCK;
+        let hi = items.len().min(lo + FLOW_BLOCK);
+        for item in &items[lo..hi] {
+            accumulate(item, &mut link, &mut node);
+        }
+        (link, node)
+    });
+    let mut per_link = vec![L::default(); nlinks];
+    let mut per_node = vec![N::default(); nnodes];
+    for (link, node) in partials {
+        for (acc, p) in per_link.iter_mut().zip(&link) {
+            merge(acc, p);
+        }
+        for (acc, p) in per_node.iter_mut().zip(&node) {
+            merge_node(acc, p);
+        }
+    }
+    (per_link, per_node)
+}
+
 /// Routes every predicted flow and accumulates per-link and per-node Mbps.
 /// Returns `(per_link, per_node)`; a flow contributes to every node on its
-/// path, endpoints included.
+/// path, endpoints included. Single-threaded reference path of
+/// [`accumulate_predicted_with`].
 pub fn accumulate_predicted(
     net: &Network,
     tables: &RoutingTables,
     flows: &[PredictedFlow],
 ) -> (Vec<f64>, Vec<f64>) {
-    let mut per_link = vec![0.0f64; net.link_count()];
-    let mut per_node = vec![0.0f64; net.node_count()];
-    for f in flows {
-        if f.src == f.dst {
-            continue;
-        }
-        let Some(links) = tables.path_links(f.src, f.dst) else { continue };
-        let Some(path) = tables.path(f.src, f.dst) else { continue };
-        for l in links {
-            per_link[l.0 as usize] += f.bandwidth_mbps;
-        }
-        for n in path {
-            per_node[n as usize] += f.bandwidth_mbps;
-        }
-    }
-    (per_link, per_node)
+    accumulate_predicted_with(net, tables, flows, Parallelism::serial())
+}
+
+/// [`accumulate_predicted`] fanned over up to `par` threads. The blocked
+/// in-order merge keeps every `f64` sum bit-identical across thread
+/// counts.
+pub fn accumulate_predicted_with(
+    net: &Network,
+    tables: &RoutingTables,
+    flows: &[PredictedFlow],
+    par: Parallelism,
+) -> (Vec<f64>, Vec<f64>) {
+    blocked_accumulate(
+        par,
+        flows,
+        net.link_count(),
+        net.node_count(),
+        |f: &PredictedFlow, per_link: &mut [f64], per_node: &mut [f64]| {
+            if f.src == f.dst {
+                return;
+            }
+            tables.for_each_hop(f.src, f.dst, |n, link| {
+                per_node[n as usize] += f.bandwidth_mbps;
+                if let Some(l) = link {
+                    per_link[l.0 as usize] += f.bandwidth_mbps;
+                }
+            });
+        },
+        |a, b| *a += *b,
+        |a, b| *a += *b,
+    )
 }
 
 /// PLACE's traffic view: edge weight ∝ predicted Mbps on the link, vertex
@@ -97,7 +167,17 @@ pub fn predicted_traffic_graph(
     tables: &RoutingTables,
     flows: &[PredictedFlow],
 ) -> CsrGraph {
-    let (per_link, per_node) = accumulate_predicted(net, tables, flows);
+    predicted_traffic_graph_with(net, tables, flows, Parallelism::serial())
+}
+
+/// [`predicted_traffic_graph`] with threaded accumulation.
+pub fn predicted_traffic_graph_with(
+    net: &Network,
+    tables: &RoutingTables,
+    flows: &[PredictedFlow],
+    par: Parallelism,
+) -> CsrGraph {
+    let (per_link, per_node) = accumulate_predicted_with(net, tables, flows, par);
     build_graph(
         net,
         1,
@@ -106,42 +186,101 @@ pub fn predicted_traffic_graph(
     )
 }
 
-/// Groups NetFlow records by flow: `(src, dst, packets)` where `packets`
-/// is the maximum seen at any single router (the flow's true packet count,
-/// robust to partial paths).
-pub fn flow_totals(records: &[FlowRecord]) -> Vec<(NodeId, NodeId, u64)> {
-    let mut per_flow: HashMap<u32, (NodeId, NodeId, u64)> = HashMap::new();
+/// One NetFlow flow reduced across every router that observed it: the
+/// packet count is the maximum seen at any single router (the flow's true
+/// count, robust to partial paths) and the activity window spans all
+/// sightings. This single aggregation pass feeds both [`flow_totals`] and
+/// [`node_time_loads`], which previously each re-scanned the records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FlowAggregate {
+    /// Source host.
+    pub src: NodeId,
+    /// Destination host.
+    pub dst: NodeId,
+    /// Packets (max over routers).
+    pub packets: u64,
+    /// Earliest sighting (µs).
+    pub first_us: u64,
+    /// Latest sighting (µs).
+    pub last_us: u64,
+}
+
+/// Groups NetFlow records by flow id into per-flow aggregates, sorted
+/// deterministically (by `(src, dst, packets, first_us, last_us)`).
+pub fn aggregate_flows(records: &[FlowRecord]) -> Vec<FlowAggregate> {
+    let mut per_flow: HashMap<u32, FlowAggregate> = HashMap::new();
     for r in records {
-        let e = per_flow.entry(r.flow).or_insert((r.src, r.dst, 0));
-        e.2 = e.2.max(r.packets);
+        let e = per_flow.entry(r.flow).or_insert(FlowAggregate {
+            src: r.src,
+            dst: r.dst,
+            packets: 0,
+            first_us: r.first_us,
+            last_us: r.last_us,
+        });
+        e.packets = e.packets.max(r.packets);
+        e.first_us = e.first_us.min(r.first_us);
+        e.last_us = e.last_us.max(r.last_us);
     }
     let mut v: Vec<_> = per_flow.into_values().collect();
     v.sort_unstable();
     v
 }
 
+/// Groups NetFlow records by flow: `(src, dst, packets)` where `packets`
+/// is the maximum seen at any single router (the flow's true packet count,
+/// robust to partial paths).
+pub fn flow_totals(records: &[FlowRecord]) -> Vec<(NodeId, NodeId, u64)> {
+    aggregate_flows(records)
+        .into_iter()
+        .map(|a| (a.src, a.dst, a.packets))
+        .collect()
+}
+
 /// Accumulates measured per-link and per-node *packet* counts from NetFlow
 /// dumps. Router loads come straight from the records; host endpoint loads
 /// and link crossings are reconstructed by routing each flow.
+/// Single-threaded reference path of [`accumulate_measured_with`].
 pub fn accumulate_measured(
     net: &Network,
     tables: &RoutingTables,
     records: &[FlowRecord],
 ) -> (Vec<u64>, Vec<u64>) {
-    let mut per_link = vec![0u64; net.link_count()];
-    let mut per_node = vec![0u64; net.node_count()];
+    accumulate_measured_with(net, tables, records, Parallelism::serial())
+}
+
+/// [`accumulate_measured`] fanned over up to `par` threads (the per-flow
+/// routing pass is the expensive part; the raw router-load scan stays
+/// serial). Counts are integers, but the same blocked in-order merge is
+/// used so the code path mirrors the predicted accumulator exactly.
+pub fn accumulate_measured_with(
+    net: &Network,
+    tables: &RoutingTables,
+    records: &[FlowRecord],
+    par: Parallelism,
+) -> (Vec<u64>, Vec<u64>) {
+    let aggregates = aggregate_flows(records);
+    let (per_link, mut per_node) = blocked_accumulate(
+        par,
+        &aggregates,
+        net.link_count(),
+        net.node_count(),
+        |a: &FlowAggregate, per_link: &mut [u64], per_node: &mut [u64]| {
+            // Endpoint hosts process one event per packet (inject / deliver).
+            per_node[a.src as usize] += a.packets;
+            per_node[a.dst as usize] += a.packets;
+            if a.src != a.dst {
+                tables.for_each_hop(a.src, a.dst, |_, link| {
+                    if let Some(l) = link {
+                        per_link[l.0 as usize] += a.packets;
+                    }
+                });
+            }
+        },
+        |acc, p| *acc += *p,
+        |acc, p| *acc += *p,
+    );
     for r in records {
         per_node[r.router as usize] += r.packets;
-    }
-    for (src, dst, packets) in flow_totals(records) {
-        // Endpoint hosts process one event per packet (inject / deliver).
-        per_node[src as usize] += packets;
-        per_node[dst as usize] += packets;
-        if let Some(links) = tables.path_links(src, dst) {
-            for l in links {
-                per_link[l.0 as usize] += packets;
-            }
-        }
     }
     (per_link, per_node)
 }
@@ -152,7 +291,17 @@ pub fn measured_traffic_graph(
     tables: &RoutingTables,
     records: &[FlowRecord],
 ) -> CsrGraph {
-    let (per_link, per_node) = accumulate_measured(net, tables, records);
+    measured_traffic_graph_with(net, tables, records, Parallelism::serial())
+}
+
+/// [`measured_traffic_graph`] with threaded accumulation.
+pub fn measured_traffic_graph_with(
+    net: &Network,
+    tables: &RoutingTables,
+    records: &[FlowRecord],
+    par: Parallelism,
+) -> CsrGraph {
+    let (per_link, per_node) = accumulate_measured_with(net, tables, records, par);
     build_graph(
         net,
         1,
@@ -164,11 +313,7 @@ pub fn measured_traffic_graph(
 /// Per-node load over virtual-time buckets, `[node][bucket]`, spreading
 /// each record's packets uniformly over its observed duration. Feeds the
 /// §3.3 phase clustering.
-pub fn node_time_loads(
-    net: &Network,
-    records: &[FlowRecord],
-    bucket_us: u64,
-) -> Vec<Vec<u64>> {
+pub fn node_time_loads(net: &Network, records: &[FlowRecord], bucket_us: u64) -> Vec<Vec<u64>> {
     let bucket_us = bucket_us.max(1);
     let nbuckets = records
         .iter()
@@ -189,21 +334,12 @@ pub fn node_time_loads(
         spread(r.router, r.packets, r.first_us, r.last_us);
     }
     // Endpoint hosts mirror their flows' activity windows.
-    let mut flow_span: HashMap<u32, (NodeId, NodeId, u64, u64, u64)> = HashMap::new();
-    for r in records {
-        let e = flow_span.entry(r.flow).or_insert((r.src, r.dst, 0, r.first_us, r.last_us));
-        e.2 = e.2.max(r.packets);
-        e.3 = e.3.min(r.first_us);
-        e.4 = e.4.max(r.last_us);
-    }
-    let mut spans: Vec<_> = flow_span.into_values().collect();
-    spans.sort_unstable();
-    for (src, dst, packets, first, last) in spans {
-        if net.node(src).kind == NodeKind::Host {
-            spread(src, packets, first, last);
+    for a in aggregate_flows(records) {
+        if net.node(a.src).kind == NodeKind::Host {
+            spread(a.src, a.packets, a.first_us, a.last_us);
         }
-        if net.node(dst).kind == NodeKind::Host {
-            spread(dst, packets, first, last);
+        if net.node(a.dst).kind == NodeKind::Host {
+            spread(a.dst, a.packets, a.first_us, a.last_us);
         }
     }
     loads
@@ -212,7 +348,9 @@ pub fn node_time_loads(
 /// Overlays new vertex weights (possibly multi-constraint) onto a weighted
 /// view, keeping its edge weights.
 pub fn with_vertex_weights(graph: &CsrGraph, ncon: usize, vwgt: Vec<Weight>) -> CsrGraph {
-    graph.with_vertex_weights(ncon, vwgt).expect("weight overlay arity matches")
+    graph
+        .with_vertex_weights(ncon, vwgt)
+        .expect("weight overlay arity matches")
 }
 
 /// Appends the memory-model weights (§5, `m = 10 + x²`) as an extra
@@ -277,12 +415,18 @@ mod tests {
     fn predicted_accumulation_routes_flows() {
         let net = line();
         let tables = RoutingTables::build(&net);
-        let flows =
-            vec![PredictedFlow { src: 0, dst: 3, bandwidth_mbps: 10.0 }, PredictedFlow {
+        let flows = vec![
+            PredictedFlow {
+                src: 0,
+                dst: 3,
+                bandwidth_mbps: 10.0,
+            },
+            PredictedFlow {
                 src: 3,
                 dst: 0,
                 bandwidth_mbps: 2.5,
-            }];
+            },
+        ];
         let (per_link, per_node) = accumulate_predicted(&net, &tables, &flows);
         for l in 0..3 {
             assert!((per_link[l] - 12.5).abs() < 1e-9, "link {l}");

@@ -16,7 +16,11 @@ pub fn load_imbalance(loads: &[u64]) -> f64 {
     if mean == 0.0 {
         return 0.0;
     }
-    let var = loads.iter().map(|&k| (k as f64 - mean).powi(2)).sum::<f64>() / n;
+    let var = loads
+        .iter()
+        .map(|&k| (k as f64 - mean).powi(2))
+        .sum::<f64>()
+        / n;
     var.sqrt() / mean
 }
 

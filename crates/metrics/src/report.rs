@@ -1,9 +1,11 @@
 //! Text tables and JSON export for the figure/table regenerators.
-
-use serde::Serialize;
+//!
+//! JSON is emitted by hand (no serde available offline): 2-space pretty
+//! format, `f64` values printed with `{:?}` so whole numbers keep a
+//! trailing `.0` (matching `serde_json::to_string_pretty` output).
 
 /// One cell value in a result table.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct Cell {
     /// Row label (e.g. topology or metric name).
     pub row: String,
@@ -14,7 +16,7 @@ pub struct Cell {
 }
 
 /// A named grid of results, rendered as text or JSON.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct ResultTable {
     /// Table/figure id, e.g. "fig4".
     pub id: String,
@@ -31,7 +33,13 @@ pub struct ResultTable {
 impl ResultTable {
     /// Creates an empty table.
     pub fn new(id: impl Into<String>, caption: impl Into<String>) -> Self {
-        Self { id: id.into(), caption: caption.into(), rows: vec![], cols: vec![], cells: vec![] }
+        Self {
+            id: id.into(),
+            caption: caption.into(),
+            rows: vec![],
+            cols: vec![],
+            cells: vec![],
+        }
     }
 
     /// Inserts (or overwrites) a cell, registering its row/column labels.
@@ -53,7 +61,10 @@ impl ResultTable {
 
     /// Looks up a cell.
     pub fn get(&self, row: &str, col: &str) -> Option<f64> {
-        self.cells.iter().find(|c| c.row == row && c.col == col).map(|c| c.value)
+        self.cells
+            .iter()
+            .find(|c| c.row == row && c.col == col)
+            .map(|c| c.value)
     }
 
     /// Renders an aligned text table with `precision` decimals.
@@ -63,11 +74,21 @@ impl ResultTable {
             .cols
             .iter()
             .map(|c| c.len())
-            .chain(self.cells.iter().map(|c| format!("{:.precision$}", c.value).len()))
+            .chain(
+                self.cells
+                    .iter()
+                    .map(|c| format!("{:.precision$}", c.value).len()),
+            )
             .max()
             .unwrap_or(8)
             .max(8);
-        let row_w = self.rows.iter().map(String::len).max().unwrap_or(10).max(10);
+        let row_w = self
+            .rows
+            .iter()
+            .map(String::len)
+            .max()
+            .unwrap_or(10)
+            .max(10);
         out.push_str(&format!("{:row_w$}", ""));
         for c in &self.cols {
             out.push_str(&format!(" {c:>width$}"));
@@ -88,8 +109,73 @@ impl ResultTable {
 
     /// Serializes to pretty JSON (for EXPERIMENTS.md bookkeeping).
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("table serializes")
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"id\": {},\n", json_str(&self.id)));
+        out.push_str(&format!("  \"caption\": {},\n", json_str(&self.caption)));
+        out.push_str(&format!("  \"rows\": {},\n", json_str_array(&self.rows, 2)));
+        out.push_str(&format!("  \"cols\": {},\n", json_str_array(&self.cols, 2)));
+        if self.cells.is_empty() {
+            out.push_str("  \"cells\": []\n");
+        } else {
+            out.push_str("  \"cells\": [\n");
+            for (i, c) in self.cells.iter().enumerate() {
+                out.push_str("    {\n");
+                out.push_str(&format!("      \"row\": {},\n", json_str(&c.row)));
+                out.push_str(&format!("      \"col\": {},\n", json_str(&c.col)));
+                out.push_str(&format!("      \"value\": {}\n", json_f64(c.value)));
+                out.push_str(if i + 1 < self.cells.len() {
+                    "    },\n"
+                } else {
+                    "    }\n"
+                });
+            }
+            out.push_str("  ]\n");
+        }
+        out.push('}');
+        out
     }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Emits an f64 the way serde_json does: `2.0` not `2`, and non-finite
+/// values as `null`.
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Pretty-prints a string array at the given indent depth (spaces).
+fn json_str_array(items: &[String], indent: usize) -> String {
+    if items.is_empty() {
+        return "[]".to_string();
+    }
+    let pad = " ".repeat(indent);
+    let inner: Vec<String> = items
+        .iter()
+        .map(|s| format!("{pad}  {}", json_str(s)))
+        .collect();
+    format!("[\n{}\n{pad}]", inner.join(",\n"))
 }
 
 /// Renders a simple horizontal bar chart line (for series figures in a

@@ -18,10 +18,16 @@ pub fn imbalance_series(window_series: &[Vec<u64>], min_events: u64) -> Vec<f64>
     };
     let mut out = Vec::with_capacity(buckets);
     for b in 0..buckets {
-        let loads: Vec<u64> =
-            window_series.iter().map(|e| e.get(b).copied().unwrap_or(0)).collect();
+        let loads: Vec<u64> = window_series
+            .iter()
+            .map(|e| e.get(b).copied().unwrap_or(0))
+            .collect();
         let total: u64 = loads.iter().sum();
-        out.push(if total < min_events { 0.0 } else { load_imbalance(&loads) });
+        out.push(if total < min_events {
+            0.0
+        } else {
+            load_imbalance(&loads)
+        });
     }
     out
 }
@@ -33,7 +39,12 @@ pub fn total_series(window_series: &[Vec<u64>]) -> Vec<u64> {
         return Vec::new();
     };
     (0..buckets)
-        .map(|b| window_series.iter().map(|e| e.get(b).copied().unwrap_or(0)).sum())
+        .map(|b| {
+            window_series
+                .iter()
+                .map(|e| e.get(b).copied().unwrap_or(0))
+                .sum()
+        })
         .collect()
 }
 

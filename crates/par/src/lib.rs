@@ -1,0 +1,231 @@
+//! Deterministic parallelism primitives for the mapping pipeline.
+//!
+//! Everything here is built on `std::thread::scope` — no external thread
+//! pool — and is designed so that **results are a pure function of the
+//! inputs, never of the thread count or scheduling**:
+//!
+//! * [`Parallelism`] is the thread-count knob plumbed through the
+//!   pipeline. [`Parallelism::serial`] (1 thread) runs the exact
+//!   sequential code path with zero thread machinery.
+//! * [`par_indexed_map`] fans an indexed computation over worker threads
+//!   and returns results in index order, so any subsequent reduction
+//!   happens in a fixed order regardless of which thread computed what.
+//! * [`par_chunks_mut`] hands disjoint consecutive chunks of a mutable
+//!   slice to workers — the shape used by routing-table construction,
+//!   where worker `t` fills rows `t`, `t+k`, … of a flat matrix.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// How many worker threads a parallel stage may use.
+///
+/// `Parallelism(1)` is a strict promise: the stage runs the plain
+/// sequential loop on the calling thread (no scope, no atomics), so it
+/// can serve as the reference implementation in determinism tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Parallelism(NonZeroUsize);
+
+impl Parallelism {
+    /// Exactly one thread: the sequential reference path.
+    pub fn serial() -> Self {
+        Self(NonZeroUsize::MIN)
+    }
+
+    /// `threads` workers; zero is clamped to one.
+    pub fn new(threads: usize) -> Self {
+        Self(NonZeroUsize::new(threads.max(1)).expect("max(1) is nonzero"))
+    }
+
+    /// One worker per available CPU (the default), falling back to 1
+    /// when the count is unavailable.
+    pub fn available() -> Self {
+        Self(std::thread::available_parallelism().unwrap_or(NonZeroUsize::MIN))
+    }
+
+    /// The worker count.
+    pub fn get(self) -> usize {
+        self.0.get()
+    }
+
+    /// True when this runs the sequential reference path.
+    pub fn is_serial(self) -> bool {
+        self.get() == 1
+    }
+
+    /// Caps the worker count at `n` (useful when there are fewer work
+    /// items than threads).
+    pub fn capped(self, n: usize) -> Self {
+        Self::new(self.get().min(n.max(1)))
+    }
+}
+
+impl Default for Parallelism {
+    fn default() -> Self {
+        Self::available()
+    }
+}
+
+impl std::fmt::Display for Parallelism {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.get())
+    }
+}
+
+/// Computes `f(0), f(1), …, f(n-1)` on up to `par` threads and returns
+/// the results **in index order**.
+///
+/// Work is handed out via an atomic counter, so scheduling is dynamic,
+/// but because every result is placed at its own index the output — and
+/// any in-order fold over it — is identical for every thread count.
+/// With `par` serial (or `n < 2`) this is a plain sequential map.
+pub fn par_indexed_map<R, F>(par: Parallelism, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let workers = par.capped(n).get();
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut partials: Vec<Vec<(usize, R)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut mine = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        mine.push((i, f(i)));
+                    }
+                    mine
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_indexed_map worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    for (i, r) in partials.drain(..).flatten() {
+        slots[i] = Some(r);
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index computed exactly once"))
+        .collect()
+}
+
+/// Splits `data` into consecutive chunks of `chunk_len` and runs
+/// `f(chunk_index, chunk)` for each on up to `par` threads.
+///
+/// Chunks are disjoint `&mut` slices, so workers never race; which
+/// worker processes which chunk cannot affect the result as long as `f`
+/// writes only through its chunk (the borrow checker enforces exactly
+/// that). With `par` serial this is a plain sequential loop.
+///
+/// # Panics
+/// Panics if `chunk_len == 0` while `data` is non-empty.
+pub fn par_chunks_mut<T, F>(par: Parallelism, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if data.is_empty() {
+        return;
+    }
+    assert!(chunk_len > 0, "par_chunks_mut: chunk_len must be positive");
+    let nchunks = data.len().div_ceil(chunk_len);
+    if par.capped(nchunks).get() <= 1 {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let work: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let queue = std::sync::Mutex::new(work);
+    let workers = par.capped(nchunks).get();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let item = queue.lock().expect("queue lock").pop();
+                match item {
+                    Some((i, chunk)) => f(i, chunk),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallelism_basics() {
+        assert!(Parallelism::serial().is_serial());
+        assert_eq!(Parallelism::new(0).get(), 1);
+        assert_eq!(Parallelism::new(8).capped(3).get(), 3);
+        assert_eq!(Parallelism::new(2).capped(0).get(), 1);
+        assert!(Parallelism::available().get() >= 1);
+        assert_eq!(format!("{}", Parallelism::new(4)), "4");
+    }
+
+    #[test]
+    fn indexed_map_orders_results() {
+        for threads in [1, 2, 4, 7] {
+            let got = par_indexed_map(Parallelism::new(threads), 100, |i| i * i);
+            let want: Vec<usize> = (0..100).map(|i| i * i).collect();
+            assert_eq!(got, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn indexed_map_empty_and_single() {
+        assert_eq!(
+            par_indexed_map(Parallelism::new(4), 0, |i| i),
+            Vec::<usize>::new()
+        );
+        assert_eq!(
+            par_indexed_map(Parallelism::new(4), 1, |i| i + 10),
+            vec![10]
+        );
+    }
+
+    #[test]
+    fn indexed_map_matches_serial_for_float_folds() {
+        // The in-order guarantee means an in-order fold is bit-identical.
+        let serial = par_indexed_map(Parallelism::serial(), 1000, |i| 1.0f64 / (i as f64 + 1.0));
+        let threaded = par_indexed_map(Parallelism::new(4), 1000, |i| 1.0f64 / (i as f64 + 1.0));
+        let fold = |v: &[f64]| v.iter().fold(0.0f64, |a, b| a + b).to_bits();
+        assert_eq!(fold(&serial), fold(&threaded));
+    }
+
+    #[test]
+    fn chunks_mut_covers_all_elements() {
+        for threads in [1, 2, 5] {
+            let mut v = vec![0u32; 103];
+            par_chunks_mut(Parallelism::new(threads), &mut v, 10, |ci, chunk| {
+                for (j, x) in chunk.iter_mut().enumerate() {
+                    *x = (ci * 10 + j) as u32;
+                }
+            });
+            let want: Vec<u32> = (0..103).collect();
+            assert_eq!(v, want, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chunks_mut_empty_slice_is_noop() {
+        let mut v: Vec<u8> = vec![];
+        par_chunks_mut(Parallelism::new(4), &mut v, 0, |_, _| unreachable!());
+    }
+}

@@ -98,10 +98,14 @@ pub fn heavy_edge_matching<R: Rng>(g: &CsrGraph, rng: &mut R) -> CoarseLevel {
     }
     for (cv, map) in maps.into_iter().enumerate() {
         for (cu, w) in map {
-            b.add_edge(cv as VertexId, cu, w).expect("coarse edge valid by construction");
+            b.add_edge(cv as VertexId, cu, w)
+                .expect("coarse edge valid by construction");
         }
     }
-    CoarseLevel { graph: b.build().expect("coarse graph valid"), coarse_of }
+    CoarseLevel {
+        graph: b.build().expect("coarse graph valid"),
+        coarse_of,
+    }
 }
 
 /// Coarsens repeatedly until the graph has at most `target` vertices or the
@@ -162,8 +166,14 @@ mod tests {
         let g = grid(8, 8);
         let lvl = heavy_edge_matching(&g, &mut rng());
         assert!(lvl.graph.nvtxs() <= g.nvtxs());
-        assert!(lvl.graph.nvtxs() >= g.nvtxs() / 2, "cannot shrink below half");
-        assert!(lvl.graph.nvtxs() < (g.nvtxs() * 7) / 10, "should match most vertices");
+        assert!(
+            lvl.graph.nvtxs() >= g.nvtxs() / 2,
+            "cannot shrink below half"
+        );
+        assert!(
+            lvl.graph.nvtxs() < (g.nvtxs() * 7) / 10,
+            "should match most vertices"
+        );
     }
 
     #[test]
@@ -192,7 +202,10 @@ mod tests {
             groups[c as usize].push(v as VertexId);
         }
         for grp in groups {
-            assert!(grp.len() <= 2, "matching contracted more than a pair: {grp:?}");
+            assert!(
+                grp.len() <= 2,
+                "matching contracted more than a pair: {grp:?}"
+            );
             if let [a, b] = grp[..] {
                 assert!(g.has_edge(a, b), "matched non-adjacent pair {a},{b}");
             }
@@ -218,7 +231,11 @@ mod tests {
         let levels = coarsen_to(&g, 12, &mut rng());
         assert!(!levels.is_empty());
         let coarsest = &levels.last().unwrap().graph;
-        assert!(coarsest.nvtxs() <= 25, "coarsest too big: {}", coarsest.nvtxs());
+        assert!(
+            coarsest.nvtxs() <= 25,
+            "coarsest too big: {}",
+            coarsest.nvtxs()
+        );
         // Total weight preserved through every level.
         assert_eq!(coarsest.total_vertex_weight(), g.total_vertex_weight());
     }

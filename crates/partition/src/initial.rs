@@ -75,7 +75,9 @@ pub fn bisect<R: Rng>(g: &CsrGraph, frac: f64, ubs: &[f64], rng: &mut R) -> Vec<
     }
     if side.iter().all(|&s| s == 0) {
         // Give the lightest vertex back to side 1.
-        let v = (0..n).min_by_key(|&v| g.vertex_weight0(v as VertexId)).expect("n >= 2");
+        let v = (0..n)
+            .min_by_key(|&v| g.vertex_weight0(v as VertexId))
+            .expect("n >= 2");
         side[v] = 1;
     }
 
@@ -105,7 +107,11 @@ pub fn bisect<R: Rng>(g: &CsrGraph, frac: f64, ubs: &[f64], rng: &mut R) -> Vec<
 
     for _pass in 0..6 {
         let mut boundary: Vec<VertexId> = (0..n as VertexId)
-            .filter(|&v| g.neighbors(v).iter().any(|&u| side[u as usize] != side[v as usize]))
+            .filter(|&v| {
+                g.neighbors(v)
+                    .iter()
+                    .any(|&u| side[u as usize] != side[v as usize])
+            })
             .collect();
         boundary.shuffle(rng);
         let mut moved = 0;
@@ -174,7 +180,15 @@ pub fn initial_partition<R: Rng>(
         nparts
     );
     let mut part = vec![0u32; g.nvtxs()];
-    recurse(g, 0, fractions, ubs, rng, &mut part, &(0..g.nvtxs() as VertexId).collect::<Vec<_>>());
+    recurse(
+        g,
+        0,
+        fractions,
+        ubs,
+        rng,
+        &mut part,
+        &(0..g.nvtxs() as VertexId).collect::<Vec<_>>(),
+    );
     part
 }
 
@@ -203,10 +217,12 @@ fn recurse<R: Rng>(
     let frac = left / all;
     let side = bisect(g, frac, ubs, rng);
 
-    let keep0: Vec<VertexId> =
-        (0..g.nvtxs() as VertexId).filter(|&v| side[v as usize] == 0).collect();
-    let keep1: Vec<VertexId> =
-        (0..g.nvtxs() as VertexId).filter(|&v| side[v as usize] == 1).collect();
+    let keep0: Vec<VertexId> = (0..g.nvtxs() as VertexId)
+        .filter(|&v| side[v as usize] == 0)
+        .collect();
+    let keep1: Vec<VertexId> = (0..g.nvtxs() as VertexId)
+        .filter(|&v| side[v as usize] == 1)
+        .collect();
     debug_assert!(!keep0.is_empty() && !keep1.is_empty());
 
     // Guarantee each side can host its parts; shift vertices if the split is
@@ -217,8 +233,24 @@ fn recurse<R: Rng>(
     let sub1 = induced_subgraph(g, &keep1);
     let parents0: Vec<VertexId> = keep0.iter().map(|&v| parents[v as usize]).collect();
     let parents1: Vec<VertexId> = keep1.iter().map(|&v| parents[v as usize]).collect();
-    recurse(&sub0.graph, first_part, &fractions[..k1], ubs, rng, out, &parents0);
-    recurse(&sub1.graph, first_part + k1 as u32, &fractions[k1..], ubs, rng, out, &parents1);
+    recurse(
+        &sub0.graph,
+        first_part,
+        &fractions[..k1],
+        ubs,
+        rng,
+        out,
+        &parents0,
+    );
+    recurse(
+        &sub1.graph,
+        first_part + k1 as u32,
+        &fractions[k1..],
+        ubs,
+        rng,
+        out,
+        &parents1,
+    );
 }
 
 /// Ensures `|side i| >= ki` by moving the lightest vertices across.
@@ -358,8 +390,10 @@ mod tests {
         // The heavy vertex must sit alone-ish: its side should not also hold
         // most light vertices.
         let heavy_side = side[0];
-        let light_with_heavy =
-            (1..10).filter(|&v| side[v] == heavy_side).count();
-        assert!(light_with_heavy <= 4, "heavy side also got {light_with_heavy} light vertices");
+        let light_with_heavy = (1..10).filter(|&v| side[v] == heavy_side).count();
+        assert!(
+            light_with_heavy <= 4,
+            "heavy side also got {light_with_heavy} light vertices"
+        );
     }
 }

@@ -32,7 +32,10 @@ pub fn multilevel_kway(g: &CsrGraph, cfg: &PartitionConfig) -> Partitioning {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
 
     if cfg.nparts == 1 {
-        return Partitioning { part: vec![0; g.nvtxs()], nparts: 1 };
+        return Partitioning {
+            part: vec![0; g.nvtxs()],
+            nparts: 1,
+        };
     }
 
     let target = cfg.coarsen_to.max(4 * cfg.nparts);
@@ -43,7 +46,10 @@ pub fn multilevel_kway(g: &CsrGraph, cfg: &PartitionConfig) -> Partitioning {
     let spec = match &cfg.target_fractions {
         Some(f) => {
             assert_eq!(f.len(), cfg.nparts, "one target fraction per part");
-            BalanceSpec { ubs: ubs.clone(), fractions: f.clone() }
+            BalanceSpec {
+                ubs: ubs.clone(),
+                fractions: f.clone(),
+            }
         }
         None => BalanceSpec::uniform(cfg.nparts, ubs.clone()),
     };
@@ -75,7 +81,10 @@ pub fn multilevel_kway(g: &CsrGraph, cfg: &PartitionConfig) -> Partitioning {
     }
 
     debug_assert_eq!(part.len(), g.nvtxs());
-    Partitioning { part, nparts: cfg.nparts }
+    Partitioning {
+        part,
+        nparts: cfg.nparts,
+    }
 }
 
 #[cfg(test)]

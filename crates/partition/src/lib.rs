@@ -91,6 +91,11 @@ pub struct PartitionConfig {
     /// fractions proportional to engine speeds extends the mapper to
     /// heterogeneous resources (the §5 limitation).
     pub target_fractions: Option<Vec<f64>>,
+    /// Worker threads for the best-of-`restarts` search. Each restart is
+    /// an independent seeded run, and the winner is chosen by replaying
+    /// the sequential selection fold over the index-ordered results, so
+    /// the chosen partition is identical at every thread count.
+    pub threads: Parallelism,
 }
 
 impl PartitionConfig {
@@ -106,6 +111,7 @@ impl PartitionConfig {
             restarts: 6,
             ub_vec: None,
             target_fractions: None,
+            threads: Parallelism::serial(),
         }
     }
 
@@ -145,6 +151,18 @@ impl PartitionConfig {
         self.ubfactor = ub;
         self
     }
+
+    /// Returns `self` running restarts on up to `par` threads.
+    pub fn with_threads(mut self, par: Parallelism) -> Self {
+        self.threads = par;
+        self
+    }
+
+    /// Returns `self` with a different best-of-`restarts` search width.
+    pub fn with_restarts(mut self, restarts: usize) -> Self {
+        self.restarts = restarts.max(1);
+        self
+    }
 }
 
 /// A k-way partition of a graph.
@@ -180,14 +198,18 @@ impl Partitioning {
 /// Partitions `g` into `cfg.nparts` parts, minimizing edge cut subject to
 /// balancing every vertex-weight component.
 ///
-/// Runs `cfg.restarts` independent multilevel passes and keeps the best
-/// partition: feasible-balance results are preferred, then lower edge cut,
-/// then lower worst balance. Deterministic in `cfg.seed`.
+/// Runs `cfg.restarts` independent multilevel passes (concurrently when
+/// `cfg.threads` allows) and keeps the best partition: feasible-balance
+/// results are preferred, then lower edge cut, then lower worst balance.
+/// Each restart is seeded `cfg.seed + i` and scored independently; the
+/// winner is selected by folding the index-ordered results with the same
+/// predicate the sequential loop used, so the result is deterministic in
+/// `cfg.seed` and identical at every thread count.
 pub fn partition_kway(g: &CsrGraph, cfg: &PartitionConfig) -> Partitioning {
     let restarts = cfg.restarts.max(1);
-    let mut best: Option<(bool, Weight, f64, Partitioning)> = None;
-    for i in 0..restarts as u64 {
-        let attempt = kway::multilevel_kway(g, &cfg.clone().with_seed(cfg.seed.wrapping_add(i)));
+    let scored = par_indexed_map(cfg.threads, restarts, |i| {
+        let attempt =
+            kway::multilevel_kway(g, &cfg.clone().with_seed(cfg.seed.wrapping_add(i as u64)));
         let cut = quality::edge_cut(g, &attempt.part);
         let bal = quality::worst_balance(g, &attempt.part, cfg.nparts);
 
@@ -195,6 +217,10 @@ pub fn partition_kway(g: &CsrGraph, cfg: &PartitionConfig) -> Partitioning {
         let feasible = (0..g.ncon()).all(|c| {
             quality::target_balance(g, &attempt.part, &fractions, c) <= cfg.ub_for(c) + 1e-9
         });
+        (feasible, cut, bal, attempt)
+    });
+    let mut best: Option<(bool, Weight, f64, Partitioning)> = None;
+    for (feasible, cut, bal, attempt) in scored {
         let better = match &best {
             None => true,
             Some((bf, bc, bb, _)) => {
@@ -210,3 +236,4 @@ pub fn partition_kway(g: &CsrGraph, cfg: &PartitionConfig) -> Partitioning {
 }
 
 use massf_graph::Weight;
+use massf_par::{par_indexed_map, Parallelism};

@@ -47,8 +47,16 @@ pub fn combine_edge_weights(
     c_bw: Weight,
     p: f64,
 ) -> CsrGraph {
-    assert_eq!(g_latency.nvtxs(), g_bandwidth.nvtxs(), "objective graphs differ in vertices");
-    assert_eq!(g_latency.adjncy(), g_bandwidth.adjncy(), "objective graphs differ in structure");
+    assert_eq!(
+        g_latency.nvtxs(),
+        g_bandwidth.nvtxs(),
+        "objective graphs differ in vertices"
+    );
+    assert_eq!(
+        g_latency.adjncy(),
+        g_bandwidth.adjncy(),
+        "objective graphs differ in structure"
+    );
     assert!((0.0..=1.0).contains(&p), "priority p must be in [0, 1]");
     let cl = c_lat.max(1) as f64;
     let cb = c_bw.max(1) as f64;
@@ -77,7 +85,12 @@ pub fn combine_and_partition(
 
     let combined_graph = combine_edge_weights(g_latency, g_bandwidth, c_lat, c_bw, p);
     let partitioning = partition_kway(&combined_graph, cfg);
-    MultiObjectiveResult { partitioning, latency_cut: c_lat, bandwidth_cut: c_bw, combined_graph }
+    MultiObjectiveResult {
+        partitioning,
+        latency_cut: c_lat,
+        bandwidth_cut: c_bw,
+        combined_graph,
+    }
 }
 
 #[cfg(test)]

@@ -100,7 +100,9 @@ pub fn report(g: &CsrGraph, p: &Partitioning) -> QualityReport {
     QualityReport {
         edge_cut: edge_cut(g, &p.part),
         cut_edges: cut_edge_count(g, &p.part),
-        balance: (0..g.ncon()).map(|c| balance(g, &p.part, p.nparts, c)).collect(),
+        balance: (0..g.ncon())
+            .map(|c| balance(g, &p.part, p.nparts, c))
+            .collect(),
         part_sizes: p.part_sizes(),
     }
 }
@@ -174,7 +176,10 @@ mod tests {
     #[test]
     fn report_bundles_everything() {
         let g = path4();
-        let p = Partitioning { part: vec![0, 0, 1, 1], nparts: 2 };
+        let p = Partitioning {
+            part: vec![0, 0, 1, 1],
+            nparts: 2,
+        };
         let r = report(&g, &p);
         assert_eq!(r.edge_cut, 7);
         assert_eq!(r.cut_edges, 1);

@@ -25,15 +25,24 @@ impl BalanceSpec {
     /// Uniform targets over `nparts` parts.
     pub fn uniform(nparts: usize, ubs: Vec<f64>) -> Self {
         assert!(nparts >= 1);
-        Self { ubs, fractions: vec![1.0 / nparts as f64; nparts] }
+        Self {
+            ubs,
+            fractions: vec![1.0 / nparts as f64; nparts],
+        }
     }
 
     /// Targets proportional to `capacities` (e.g. relative engine speeds).
     pub fn proportional(capacities: &[f64], ubs: Vec<f64>) -> Self {
         assert!(!capacities.is_empty());
-        assert!(capacities.iter().all(|&c| c > 0.0), "capacities must be positive");
+        assert!(
+            capacities.iter().all(|&c| c > 0.0),
+            "capacities must be positive"
+        );
         let total: f64 = capacities.iter().sum();
-        Self { ubs, fractions: capacities.iter().map(|&c| c / total).collect() }
+        Self {
+            ubs,
+            fractions: capacities.iter().map(|&c| c / total).collect(),
+        }
     }
 
     /// Number of parts.
@@ -44,7 +53,10 @@ impl BalanceSpec {
     fn validate(&self, ncon: usize) {
         assert_eq!(self.ubs.len(), ncon, "one tolerance per constraint");
         let sum: f64 = self.fractions.iter().sum();
-        assert!((sum - 1.0).abs() < 1e-6, "fractions must sum to 1, got {sum}");
+        assert!(
+            (sum - 1.0).abs() < 1e-6,
+            "fractions must sum to 1, got {sum}"
+        );
         assert!(self.fractions.iter().all(|&f| f > 0.0));
     }
 }
@@ -84,7 +96,13 @@ impl Balancer {
                 max_allowed[p * ncon + c] = (cap.ceil() as Weight).max(1);
             }
         }
-        Self { ncon, nparts, pw, sizes, max_allowed }
+        Self {
+            ncon,
+            nparts,
+            pw,
+            sizes,
+            max_allowed,
+        }
     }
 
     #[inline]
@@ -151,7 +169,10 @@ struct ConnScratch {
 
 impl ConnScratch {
     fn new(nparts: usize) -> Self {
-        Self { conn: vec![0; nparts], touched: Vec::with_capacity(nparts) }
+        Self {
+            conn: vec![0; nparts],
+            touched: Vec::with_capacity(nparts),
+        }
     }
 
     fn compute(&mut self, g: &CsrGraph, part: &[u32], v: VertexId) {
@@ -191,7 +212,11 @@ pub fn kway_refine<R: Rng>(
     for _ in 0..passes {
         // Boundary = vertices with at least one neighbour in another part.
         let mut boundary: Vec<VertexId> = (0..g.nvtxs() as VertexId)
-            .filter(|&v| g.neighbors(v).iter().any(|&u| part[u as usize] != part[v as usize]))
+            .filter(|&v| {
+                g.neighbors(v)
+                    .iter()
+                    .any(|&u| part[u as usize] != part[v as usize])
+            })
             .collect();
         boundary.shuffle(rng);
 
@@ -258,12 +283,7 @@ pub fn kway_refine<R: Rng>(
 ///
 /// Used after projecting an initial partition to a finer level, where coarse
 /// granularity can leave parts overweight.
-pub fn rebalance<R: Rng>(
-    g: &CsrGraph,
-    part: &mut [u32],
-    spec: &BalanceSpec,
-    rng: &mut R,
-) -> usize {
+pub fn rebalance<R: Rng>(g: &CsrGraph, part: &mut [u32], spec: &BalanceSpec, rng: &mut R) -> usize {
     let nparts = spec.nparts();
     let mut bal = Balancer::new(g, part, spec);
     let mut scratch = ConnScratch::new(nparts);
@@ -356,8 +376,18 @@ mod tests {
         let g = two_cliques();
         // Balanced but awful start: alternate vertices.
         let mut part = vec![0, 1, 0, 1, 0, 1, 0, 1];
-        kway_refine(&g, &mut part, &BalanceSpec::uniform(2, vec![1.1]), 12, &mut rng());
-        assert_eq!(edge_cut(&g, &part), 1, "should cut only the bridge, part = {part:?}");
+        kway_refine(
+            &g,
+            &mut part,
+            &BalanceSpec::uniform(2, vec![1.1]),
+            12,
+            &mut rng(),
+        );
+        assert_eq!(
+            edge_cut(&g, &part),
+            1,
+            "should cut only the bridge, part = {part:?}"
+        );
         // All of each clique in one part.
         assert!(part[0..4].iter().all(|&p| p == part[0]));
         assert!(part[4..8].iter().all(|&p| p == part[4]));
@@ -369,7 +399,13 @@ mod tests {
         let g = two_cliques();
         let mut part = vec![0, 0, 1, 1, 0, 0, 1, 1];
         let before = edge_cut(&g, &part);
-        kway_refine(&g, &mut part, &BalanceSpec::uniform(2, vec![1.1]), 8, &mut rng());
+        kway_refine(
+            &g,
+            &mut part,
+            &BalanceSpec::uniform(2, vec![1.1]),
+            8,
+            &mut rng(),
+        );
         assert!(edge_cut(&g, &part) <= before);
     }
 
@@ -377,8 +413,17 @@ mod tests {
     fn refine_keeps_parts_nonempty() {
         let g = two_cliques();
         let mut part = vec![0, 0, 0, 0, 0, 0, 0, 1];
-        kway_refine(&g, &mut part, &BalanceSpec::uniform(2, vec![3.0]), 8, &mut rng());
-        let sizes = [part.iter().filter(|&&p| p == 0).count(), part.iter().filter(|&&p| p == 1).count()];
+        kway_refine(
+            &g,
+            &mut part,
+            &BalanceSpec::uniform(2, vec![3.0]),
+            8,
+            &mut rng(),
+        );
+        let sizes = [
+            part.iter().filter(|&&p| p == 0).count(),
+            part.iter().filter(|&&p| p == 1).count(),
+        ];
         assert!(sizes.iter().all(|&s| s > 0), "emptied a part: {part:?}");
     }
 
@@ -388,9 +433,17 @@ mod tests {
         let mut part = vec![0, 0, 0, 0, 0, 0, 0, 1]; // part 0 holds 7 of 8
         let before = worst_balance(&g, &part, 2);
         assert!(before > 1.5);
-        rebalance(&g, &mut part, &BalanceSpec::uniform(2, vec![1.1]), &mut rng());
+        rebalance(
+            &g,
+            &mut part,
+            &BalanceSpec::uniform(2, vec![1.1]),
+            &mut rng(),
+        );
         let after = worst_balance(&g, &part, 2);
-        assert!(after < before, "rebalance should improve: {before} -> {after}");
+        assert!(
+            after < before,
+            "rebalance should improve: {before} -> {after}"
+        );
         assert!(after <= 1.26, "after = {after}, part = {part:?}");
     }
 
@@ -409,7 +462,13 @@ mod tests {
         b.add_edge(3, 0, 1).unwrap();
         let g = b.build().unwrap();
         let mut part = vec![0, 1, 1, 0];
-        kway_refine(&g, &mut part, &BalanceSpec::uniform(2, vec![1.2, 1.2]), 10, &mut rng());
+        kway_refine(
+            &g,
+            &mut part,
+            &BalanceSpec::uniform(2, vec![1.2, 1.2]),
+            10,
+            &mut rng(),
+        );
         // Putting {0,1} together would give constraint-1 weights (100, 0):
         // infeasible at ub 1.2 (cap 60). The cut edges 100+100 tempt it, but
         // the balancer must refuse.
@@ -419,14 +478,23 @@ mod tests {
             .filter(|&(_, &p)| p == 0)
             .map(|(v, _)| g.vertex_weight(v as VertexId)[1])
             .sum();
-        assert!(w1 <= 60, "constraint 1 violated: part0 weight {w1}, part = {part:?}");
+        assert!(
+            w1 <= 60,
+            "constraint 1 violated: part0 weight {w1}, part = {part:?}"
+        );
     }
 
     #[test]
     fn refine_on_single_part_is_noop() {
         let g = two_cliques();
         let mut part = vec![0; 8];
-        let gain = kway_refine(&g, &mut part, &BalanceSpec::uniform(1, vec![1.1]), 4, &mut rng());
+        let gain = kway_refine(
+            &g,
+            &mut part,
+            &BalanceSpec::uniform(1, vec![1.1]),
+            4,
+            &mut rng(),
+        );
         assert_eq!(gain, 0);
         assert_eq!(part, vec![0; 8]);
     }
@@ -488,8 +556,10 @@ pub fn fm_pass(g: &CsrGraph, part: &mut [u32], spec: &BalanceSpec) -> Weight {
     // Heap of candidate moves: (gain, vertex — lower id wins ties, stamp).
     let mut heap: BinaryHeap<(Weight, Rev<VertexId>, u32)> = BinaryHeap::new();
     for v in 0..n as VertexId {
-        let on_boundary =
-            g.neighbors(v).iter().any(|&u| part[u as usize] != part[v as usize]);
+        let on_boundary = g
+            .neighbors(v)
+            .iter()
+            .any(|&u| part[u as usize] != part[v as usize]);
         if on_boundary {
             if let Some((gain, _)) = best_move(part, &bal, &mut scratch, v) {
                 heap.push((gain, Rev(v), 0));
@@ -623,7 +693,11 @@ mod fm_tests {
             let gain = fm_pass(&g, &mut part, &spec);
             let after = edge_cut(&g, &part);
             assert!(after <= before, "trial {trial}: {before} -> {after}");
-            assert_eq!(before - after, gain, "trial {trial}: reported gain mismatch");
+            assert_eq!(
+                before - after,
+                gain,
+                "trial {trial}: reported gain mismatch"
+            );
         }
     }
 
@@ -659,6 +733,9 @@ mod fm_tests {
     fn fm_on_single_part_is_noop() {
         let (g, _) = coupled_pair();
         let mut part = vec![0u32; 8];
-        assert_eq!(fm_pass(&g, &mut part, &BalanceSpec::uniform(1, vec![1.1])), 0);
+        assert_eq!(
+            fm_pass(&g, &mut part, &BalanceSpec::uniform(1, vec![1.1])),
+            0
+        );
     }
 }

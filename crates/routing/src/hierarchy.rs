@@ -177,7 +177,9 @@ pub fn build_hierarchical(net: &Network) -> RoutingTables {
             if src == dst || as_of[dst] == sa {
                 continue;
             }
-            let Some(next_as) = as_hop[sa][as_of[dst]] else { continue };
+            let Some(next_as) = as_hop[sa][as_of[dst]] else {
+                continue;
+            };
             let candidates = &borders[&(sa, next_as)];
             let border = candidates
                 .iter()
@@ -235,7 +237,12 @@ pub fn build_hierarchical(net: &Network) -> RoutingTables {
         }
     }
 
-    RoutingTables { n, next_hop, latency_us, next_link }
+    RoutingTables {
+        n,
+        next_hop,
+        latency_us,
+        next_link,
+    }
 }
 
 /// Mean multiplicative path stretch of `hier` over `flat` across all
@@ -265,8 +272,8 @@ pub fn path_stretch(flat: &RoutingTables, hier: &RoutingTables) -> f64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use massf_topology::teragrid::teragrid;
     use massf_topology::campus::campus;
+    use massf_topology::teragrid::teragrid;
 
     #[test]
     fn single_as_matches_flat_routing() {
@@ -315,7 +322,10 @@ mod tests {
         let hier = build_hierarchical(&net);
         let s = path_stretch(&flat, &hier);
         assert!(s >= 1.0 - 1e-9, "stretch below 1: {s}");
-        assert!(s < 1.5, "hot-potato stretch should be modest on TeraGrid: {s}");
+        assert!(
+            s < 1.5,
+            "hot-potato stretch should be modest on TeraGrid: {s}"
+        );
     }
 
     #[test]
@@ -326,13 +336,14 @@ mod tests {
         let hosts = net.hosts();
         let (a, b) = (hosts[0], hosts[40]);
         let path = hier.path(a, b).unwrap();
-        let names: Vec<&str> =
-            path.iter().map(|&v| net.node(v).name.as_str()).collect();
-        assert!(names.iter().any(|s| s.ends_with("-gw")), "no gateway in {names:?}");
+        let names: Vec<&str> = path.iter().map(|&v| net.node(v).name.as_str()).collect();
+        assert!(
+            names.iter().any(|s| s.ends_with("-gw")),
+            "no gateway in {names:?}"
+        );
         assert!(
             names.iter().any(|s| s.starts_with("hub-")),
             "no backbone hub in {names:?}"
         );
     }
-
 }

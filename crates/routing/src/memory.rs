@@ -27,9 +27,7 @@ pub fn memory_weights(net: &Network) -> Vec<i64> {
     net.nodes()
         .iter()
         .map(|n| match n.kind {
-            NodeKind::Router => {
-                router_memory_weight(*as_sizes.get(&n.as_id).unwrap_or(&1))
-            }
+            NodeKind::Router => router_memory_weight(*as_sizes.get(&n.as_id).unwrap_or(&1)),
             NodeKind::Host => host_memory_weight(),
         })
         .collect()

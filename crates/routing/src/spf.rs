@@ -48,8 +48,7 @@ pub fn shortest_paths(net: &Network, source: NodeId) -> SpfTree {
             let nh = h + 1;
             let better = nd < dist_us[u as usize]
                 || (nd == dist_us[u as usize]
-                    && (nh < hops[u as usize]
-                        || (nh == hops[u as usize] && v < prev[u as usize])));
+                    && (nh < hops[u as usize] || (nh == hops[u as usize] && v < prev[u as usize])));
             if better {
                 dist_us[u as usize] = nd;
                 hops[u as usize] = nh;
@@ -58,7 +57,12 @@ pub fn shortest_paths(net: &Network, source: NodeId) -> SpfTree {
             }
         }
     }
-    SpfTree { source, dist_us, hops, prev }
+    SpfTree {
+        source,
+        dist_us,
+        hops,
+        prev,
+    }
 }
 
 impl SpfTree {
@@ -146,10 +150,15 @@ mod tests {
             let path = t.path_to(dst).expect("teragrid is connected");
             let mut lat = 0u64;
             for w in path.windows(2) {
-                let l = net.link_between(w[0], w[1]).expect("consecutive nodes adjacent");
+                let l = net
+                    .link_between(w[0], w[1])
+                    .expect("consecutive nodes adjacent");
                 lat += net.link(l).latency_us;
             }
-            assert_eq!(lat, t.dist_us[dst as usize], "path latency mismatch for {dst}");
+            assert_eq!(
+                lat, t.dist_us[dst as usize],
+                "path latency mismatch for {dst}"
+            );
         }
     }
 }

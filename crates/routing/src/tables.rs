@@ -1,12 +1,16 @@
 //! Dense all-pairs next-hop routing tables.
 
 use crate::spf::{shortest_paths, NO_PREV};
+use massf_par::Parallelism;
 use massf_topology::{LinkId, Network, NodeId};
 
 /// All-pairs routing state: for every `(src, dst)` the next hop out of
 /// `src`, plus path latencies. Built once per topology ("we instantiate the
 /// emulated network and detect the actual routes used", §3.2).
-#[derive(Debug, Clone)]
+///
+/// `PartialEq`/`Eq` compare the full tables; the determinism suite relies
+/// on this to assert parallel and serial builds are identical.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTables {
     pub(crate) n: usize,
     /// `next_hop[src * n + dst]`; `NodeId::MAX` when `src == dst` or
@@ -21,34 +25,98 @@ pub struct RoutingTables {
 /// Sentinel link id stored where no next hop exists.
 pub(crate) const NO_LINK: LinkId = LinkId(u32::MAX);
 
+/// Fills the `src` row of each table slice (`n` entries per slice) from
+/// one Dijkstra tree. Rows are independent, which is what makes the
+/// parallel build trivially deterministic: each worker writes a disjoint
+/// row range and never reads another row.
+fn fill_row(
+    net: &Network,
+    src: NodeId,
+    hops: &mut [NodeId],
+    lats: &mut [u64],
+    links: &mut [LinkId],
+) {
+    let n = hops.len();
+    let tree = shortest_paths(net, src);
+    for dst in 0..n as NodeId {
+        lats[dst as usize] = tree.dist_us[dst as usize];
+        if dst == src || tree.dist_us[dst as usize] == u64::MAX {
+            continue;
+        }
+        // Walk predecessors from dst back to the node after src.
+        let mut cur = dst;
+        while tree.prev[cur as usize] != src {
+            cur = tree.prev[cur as usize];
+            debug_assert_ne!(cur, NO_PREV);
+        }
+        hops[dst as usize] = cur;
+        links[dst as usize] = net
+            .link_between(src, cur)
+            .expect("next hop must be adjacent");
+    }
+}
+
 impl RoutingTables {
-    /// Computes routing tables for the whole network (n Dijkstra runs).
+    /// Computes routing tables for the whole network (n Dijkstra runs) on
+    /// a single thread. Equivalent to
+    /// [`build_with`](Self::build_with)`(net, Parallelism::serial())`.
     pub fn build(net: &Network) -> Self {
+        Self::build_with(net, Parallelism::serial())
+    }
+
+    /// Computes routing tables with up to `par` worker threads, one
+    /// Dijkstra source per work item.
+    ///
+    /// Each source's results occupy one row of the flat `n × n` tables,
+    /// so workers write disjoint ranges and the output is bit-identical
+    /// for every thread count. `Parallelism::serial()` runs the plain
+    /// loop with no thread machinery.
+    pub fn build_with(net: &Network, par: Parallelism) -> Self {
         let n = net.node_count();
         let mut next_hop = vec![NodeId::MAX; n * n];
         let mut latency_us = vec![u64::MAX; n * n];
         let mut next_link = vec![NO_LINK; n * n];
-
-        for src in 0..n as NodeId {
-            let tree = shortest_paths(net, src);
-            for dst in 0..n as NodeId {
-                let idx = src as usize * n + dst as usize;
-                latency_us[idx] = tree.dist_us[dst as usize];
-                if dst == src || tree.dist_us[dst as usize] == u64::MAX {
-                    continue;
-                }
-                // Walk predecessors from dst back to the node after src.
-                let mut cur = dst;
-                while tree.prev[cur as usize] != src {
-                    cur = tree.prev[cur as usize];
-                    debug_assert_ne!(cur, NO_PREV);
-                }
-                next_hop[idx] = cur;
-                next_link[idx] =
-                    net.link_between(src, cur).expect("next hop must be adjacent");
-            }
+        if n == 0 {
+            return Self {
+                n,
+                next_hop,
+                latency_us,
+                next_link,
+            };
         }
-        Self { n, next_hop, latency_us, next_link }
+
+        let rows = next_hop
+            .chunks_mut(n)
+            .zip(latency_us.chunks_mut(n))
+            .zip(next_link.chunks_mut(n))
+            .enumerate();
+        if par.capped(n).get() <= 1 {
+            for (src, ((hops, lats), links)) in rows {
+                fill_row(net, src as NodeId, hops, lats, links);
+            }
+        } else {
+            let work: Vec<_> = rows.collect();
+            let queue = std::sync::Mutex::new(work);
+            std::thread::scope(|scope| {
+                for _ in 0..par.capped(n).get() {
+                    scope.spawn(|| loop {
+                        let item = queue.lock().expect("row queue").pop();
+                        match item {
+                            Some((src, ((hops, lats), links))) => {
+                                fill_row(net, src as NodeId, hops, lats, links)
+                            }
+                            None => break,
+                        }
+                    });
+                }
+            });
+        }
+        Self {
+            n,
+            next_hop,
+            latency_us,
+            next_link,
+        }
     }
 
     /// Number of nodes the tables cover.
@@ -78,32 +146,55 @@ impl RoutingTables {
         (l != u64::MAX).then_some(l)
     }
 
-    /// The full node path `src → dst` (inclusive), following next hops.
-    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+    /// Walks the routed path `src → dst` once, calling
+    /// `f(node, link_toward_dst)` for every node in path order. The link
+    /// is the one leaving `node` toward `dst`; at `dst` itself (and for
+    /// `src == dst`) it is `None`.
+    ///
+    /// Returns `false` without calling `f` when `dst` is unreachable.
+    /// This is the allocation-free primitive behind [`path`](Self::path),
+    /// [`path_links`](Self::path_links), and the traffic-weight
+    /// accumulators, which previously each re-walked the tables.
+    #[inline]
+    pub fn for_each_hop<F: FnMut(NodeId, Option<LinkId>)>(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        mut f: F,
+    ) -> bool {
         if src == dst {
-            return Some(vec![src]);
+            f(src, None);
+            return true;
         }
-        self.latency_us(src, dst)?;
-        let mut path = vec![src];
+        if self.latency_us[src as usize * self.n + dst as usize] == u64::MAX {
+            return false;
+        }
         let mut cur = src;
+        let mut hops = 0usize;
         while cur != dst {
-            cur = self.next_hop(cur, dst).expect("reachable destination has next hops");
-            path.push(cur);
-            debug_assert!(path.len() <= self.n, "routing loop detected");
+            let idx = cur as usize * self.n + dst as usize;
+            f(cur, Some(self.next_link[idx]));
+            cur = self.next_hop[idx];
+            hops += 1;
+            debug_assert!(hops <= self.n, "routing loop detected");
         }
-        Some(path)
+        f(dst, None);
+        true
     }
 
-    /// The links along the routed path `src → dst`.
+    /// The full node path `src → dst` (inclusive), following next hops.
+    pub fn path(&self, src: NodeId, dst: NodeId) -> Option<Vec<NodeId>> {
+        let mut path = Vec::new();
+        self.for_each_hop(src, dst, |node, _| path.push(node))
+            .then_some(path)
+    }
+
+    /// The links along the routed path `src → dst` (single table walk,
+    /// one allocation).
     pub fn path_links(&self, src: NodeId, dst: NodeId) -> Option<Vec<LinkId>> {
-        let path = self.path(src, dst)?;
-        let mut links = Vec::with_capacity(path.len().saturating_sub(1));
-        let mut cur = src;
-        for &next in &path[1..] {
-            links.push(self.next_link(cur, dst).expect("link exists along path"));
-            cur = next;
-        }
-        Some(links)
+        let mut links = Vec::new();
+        self.for_each_hop(src, dst, |_, link| links.extend(link))
+            .then_some(links)
     }
 }
 
@@ -175,6 +266,43 @@ mod tests {
         assert_eq!(t.path(0, 4), None);
         assert_eq!(t.latency_us(0, 4), None);
         assert_eq!(t.next_hop(0, 4), None);
+    }
+
+    #[test]
+    fn parallel_build_matches_serial() {
+        for net in [line(), campus()] {
+            let serial = RoutingTables::build_with(&net, Parallelism::serial());
+            for threads in [2, 3, 8] {
+                let par = RoutingTables::build_with(&net, Parallelism::new(threads));
+                assert_eq!(serial, par, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_hop_visits_path_and_links() {
+        let net = line();
+        let t = RoutingTables::build(&net);
+        let mut nodes = Vec::new();
+        let mut links = Vec::new();
+        assert!(t.for_each_hop(0, 3, |n, l| {
+            nodes.push(n);
+            links.extend(l);
+        }));
+        assert_eq!(nodes, t.path(0, 3).unwrap());
+        assert_eq!(links, t.path_links(0, 3).unwrap());
+        assert_eq!(links.len(), nodes.len() - 1);
+    }
+
+    #[test]
+    fn for_each_hop_self_and_unreachable() {
+        let mut net = line();
+        net.add_host("island", 0);
+        let t = RoutingTables::build(&net);
+        let mut visits = Vec::new();
+        assert!(t.for_each_hop(2, 2, |n, l| visits.push((n, l))));
+        assert_eq!(visits, vec![(2, None)]);
+        assert!(!t.for_each_hop(0, 4, |_, _| panic!("unreachable must not visit")));
     }
 
     #[test]

@@ -27,8 +27,13 @@ pub fn traceroute(tables: &RoutingTables, src: NodeId, dst: NodeId) -> Option<Ve
     let path = tables.path(src, dst)?;
     let mut hops = Vec::with_capacity(path.len().saturating_sub(1));
     for &node in &path[1..] {
-        let one_way = tables.latency_us(src, node).expect("on-path node reachable");
-        hops.push(Hop { node, rtt_us: 2 * one_way });
+        let one_way = tables
+            .latency_us(src, node)
+            .expect("on-path node reachable");
+        hops.push(Hop {
+            node,
+            rtt_us: 2 * one_way,
+        });
     }
     Some(hops)
 }
@@ -83,7 +88,10 @@ mod tests {
         let (src, dst) = (hosts[0], hosts[149]);
         let hops = traceroute(&t, src, dst).unwrap();
         assert_eq!(hops.last().unwrap().node, dst);
-        assert!(hops.len() >= 4, "cross-site route must traverse several routers");
+        assert!(
+            hops.len() >= 4,
+            "cross-site route must traverse several routers"
+        );
     }
 
     #[test]
@@ -132,7 +140,16 @@ mod tests {
 
     #[test]
     fn probe_budget() {
-        let hops = vec![Hop { node: 1, rtt_us: 10 }, Hop { node: 2, rtt_us: 20 }];
+        let hops = vec![
+            Hop {
+                node: 1,
+                rtt_us: 10,
+            },
+            Hop {
+                node: 2,
+                rtt_us: 20,
+            },
+        ];
         assert_eq!(probe_count(&hops), 6);
     }
 }

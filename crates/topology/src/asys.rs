@@ -98,15 +98,45 @@ pub fn assign_contiguous_ases(net: &Network, k: usize) -> Network {
         }
     }
 
-    // Grow k regions from spread seeds by round-robin BFS so every AS is a
+    // Pick region seeds by farthest-point sampling over router-graph hop
+    // distance: each next seed maximizes its distance to the seeds chosen
+    // so far. BFS-order striding can land two seeds next to each other, and
+    // an enclosed seed is starved into a one-router AS.
+    let mut seeds = vec![order[0]];
+    let mut dist = vec![usize::MAX; net.node_count()];
+    while seeds.len() < k {
+        let mut queue = std::collections::VecDeque::new();
+        for &s in &seeds {
+            dist[s as usize] = 0;
+            queue.push_back(s);
+        }
+        while let Some(v) = queue.pop_front() {
+            for &(u, _) in net.neighbors(v) {
+                if net.node(u).kind == NodeKind::Router && dist[u as usize] > dist[v as usize] + 1 {
+                    dist[u as usize] = dist[v as usize] + 1;
+                    queue.push_back(u);
+                }
+            }
+        }
+        // Farthest router from the current seed set; BFS order breaks ties
+        // deterministically.
+        let far = *order
+            .iter()
+            .max_by_key(|&&r| dist[r as usize])
+            .expect("k <= #routers");
+        seeds.push(far);
+        for d in dist.iter_mut() {
+            *d = usize::MAX;
+        }
+    }
+
+    // Grow k regions from the seeds by round-robin BFS so every AS is a
     // *connected* router region (a requirement for intra-AS routing).
     const FREE: u32 = u32::MAX;
     let mut as_of = vec![FREE; net.node_count()];
-    let mut queues: Vec<std::collections::VecDeque<NodeId>> = (0..k)
-        .map(|i| {
-            let seed = order[i * order.len() / k];
-            std::collections::VecDeque::from([seed])
-        })
+    let mut queues: Vec<std::collections::VecDeque<NodeId>> = seeds
+        .into_iter()
+        .map(|s| std::collections::VecDeque::from([s]))
         .collect();
     for (i, q) in queues.iter().enumerate() {
         as_of[q[0] as usize] = i as u32;
@@ -175,7 +205,11 @@ mod regrid_tests {
 
     #[test]
     fn contiguous_ases_cover_all_routers() {
-        let net = generate(&BriteConfig { routers: 40, hosts: 20, ..BriteConfig::paper_brite() });
+        let net = generate(&BriteConfig {
+            routers: 40,
+            hosts: 20,
+            ..BriteConfig::paper_brite()
+        });
         let multi = assign_contiguous_ases(&net, 4);
         let sizes = multi.as_router_sizes();
         assert_eq!(sizes.len(), 4);
@@ -184,8 +218,11 @@ mod regrid_tests {
         assert!(sizes.values().all(|&s| (4..=18).contains(&s)), "{sizes:?}");
         // Every AS region must be internally connected (router subgraph).
         for (&as_id, _) in sizes.iter() {
-            let members: Vec<_> =
-                multi.routers().into_iter().filter(|&r| multi.node(r).as_id == as_id).collect();
+            let members: Vec<_> = multi
+                .routers()
+                .into_iter()
+                .filter(|&r| multi.node(r).as_id == as_id)
+                .collect();
             let mut seen = std::collections::HashSet::new();
             let mut stack = vec![members[0]];
             seen.insert(members[0]);
@@ -205,7 +242,11 @@ mod regrid_tests {
 
     #[test]
     fn hosts_inherit_router_as() {
-        let net = generate(&BriteConfig { routers: 30, hosts: 25, ..BriteConfig::paper_brite() });
+        let net = generate(&BriteConfig {
+            routers: 30,
+            hosts: 25,
+            ..BriteConfig::paper_brite()
+        });
         let multi = assign_contiguous_ases(&net, 3);
         for h in multi.hosts() {
             let (r, _) = multi.neighbors(h)[0];
@@ -215,7 +256,11 @@ mod regrid_tests {
 
     #[test]
     fn structure_is_preserved() {
-        let net = generate(&BriteConfig { routers: 25, hosts: 10, ..BriteConfig::paper_brite() });
+        let net = generate(&BriteConfig {
+            routers: 25,
+            hosts: 10,
+            ..BriteConfig::paper_brite()
+        });
         let multi = assign_contiguous_ases(&net, 5);
         assert_eq!(multi.link_count(), net.link_count());
         assert_eq!(multi.node_count(), net.node_count());
@@ -225,7 +270,11 @@ mod regrid_tests {
     #[test]
     #[should_panic(expected = "need 1..=")]
     fn zero_as_rejected() {
-        let net = generate(&BriteConfig { routers: 10, hosts: 4, ..BriteConfig::paper_brite() });
+        let net = generate(&BriteConfig {
+            routers: 10,
+            hosts: 4,
+            ..BriteConfig::paper_brite()
+        });
         assign_contiguous_ases(&net, 0);
     }
 }

@@ -78,7 +78,11 @@ impl BriteConfig {
 
     /// The §4.2.3 scale-up: 200 routers, 364 hosts, single AS.
     pub fn paper_scaleup() -> Self {
-        Self { routers: 200, hosts: 364, ..Self::paper_brite() }
+        Self {
+            routers: 200,
+            hosts: 364,
+            ..Self::paper_brite()
+        }
     }
 }
 
@@ -178,15 +182,21 @@ pub fn generate(cfg: &BriteConfig) -> Network {
                         continue;
                     }
                     // Attach the whole component of v via its closest member.
-                    let member: Vec<usize> =
-                        (0..cfg.routers).filter(|&i| comps[i] == comps[v] && !done[i]).collect();
+                    let member: Vec<usize> = (0..cfg.routers)
+                        .filter(|&i| comps[i] == comps[v] && !done[i])
+                        .collect();
                     let (&best_m, &best_c) = member
                         .iter()
                         .flat_map(|mm| connected.iter().map(move |cc| (mm, cc)))
                         .min_by_key(|&(m_, c_)| latency(*m_, *c_))
                         .expect("non-empty sets");
                     let bw = core_bw(&mut rng);
-                    net.add_link(best_m as NodeId, best_c as NodeId, bw, latency(best_m, best_c));
+                    net.add_link(
+                        best_m as NodeId,
+                        best_c as NodeId,
+                        bw,
+                        latency(best_m, best_c),
+                    );
                     for i in member {
                         done[i] = true;
                         connected.push(i);
@@ -275,7 +285,10 @@ mod tests {
         let cfg = BriteConfig {
             routers: 60,
             hosts: 30,
-            model: GrowthModel::Waxman { alpha: 0.08, beta: 0.08 },
+            model: GrowthModel::Waxman {
+                alpha: 0.08,
+                beta: 0.08,
+            },
             ..BriteConfig::paper_brite()
         };
         let net = generate(&cfg);

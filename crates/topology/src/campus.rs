@@ -21,8 +21,9 @@ pub fn campus() -> Network {
     let as_id = 0;
 
     // Border / core layer.
-    let border: Vec<NodeId> =
-        (0..2).map(|i| net.add_router(format!("border{i}"), as_id)).collect();
+    let border: Vec<NodeId> = (0..2)
+        .map(|i| net.add_router(format!("border{i}"), as_id))
+        .collect();
     net.add_link(border[0], border[1], 1000.0, 2000);
 
     // Buildings: cores and departments (3/4/3/4 departments = 14 routers).

@@ -55,7 +55,10 @@ pub fn write(net: &Network) -> String {
             NodeKind::Router => "router",
             NodeKind::Host => "host",
         };
-        out.push_str(&format!("node {} {} \"{}\" as {}\n", n.id, kind, n.name, n.as_id));
+        out.push_str(&format!(
+            "node {} {} \"{}\" as {}\n",
+            n.id, kind, n.name, n.as_id
+        ));
     }
     for l in net.links() {
         out.push_str(&format!(
@@ -75,7 +78,10 @@ pub fn parse(text: &str) -> Result<Network, DmlError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let syntax = |message: &str| DmlError::Syntax { line: line_no, message: message.into() };
+        let syntax = |message: &str| DmlError::Syntax {
+            line: line_no,
+            message: message.into(),
+        };
 
         if let Some(rest) = line.strip_prefix("node ") {
             let (id_kind, rest) = split_name(rest).ok_or_else(|| syntax("missing quoted name"))?;
@@ -94,8 +100,10 @@ pub fn parse(text: &str) -> Result<Network, DmlError> {
             if t.next() != Some("as") {
                 return Err(syntax("expected 'as <id>'"));
             }
-            let as_id: u32 =
-                t.next().and_then(|x| x.parse().ok()).ok_or_else(|| syntax("bad as id"))?;
+            let as_id: u32 = t
+                .next()
+                .and_then(|x| x.parse().ok())
+                .ok_or_else(|| syntax("bad as id"))?;
             if id as usize != net.node_count() {
                 return Err(DmlError::NonDenseIds { line: line_no });
             }
@@ -184,12 +192,18 @@ link 0 1 bw 100.5 lat 20
     #[test]
     fn rejects_sparse_ids() {
         let text = "node 1 router \"r\" as 0\n";
-        assert!(matches!(parse(text), Err(DmlError::NonDenseIds { line: 1 })));
+        assert!(matches!(
+            parse(text),
+            Err(DmlError::NonDenseIds { line: 1 })
+        ));
     }
 
     #[test]
     fn rejects_unknown_directive() {
-        assert!(matches!(parse("frob 1 2\n"), Err(DmlError::Syntax { line: 1, .. })));
+        assert!(matches!(
+            parse("frob 1 2\n"),
+            Err(DmlError::Syntax { line: 1, .. })
+        ));
     }
 
     #[test]

@@ -87,7 +87,12 @@ impl Network {
 
     fn add_node(&mut self, kind: NodeKind, name: String, as_id: u32) -> NodeId {
         let id = self.nodes.len() as NodeId;
-        self.nodes.push(Node { id, kind, name, as_id });
+        self.nodes.push(Node {
+            id,
+            kind,
+            name,
+            as_id,
+        });
         self.adjacency.push(Vec::new());
         id
     }
@@ -109,9 +114,17 @@ impl Network {
         assert!((a as usize) < self.nodes.len(), "unknown endpoint {a}");
         assert!((b as usize) < self.nodes.len(), "unknown endpoint {b}");
         assert!(bandwidth_mbps > 0.0, "bandwidth must be positive");
-        assert!(latency_us > 0, "latency must be positive (engine lookahead)");
+        assert!(
+            latency_us > 0,
+            "latency must be positive (engine lookahead)"
+        );
         let id = LinkId(self.links.len() as u32);
-        self.links.push(Link { a, b, bandwidth_mbps, latency_us });
+        self.links.push(Link {
+            a,
+            b,
+            bandwidth_mbps,
+            latency_us,
+        });
         self.adjacency[a as usize].push((b, id));
         self.adjacency[b as usize].push((a, id));
         id
@@ -149,22 +162,36 @@ impl Network {
 
     /// Number of routers.
     pub fn router_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Router).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Router)
+            .count()
     }
 
     /// Number of hosts.
     pub fn host_count(&self) -> usize {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Host).count()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Host)
+            .count()
     }
 
     /// Ids of all hosts.
     pub fn hosts(&self) -> Vec<NodeId> {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Host).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Host)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// Ids of all routers.
     pub fn routers(&self) -> Vec<NodeId> {
-        self.nodes.iter().filter(|n| n.kind == NodeKind::Router).map(|n| n.id).collect()
+        self.nodes
+            .iter()
+            .filter(|n| n.kind == NodeKind::Router)
+            .map(|n| n.id)
+            .collect()
     }
 
     /// `(neighbor, link)` pairs of node `n`.
@@ -182,12 +209,18 @@ impl Network {
     /// This is the TOP approach's vertex weight: "each virtual node is
     /// weighted with the total bandwidth in and out of it" (§3.1).
     pub fn total_bandwidth(&self, n: NodeId) -> f64 {
-        self.adjacency[n as usize].iter().map(|&(_, l)| self.link(l).bandwidth_mbps).sum()
+        self.adjacency[n as usize]
+            .iter()
+            .map(|&(_, l)| self.link(l).bandwidth_mbps)
+            .sum()
     }
 
     /// The link joining `a` and `b`, if any.
     pub fn link_between(&self, a: NodeId, b: NodeId) -> Option<LinkId> {
-        self.adjacency[a as usize].iter().find(|&&(nb, _)| nb == b).map(|&(_, l)| l)
+        self.adjacency[a as usize]
+            .iter()
+            .find(|&&(nb, _)| nb == b)
+            .map(|&(_, l)| l)
     }
 
     /// Number of routers in each AS, keyed by dense AS id.
@@ -233,7 +266,8 @@ impl Network {
         b.add_unit_vertices(self.node_count());
         for l in &self.links {
             // Parallel links merge by weight sum, consistent with capacity.
-            b.add_edge(l.a, l.b, 1).expect("network link endpoints are valid");
+            b.add_edge(l.a, l.b, 1)
+                .expect("network link endpoints are valid");
         }
         b.build().expect("network graph is structurally valid")
     }

@@ -25,7 +25,11 @@ pub struct CbrConfig {
 
 impl Default for CbrConfig {
     fn default() -> Self {
-        Self { sessions: 10, rate_mbps: 2.0, seed: 0xcb5 }
+        Self {
+            sessions: 10,
+            rate_mbps: 2.0,
+            seed: 0xcb5,
+        }
     }
 }
 
@@ -54,7 +58,9 @@ pub fn generate(hosts: &[NodeId], cfg: &CbrConfig, duration_us: u64) -> Vec<Flow
     let bytes_per_session = (cfg.rate_mbps * duration_us as f64 / 8.0) as u64;
     let mut flows: Vec<FlowSpec> = assign_pairs(hosts, cfg)
         .into_iter()
-        .map(|(src, dst)| FlowSpec::from_bytes(src, dst, 0, bytes_per_session.max(1), cfg.rate_mbps))
+        .map(|(src, dst)| {
+            FlowSpec::from_bytes(src, dst, 0, bytes_per_session.max(1), cfg.rate_mbps)
+        })
         .collect();
     flows.sort_by_key(|f| (f.start_us, f.src, f.dst));
     flows
@@ -64,7 +70,11 @@ pub fn generate(hosts: &[NodeId], cfg: &CbrConfig, duration_us: u64) -> Vec<Flow
 pub fn predict(hosts: &[NodeId], cfg: &CbrConfig) -> Vec<PredictedFlow> {
     assign_pairs(hosts, cfg)
         .into_iter()
-        .map(|(src, dst)| PredictedFlow { src, dst, bandwidth_mbps: cfg.rate_mbps })
+        .map(|(src, dst)| PredictedFlow {
+            src,
+            dst,
+            bandwidth_mbps: cfg.rate_mbps,
+        })
         .collect()
 }
 
@@ -78,7 +88,11 @@ mod tests {
 
     #[test]
     fn streams_at_configured_rate() {
-        let cfg = CbrConfig { sessions: 4, rate_mbps: 8.0, seed: 1 };
+        let cfg = CbrConfig {
+            sessions: 4,
+            rate_mbps: 8.0,
+            seed: 1,
+        };
         let flows = generate(&hosts(), &cfg, 1_000_000);
         assert_eq!(flows.len(), 4);
         for f in &flows {
@@ -108,7 +122,10 @@ mod tests {
 
     #[test]
     fn no_self_talk() {
-        let cfg = CbrConfig { sessions: 30, ..Default::default() }; // wraps the pool
+        let cfg = CbrConfig {
+            sessions: 30,
+            ..Default::default()
+        }; // wraps the pool
         for (a, b) in assign_pairs(&hosts(), &cfg) {
             assert_ne!(a, b);
         }
@@ -117,6 +134,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = CbrConfig::default();
-        assert_eq!(generate(&hosts(), &cfg, 500_000), generate(&hosts(), &cfg, 500_000));
+        assert_eq!(
+            generate(&hosts(), &cfg, 500_000),
+            generate(&hosts(), &cfg, 500_000)
+        );
     }
 }

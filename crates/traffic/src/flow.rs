@@ -47,7 +47,15 @@ impl FlowSpec {
         let packets = bytes.div_ceil(MTU_BYTES).max(1);
         // Time to serialize one MTU at rate_mbps, in µs: bits / Mbps.
         let interval = ((MTU_BYTES * 8) as f64 / rate_mbps).round() as u64;
-        Self { src, dst, start_us, packets, bytes, packet_interval_us: interval.max(1), window: None }
+        Self {
+            src,
+            dst,
+            start_us,
+            packets,
+            bytes,
+            packet_interval_us: interval.max(1),
+            window: None,
+        }
     }
 
     /// Switches the flow to window/ACK-clocked transport (TCP-like).

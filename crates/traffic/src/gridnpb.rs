@@ -54,7 +54,12 @@ pub struct GridNpbConfig {
 
 impl Default for GridNpbConfig {
     fn default() -> Self {
-        Self { base_bytes: 1_200_000, base_compute_us: 700_000, rate_mbps: 150.0, seed: 0x9fb }
+        Self {
+            base_bytes: 1_200_000,
+            base_compute_us: 700_000,
+            rate_mbps: 150.0,
+            seed: 0x9fb,
+        }
     }
 }
 
@@ -156,7 +161,11 @@ pub fn mixed_bag(cfg: &GridNpbConfig) -> Workflow {
 
 /// The paper's combined workload: HC + VP + MB run concurrently.
 pub fn paper_suite(cfg: &GridNpbConfig) -> Vec<Workflow> {
-    vec![helical_chain(cfg), visualization_pipeline(cfg), mixed_bag(cfg)]
+    vec![
+        helical_chain(cfg),
+        visualization_pipeline(cfg),
+        mixed_bag(cfg),
+    ]
 }
 
 /// Number of host slots the combined suite needs (tasks of concurrent
@@ -219,7 +228,10 @@ mod tests {
         for wf in &wfs {
             assert_eq!(wf.tasks.len(), 9, "{} should have 9 tasks", wf.name);
         }
-        assert_eq!(wfs.iter().map(|w| w.name).collect::<Vec<_>>(), vec!["HC", "VP", "MB"]);
+        assert_eq!(
+            wfs.iter().map(|w| w.name).collect::<Vec<_>>(),
+            vec!["HC", "VP", "MB"]
+        );
     }
 
     #[test]

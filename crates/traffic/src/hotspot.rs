@@ -57,7 +57,10 @@ impl HotspotConfig {
 /// Generates the drifting-hotspot schedule.
 pub fn generate(cfg: &HotspotConfig) -> Vec<FlowSpec> {
     assert!(!cfg.groups.is_empty(), "need at least one host group");
-    assert!(cfg.groups.iter().all(|g| g.len() >= 2), "groups need >= 2 hosts");
+    assert!(
+        cfg.groups.iter().all(|g| g.len() >= 2),
+        "groups need >= 2 hosts"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut out = Vec::new();
     let all_hosts: Vec<NodeId> = cfg.groups.iter().flatten().copied().collect();
@@ -114,12 +117,17 @@ mod tests {
 
     #[test]
     fn phases_concentrate_in_their_group() {
-        let cfg = HotspotConfig { trickle_ratio: 0.0, ..HotspotConfig::drift_over(groups()) };
+        let cfg = HotspotConfig {
+            trickle_ratio: 0.0,
+            ..HotspotConfig::drift_over(groups())
+        };
         let flows = generate(&cfg);
         for f in &flows {
             let phase = (f.start_us / cfg.phase_len_us) as usize;
-            let hot: HashSet<NodeId> =
-                cfg.groups[phase % cfg.groups.len()].iter().copied().collect();
+            let hot: HashSet<NodeId> = cfg.groups[phase % cfg.groups.len()]
+                .iter()
+                .copied()
+                .collect();
             assert!(
                 hot.contains(&f.src) && hot.contains(&f.dst),
                 "flow {f:?} escaped its phase group"
@@ -129,7 +137,10 @@ mod tests {
 
     #[test]
     fn drift_cycles_through_groups() {
-        let cfg = HotspotConfig { trickle_ratio: 0.0, ..HotspotConfig::drift_over(groups()) };
+        let cfg = HotspotConfig {
+            trickle_ratio: 0.0,
+            ..HotspotConfig::drift_over(groups())
+        };
         let flows = generate(&cfg);
         // Phase 3 wraps back to group 0.
         let phase3: Vec<_> = flows
@@ -142,7 +153,10 @@ mod tests {
 
     #[test]
     fn trickle_reaches_other_groups() {
-        let cfg = HotspotConfig { trickle_ratio: 0.5, ..HotspotConfig::drift_over(groups()) };
+        let cfg = HotspotConfig {
+            trickle_ratio: 0.5,
+            ..HotspotConfig::drift_over(groups())
+        };
         let flows = generate(&cfg);
         let phase0_srcs: HashSet<NodeId> = flows
             .iter()
@@ -150,15 +164,18 @@ mod tests {
             .map(|f| f.src)
             .collect();
         let outside = phase0_srcs.iter().any(|s| !cfg.groups[0].contains(s));
-        assert!(outside, "trickle should involve non-hot hosts: {phase0_srcs:?}");
+        assert!(
+            outside,
+            "trickle should involve non-hot hosts: {phase0_srcs:?}"
+        );
     }
 
     #[test]
     fn flow_count_and_determinism() {
         let cfg = HotspotConfig::drift_over(groups());
         let flows = generate(&cfg);
-        let expected =
-            cfg.phases * (cfg.flows_per_phase + (cfg.flows_per_phase as f64 * cfg.trickle_ratio) as usize);
+        let expected = cfg.phases
+            * (cfg.flows_per_phase + (cfg.flows_per_phase as f64 * cfg.trickle_ratio) as usize);
         assert_eq!(flows.len(), expected);
         assert_eq!(flows, generate(&cfg));
     }

@@ -61,7 +61,11 @@ impl HttpConfig {
     /// scaled to a topology with `hosts` endpoints.
     pub fn moderate_for(hosts: usize) -> Self {
         let server_count = (hosts / 3).clamp(1, 107);
-        Self { server_count, clients_per_server: 3, ..Self::default() }
+        Self {
+            server_count,
+            clients_per_server: 3,
+            ..Self::default()
+        }
     }
 }
 
@@ -84,7 +88,11 @@ pub fn assign_sessions(hosts: &[NodeId], cfg: &HttpConfig) -> Vec<HttpSession> {
     let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
     let mut pool = hosts.to_vec();
     pool.shuffle(&mut rng);
-    let servers: Vec<NodeId> = pool.iter().copied().take(cfg.server_count.min(hosts.len())).collect();
+    let servers: Vec<NodeId> = pool
+        .iter()
+        .copied()
+        .take(cfg.server_count.min(hosts.len()))
+        .collect();
 
     let mut sessions = Vec::with_capacity(servers.len() * cfg.clients_per_server);
     for &server in &servers {
@@ -124,10 +132,13 @@ pub fn generate(hosts: &[NodeId], cfg: &HttpConfig, duration_us: u64) -> Vec<Flo
                 start_us: t,
                 packets: 1,
                 bytes: 300,
-                packet_interval_us: 1, window: None });
+                packet_interval_us: 1,
+                window: None,
+            });
             // Response: bounded-Pareto bytes around the configured mean.
             let size = bounded_pareto(&mut rng, cfg.request_size_bytes);
-            let resp = FlowSpec::from_bytes(s.server, s.client, t + 1_000, size, cfg.response_rate_mbps);
+            let resp =
+                FlowSpec::from_bytes(s.server, s.client, t + 1_000, size, cfg.response_rate_mbps);
             let resp_end = resp.end_us();
             flows.push(resp);
             // Exponential think time with the configured mean.
@@ -151,7 +162,11 @@ pub fn predict(hosts: &[NodeId], cfg: &HttpConfig) -> Vec<PredictedFlow> {
     let avg_mbps = (cfg.request_size_bytes * 8) as f64 / 1e6 / cycle_s;
     sessions
         .iter()
-        .map(|s| PredictedFlow { src: s.server, dst: s.client, bandwidth_mbps: avg_mbps })
+        .map(|s| PredictedFlow {
+            src: s.server,
+            dst: s.client,
+            bandwidth_mbps: avg_mbps,
+        })
         .collect()
 }
 
@@ -184,7 +199,11 @@ mod tests {
     #[test]
     fn sessions_use_given_hosts_and_avoid_self_talk() {
         let hs = hosts();
-        let cfg = HttpConfig { server_count: 10, clients_per_server: 4, ..Default::default() };
+        let cfg = HttpConfig {
+            server_count: 10,
+            clients_per_server: 4,
+            ..Default::default()
+        };
         let sessions = assign_sessions(&hs, &cfg);
         assert_eq!(sessions.len(), 40);
         for s in &sessions {
@@ -196,7 +215,11 @@ mod tests {
     #[test]
     fn server_count_clamped_to_hosts() {
         let hs = hosts(); // 40 hosts
-        let cfg = HttpConfig { server_count: 107, clients_per_server: 1, ..Default::default() };
+        let cfg = HttpConfig {
+            server_count: 107,
+            clients_per_server: 1,
+            ..Default::default()
+        };
         let sessions = assign_sessions(&hs, &cfg);
         assert_eq!(sessions.len(), 40);
     }
@@ -204,7 +227,12 @@ mod tests {
     #[test]
     fn flows_within_duration_and_paired() {
         let hs = hosts();
-        let cfg = HttpConfig { server_count: 5, clients_per_server: 2, think_time_s: 0.05, ..Default::default() };
+        let cfg = HttpConfig {
+            server_count: 5,
+            clients_per_server: 2,
+            think_time_s: 0.05,
+            ..Default::default()
+        };
         let flows = generate(&hs, &cfg, 2_000_000);
         assert!(!flows.is_empty());
         for f in &flows {
@@ -212,8 +240,15 @@ mod tests {
             assert!(f.packets >= 1);
         }
         // Roughly half the flows are 1-packet requests.
-        let requests = flows.iter().filter(|f| f.packets == 1 && f.bytes == 300).count();
-        assert!(requests * 2 >= flows.len() - 2, "requests {requests} of {}", flows.len());
+        let requests = flows
+            .iter()
+            .filter(|f| f.packets == 1 && f.bytes == 300)
+            .count();
+        assert!(
+            requests * 2 >= flows.len() - 2,
+            "requests {requests} of {}",
+            flows.len()
+        );
     }
 
     #[test]
@@ -222,19 +257,30 @@ mod tests {
         let cfg = HttpConfig::default();
         assert_eq!(generate(&hs, &cfg, 500_000), generate(&hs, &cfg, 500_000));
         let other = HttpConfig { seed: 1, ..cfg };
-        assert_ne!(assign_sessions(&hs, &other), assign_sessions(&hs, &HttpConfig::default()));
+        assert_ne!(
+            assign_sessions(&hs, &other),
+            assign_sessions(&hs, &HttpConfig::default())
+        );
     }
 
     #[test]
     fn prediction_matches_sessions() {
         let hs = hosts();
-        let cfg = HttpConfig { server_count: 8, clients_per_server: 3, ..Default::default() };
+        let cfg = HttpConfig {
+            server_count: 8,
+            clients_per_server: 3,
+            ..Default::default()
+        };
         let pred = predict(&hs, &cfg);
         assert_eq!(pred.len(), 24);
         for p in &pred {
             assert!(p.bandwidth_mbps > 0.0);
             // 200 KiB every ~12 s is ~0.13 Mbps.
-            assert!(p.bandwidth_mbps < 1.0, "prediction too hot: {}", p.bandwidth_mbps);
+            assert!(
+                p.bandwidth_mbps < 1.0,
+                "prediction too hot: {}",
+                p.bandwidth_mbps
+            );
         }
     }
 

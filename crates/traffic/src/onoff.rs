@@ -71,7 +71,13 @@ pub fn generate(hosts: &[NodeId], cfg: &OnOffConfig, duration_us: u64) -> Vec<Fl
         while t < duration_us {
             let on = expo(&mut rng, cfg.mean_on_us).max(1_000.0);
             let bytes = (cfg.peak_mbps * on / 8.0) as u64;
-            flows.push(FlowSpec::from_bytes(src, dst, t, bytes.max(1), cfg.peak_mbps));
+            flows.push(FlowSpec::from_bytes(
+                src,
+                dst,
+                t,
+                bytes.max(1),
+                cfg.peak_mbps,
+            ));
             t += on as u64 + expo(&mut rng, cfg.mean_off_us) as u64 + 1;
         }
     }
@@ -92,7 +98,11 @@ pub fn predict(hosts: &[NodeId], cfg: &OnOffConfig) -> Vec<PredictedFlow> {
                     break d;
                 }
             };
-            PredictedFlow { src, dst, bandwidth_mbps: cfg.average_mbps() }
+            PredictedFlow {
+                src,
+                dst,
+                bandwidth_mbps: cfg.average_mbps(),
+            }
         })
         .collect()
 }
@@ -163,6 +173,9 @@ mod tests {
     #[test]
     fn deterministic() {
         let cfg = OnOffConfig::default();
-        assert_eq!(generate(&hosts(), &cfg, 1_000_000), generate(&hosts(), &cfg, 1_000_000));
+        assert_eq!(
+            generate(&hosts(), &cfg, 1_000_000),
+            generate(&hosts(), &cfg, 1_000_000)
+        );
     }
 }

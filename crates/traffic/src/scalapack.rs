@@ -71,7 +71,11 @@ impl ScalapackConfig {
 /// `placement` (one host per process, `placement.len() ==
 /// cfg.processes()`).
 pub fn flows(cfg: &ScalapackConfig, placement: &[NodeId]) -> Vec<FlowSpec> {
-    assert_eq!(placement.len(), cfg.processes(), "one host per process required");
+    assert_eq!(
+        placement.len(),
+        cfg.processes(),
+        "one host per process required"
+    );
     let (pr, pc) = (cfg.grid_rows, cfg.grid_cols);
     let proc_at = |r: usize, c: usize| placement[r * pc + c];
     let mut out = Vec::new();
@@ -93,7 +97,13 @@ pub fn flows(cfg: &ScalapackConfig, placement: &[NodeId]) -> Vec<FlowSpec> {
                 if c == pivot_col {
                     continue;
                 }
-                out.push(FlowSpec::from_bytes(src, proc_at(r, c), t, slice.max(1), cfg.rate_mbps));
+                out.push(FlowSpec::from_bytes(
+                    src,
+                    proc_at(r, c),
+                    t,
+                    slice.max(1),
+                    cfg.rate_mbps,
+                ));
             }
         }
         // U block: same volume travels down the columns from the pivot row.
@@ -106,7 +116,13 @@ pub fn flows(cfg: &ScalapackConfig, placement: &[NodeId]) -> Vec<FlowSpec> {
                 if r == pivot_row {
                     continue;
                 }
-                out.push(FlowSpec::from_bytes(src, proc_at(r, c), bcast_t, u_slice.max(1), cfg.rate_mbps));
+                out.push(FlowSpec::from_bytes(
+                    src,
+                    proc_at(r, c),
+                    bcast_t,
+                    u_slice.max(1),
+                    cfg.rate_mbps,
+                ));
             }
         }
         // Trailing update compute gap, shrinking quadratically.
@@ -144,7 +160,11 @@ pub fn predict_uniform(placement: &[NodeId], access_mbps: &[f64]) -> Vec<Predict
         let share = access_mbps[i] / (n as f64 - 1.0).max(1.0);
         for &dst in placement.iter() {
             if dst != src {
-                out.push(PredictedFlow { src, dst, bandwidth_mbps: share });
+                out.push(PredictedFlow {
+                    src,
+                    dst,
+                    bandwidth_mbps: share,
+                });
             }
         }
     }
@@ -220,7 +240,10 @@ mod tests {
         // sum_k (pc-1+pr-1) * remaining_k * nb * 8 ≈ 5 * 8 * N²/2 = 20 N².
         let expect = 20.0 * (cfg.matrix_n as f64).powi(2);
         let ratio = bytes as f64 / expect;
-        assert!((0.4..2.5).contains(&ratio), "total {bytes} vs expected ~{expect}");
+        assert!(
+            (0.4..2.5).contains(&ratio),
+            "total {bytes} vs expected ~{expect}"
+        );
         assert!(total_packets(&fl) > 10_000);
     }
 

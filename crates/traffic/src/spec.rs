@@ -45,9 +45,12 @@ impl std::error::Error for SpecError {}
 pub fn parse_size(text: &str) -> Option<u64> {
     let t = text.trim();
     let lower = t.to_ascii_lowercase();
-    for (suffix, mult) in
-        [("kbyte", 1024u64), ("mbyte", 1024 * 1024), ("kb", 1024), ("mb", 1024 * 1024)]
-    {
+    for (suffix, mult) in [
+        ("kbyte", 1024u64),
+        ("mbyte", 1024 * 1024),
+        ("kb", 1024),
+        ("mb", 1024 * 1024),
+    ] {
         if let Some(num) = lower.strip_suffix(suffix) {
             return num.trim().parse::<u64>().ok().map(|v| v * mult);
         }
@@ -70,7 +73,10 @@ pub fn parse_http(text: &str) -> Result<HttpConfig, SpecError> {
             .split_once(char::is_whitespace)
             .ok_or_else(|| SpecError::Malformed(format!("no value on line {line:?}")))?;
         let value = value.trim();
-        let bad = || SpecError::BadValue { key: key.into(), value: value.into() };
+        let bad = || SpecError::BadValue {
+            key: key.into(),
+            value: value.into(),
+        };
         match key {
             "name" => {
                 if !value.eq_ignore_ascii_case("http") {
@@ -101,7 +107,9 @@ fn extract_body(text: &str) -> Result<&str, SpecError> {
     let rest = rest
         .strip_prefix('{')
         .ok_or_else(|| SpecError::Malformed("missing '{'".into()))?;
-    let close = rest.rfind('}').ok_or_else(|| SpecError::Malformed("missing '}'".into()))?;
+    let close = rest
+        .rfind('}')
+        .ok_or_else(|| SpecError::Malformed("missing '}'".into()))?;
     Ok(&rest[..close])
 }
 
@@ -203,7 +211,10 @@ pub fn parse_traffic(text: &str) -> Result<TrafficKind, SpecError> {
 fn parse_cbr(body: &str) -> Result<crate::cbr::CbrConfig, SpecError> {
     let mut cfg = crate::cbr::CbrConfig::default();
     for_each_kv(body, |key, value| {
-        let bad = || SpecError::BadValue { key: key.into(), value: value.into() };
+        let bad = || SpecError::BadValue {
+            key: key.into(),
+            value: value.into(),
+        };
         match key {
             "name" => Ok(()),
             "sessions" => value.parse().map(|v| cfg.sessions = v).map_err(|_| bad()),
@@ -218,17 +229,22 @@ fn parse_cbr(body: &str) -> Result<crate::cbr::CbrConfig, SpecError> {
 fn parse_onoff(body: &str) -> Result<crate::onoff::OnOffConfig, SpecError> {
     let mut cfg = crate::onoff::OnOffConfig::default();
     for_each_kv(body, |key, value| {
-        let bad = || SpecError::BadValue { key: key.into(), value: value.into() };
+        let bad = || SpecError::BadValue {
+            key: key.into(),
+            value: value.into(),
+        };
         match key {
             "name" => Ok(()),
             "sessions" => value.parse().map(|v| cfg.sessions = v).map_err(|_| bad()),
             "peak_mbps" => value.parse().map(|v| cfg.peak_mbps = v).map_err(|_| bad()),
-            "mean_on_ms" => {
-                value.parse::<f64>().map(|v| cfg.mean_on_us = v * 1e3).map_err(|_| bad())
-            }
-            "mean_off_ms" => {
-                value.parse::<f64>().map(|v| cfg.mean_off_us = v * 1e3).map_err(|_| bad())
-            }
+            "mean_on_ms" => value
+                .parse::<f64>()
+                .map(|v| cfg.mean_on_us = v * 1e3)
+                .map_err(|_| bad()),
+            "mean_off_ms" => value
+                .parse::<f64>()
+                .map(|v| cfg.mean_off_us = v * 1e3)
+                .map_err(|_| bad()),
             "seed" => value.parse().map(|v| cfg.seed = v).map_err(|_| bad()),
             _ => Err(SpecError::Malformed(format!("unknown key {key:?}"))),
         }
@@ -259,9 +275,18 @@ mod kind_tests {
 
     #[test]
     fn dispatches_on_name() {
-        assert!(matches!(parse_traffic("traffic { name HTTP }"), Ok(TrafficKind::Http(_))));
-        assert!(matches!(parse_traffic("traffic { name CBR }"), Ok(TrafficKind::Cbr(_))));
-        assert!(matches!(parse_traffic("traffic { name OnOff }"), Ok(TrafficKind::OnOff(_))));
+        assert!(matches!(
+            parse_traffic("traffic { name HTTP }"),
+            Ok(TrafficKind::Http(_))
+        ));
+        assert!(matches!(
+            parse_traffic("traffic { name CBR }"),
+            Ok(TrafficKind::Cbr(_))
+        ));
+        assert!(matches!(
+            parse_traffic("traffic { name OnOff }"),
+            Ok(TrafficKind::OnOff(_))
+        ));
         assert!(matches!(
             parse_traffic("traffic { name Carrier }"),
             Err(SpecError::UnknownGenerator(_))
@@ -271,7 +296,9 @@ mod kind_tests {
     #[test]
     fn cbr_fields() {
         let k = parse_traffic("traffic { name CBR\n sessions 7\n rate_mbps 3.5 }").unwrap();
-        let TrafficKind::Cbr(cfg) = k else { panic!("wrong kind") };
+        let TrafficKind::Cbr(cfg) = k else {
+            panic!("wrong kind")
+        };
         assert_eq!(cfg.sessions, 7);
         assert!((cfg.rate_mbps - 3.5).abs() < 1e-12);
     }
@@ -282,7 +309,9 @@ mod kind_tests {
             "traffic { name ONOFF\n peak_mbps 20\n mean_on_ms 100\n mean_off_ms 400 }",
         )
         .unwrap();
-        let TrafficKind::OnOff(cfg) = k else { panic!("wrong kind") };
+        let TrafficKind::OnOff(cfg) = k else {
+            panic!("wrong kind")
+        };
         assert!((cfg.peak_mbps - 20.0).abs() < 1e-12);
         assert!((cfg.mean_on_us - 100_000.0).abs() < 1e-9);
         assert!((cfg.duty_cycle() - 0.2).abs() < 1e-12);

@@ -76,7 +76,10 @@ pub fn parse(text: &str) -> Result<Vec<FlowSpec>, TraceError> {
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
-        let bad = |message: &str| TraceError::BadLine { line: line_no, message: message.into() };
+        let bad = |message: &str| TraceError::BadLine {
+            line: line_no,
+            message: message.into(),
+        };
         let Some(rest) = line.strip_prefix("flow ") else {
             return Err(bad("expected 'flow ...'"));
         };
@@ -85,7 +88,8 @@ pub fn parse(text: &str) -> Result<Vec<FlowSpec>, TraceError> {
             return Err(bad("expected 6 fields plus optional window"));
         }
         let parse_u64 = |t: &str, what: &str| {
-            t.parse::<u64>().map_err(|_| bad(&format!("bad {what}: {t:?}")))
+            t.parse::<u64>()
+                .map_err(|_| bad(&format!("bad {what}: {t:?}")))
         };
         let src = parse_u64(toks[0], "src")? as NodeId;
         let dst = parse_u64(toks[1], "dst")? as NodeId;
@@ -112,7 +116,15 @@ pub fn parse(text: &str) -> Result<Vec<FlowSpec>, TraceError> {
                 Some(w)
             }
         };
-        flows.push(FlowSpec { src, dst, start_us, packets, bytes, packet_interval_us, window });
+        flows.push(FlowSpec {
+            src,
+            dst,
+            start_us,
+            packets,
+            bytes,
+            packet_interval_us,
+            window,
+        });
     }
     Ok(flows)
 }
@@ -167,8 +179,14 @@ mod tests {
             Err(TraceError::BadLine { line, .. }) => assert_eq!(line, 2),
             other => panic!("expected BadLine, got {other:?}"),
         }
-        assert!(parse(&format!("{HEADER}\nflow 1 2 0 0 100 1\n")).is_err(), "zero packets");
-        assert!(parse(&format!("{HEADER}\nflow 1 2 0 1 100 1 w0\n")).is_err(), "zero window");
+        assert!(
+            parse(&format!("{HEADER}\nflow 1 2 0 0 100 1\n")).is_err(),
+            "zero packets"
+        );
+        assert!(
+            parse(&format!("{HEADER}\nflow 1 2 0 1 100 1 w0\n")).is_err(),
+            "zero window"
+        );
         assert!(parse(&format!("{HEADER}\nblah\n")).is_err());
     }
 

@@ -62,7 +62,10 @@ fn main() {
     let hosts = net.hosts();
     let flows = http::generate(&hosts, &http_cfg, 20_000_000); // 20 s
     let predicted = http::predict(&hosts, &http_cfg);
-    println!("generated {} flows over 20 s of virtual time\n", flows.len());
+    println!(
+        "generated {} flows over 20 s of virtual time\n",
+        flows.len()
+    );
 
     let study = MappingStudy::new(net, MapperConfig::new(2));
     for approach in [Approach::Top, Approach::Profile] {

@@ -17,15 +17,25 @@ fn main() {
     println!("GridNPB on {}\n", built.study.net.summary());
 
     // Static baseline: the best static mapping the paper offers.
-    let static_p = built.study.map(Approach::Profile, &built.predicted, &built.flows);
-    let static_r = built.study.evaluate(&static_p, &built.flows, CostModel::live_application());
+    let static_p = built
+        .study
+        .map(Approach::Profile, &built.predicted, &built.flows);
+    let static_r = built
+        .study
+        .evaluate(&static_p, &built.flows, CostModel::live_application());
 
     // Dynamic: repartition from live NetFlow at each epoch boundary.
-    let cfg = DynamicConfig { epochs: 4, ..Default::default() };
+    let cfg = DynamicConfig {
+        epochs: 4,
+        ..Default::default()
+    };
     let out = run_dynamic(&built.study, &built.flows, &cfg);
 
-    println!("static PROFILE : imbalance {:.3}, time {:.1}s",
-        load_imbalance(&static_r.engine_events), static_r.emulation_time_s());
+    println!(
+        "static PROFILE : imbalance {:.3}, time {:.1}s",
+        load_imbalance(&static_r.engine_events),
+        static_r.emulation_time_s()
+    );
     println!(
         "dynamic x{}    : imbalance {:.3}, time {:.1}s ({} remaps, {} nodes migrated)",
         cfg.epochs,

@@ -12,18 +12,29 @@ use massf_core::mapping::weights::node_time_loads;
 use massf_core::prelude::*;
 
 fn main() {
-    let built = Scenario::new(Topology::TeraGrid, Workload::GridNpb).with_scale(0.4).build();
-    println!("GridNPB (HC + VP + MB workflows) on {}", built.study.net.summary());
+    let built = Scenario::new(Topology::TeraGrid, Workload::GridNpb)
+        .with_scale(0.4)
+        .build();
+    println!(
+        "GridNPB (HC + VP + MB workflows) on {}",
+        built.study.net.summary()
+    );
     println!("application hosts: {:?}\n", built.placement);
 
     // Step 1: profiling run under the TOP partition, NetFlow on.
-    let initial = built.study.map(Approach::Top, &built.predicted, &built.flows);
+    let initial = built
+        .study
+        .map(Approach::Top, &built.predicted, &built.flows);
     let records = built.study.profile_records(&built.flows, &initial);
     let total_pkts: u64 = records.iter().map(|r| r.packets).sum();
     println!(
         "profiling run: {} NetFlow records across {} routers, {} router-packet sightings",
         records.len(),
-        records.iter().map(|r| r.router).collect::<std::collections::HashSet<_>>().len(),
+        records
+            .iter()
+            .map(|r| r.router)
+            .collect::<std::collections::HashSet<_>>()
+            .len(),
         total_pkts
     );
 
@@ -32,9 +43,16 @@ fn main() {
     let bucket_us = (horizon / PROFILE_BUCKETS).max(1);
     let loads = node_time_loads(&built.study.net, &records, bucket_us);
     let segments = cluster_segments(&loads, 16, 3, 3);
-    println!("\ndetected {} load phases over {:.1}s of virtual time:", segments.len(), horizon as f64 / 1e6);
+    println!(
+        "\ndetected {} load phases over {:.1}s of virtual time:",
+        segments.len(),
+        horizon as f64 / 1e6
+    );
     for (i, &(a, b)) in segments.iter().enumerate() {
-        let events: u64 = loads.iter().map(|row| row[a..b.min(row.len())].iter().sum::<u64>()).sum();
+        let events: u64 = loads
+            .iter()
+            .map(|row| row[a..b.min(row.len())].iter().sum::<u64>())
+            .sum();
         println!(
             "  phase {i}: [{:.1}s, {:.1}s) — {events} node-events",
             a as f64 * bucket_us as f64 / 1e6,
@@ -43,9 +61,16 @@ fn main() {
     }
 
     // Step 3: repartition and compare.
-    let profiled = built.study.map(Approach::Profile, &built.predicted, &built.flows);
-    for (label, partition) in [("TOP (initial)", &initial), ("PROFILE (reparted)", &profiled)] {
-        let report = built.study.evaluate(partition, &built.flows, CostModel::live_application());
+    let profiled = built
+        .study
+        .map(Approach::Profile, &built.predicted, &built.flows);
+    for (label, partition) in [
+        ("TOP (initial)", &initial),
+        ("PROFILE (reparted)", &profiled),
+    ] {
+        let report = built
+            .study
+            .evaluate(partition, &built.flows, CostModel::live_application());
         println!(
             "\n{label}: imbalance {:.3}, emulation {:.1}s, {} cross-engine events",
             load_imbalance(&report.engine_events),

@@ -22,19 +22,29 @@ fn main() {
             .build();
         let partition = if aware {
             built.study.cfg = built.study.cfg.clone().with_engine_capacities(caps.clone());
-            built.study.map(Approach::Profile, &built.predicted, &built.flows)
+            built
+                .study
+                .map(Approach::Profile, &built.predicted, &built.flows)
         } else {
             // Map blindly, but evaluate on the same lopsided hardware.
-            let p = built.study.map(Approach::Profile, &built.predicted, &built.flows);
+            let p = built
+                .study
+                .map(Approach::Profile, &built.predicted, &built.flows);
             built.study.cfg.engine_capacities = Some(caps.clone());
             p
         };
-        let report = built.study.evaluate(&partition, &built.flows, CostModel::replay());
+        let report = built
+            .study
+            .evaluate(&partition, &built.flows, CostModel::replay());
         results.push((aware, report));
     }
 
     for (aware, report) in &results {
-        let label = if *aware { "capacity-aware" } else { "capacity-blind" };
+        let label = if *aware {
+            "capacity-aware"
+        } else {
+            "capacity-blind"
+        };
         let share0 = report.engine_events[0] as f64 / report.total_events() as f64;
         println!(
             "{label:15}: network emulation {:.2}s, fast engine carries {:.0}% of events",
@@ -43,7 +53,10 @@ fn main() {
         );
         println!("  {}", report.balance_line());
     }
-    let gain = improvement_pct(results[0].1.emulation_time_s(), results[1].1.emulation_time_s());
+    let gain = improvement_pct(
+        results[0].1.emulation_time_s(),
+        results[1].1.emulation_time_s(),
+    );
     println!("\ncapacity-aware mapping is {gain:.0}% faster on this cluster —");
     println!("'balance' now means balanced finish times, not balanced event counts.");
 }

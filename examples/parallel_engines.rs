@@ -11,8 +11,12 @@ use massf_core::prelude::*;
 use std::time::Instant;
 
 fn main() {
-    let built = Scenario::new(Topology::TeraGrid, Workload::Scalapack).with_scale(0.3).build();
-    let partition = built.study.map(Approach::Profile, &built.predicted, &built.flows);
+    let built = Scenario::new(Topology::TeraGrid, Workload::Scalapack)
+        .with_scale(0.3)
+        .build();
+    let partition = built
+        .study
+        .map(Approach::Profile, &built.predicted, &built.flows);
     let cfg = EmulationConfig::new(partition.part.clone(), partition.nparts).with_netflow();
 
     println!(
@@ -30,18 +34,31 @@ fn main() {
     let par = run_parallel(&built.study.net, &built.study.tables, &built.flows, &cfg);
     let t_par = t0.elapsed();
 
-    assert_eq!(seq.engine_events, par.engine_events, "parallel run diverged!");
+    assert_eq!(
+        seq.engine_events, par.engine_events,
+        "parallel run diverged!"
+    );
     assert_eq!(seq.netflow, par.netflow);
     assert_eq!(seq.rounds, par.rounds);
 
-    println!("\nkernel events      : {} (identical in both modes)", seq.total_events());
+    println!(
+        "\nkernel events      : {} (identical in both modes)",
+        seq.total_events()
+    );
     println!("delivered packets  : {}", seq.delivered);
     println!("sync rounds        : {}", seq.rounds);
     println!("cross-engine events: {}", seq.remote_messages);
     println!("netflow records    : {}", seq.netflow.len());
-    println!("\nreal wall time     : sequential {:.3}s, {} threads {:.3}s",
-        t_seq.as_secs_f64(), partition.nparts, t_par.as_secs_f64());
-    println!("modeled 2003 time  : {:.1}s (deterministic cost model)", seq.emulation_time_s());
+    println!(
+        "\nreal wall time     : sequential {:.3}s, {} threads {:.3}s",
+        t_seq.as_secs_f64(),
+        partition.nparts,
+        t_par.as_secs_f64()
+    );
+    println!(
+        "modeled 2003 time  : {:.1}s (deterministic cost model)",
+        seq.emulation_time_s()
+    );
     println!("\nThe conservative window protocol produces bit-identical results");
     println!("regardless of thread interleaving — every event key is unique.");
 }

@@ -14,7 +14,10 @@ fn main() {
 
     println!("network : {}", built.study.net.summary());
     println!("engines : {}", built.study.cfg.engines);
-    println!("flows   : {} (foreground ScaLapack + HTTP background)", built.flows.len());
+    println!(
+        "flows   : {} (foreground ScaLapack + HTTP background)",
+        built.flows.len()
+    );
     println!();
     println!(
         "{:8} {:>14} {:>16} {:>14}",
@@ -40,5 +43,8 @@ fn main() {
         improvement_pct(top.emulation_time_s, profile.emulation_time_s),
     );
     println!("engine loads under TOP    : {}", top.report.balance_line());
-    println!("engine loads under PROFILE: {}", profile.report.balance_line());
+    println!(
+        "engine loads under PROFILE: {}",
+        profile.report.balance_line()
+    );
 }

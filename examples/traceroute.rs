@@ -24,7 +24,12 @@ fn main() {
     );
     let hops = traceroute(&tables, src, dst).expect("teragrid is connected");
     for (i, hop) in hops.iter().enumerate() {
-        println!("  {:2}  {:18} {:8.3} ms", i + 1, net.node(hop.node).name, hop.rtt_us as f64 / 1000.0);
+        println!(
+            "  {:2}  {:18} {:8.3} ms",
+            i + 1,
+            net.node(hop.node).name,
+            hop.rtt_us as f64 / 1000.0
+        );
     }
     println!("  ({} probe packets)\n", probe_count(&hops));
 

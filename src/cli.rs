@@ -14,8 +14,8 @@
 //!
 //! All logic lives here (testable); `src/bin/massf.rs` is a thin shim.
 
-use massf_core::prelude::*;
 use massf_core::engine::probe;
+use massf_core::prelude::*;
 use massf_core::routing::RoutingTables;
 use massf_core::topology::dml;
 use massf_core::topology::NodeId;
@@ -46,11 +46,11 @@ USAGE:
   massf topology <campus|teragrid|brite|brite-scaleup>
       Print the network in the description format.
 
-  massf partition <network.dml> --engines K [--seed N]
+  massf partition <network.dml> --engines K [--seed N] [--threads T]
       Partition the network with the TOP approach; prints node -> engine.
 
   massf run <network.dml> --engines K --traffic <spec.txt> --duration-s S
-            [--approach top|place|profile] [--replay]
+            [--approach top|place|profile] [--replay] [--threads T]
       Generate background traffic from the spec, map it with the chosen
       approach, emulate, and print the load-balance report.
 
@@ -60,9 +60,14 @@ USAGE:
   massf record <network.dml> --traffic <spec.txt> --duration-s S --out <trace.txt>
       Generate a traffic schedule from the spec and save it as a trace.
 
-  massf replay <network.dml> <trace.txt> --engines K [--approach top|place|profile]
+  massf replay <network.dml> <trace.txt> --engines K
+               [--approach top|place|profile] [--threads T]
       Replay a recorded trace as fast as possible (isolated network
       emulation, the paper's Figures 9/10 measurement).
+
+  --threads T  Worker threads for the mapping pipeline (routing tables,
+               traffic accumulation, partitioner restarts). Defaults to
+               the machine's core count; results are identical at any T.
 
   massf help
       Show this text.
@@ -83,7 +88,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_topology(args: &[String]) -> Result<String, CliError> {
-    let name = args.first().ok_or_else(|| err("usage: massf topology <name>"))?;
+    let name = args
+        .first()
+        .ok_or_else(|| err("usage: massf topology <name>"))?;
     let topo = match name.as_str() {
         "campus" => Topology::Campus,
         "teragrid" => Topology::TeraGrid,
@@ -95,12 +102,32 @@ fn cmd_topology(args: &[String]) -> Result<String, CliError> {
 }
 
 fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1)).map(String::as_str)
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+/// Parses `--threads T` into a [`Parallelism`]; `None` when absent.
+fn threads_flag(args: &[String]) -> Result<Option<Parallelism>, CliError> {
+    match flag(args, "--threads") {
+        None if args.iter().any(|a| a == "--threads") => Err(err("--threads requires a value")),
+        None => Ok(None),
+        Some(t) => {
+            let n: usize = t
+                .parse()
+                .map_err(|_| err("--threads must be a positive number"))?;
+            if n == 0 {
+                return Err(err("--threads must be a positive number"));
+            }
+            Ok(Some(Parallelism::new(n)))
+        }
+    }
 }
 
 fn load_network(path: &str) -> Result<Network, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
     let net = dml::parse(&text).map_err(|e| err(format!("{path}: {e}")))?;
     if !net.is_connected() {
         return Err(err(format!("{path}: network is not connected")));
@@ -109,7 +136,9 @@ fn load_network(path: &str) -> Result<Network, CliError> {
 }
 
 fn cmd_partition(args: &[String]) -> Result<String, CliError> {
-    let path = args.first().ok_or_else(|| err("usage: massf partition <network.dml> --engines K"))?;
+    let path = args
+        .first()
+        .ok_or_else(|| err("usage: massf partition <network.dml> --engines K"))?;
     let engines: usize = flag(args, "--engines")
         .ok_or_else(|| err("missing --engines"))?
         .parse()
@@ -125,12 +154,19 @@ fn cmd_partition(args: &[String]) -> Result<String, CliError> {
     if let Some(seed) = flag(args, "--seed") {
         cfg = cfg.with_seed(seed.parse().map_err(|_| err("--seed must be a number"))?);
     }
+    if let Some(par) = threads_flag(args)? {
+        cfg = cfg.with_parallelism(par);
+    }
     let partition = massf_core::mapping::top::map_top(&net, &cfg);
     let mut out = String::new();
     for n in net.nodes() {
         out.push_str(&format!("{}\t{}\n", n.name, partition.part[n.id as usize]));
     }
-    out.push_str(&format!("# {} engines, sizes {:?}\n", engines, partition.part_sizes()));
+    out.push_str(&format!(
+        "# {} engines, sizes {:?}\n",
+        engines,
+        partition.part_sizes()
+    ));
     Ok(out)
 }
 
@@ -141,22 +177,25 @@ fn generate_traffic(
 ) -> (Vec<FlowSpec>, Vec<PredictedFlow>) {
     let hosts = net.hosts();
     match kind {
-        TrafficKind::Http(cfg) => {
-            (http::generate(&hosts, cfg, duration_us), http::predict(&hosts, cfg))
-        }
-        TrafficKind::Cbr(cfg) => {
-            (cbr::generate(&hosts, cfg, duration_us), cbr::predict(&hosts, cfg))
-        }
-        TrafficKind::OnOff(cfg) => {
-            (onoff::generate(&hosts, cfg, duration_us), onoff::predict(&hosts, cfg))
-        }
+        TrafficKind::Http(cfg) => (
+            http::generate(&hosts, cfg, duration_us),
+            http::predict(&hosts, cfg),
+        ),
+        TrafficKind::Cbr(cfg) => (
+            cbr::generate(&hosts, cfg, duration_us),
+            cbr::predict(&hosts, cfg),
+        ),
+        TrafficKind::OnOff(cfg) => (
+            onoff::generate(&hosts, cfg, duration_us),
+            onoff::predict(&hosts, cfg),
+        ),
     }
 }
 
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
-    let path = args
-        .first()
-        .ok_or_else(|| err("usage: massf run <network.dml> --engines K --traffic <spec> --duration-s S"))?;
+    let path = args.first().ok_or_else(|| {
+        err("usage: massf run <network.dml> --engines K --traffic <spec> --duration-s S")
+    })?;
     let net = load_network(path)?;
     let engines: usize = flag(args, "--engines")
         .ok_or_else(|| err("missing --engines"))?
@@ -183,7 +222,11 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     if flows.is_empty() {
         return Err(err("the traffic spec generated no flows for this duration"));
     }
-    let study = MappingStudy::new(net, MapperConfig::new(engines));
+    let mut cfg = MapperConfig::new(engines);
+    if let Some(par) = threads_flag(args)? {
+        cfg = cfg.with_parallelism(par);
+    }
+    let study = MappingStudy::new(net, cfg);
     let partition = study.map(approach, &predicted, &flows);
     let report = if replay {
         study.replay(&partition, &flows)
@@ -195,9 +238,15 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     out.push_str(&format!("network      : {}\n", study.net.summary()));
     out.push_str(&format!("approach     : {}\n", approach.label()));
     out.push_str(&format!("flows        : {}\n", flows.len()));
-    out.push_str(&format!("delivered    : {} packets ({} dropped)\n", report.delivered, report.dropped));
+    out.push_str(&format!(
+        "delivered    : {} packets ({} dropped)\n",
+        report.delivered, report.dropped
+    ));
     out.push_str(&format!("kernel events: {}\n", report.total_events()));
-    out.push_str(&format!("imbalance    : {:.3}\n", load_imbalance(&report.engine_events)));
+    out.push_str(&format!(
+        "imbalance    : {:.3}\n",
+        load_imbalance(&report.engine_events)
+    ));
     out.push_str(&format!(
         "emulation    : {:.2}s modeled ({} sync rounds, {} cross-engine events)\n",
         report.emulation_time_s(),
@@ -225,13 +274,18 @@ fn cmd_record(args: &[String]) -> Result<String, CliError> {
     let (flows, _) = generate_traffic(&net, &kind, (duration_s * 1e6) as u64);
     let text = massf_core::traffic::tracefile::write(&flows);
     std::fs::write(out_path, &text).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
-    Ok(format!("recorded {} flows to {out_path}
-", flows.len()))
+    Ok(format!(
+        "recorded {} flows to {out_path}
+",
+        flows.len()
+    ))
 }
 
 fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     let [path, trace_path, rest @ ..] = args else {
-        return Err(err("usage: massf replay <network.dml> <trace.txt> --engines K"));
+        return Err(err(
+            "usage: massf replay <network.dml> <trace.txt> --engines K",
+        ));
     };
     let net = load_network(path)?;
     let trace_text = std::fs::read_to_string(trace_path)
@@ -241,9 +295,10 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     if flows.is_empty() {
         return Err(err("trace contains no flows"));
     }
-    if flows.iter().any(|f| {
-        f.src as usize >= net.node_count() || f.dst as usize >= net.node_count()
-    }) {
+    if flows
+        .iter()
+        .any(|f| f.src as usize >= net.node_count() || f.dst as usize >= net.node_count())
+    {
         return Err(err("trace references nodes outside this network"));
     }
     let engines: usize = flag(rest, "--engines")
@@ -256,7 +311,11 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
         "profile" => Approach::Profile,
         other => return Err(err(format!("unknown approach {other:?}"))),
     };
-    let study = MappingStudy::new(net, MapperConfig::new(engines));
+    let mut cfg = MapperConfig::new(engines);
+    if let Some(par) = threads_flag(rest)? {
+        cfg = cfg.with_parallelism(par);
+    }
+    let study = MappingStudy::new(net, cfg);
     let partition = study.map(approach, &[], &flows);
     let report = study.replay(&partition, &flows);
     Ok(format!(
@@ -362,6 +421,49 @@ mod tests {
     }
 
     #[test]
+    fn partition_threads_flag_is_deterministic() {
+        let f = write_campus();
+        let serial = run(&args(&[
+            "partition",
+            f.as_str(),
+            "--engines",
+            "3",
+            "--threads",
+            "1",
+        ]))
+        .unwrap();
+        let parallel = run(&args(&[
+            "partition",
+            f.as_str(),
+            "--engines",
+            "3",
+            "--threads",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(serial, parallel, "partition must not depend on --threads");
+        let e = run(&args(&[
+            "partition",
+            f.as_str(),
+            "--engines",
+            "3",
+            "--threads",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--threads"), "{e}");
+        let e = run(&args(&[
+            "partition",
+            f.as_str(),
+            "--engines",
+            "3",
+            "--threads",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("--threads requires a value"), "{e}");
+    }
+
+    #[test]
     fn partition_rejects_bad_engine_count() {
         let f = write_campus();
         assert!(run(&args(&["partition", f.as_str(), "--engines", "0"])).is_err());
@@ -432,8 +534,14 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("recorded 5 flows"), "{out}");
-        let out = run(&args(&["replay", net_file.as_str(), trace.as_str(), "--engines", "3"]))
-            .unwrap();
+        let out = run(&args(&[
+            "replay",
+            net_file.as_str(),
+            trace.as_str(),
+            "--engines",
+            "3",
+        ]))
+        .unwrap();
         assert!(out.contains("replayed 5 flows"), "{out}");
         assert!(out.contains("imbalance"), "{out}");
     }
@@ -445,8 +553,14 @@ mod tests {
             "massf_cli_foreign.txt",
             "# massf-trace v1\nflow 900 901 0 1 100 1\n",
         );
-        let e = run(&args(&["replay", net_file.as_str(), trace.as_str(), "--engines", "3"]))
-            .unwrap_err();
+        let e = run(&args(&[
+            "replay",
+            net_file.as_str(),
+            trace.as_str(),
+            "--engines",
+            "3",
+        ]))
+        .unwrap_err();
         assert!(e.0.contains("outside this network"), "{e}");
     }
 

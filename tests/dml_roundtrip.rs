@@ -7,7 +7,12 @@ use massf_core::topology::dml;
 
 #[test]
 fn all_paper_topologies_roundtrip() {
-    for topo in [Topology::Campus, Topology::TeraGrid, Topology::Brite, Topology::BriteScaleup] {
+    for topo in [
+        Topology::Campus,
+        Topology::TeraGrid,
+        Topology::Brite,
+        Topology::BriteScaleup,
+    ] {
         let net = topo.build();
         let text = dml::write(&net);
         let back = dml::parse(&text).unwrap_or_else(|e| panic!("{}: {e}", topo.label()));

@@ -13,7 +13,13 @@ fn campus_building_groups(net: &Network) -> Vec<Vec<NodeId>> {
     let mut groups: std::collections::BTreeMap<String, Vec<NodeId>> = Default::default();
     for h in net.hosts() {
         let (router, _) = net.neighbors(h)[0];
-        let key = net.node(router).name.split('-').next().unwrap_or("x").to_string();
+        let key = net
+            .node(router)
+            .name
+            .split('-')
+            .next()
+            .unwrap_or("x")
+            .to_string();
         groups.entry(key).or_default().push(h);
     }
     groups.into_values().collect()
@@ -86,7 +92,11 @@ fn migration_preserves_emulation_results() {
     // Static reference for totals.
     let top = study.map(Approach::Top, &[], &flows);
     let static_r = study.evaluate(&top, &flows, CostModel::default());
-    let dyn_cfg = DynamicConfig { epochs: 8, cost: CostModel::default(), ..Default::default() };
+    let dyn_cfg = DynamicConfig {
+        epochs: 8,
+        cost: CostModel::default(),
+        ..Default::default()
+    };
     let dynamic = run_dynamic(&study, &flows, &dyn_cfg);
     assert_eq!(dynamic.report.delivered, injected);
     assert_eq!(dynamic.report.dropped, 0);

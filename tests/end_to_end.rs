@@ -4,7 +4,11 @@
 use massf_core::prelude::*;
 
 fn results_for(topo: Topology, wl: Workload, scale: f64) -> Vec<ApproachResult> {
-    Scenario::new(topo, wl).with_scale(scale).without_background().build().run_all()
+    Scenario::new(topo, wl)
+        .with_scale(scale)
+        .without_background()
+        .build()
+        .run_all()
 }
 
 #[test]
@@ -51,7 +55,10 @@ fn profile_improvement_is_substantial() {
     // at test scale to stay robust.
     let r = results_for(Topology::Campus, Workload::Scalapack, 0.15);
     let gain = improvement_pct(r[0].load_imbalance, r[2].load_imbalance);
-    assert!(gain >= 30.0, "PROFILE only improved imbalance by {gain:.0}%");
+    assert!(
+        gain >= 30.0,
+        "PROFILE only improved imbalance by {gain:.0}%"
+    );
 }
 
 #[test]
@@ -107,8 +114,14 @@ fn scaleup_table2_shape() {
         .without_background()
         .build();
     let r = built.run_all();
-    assert!(r[2].load_imbalance < r[0].load_imbalance, "PROFILE must beat TOP at scale");
-    assert!(r[1].load_imbalance < r[0].load_imbalance, "PLACE must beat TOP at scale");
+    assert!(
+        r[2].load_imbalance < r[0].load_imbalance,
+        "PROFILE must beat TOP at scale"
+    );
+    assert!(
+        r[1].load_imbalance < r[0].load_imbalance,
+        "PLACE must beat TOP at scale"
+    );
 }
 
 #[test]

@@ -6,8 +6,8 @@
 //! scales per-engine event processing by CPU speed; a capacity-aware
 //! mapping must beat a capacity-blind one on a lopsided cluster.
 
-use massf_core::prelude::*;
 use massf_core::partition::quality::target_balance;
+use massf_core::prelude::*;
 
 #[test]
 fn partitioner_honours_target_fractions() {
@@ -32,8 +32,14 @@ fn uniform_fractions_match_default() {
     let net = Topology::Campus.build();
     let g = net.to_unit_graph();
     let default = partition_kway(&g, &PartitionConfig::new(3));
-    let uniform = partition_kway(&g, &PartitionConfig::new(3).with_capacities(&[1.0, 1.0, 1.0]));
-    assert_eq!(default, uniform, "uniform capacities must equal the default");
+    let uniform = partition_kway(
+        &g,
+        &PartitionConfig::new(3).with_capacities(&[1.0, 1.0, 1.0]),
+    );
+    assert_eq!(
+        default, uniform,
+        "uniform capacities must equal the default"
+    );
 }
 
 #[test]
@@ -49,19 +55,25 @@ fn capacity_aware_mapping_beats_blind_on_lopsided_cluster() {
         .build();
     // Evaluate the *blind* partition on lopsided hardware: speeds set, but
     // partition targets stay uniform.
-    let blind_partition = blind.study.map(Approach::Profile, &blind.predicted, &blind.flows);
+    let blind_partition = blind
+        .study
+        .map(Approach::Profile, &blind.predicted, &blind.flows);
     blind.study.cfg.engine_capacities = Some(caps.clone());
-    let blind_report =
-        blind.study.evaluate(&blind_partition, &blind.flows, CostModel::replay());
+    let blind_report = blind
+        .study
+        .evaluate(&blind_partition, &blind.flows, CostModel::replay());
 
     let mut aware = Scenario::new(Topology::Campus, Workload::Scalapack)
         .with_scale(0.2)
         .without_background()
         .build();
     aware.study.cfg = aware.study.cfg.clone().with_engine_capacities(caps);
-    let aware_partition = aware.study.map(Approach::Profile, &aware.predicted, &aware.flows);
-    let aware_report =
-        aware.study.evaluate(&aware_partition, &aware.flows, CostModel::replay());
+    let aware_partition = aware
+        .study
+        .map(Approach::Profile, &aware.predicted, &aware.flows);
+    let aware_report = aware
+        .study
+        .evaluate(&aware_partition, &aware.flows, CostModel::replay());
 
     assert_eq!(blind_report.delivered, aware_report.delivered);
     assert!(
@@ -71,10 +83,8 @@ fn capacity_aware_mapping_beats_blind_on_lopsided_cluster() {
         blind_report.emulation_time_s()
     );
     // The fast engine should carry more events under the aware mapping.
-    let aware_share0 =
-        aware_report.engine_events[0] as f64 / aware_report.total_events() as f64;
-    let blind_share0 =
-        blind_report.engine_events[0] as f64 / blind_report.total_events() as f64;
+    let aware_share0 = aware_report.engine_events[0] as f64 / aware_report.total_events() as f64;
+    let blind_share0 = blind_report.engine_events[0] as f64 / blind_report.total_events() as f64;
     assert!(
         aware_share0 > blind_share0,
         "fast engine share: aware {aware_share0:.2} vs blind {blind_share0:.2}"
@@ -89,10 +99,12 @@ fn speeds_do_not_change_emulation_results() {
         .with_scale(0.1)
         .without_background()
         .build();
-    let p = built.study.map(Approach::Top, &built.predicted, &built.flows);
+    let p = built
+        .study
+        .map(Approach::Top, &built.predicted, &built.flows);
     let base_cfg = EmulationConfig::new(p.part.clone(), p.nparts);
-    let fast_cfg = EmulationConfig::new(p.part.clone(), p.nparts)
-        .with_engine_speeds(vec![5.0, 1.0, 0.5]);
+    let fast_cfg =
+        EmulationConfig::new(p.part.clone(), p.nparts).with_engine_speeds(vec![5.0, 1.0, 0.5]);
     let a = massf_core::engine::run_sequential(
         &built.study.net,
         &built.study.tables,

@@ -5,12 +5,18 @@ use massf_core::engine::{run_parallel, run_sequential};
 use massf_core::prelude::*;
 
 fn check(topo: Topology, wl: Workload, approach: Approach) {
-    let built = Scenario::new(topo, wl).with_scale(0.08).without_background().build();
+    let built = Scenario::new(topo, wl)
+        .with_scale(0.08)
+        .without_background()
+        .build();
     let partition = built.study.map(approach, &built.predicted, &built.flows);
     let cfg = EmulationConfig::new(partition.part.clone(), partition.nparts).with_netflow();
     let seq = run_sequential(&built.study.net, &built.study.tables, &built.flows, &cfg);
     let par = run_parallel(&built.study.net, &built.study.tables, &built.flows, &cfg);
-    assert_eq!(seq.engine_events, par.engine_events, "{topo:?}/{wl:?}/{approach:?}");
+    assert_eq!(
+        seq.engine_events, par.engine_events,
+        "{topo:?}/{wl:?}/{approach:?}"
+    );
     assert_eq!(seq.delivered, par.delivered);
     assert_eq!(seq.dropped, par.dropped);
     assert_eq!(seq.latency_sum_us, par.latency_sum_us);
@@ -47,7 +53,9 @@ fn repeated_parallel_runs_are_stable() {
         .with_scale(0.1)
         .without_background()
         .build();
-    let partition = built.study.map(Approach::Place, &built.predicted, &built.flows);
+    let partition = built
+        .study
+        .map(Approach::Place, &built.predicted, &built.flows);
     let cfg = EmulationConfig::new(partition.part.clone(), partition.nparts);
     let first = run_parallel(&built.study.net, &built.study.tables, &built.flows, &cfg);
     for _ in 0..4 {

@@ -14,11 +14,20 @@ fn arb_network() -> impl Strategy<Value = Network> {
     (6usize..24, 4usize..16, any::<u64>(), prop::bool::ANY).prop_map(
         |(routers, hosts, seed, waxman)| {
             let model = if waxman {
-                GrowthModel::Waxman { alpha: 0.2, beta: 0.15 }
+                GrowthModel::Waxman {
+                    alpha: 0.2,
+                    beta: 0.15,
+                }
             } else {
                 GrowthModel::BarabasiAlbert { m: 2 }
             };
-            generate(&BriteConfig { routers, hosts, model, seed, ..BriteConfig::paper_brite() })
+            generate(&BriteConfig {
+                routers,
+                hosts,
+                model,
+                seed,
+                ..BriteConfig::paper_brite()
+            })
         },
     )
 }
@@ -38,7 +47,9 @@ fn arb_flows(net: &Network, seed: u64, count: usize) -> Vec<FlowSpec> {
                 start_us: rng.gen_range(0..2_000_000),
                 packets: rng.gen_range(1..40),
                 bytes: rng.gen_range(100..60_000),
-                packet_interval_us: rng.gen_range(1..2_000), window: None })
+                packet_interval_us: rng.gen_range(1..2_000),
+                window: None,
+            })
         })
         .collect()
 }

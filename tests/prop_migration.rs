@@ -34,7 +34,11 @@ fn random_flows(net: &Network, seed: u64, count: usize) -> Vec<FlowSpec> {
                 packets: rng.gen_range(1..30),
                 bytes: rng.gen_range(200..45_000),
                 packet_interval_us: rng.gen_range(1..1_500),
-                window: if rng.gen_bool(0.3) { Some(rng.gen_range(1..6)) } else { None },
+                window: if rng.gen_bool(0.3) {
+                    Some(rng.gen_range(1..6))
+                } else {
+                    None
+                },
             })
         })
         .collect()

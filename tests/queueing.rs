@@ -89,7 +89,10 @@ fn two_flows_share_the_bottleneck() {
     let net = bottleneck(50.0);
     let alone = mean_latency(&net, &[one_flow(40.0, 80)]);
     let mut both = vec![one_flow(40.0, 80)];
-    both.push(FlowSpec { start_us: 7, ..one_flow(40.0, 80) });
+    both.push(FlowSpec {
+        start_us: 7,
+        ..one_flow(40.0, 80)
+    });
     let shared = mean_latency(&net, &both);
     assert!(
         shared > alone * 1.2,
@@ -116,8 +119,7 @@ fn reverse_direction_is_unaffected() {
     let r = run_sequential(&net, &tables, &[one_flow(150.0, 200), back.clone()], &cfg);
     // Isolate the reverse flow's latency: total latency minus the flood's.
     let flood = run_sequential(&net, &tables, &[one_flow(150.0, 200)], &cfg);
-    let reverse_lat =
-        (r.latency_sum_us - flood.latency_sum_us) as f64 / back.packets as f64;
+    let reverse_lat = (r.latency_sum_us - flood.latency_sum_us) as f64 / back.packets as f64;
     assert!(
         (reverse_lat - quiet).abs() < 2.0,
         "duplex violated: reverse latency {reverse_lat} vs quiet {quiet}"

@@ -7,7 +7,9 @@ use massf_core::traffic::flow::{horizon_us, total_packets};
 use std::collections::HashMap;
 
 fn built() -> BuiltScenario {
-    Scenario::new(Topology::Campus, Workload::GridNpb).with_scale(0.2).build()
+    Scenario::new(Topology::Campus, Workload::GridNpb)
+        .with_scale(0.2)
+        .build()
 }
 
 #[test]
@@ -60,7 +62,9 @@ fn replay_keeps_per_source_order() {
 fn replay_delivers_the_same_packets_faster() {
     let b = built();
     let partition = b.study.map(Approach::Top, &b.predicted, &b.flows);
-    let live = b.study.evaluate(&partition, &b.flows, CostModel::live_application());
+    let live = b
+        .study
+        .evaluate(&partition, &b.flows, CostModel::live_application());
     let replay = b.study.replay(&partition, &b.flows);
     assert_eq!(live.delivered, replay.delivered);
     assert!(
@@ -79,9 +83,15 @@ fn replay_ranks_mappings_like_live_imbalance() {
     let mut times = Vec::new();
     for a in Approach::ALL {
         let p = b.study.map(a, &b.predicted, &b.flows);
-        let live = b.study.evaluate(&p, &b.flows, CostModel::live_application());
+        let live = b
+            .study
+            .evaluate(&p, &b.flows, CostModel::live_application());
         let rep = b.study.replay(&p, &b.flows);
-        times.push((a, massf_metrics::load_imbalance(&live.engine_events), rep.emulation_time_s()));
+        times.push((
+            a,
+            massf_metrics::load_imbalance(&live.engine_events),
+            rep.emulation_time_s(),
+        ));
     }
     let worst_live = times
         .iter()

@@ -66,7 +66,11 @@ fn stop_and_wait_is_rtt_bound() {
     let rtt = 2.0 * 20_300.0;
     let expected = 10.0 * rtt;
     let ratio = w1.virtual_end_us as f64 / expected;
-    assert!((0.8..1.3).contains(&ratio), "completion {} vs ~{expected}", w1.virtual_end_us);
+    assert!(
+        (0.8..1.3).contains(&ratio),
+        "completion {} vs ~{expected}",
+        w1.virtual_end_us
+    );
 }
 
 #[test]
@@ -138,16 +142,18 @@ fn window_transport_reacts_to_congestion() {
     let cfg = EmulationConfig::new(vec![0; 4], 1);
     let alone = run_sequential(&net, &tables, &[windowed_flow(60, 4)], &cfg);
     let mut two = vec![windowed_flow(60, 4)];
-    two.push(FlowSpec {
-        src: 0,
-        dst: 3,
-        start_us: 0,
-        packets: 60,
-        bytes: 90_000,
-        packet_interval_us: 10,
-        window: None,
-    }
-    .with_window(4));
+    two.push(
+        FlowSpec {
+            src: 0,
+            dst: 3,
+            start_us: 0,
+            packets: 60,
+            bytes: 90_000,
+            packet_interval_us: 10,
+            window: None,
+        }
+        .with_window(4),
+    );
     let shared = run_sequential(&net, &tables, &two, &cfg);
     assert!(
         shared.virtual_end_us > alone.virtual_end_us,

@@ -1,0 +1,502 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest's API this workspace uses as a
+//! random-sampling property-test harness: the [`Strategy`] trait with
+//! `prop_map` / `prop_flat_map` / `prop_filter` / `prop_filter_map`
+//! combinators, range and tuple strategies, [`Just`], `any::<T>()`,
+//! `prop::collection::vec`, `prop::bool::ANY`, the [`proptest!`] macro,
+//! and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! Differences from upstream: cases are sampled from a fixed
+//! deterministic seed per test (derived from the test's name), and there
+//! is **no shrinking** — a failing case panics with the generated values'
+//! debug representation instead.
+
+#![forbid(unsafe_code)]
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The RNG handed to strategies.
+pub type TestRng = ChaCha8Rng;
+
+/// Why a test case did not run to completion.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; the runner draws fresh ones.
+    Reject(&'static str),
+    /// An assertion failed (reserved; `prop_assert*` panic directly).
+    Fail(String),
+}
+
+/// Result type the generated test-case closures return.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Give up after this many `prop_assume!`/filter rejections.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            max_global_rejects: cases.saturating_mul(256).max(1024),
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self::with_cases(48)
+    }
+}
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The value type produced.
+    type Value: std::fmt::Debug;
+
+    /// Draws one value; `None` when a filter rejected the attempt.
+    fn generate(&self, rng: &mut TestRng) -> Option<Self::Value>;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U: std::fmt::Debug, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values for which `f` returns `Some`.
+    fn prop_filter_map<U: std::fmt::Debug, F: Fn(Self::Value) -> Option<U>>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FilterMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f`.
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(
+        self,
+        _whence: &'static str,
+        f: F,
+    ) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter { inner: self, f }
+    }
+
+    /// Type-erases the strategy (proptest's `boxed`).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+/// A boxed, type-erased strategy.
+pub struct BoxedStrategy<T>(Box<dyn Strategy<Value = T>>);
+
+impl<T: std::fmt::Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> Option<T> {
+        self.0.generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).map(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+    type Value = T::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<T::Value> {
+        let mid = self.inner.generate(rng)?;
+        (self.f)(mid).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter_map`].
+pub struct FilterMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U: std::fmt::Debug, F: Fn(S::Value) -> Option<U>> Strategy for FilterMap<S, F> {
+    type Value = U;
+    fn generate(&self, rng: &mut TestRng) -> Option<U> {
+        self.inner.generate(rng).and_then(&self.f)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        self.inner.generate(rng).filter(|v| (self.f)(v))
+    }
+}
+
+/// Always produces a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone + std::fmt::Debug>(pub T);
+
+impl<T: Clone + std::fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> Option<T> {
+        Some(self.0.clone())
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                use rand::Rng;
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                use rand::Rng;
+                Some(rng.gen_range(self.clone()))
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Option<Self::Value> {
+                let ($($name,)+) = self;
+                Some(($($name.generate(rng)?,)+))
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// Full-range strategy for primitives (`any::<T>()`).
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// Produces a strategy over `T`'s whole value range.
+pub fn any<T>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> Option<$t> {
+                use rand::RngCore;
+                Some(rng.next_u64() as $t)
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> Option<bool> {
+        use rand::RngCore;
+        Some(rng.next_u64() & 1 == 1)
+    }
+}
+
+/// The `prop::` namespace (`proptest::prelude::prop`).
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        /// Either boolean, uniformly.
+        pub const ANY: super::super::Any<bool> = super::super::Any(std::marker::PhantomData);
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use super::super::{Strategy, TestRng};
+
+        /// Strategy for `Vec`s with element strategy `element` and a
+        /// length drawn from `size`.
+        pub fn vec<S: Strategy>(element: S, size: std::ops::Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, size }
+        }
+
+        /// See [`vec`].
+        pub struct VecStrategy<S> {
+            element: S,
+            size: std::ops::Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Option<Vec<S::Value>> {
+                use rand::Rng;
+                let n = rng.gen_range(self.size.clone());
+                let mut out = Vec::with_capacity(n);
+                for _ in 0..n {
+                    // Give filtered element strategies a few retries
+                    // before failing the whole collection draw.
+                    let mut drawn = None;
+                    for _ in 0..16 {
+                        if let Some(v) = self.element.generate(rng) {
+                            drawn = Some(v);
+                            break;
+                        }
+                    }
+                    out.push(drawn?);
+                }
+                Some(out)
+            }
+        }
+    }
+}
+
+/// Drives one `proptest!`-generated test function.
+pub struct TestRunner {
+    config: ProptestConfig,
+    rng: TestRng,
+}
+
+impl TestRunner {
+    /// Creates a runner with a seed derived deterministically from
+    /// `name` (so every test gets an independent but reproducible
+    /// stream).
+    pub fn new(config: ProptestConfig, name: &str) -> Self {
+        // FNV-1a over the test name.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        Self {
+            config,
+            rng: TestRng::seed_from_u64(h),
+        }
+    }
+
+    /// Runs `body` on `config.cases` generated values.
+    pub fn run<S: Strategy>(
+        &mut self,
+        strategy: &S,
+        mut body: impl FnMut(S::Value) -> TestCaseResult,
+    ) {
+        let mut passed = 0u32;
+        let mut rejected = 0u32;
+        while passed < self.config.cases {
+            if rejected > self.config.max_global_rejects {
+                panic!(
+                    "proptest: too many rejected inputs ({} rejects, {} passes)",
+                    rejected, passed
+                );
+            }
+            let Some(value) = strategy.generate(&mut self.rng) else {
+                rejected += 1;
+                continue;
+            };
+            let repr = format!("{value:?}");
+            match body(value) {
+                Ok(()) => passed += 1,
+                Err(TestCaseError::Reject(_)) => rejected += 1,
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case failed: {msg}\n  inputs: {repr}")
+                }
+            }
+        }
+    }
+}
+
+/// Declares property tests. See the crate docs; mirrors upstream usage:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_prop(x in 0usize..10, (a, b) in my_strategy()) { ... }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands the individual test functions of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);) => {};
+    (cfg = ($cfg:expr);
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let mut runner = $crate::TestRunner::new(
+                $cfg,
+                concat!(module_path!(), "::", stringify!($name)),
+            );
+            runner.run(&($($strat,)+), |($($pat,)+)| {
+                $body
+                Ok(())
+            });
+        }
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+}
+
+/// Rejects the current case; the runner draws new inputs.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(stringify!($cond)));
+        }
+    };
+}
+
+/// Asserts inside a property (panics with the case's inputs on failure).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// The usual glob import, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, TestCaseResult,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 3usize..10, y in 0i64..100) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0..100).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_patterns((a, b) in (0u32..5, 5u32..9)) {
+            prop_assert!(a < 5 && (5..9).contains(&b));
+        }
+
+        #[test]
+        fn assume_rejects(x in 0usize..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn maps_and_vecs(v in prop::collection::vec(0u8..4, 0..20), n in (2usize..6).prop_map(|k| k * 2)) {
+            prop_assert!(v.len() < 20);
+            prop_assert!(v.iter().all(|&x| x < 4));
+            prop_assert!(n % 2 == 0 && (4..12).contains(&n));
+        }
+
+        #[test]
+        fn flat_map_dependent(pair in (2usize..30).prop_flat_map(|n| (Just(n), 0usize..30).prop_filter_map("idx<n", |(n, i)| if i < n { Some((n, i)) } else { None }))) {
+            let (n, i) = pair;
+            prop_assert!(i < n);
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use crate::{ProptestConfig, TestRunner};
+        let collect = |name: &str| {
+            let mut out = Vec::new();
+            let mut r = TestRunner::new(ProptestConfig::with_cases(10), name);
+            r.run(&(0u64..1000,), |(v,)| {
+                out.push(v);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(collect("a"), collect("a"));
+        assert_ne!(
+            collect("a"),
+            collect("b"),
+            "different tests, different streams"
+        );
+    }
+}
