@@ -24,7 +24,7 @@
 //! smoke run.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use massf_core::prelude::*;
 use massf_metrics::report::ResultTable;

@@ -25,7 +25,7 @@
 //! * [`massf_metrics`] — load-imbalance metrics and report tables.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod experiment;
 pub mod scenario;

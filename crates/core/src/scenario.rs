@@ -226,6 +226,21 @@ pub struct BuiltScenario {
     pub predicted: Vec<PredictedFlow>,
 }
 
+impl BuiltScenario {
+    /// Runs the `massf-lint` preflight over the instantiated scenario:
+    /// network, engine count, imbalance tolerance, flow schedule, and
+    /// PLACE predictions all feed the pass registry. Callers should refuse
+    /// to emulate when [`massf_lint::Diagnostics::has_errors`] is true.
+    pub fn lint(&self) -> massf_lint::Diagnostics {
+        let mut input = massf_lint::LintInput::network(&self.study.net);
+        input.engines = Some(self.study.cfg.engines);
+        input.ubfactor = self.study.cfg.ubfactor;
+        input.flows = &self.flows;
+        input.predicted = &self.predicted;
+        massf_lint::lint_scenario(&input)
+    }
+}
+
 /// Picks `n` hosts spread evenly through the host list (deterministic).
 /// Useful as an idealized best-case placement; real deployments are
 /// clustered — see [`clustered_placement`].
@@ -372,6 +387,23 @@ mod tests {
         let sp: u64 = massf_traffic::flow::total_packets(&small.flows);
         let fp: u64 = massf_traffic::flow::total_packets(&full.flows);
         assert!(sp < fp / 2, "scaled {sp} vs full {fp}");
+    }
+
+    #[test]
+    fn built_scenarios_lint_clean_of_errors() {
+        for t in [Topology::Campus, Topology::TeraGrid] {
+            let built = Scenario::new(t, Workload::Scalapack)
+                .with_scale(0.1)
+                .build();
+            let diags = built.lint();
+            assert_eq!(
+                diags.count(massf_lint::Severity::Error),
+                0,
+                "{}: {}",
+                t.label(),
+                diags.summary_line()
+            );
+        }
     }
 
     #[test]

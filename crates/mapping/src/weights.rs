@@ -19,7 +19,7 @@ use massf_graph::{CsrGraph, GraphBuilder, Weight};
 use massf_par::{par_indexed_map, Parallelism};
 use massf_routing::RoutingTables;
 use massf_topology::{Network, NodeId, NodeKind};
-use massf_traffic::PredictedFlow;
+use massf_traffic::{FlowSpec, PredictedFlow};
 use std::collections::HashMap;
 
 /// Flows per work block when fanning accumulation over threads.
@@ -345,6 +345,40 @@ pub fn node_time_loads(net: &Network, records: &[FlowRecord], bucket_us: u64) ->
     loads
 }
 
+/// Static per-node load series `[node][bucket]` predicted from a flow
+/// schedule alone: each flow's packets are spread uniformly over its
+/// injection window and charged to both endpoints (injection at `src`,
+/// delivery at `dst`). The schedule-time analogue of [`node_time_loads`] —
+/// what PROFILE's phase detection would see before any emulation runs,
+/// minus router transit load (which needs routing). Flows with zero
+/// packets or out-of-range endpoints are skipped; the preflight linter
+/// reports those separately.
+pub fn flow_node_loads(net: &Network, flows: &[FlowSpec], bucket_us: u64) -> Vec<Vec<u64>> {
+    let bucket_us = bucket_us.max(1);
+    let n = net.node_count();
+    let valid = |f: &&FlowSpec| f.packets > 0 && (f.src as usize) < n && (f.dst as usize) < n;
+    let nbuckets = flows
+        .iter()
+        .filter(valid)
+        .map(|f| (f.end_us() / bucket_us) as usize + 1)
+        .max()
+        .unwrap_or(0);
+    let mut loads = vec![vec![0u64; nbuckets]; n];
+    for f in flows.iter().filter(valid) {
+        let b0 = (f.start_us / bucket_us) as usize;
+        let b1 = (f.end_us() / bucket_us) as usize;
+        let nb = (b1 - b0 + 1) as u64;
+        for node in [f.src, f.dst] {
+            let row = &mut loads[node as usize];
+            for b in b0..=b1 {
+                row[b] += f.packets / nb;
+            }
+            row[b0] += f.packets % nb;
+        }
+    }
+    loads
+}
+
 /// Overlays new vertex weights (possibly multi-constraint) onto a weighted
 /// view, keeping its edge weights.
 pub fn with_vertex_weights(graph: &CsrGraph, ncon: usize, vwgt: Vec<Weight>) -> CsrGraph {
@@ -494,6 +528,56 @@ mod tests {
         assert_eq!(loads[3].iter().sum::<u64>(), 10);
         // The untouched router has zeros.
         assert_eq!(loads[2].iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn flow_node_loads_mirror_schedule() {
+        let net = line();
+        let flows = vec![
+            // 10 packets over [0, 4500µs): buckets 0..=4 at 1000 µs width.
+            FlowSpec {
+                src: 0,
+                dst: 3,
+                start_us: 0,
+                packets: 10,
+                bytes: 15_000,
+                packet_interval_us: 500,
+                window: None,
+            },
+            // Skipped: zero packets and a foreign endpoint.
+            FlowSpec {
+                src: 0,
+                dst: 3,
+                start_us: 0,
+                packets: 0,
+                bytes: 0,
+                packet_interval_us: 1,
+                window: None,
+            },
+            FlowSpec {
+                src: 0,
+                dst: 99,
+                start_us: 0,
+                packets: 5,
+                bytes: 0,
+                packet_interval_us: 1,
+                window: None,
+            },
+        ];
+        let loads = flow_node_loads(&net, &flows, 1000);
+        assert_eq!(loads.len(), net.node_count());
+        assert_eq!(loads[0].len(), 5);
+        assert_eq!(loads[0].iter().sum::<u64>(), 10, "src charged once");
+        assert_eq!(loads[3].iter().sum::<u64>(), 10, "dst charged once");
+        assert_eq!(loads[1].iter().sum::<u64>(), 0, "no transit load");
+        assert!(loads[0].iter().all(|&x| x >= 2), "roughly uniform spread");
+    }
+
+    #[test]
+    fn flow_node_loads_empty_schedule() {
+        let net = line();
+        let loads = flow_node_loads(&net, &[], 1000);
+        assert!(loads.iter().all(Vec::is_empty));
     }
 
     #[test]

@@ -15,7 +15,7 @@
 //!   where worker `t` fills rows `t`, `t+k`, … of a flat matrix.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 use std::num::NonZeroUsize;
 use std::sync::atomic::{AtomicUsize, Ordering};

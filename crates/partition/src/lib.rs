@@ -41,7 +41,7 @@
 //! ```
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 // CSR-style code indexes several parallel arrays with one counter; the
 // iterator rewrites clippy suggests are less clear there.
 #![allow(clippy::needless_range_loop)]

@@ -222,6 +222,115 @@ pub fn worst_target_balance(g: &CsrGraph, part: &[u32], fractions: &[f64]) -> f6
         .fold(1.0, f64::max)
 }
 
+/// A constraint no `nparts`-way partition can balance within `ubfactor`:
+/// some single vertex already outweighs the per-part capacity
+/// `ubfactor * total / nparts`, so wherever it lands, that part busts the
+/// tolerance. Used by preflight lints to reject infeasible requests before
+/// the partitioner burns restarts on them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InfeasibleConstraint {
+    /// Constraint (weight-component) index.
+    pub constraint: usize,
+    /// The heaviest single vertex in that component.
+    pub max_vertex_weight: Weight,
+    /// The per-part capacity it exceeds.
+    pub capacity: f64,
+}
+
+/// Returns every constraint for which balance within `ubfactor` is
+/// mathematically unreachable for a `nparts`-way partition of `g`
+/// (see [`InfeasibleConstraint`]). Empty means a feasible partition may
+/// exist; it does not guarantee the partitioner finds one.
+pub fn infeasible_constraints(
+    g: &CsrGraph,
+    nparts: usize,
+    ubfactor: f64,
+) -> Vec<InfeasibleConstraint> {
+    if nparts == 0 || g.nvtxs() == 0 {
+        return vec![];
+    }
+    let ncon = g.ncon();
+    let mut out = Vec::new();
+    for c in 0..ncon {
+        let mut total: Weight = 0;
+        let mut max: Weight = 0;
+        for v in 0..g.nvtxs() {
+            let w = g.vwgt()[v * ncon + c];
+            total += w;
+            max = max.max(w);
+        }
+        let capacity = ubfactor * total as f64 / nparts as f64;
+        if max as f64 > capacity {
+            out.push(InfeasibleConstraint {
+                constraint: c,
+                max_vertex_weight: max,
+                capacity,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod feasibility_tests {
+    use super::*;
+    use massf_graph::GraphBuilder;
+
+    #[test]
+    fn balanced_weights_are_feasible() {
+        let mut b = GraphBuilder::new(1);
+        b.add_unit_vertices(8);
+        for i in 0..7u32 {
+            b.add_edge(i, i + 1, 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        assert!(infeasible_constraints(&g, 4, 1.10).is_empty());
+    }
+
+    #[test]
+    fn dominant_vertex_is_infeasible() {
+        // One vertex holds 90 of 100 total weight: no 2-way split can keep
+        // any part under 1.25 * 100 / 2 = 62.5.
+        let mut b = GraphBuilder::new(1);
+        b.add_vertex(&[90]);
+        for _ in 0..10 {
+            b.add_vertex(&[1]);
+        }
+        for i in 0..10u32 {
+            b.add_edge(i, i + 1, 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let inf = infeasible_constraints(&g, 2, 1.25);
+        assert_eq!(inf.len(), 1);
+        assert_eq!(inf[0].constraint, 0);
+        assert_eq!(inf[0].max_vertex_weight, 90);
+        assert!((inf[0].capacity - 62.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_constraint_independence() {
+        // Constraint 0 is balanced, constraint 1 has a dominant vertex.
+        let mut b = GraphBuilder::new(2);
+        b.add_vertex(&[1, 99]);
+        b.add_vertex(&[1, 1]);
+        b.add_vertex(&[1, 1]);
+        b.add_vertex(&[1, 1]);
+        for i in 0..3u32 {
+            b.add_edge(i, i + 1, 1).unwrap();
+        }
+        let g = b.build().unwrap();
+        let inf = infeasible_constraints(&g, 2, 1.10);
+        assert_eq!(inf.len(), 1);
+        assert_eq!(inf[0].constraint, 1);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_empty() {
+        let g = GraphBuilder::new(1).build().unwrap();
+        assert!(infeasible_constraints(&g, 3, 1.1).is_empty());
+    }
+}
+
 #[cfg(test)]
 mod target_tests {
     use super::*;

@@ -11,7 +11,7 @@
 //! next-hop tables — the same information a router's FIB would hold.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod hierarchy;
 pub mod memory;

@@ -125,8 +125,11 @@ pub fn parse(text: &str) -> Result<Network, DmlError> {
                     if a == b {
                         return Err(syntax("self-link"));
                     }
-                    if bw <= 0.0 {
-                        return Err(syntax("bandwidth must be positive"));
+                    // `bw <= 0.0` alone lets NaN through (all comparisons
+                    // with NaN are false) and infinity saturates the weight
+                    // quantization, so demand a positive finite value.
+                    if !bw.is_finite() || bw <= 0.0 {
+                        return Err(syntax("bandwidth must be a positive finite number"));
                     }
                     if lat == 0 {
                         return Err(syntax("latency must be positive"));
@@ -210,6 +213,19 @@ link 0 1 bw 100.5 lat 20
     fn rejects_dangling_link() {
         let text = "node 0 router \"r\" as 0\nlink 0 5 bw 10 lat 1\n";
         assert!(matches!(parse(text), Err(DmlError::Syntax { line: 2, .. })));
+    }
+
+    #[test]
+    fn rejects_non_finite_bandwidth() {
+        for bad in ["NaN", "inf", "-inf"] {
+            let text = format!(
+                "node 0 router \"r\" as 0\nnode 1 router \"s\" as 0\nlink 0 1 bw {bad} lat 5\n"
+            );
+            assert!(
+                matches!(parse(&text), Err(DmlError::Syntax { line: 3, .. })),
+                "{bad} must be rejected"
+            );
+        }
     }
 
     #[test]

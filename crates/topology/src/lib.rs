@@ -17,7 +17,7 @@
 //! by `massf-traffic`.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod asys;
 pub mod brite;

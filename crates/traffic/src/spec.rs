@@ -191,6 +191,33 @@ pub enum TrafficKind {
     OnOff(crate::onoff::OnOffConfig),
 }
 
+impl TrafficKind {
+    /// Canonical generator name as written in the spec's `name` key.
+    pub fn label(&self) -> &'static str {
+        match self {
+            TrafficKind::Http(_) => "HTTP",
+            TrafficKind::Cbr(_) => "CBR",
+            TrafficKind::OnOff(_) => "ONOFF",
+        }
+    }
+
+    /// Minimum number of hosts the generator needs: every generator pairs
+    /// distinct endpoints, so fewer hosts make generation panic or loop.
+    pub fn min_hosts(&self) -> usize {
+        2
+    }
+
+    /// True when the configuration generates no sessions at all (a
+    /// degenerate spec the preflight linter flags).
+    pub fn is_empty(&self) -> bool {
+        match self {
+            TrafficKind::Http(cfg) => cfg.server_count == 0 || cfg.clients_per_server == 0,
+            TrafficKind::Cbr(cfg) => cfg.sessions == 0,
+            TrafficKind::OnOff(cfg) => cfg.sessions == 0,
+        }
+    }
+}
+
 /// Parses any supported `traffic { ... }` block, dispatching on `name`
 /// (HTTP, CBR, ONOFF — case-insensitive).
 pub fn parse_traffic(text: &str) -> Result<TrafficKind, SpecError> {
@@ -320,5 +347,19 @@ mod kind_tests {
     #[test]
     fn unknown_cbr_key_rejected() {
         assert!(parse_traffic("traffic { name CBR\n color blue }").is_err());
+    }
+
+    #[test]
+    fn introspection_methods() {
+        let http = parse_traffic("traffic { name HTTP }").unwrap();
+        let cbr = parse_traffic("traffic { name CBR\n sessions 0 }").unwrap();
+        let onoff = parse_traffic("traffic { name OnOff }").unwrap();
+        assert_eq!(http.label(), "HTTP");
+        assert_eq!(cbr.label(), "CBR");
+        assert_eq!(onoff.label(), "ONOFF");
+        assert!(!http.is_empty());
+        assert!(cbr.is_empty());
+        assert!(!onoff.is_empty());
+        assert_eq!(http.min_hosts(), 2);
     }
 }

@@ -6,11 +6,17 @@
 //!
 //! ```text
 //! massf topology <campus|teragrid|brite|brite-scaleup>
+//! massf check <network.dml> [--engines K] [--traffic <spec.txt>] [--format human|json]
 //! massf partition <network.dml> --engines K [--seed N]
 //! massf run <network.dml> --engines K --traffic <spec.txt> --duration-s S
 //!           [--approach top|place|profile] [--replay]
 //! massf ping <network.dml> <src-name> <dst-name>
 //! ```
+//!
+//! Every scenario-consuming subcommand runs the `massf-lint` preflight
+//! first and refuses to proceed past an Error-level diagnostic
+//! (`--deny-warnings` promotes warnings). Unknown `--flags` are rejected
+//! on every subcommand.
 //!
 //! All logic lives here (testable); `src/bin/massf.rs` is a thin shim.
 
@@ -21,6 +27,7 @@ use massf_core::topology::dml;
 use massf_core::topology::NodeId;
 use massf_core::traffic::spec::{parse_traffic, TrafficKind};
 use massf_core::traffic::{cbr, http, onoff};
+use massf_lint::{render, LintInput};
 
 /// A CLI failure with a user-facing message.
 #[derive(Debug, PartialEq, Eq)]
@@ -46,11 +53,21 @@ USAGE:
   massf topology <campus|teragrid|brite|brite-scaleup>
       Print the network in the description format.
 
+  massf check <network.dml> [--engines K] [--traffic <spec.txt>]
+              [--duration-s S] [--format human|json] [--deny-warnings]
+              [--threads T]
+      Statically lint the scenario: topology, partition request, traffic
+      spec, and (when a spec and duration are given) the generated flow
+      schedule. Exits 0 when no Error-level diagnostics are found, 1
+      otherwise; the report is printed either way.
+
   massf partition <network.dml> --engines K [--seed N] [--threads T]
+                  [--deny-warnings]
       Partition the network with the TOP approach; prints node -> engine.
 
   massf run <network.dml> --engines K --traffic <spec.txt> --duration-s S
             [--approach top|place|profile] [--replay] [--threads T]
+            [--deny-warnings]
       Generate background traffic from the spec, map it with the chosen
       approach, emulate, and print the load-balance report.
 
@@ -62,15 +79,21 @@ USAGE:
 
   massf replay <network.dml> <trace.txt> --engines K
                [--approach top|place|profile] [--threads T]
+               [--deny-warnings]
       Replay a recorded trace as fast as possible (isolated network
       emulation, the paper's Figures 9/10 measurement).
 
-  --threads T  Worker threads for the mapping pipeline (routing tables,
-               traffic accumulation, partitioner restarts). Defaults to
-               the machine's core count; results are identical at any T.
+  --threads T       Worker threads for the mapping pipeline (routing
+                    tables, traffic accumulation, partitioner restarts).
+                    Defaults to the machine's core count; results are
+                    identical at any T.
+  --deny-warnings   Promote preflight Warn diagnostics to Errors.
 
   massf help
       Show this text.
+
+Scenario-consuming subcommands run the massf-lint preflight and refuse
+to proceed past any Error-level diagnostic (stable codes MC001..MC012).
 ";
 
 /// Runs the CLI; returns the text to print or an error message.
@@ -78,6 +101,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
     match args.first().map(String::as_str) {
         None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
         Some("topology") => cmd_topology(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("partition") => cmd_partition(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("ping") => cmd_ping(&args[1..]),
@@ -88,6 +112,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_topology(args: &[String]) -> Result<String, CliError> {
+    validate_flags("topology", args, &[], &[])?;
     let name = args
         .first()
         .ok_or_else(|| err("usage: massf topology <name>"))?;
@@ -106,6 +131,154 @@ fn flag<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
         .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(String::as_str)
+}
+
+/// Rejects any `--flag` the subcommand does not understand. `value_flags`
+/// consume the following argument; `bool_flags` stand alone. A value flag
+/// in final position is also an error (its value is missing).
+fn validate_flags(
+    cmd: &str,
+    args: &[String],
+    value_flags: &[&str],
+    bool_flags: &[&str],
+) -> Result<(), CliError> {
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a.starts_with("--") {
+            if value_flags.contains(&a) {
+                if i + 1 >= args.len() {
+                    return Err(err(format!("{a} requires a value")));
+                }
+                i += 2;
+                continue;
+            }
+            if !bool_flags.contains(&a) {
+                return Err(err(format!(
+                    "unknown flag {a:?} for `massf {cmd}`; try `massf help`"
+                )));
+            }
+        }
+        i += 1;
+    }
+    Ok(())
+}
+
+/// Runs the `massf-lint` preflight over everything the subcommand knows
+/// and refuses (with the human-rendered report as the error) when any
+/// Error-level diagnostic — or any warning under `deny_warnings` — is
+/// present.
+fn preflight(
+    net: &Network,
+    engines: Option<usize>,
+    traffic: Option<&TrafficKind>,
+    predicted: &[PredictedFlow],
+    flows: &[FlowSpec],
+    deny_warnings: bool,
+) -> Result<(), CliError> {
+    let mut input = LintInput::network(net);
+    input.engines = engines;
+    input.predicted = predicted;
+    input.flows = flows;
+    input.traffic = traffic;
+    let mut diags = massf_lint::lint_scenario(&input);
+    if deny_warnings {
+        diags.deny_warnings();
+        diags.finish();
+    }
+    if diags.has_errors() {
+        return Err(err(format!(
+            "preflight check failed\n{}",
+            render::human(&diags)
+        )));
+    }
+    Ok(())
+}
+
+fn cmd_check(args: &[String]) -> Result<String, CliError> {
+    validate_flags(
+        "check",
+        args,
+        &[
+            "--engines",
+            "--traffic",
+            "--duration-s",
+            "--format",
+            "--threads",
+        ],
+        &["--deny-warnings"],
+    )?;
+    let path = args
+        .first()
+        .ok_or_else(|| err("usage: massf check <network.dml> [--engines K] [--traffic <spec>]"))?;
+    let json = match flag(args, "--format").unwrap_or("human") {
+        "human" => false,
+        "json" => true,
+        other => return Err(err(format!("unknown format {other:?} (human|json)"))),
+    };
+    let deny = args.iter().any(|a| a == "--deny-warnings");
+    // Accepted for CLI uniformity; linting is single-threaded by design so
+    // reports are byte-identical at any thread count.
+    threads_flag(args)?;
+    let engines = match flag(args, "--engines") {
+        Some(e) => Some(
+            e.parse::<usize>()
+                .map_err(|_| err("--engines must be a number"))?,
+        ),
+        None => None,
+    };
+    let net = load_network(path)?;
+    let kind = match flag(args, "--traffic") {
+        Some(spec_path) => {
+            let text = std::fs::read_to_string(spec_path)
+                .map_err(|e| err(format!("cannot read {spec_path}: {e}")))?;
+            Some(parse_traffic(&text).map_err(|e| err(format!("{spec_path}: {e}")))?)
+        }
+        None => None,
+    };
+    let duration_s: f64 = match flag(args, "--duration-s") {
+        Some(d) => d
+            .parse()
+            .map_err(|_| err("--duration-s must be a number"))?,
+        None => 10.0,
+    };
+
+    // Stage 1: lint everything known statically. Flow generation asserts
+    // on degenerate host sets — exactly what the MC010 spec-fit pass
+    // rejects — so the schedule is generated and linted in a second stage
+    // only when no spec-fit Error was found. Other errors (say a
+    // disconnected topology) do not block stage 2: the report should show
+    // the schedule-level findings alongside the structural ones.
+    let mut input = LintInput::network(&net);
+    input.engines = engines;
+    input.traffic = kind.as_ref();
+    let mut diags = massf_lint::lint_scenario(&input);
+    let spec_fits = !diags
+        .iter()
+        .any(|d| d.code == massf_lint::Code::Mc010 && d.severity == massf_lint::Severity::Error);
+    if spec_fits {
+        if let Some(kind) = kind.as_ref() {
+            let duration_us = (duration_s * 1e6) as u64;
+            let (flows, predicted) = generate_traffic(&net, kind, duration_us);
+            input.flows = &flows;
+            input.predicted = &predicted;
+            diags = massf_lint::lint_scenario(&input);
+        }
+    }
+    if deny {
+        diags.deny_warnings();
+        diags.finish();
+    }
+    let report = if json {
+        render::json(&diags)
+    } else {
+        render::human(&diags)
+    };
+    if diags.has_errors() {
+        Err(CliError(report))
+    } else {
+        Ok(report)
+    }
 }
 
 /// Parses `--threads T` into a [`Parallelism`]; `None` when absent.
@@ -128,14 +301,18 @@ fn threads_flag(args: &[String]) -> Result<Option<Parallelism>, CliError> {
 fn load_network(path: &str) -> Result<Network, CliError> {
     let text =
         std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
-    let net = dml::parse(&text).map_err(|e| err(format!("{path}: {e}")))?;
-    if !net.is_connected() {
-        return Err(err(format!("{path}: network is not connected")));
-    }
-    Ok(net)
+    // Structural soundness (connectivity, degenerate nodes, ...) is the
+    // lint preflight's job, so parse errors are the only hard failures.
+    dml::parse(&text).map_err(|e| err(format!("{path}: {e}")))
 }
 
 fn cmd_partition(args: &[String]) -> Result<String, CliError> {
+    validate_flags(
+        "partition",
+        args,
+        &["--engines", "--seed", "--threads"],
+        &["--deny-warnings"],
+    )?;
     let path = args
         .first()
         .ok_or_else(|| err("usage: massf partition <network.dml> --engines K"))?;
@@ -144,12 +321,8 @@ fn cmd_partition(args: &[String]) -> Result<String, CliError> {
         .parse()
         .map_err(|_| err("--engines must be a number"))?;
     let net = load_network(path)?;
-    if engines == 0 || engines > net.node_count() {
-        return Err(err(format!(
-            "--engines must be in 1..={} for this network",
-            net.node_count()
-        )));
-    }
+    let deny = args.iter().any(|a| a == "--deny-warnings");
+    preflight(&net, Some(engines), None, &[], &[], deny)?;
     let mut cfg = MapperConfig::new(engines);
     if let Some(seed) = flag(args, "--seed") {
         cfg = cfg.with_seed(seed.parse().map_err(|_| err("--seed must be a number"))?);
@@ -193,6 +366,18 @@ fn generate_traffic(
 }
 
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
+    validate_flags(
+        "run",
+        args,
+        &[
+            "--engines",
+            "--traffic",
+            "--duration-s",
+            "--approach",
+            "--threads",
+        ],
+        &["--replay", "--deny-warnings"],
+    )?;
     let path = args.first().ok_or_else(|| {
         err("usage: massf run <network.dml> --engines K --traffic <spec> --duration-s S")
     })?;
@@ -217,11 +402,17 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         other => return Err(err(format!("unknown approach {other:?}"))),
     };
     let replay = args.iter().any(|a| a == "--replay");
+    let deny = args.iter().any(|a| a == "--deny-warnings");
 
+    // Stage 1: static preflight; flow generation is only safe on a clean
+    // base (generators assert on degenerate host sets).
+    preflight(&net, Some(engines), Some(&kind), &[], &[], deny)?;
     let (flows, predicted) = generate_traffic(&net, &kind, duration_us);
     if flows.is_empty() {
         return Err(err("the traffic spec generated no flows for this duration"));
     }
+    // Stage 2: the generated schedule itself.
+    preflight(&net, Some(engines), Some(&kind), &predicted, &flows, deny)?;
     let mut cfg = MapperConfig::new(engines);
     if let Some(par) = threads_flag(args)? {
         cfg = cfg.with_parallelism(par);
@@ -258,6 +449,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
 }
 
 fn cmd_record(args: &[String]) -> Result<String, CliError> {
+    validate_flags("record", args, &["--traffic", "--duration-s", "--out"], &[])?;
     let path = args.first().ok_or_else(|| {
         err("usage: massf record <network.dml> --traffic <spec> --duration-s S --out <trace>")
     })?;
@@ -271,6 +463,7 @@ fn cmd_record(args: &[String]) -> Result<String, CliError> {
         .parse()
         .map_err(|_| err("--duration-s must be a number"))?;
     let out_path = flag(args, "--out").ok_or_else(|| err("missing --out"))?;
+    preflight(&net, None, Some(&kind), &[], &[], false)?;
     let (flows, _) = generate_traffic(&net, &kind, (duration_s * 1e6) as u64);
     let text = massf_core::traffic::tracefile::write(&flows);
     std::fs::write(out_path, &text).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
@@ -287,6 +480,12 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
             "usage: massf replay <network.dml> <trace.txt> --engines K",
         ));
     };
+    validate_flags(
+        "replay",
+        rest,
+        &["--engines", "--approach", "--threads"],
+        &["--deny-warnings"],
+    )?;
     let net = load_network(path)?;
     let trace_text = std::fs::read_to_string(trace_path)
         .map_err(|e| err(format!("cannot read {trace_path}: {e}")))?;
@@ -295,16 +494,14 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     if flows.is_empty() {
         return Err(err("trace contains no flows"));
     }
-    if flows
-        .iter()
-        .any(|f| f.src as usize >= net.node_count() || f.dst as usize >= net.node_count())
-    {
-        return Err(err("trace references nodes outside this network"));
-    }
     let engines: usize = flag(rest, "--engines")
         .ok_or_else(|| err("missing --engines"))?
         .parse()
         .map_err(|_| err("--engines must be a number"))?;
+    let deny = rest.iter().any(|a| a == "--deny-warnings");
+    // Foreign trace endpoints, infeasible engine counts, and degenerate
+    // schedules all surface here as MC* diagnostics.
+    preflight(&net, Some(engines), None, &[], &flows, deny)?;
     let approach = match flag(rest, "--approach").unwrap_or("profile") {
         "top" => Approach::Top,
         "place" => Approach::Place,
@@ -340,6 +537,7 @@ fn find_node(net: &Network, name: &str) -> Result<NodeId, CliError> {
 }
 
 fn cmd_ping(args: &[String]) -> Result<String, CliError> {
+    validate_flags("ping", args, &[], &[])?;
     let [path, src, dst] = args else {
         return Err(err("usage: massf ping <network.dml> <src-name> <dst-name>"));
     };
@@ -561,7 +759,114 @@ mod tests {
             "3",
         ]))
         .unwrap_err();
-        assert!(e.0.contains("outside this network"), "{e}");
+        assert!(e.0.contains("MC009"), "{e}");
+        assert!(e.0.contains("does not exist"), "{e}");
+    }
+
+    #[test]
+    fn every_subcommand_rejects_unknown_flags() {
+        let f = write_campus();
+        let cases: &[&[&str]] = &[
+            &["topology", "campus", "--bogus"],
+            &["check", f.as_str(), "--bogus"],
+            &["partition", f.as_str(), "--engines", "3", "--bogus"],
+            &["run", f.as_str(), "--engines", "3", "--bogus"],
+            &["ping", f.as_str(), "host0", "host1", "--bogus"],
+            &["record", f.as_str(), "--bogus"],
+            &["replay", f.as_str(), "trace.txt", "--bogus"],
+        ];
+        for case in cases {
+            let e = run(&args(case)).unwrap_err();
+            assert!(
+                e.0.contains("unknown flag \"--bogus\""),
+                "{case:?} accepted an unknown flag: {e}"
+            );
+            assert!(e.0.contains(case[0]), "{case:?} names the subcommand: {e}");
+        }
+    }
+
+    #[test]
+    fn check_clean_scenario_reports_no_errors() {
+        let f = write_campus();
+        let out = run(&args(&["check", f.as_str(), "--engines", "3"])).unwrap();
+        assert!(out.contains("0 error(s)"), "{out}");
+        // JSON form agrees and is byte-deterministic.
+        let j1 = run(&args(&[
+            "check",
+            f.as_str(),
+            "--engines",
+            "3",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        let j2 = run(&args(&[
+            "check",
+            f.as_str(),
+            "--engines",
+            "3",
+            "--format",
+            "json",
+        ]))
+        .unwrap();
+        assert_eq!(j1, j2);
+        assert!(j1.contains("\"errors\": 0"), "{j1}");
+    }
+
+    #[test]
+    fn check_disconnected_network_fails_with_code() {
+        let island = tempfile_path::write(
+            "massf_cli_island.dml",
+            "node 0 router \"r0\" as 0\n\
+             node 1 host \"h0\" as 0\n\
+             node 2 host \"h1\" as 0\n\
+             link 0 1 bw 100 lat 100\n",
+        );
+        let e = run(&args(&["check", island.as_str()])).unwrap_err();
+        assert!(e.0.contains("MC001"), "{e}");
+        assert!(e.0.contains("MC012"), "{e}");
+    }
+
+    #[test]
+    fn check_deny_warnings_promotes() {
+        // 3 hosts but a CBR session count wanting 10 endpoints is only a
+        // Note; an empty session count is a Warn that --deny-warnings
+        // turns into a failure.
+        let net_file = write_campus();
+        let spec = tempfile_path::write(
+            "massf_cli_empty_spec.txt",
+            "traffic { name CBR\n sessions 0 }",
+        );
+        let ok = run(&args(&[
+            "check",
+            net_file.as_str(),
+            "--traffic",
+            spec.as_str(),
+        ]));
+        assert!(ok.is_ok(), "warnings alone must not fail: {ok:?}");
+        let e = run(&args(&[
+            "check",
+            net_file.as_str(),
+            "--traffic",
+            spec.as_str(),
+            "--deny-warnings",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("MC010"), "{e}");
+    }
+
+    #[test]
+    fn partition_refuses_disconnected_network() {
+        let island = tempfile_path::write(
+            "massf_cli_island2.dml",
+            "node 0 router \"r0\" as 0\n\
+             node 1 host \"h0\" as 0\n\
+             node 2 host \"h1\" as 0\n\
+             link 0 1 bw 100 lat 100\n",
+        );
+        let e = run(&args(&["partition", island.as_str(), "--engines", "2"])).unwrap_err();
+        assert!(e.0.contains("preflight check failed"), "{e}");
+        assert!(e.0.contains("MC001"), "{e}");
     }
 
     #[test]

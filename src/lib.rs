@@ -4,6 +4,9 @@
 //! cross-crate integration tests (`tests/`). The actual library lives in the
 //! `massf-*` crates under `crates/`; start from [`massf_core`].
 
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
 pub use massf_core as core_api;
 
 pub mod cli;
