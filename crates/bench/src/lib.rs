@@ -9,6 +9,7 @@
 //! |--------|-------------|
 //! | `table1` | Table 1 — network topology setup |
 //! | `fig2` | Figure 2 — load variation over the emulation lifetime |
+//! | `fig3` | Figure 3 — TeraGrid site architecture (structure print) |
 //! | `fig4` / `fig5` | Figures 4/5 — load imbalance (ScaLapack / GridNPB) |
 //! | `fig6` / `fig7` | Figures 6/7 — application emulation time |
 //! | `fig8` | Figure 8 — fine-grained load imbalance (GridNPB, Campus) |
@@ -17,11 +18,22 @@
 //! | `ablate_p` | §5 — latency/traffic priority sweep |
 //! | `ablate_mem` | §5 — memory-constraint weight study |
 //! | `ablate_baselines` | §5 — multilevel vs greedy k-cluster / random / BFS |
-//! | `all_experiments` | everything above, with JSON dumps |
+//! | `ablate_restarts` | §5 — best-of-N partitioner restart study |
+//! | `ablate_routing` | §5 — flat SPF vs hierarchical AS routing |
+//! | `ablate_topology_model` | §5 — BA vs Waxman BRITE growth models |
+//! | `ablate_hetero` | extension — heterogeneous engine capacities |
+//! | `ablate_dynamic` | extension — dynamic remapping (§6 future work) |
+//! | `ablate_transport` | extension — paced vs window/ACK transport |
+//! | `bench_pipeline` | mapping-pipeline thread-scaling wall-clock |
+//! | `all_experiments` | the §4 set (Table 1, Figures 4–10, Table 2) |
 //!
 //! Every binary accepts an optional first argument: the problem-size scale
 //! in `(0, 1]` (default 1.0 = the paper's sizes). `0.25` gives a quick
-//! smoke run.
+//! smoke run. Tables land in `results/<id>.json` (see
+//! [`dump_json`]); EXPERIMENTS.md documents the regeneration workflow and
+//! the paper-vs-measured tolerance per experiment. For per-run stage
+//! timings and load timelines, use the CLI's `--report` run report
+//! (DESIGN.md §11) rather than ad-hoc prints.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]

@@ -22,7 +22,8 @@
 //! * [`massf_traffic`] — HTTP background + ScaLapack/GridNPB foreground;
 //! * [`massf_engine`] — conservative parallel DES emulator with NetFlow;
 //! * [`massf_mapping`] — the TOP / PLACE / PROFILE mapping approaches;
-//! * [`massf_metrics`] — load-imbalance metrics and report tables.
+//! * [`massf_metrics`] — load-imbalance metrics and report tables;
+//! * [`massf_obs`] — deterministic telemetry and the versioned run report.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
@@ -34,6 +35,7 @@ pub use massf_engine as engine;
 pub use massf_graph as graph;
 pub use massf_mapping as mapping;
 pub use massf_metrics as metrics;
+pub use massf_obs as obs;
 pub use massf_partition as partition;
 pub use massf_routing as routing;
 pub use massf_topology as topology;
@@ -49,6 +51,7 @@ pub mod prelude {
     pub use massf_engine::{CostModel, EmulationConfig, EmulationReport};
     pub use massf_mapping::{Approach, MapperConfig, MappingStudy, Parallelism};
     pub use massf_metrics::{improvement_pct, load_imbalance};
+    pub use massf_obs::{report::RunReport, Recorder};
     pub use massf_partition::{partition_kway, PartitionConfig, Partitioning};
     pub use massf_topology::Network;
     pub use massf_traffic::{FlowSpec, PredictedFlow};

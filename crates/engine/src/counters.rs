@@ -4,6 +4,15 @@
 //! event rate (essentially one per packet)" (§4.1.1). Figure 2 and Figure 8
 //! need the same counters bucketed by virtual-time intervals ("we collected
 //! the actual load of simulation engine nodes in two second intervals").
+//!
+//! Three things are sampled into parallel window series, all bucketed by
+//! **virtual** time so they are identical in sequential and parallel runs:
+//! executed kernel events ([`EngineCounters::record_event`]), lookahead
+//! stalls — rounds where the engine had no work inside the conservative
+//! window ([`EngineCounters::record_stall`], bucketed at the window's gmin)
+//! — and cross-engine receives ([`EngineCounters::record_remote_recv`],
+//! bucketed at the event's timestamp). The run report's per-engine
+//! timelines come straight from these series.
 
 /// Per-engine event accounting with virtual-time bucketing.
 #[derive(Debug, Clone)]
@@ -18,12 +27,20 @@ pub struct EngineCounters {
     pub latency_sum_us: u128,
     /// Cross-engine messages sent.
     pub remote_sent: u64,
+    /// Cross-engine messages received.
+    pub remote_recv: u64,
+    /// Rounds in which this engine executed no event inside the window.
+    pub stalled_rounds: u64,
     /// Timestamp of the most recent kernel event (0 if none yet).
     pub last_event_us: u64,
     /// Width of a virtual-time bucket in µs.
     window_us: u64,
     /// Events per virtual-time bucket.
     windows: Vec<u64>,
+    /// Stalled rounds per virtual-time bucket.
+    stall_windows: Vec<u64>,
+    /// Remote receives per virtual-time bucket.
+    recv_windows: Vec<u64>,
 }
 
 impl EngineCounters {
@@ -35,10 +52,23 @@ impl EngineCounters {
             dropped: 0,
             latency_sum_us: 0,
             remote_sent: 0,
+            remote_recv: 0,
+            stalled_rounds: 0,
             last_event_us: 0,
             window_us: window_us.max(1),
             windows: Vec::new(),
+            stall_windows: Vec::new(),
+            recv_windows: Vec::new(),
         }
+    }
+
+    #[inline]
+    fn bump(series: &mut Vec<u64>, window_us: u64, now_us: u64) {
+        let bucket = (now_us / window_us) as usize;
+        if bucket >= series.len() {
+            series.resize(bucket + 1, 0);
+        }
+        series[bucket] += 1;
     }
 
     /// Counts one kernel event at virtual time `now_us`.
@@ -46,11 +76,7 @@ impl EngineCounters {
     pub fn record_event(&mut self, now_us: u64) {
         self.events += 1;
         self.last_event_us = self.last_event_us.max(now_us);
-        let bucket = (now_us / self.window_us) as usize;
-        if bucket >= self.windows.len() {
-            self.windows.resize(bucket + 1, 0);
-        }
-        self.windows[bucket] += 1;
+        Self::bump(&mut self.windows, self.window_us, now_us);
     }
 
     /// Counts a delivery with end-to-end latency.
@@ -58,6 +84,22 @@ impl EngineCounters {
     pub fn record_delivery(&mut self, latency_us: u64) {
         self.delivered += 1;
         self.latency_sum_us += latency_us as u128;
+    }
+
+    /// Counts a round in which this engine had no event inside the
+    /// conservative window, bucketed at the window's lower bound `gmin_us`.
+    #[inline]
+    pub fn record_stall(&mut self, gmin_us: u64) {
+        self.stalled_rounds += 1;
+        Self::bump(&mut self.stall_windows, self.window_us, gmin_us);
+    }
+
+    /// Counts one cross-engine event received, bucketed at the event's
+    /// virtual timestamp `time_us`.
+    #[inline]
+    pub fn record_remote_recv(&mut self, time_us: u64) {
+        self.remote_recv += 1;
+        Self::bump(&mut self.recv_windows, self.window_us, time_us);
     }
 
     /// The bucket width.
@@ -70,9 +112,33 @@ impl EngineCounters {
         &self.windows
     }
 
+    /// Stalled rounds per bucket (trailing buckets may be absent).
+    pub fn stall_windows(&self) -> &[u64] {
+        &self.stall_windows
+    }
+
+    /// Remote receives per bucket (trailing buckets may be absent).
+    pub fn recv_windows(&self) -> &[u64] {
+        &self.recv_windows
+    }
+
     /// Pads the window vector to `n` buckets so engines align.
     pub fn padded_windows(&self, n: usize) -> Vec<u64> {
-        let mut w = self.windows.clone();
+        Self::pad(&self.windows, n)
+    }
+
+    /// Pads the stall series to `n` buckets so engines align.
+    pub fn padded_stall_windows(&self, n: usize) -> Vec<u64> {
+        Self::pad(&self.stall_windows, n)
+    }
+
+    /// Pads the receive series to `n` buckets so engines align.
+    pub fn padded_recv_windows(&self, n: usize) -> Vec<u64> {
+        Self::pad(&self.recv_windows, n)
+    }
+
+    fn pad(series: &[u64], n: usize) -> Vec<u64> {
+        let mut w = series.to_vec();
         w.resize(n.max(w.len()), 0);
         w
     }
@@ -114,5 +180,22 @@ mod tests {
     fn zero_window_clamped() {
         let c = EngineCounters::new(0);
         assert_eq!(c.window_us(), 1);
+    }
+
+    #[test]
+    fn stalls_and_receives_bucket_independently() {
+        let mut c = EngineCounters::new(1000);
+        c.record_stall(0);
+        c.record_stall(2500);
+        c.record_remote_recv(1500);
+        assert_eq!(c.stalled_rounds, 2);
+        assert_eq!(c.remote_recv, 1);
+        assert_eq!(c.stall_windows(), &[1, 0, 1]);
+        assert_eq!(c.recv_windows(), &[0, 1]);
+        // Stall/recv sampling never leaks into the event series.
+        assert_eq!(c.events, 0);
+        assert!(c.windows().is_empty());
+        assert_eq!(c.padded_stall_windows(4), vec![1, 0, 1, 0]);
+        assert_eq!(c.padded_recv_windows(3), vec![0, 1, 0]);
     }
 }

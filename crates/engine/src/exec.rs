@@ -127,6 +127,9 @@ pub fn run_sequential(
         for (idx, e) in engines.iter_mut().enumerate() {
             let sent_before = e.remote_sent();
             let n = e.process_window(lbts, &shared);
+            if n == 0 {
+                e.counters.record_stall(gmin);
+            }
             let sent = e.remote_sent() - sent_before;
             max_busy = max_busy.max(cfg.cost.engine_busy_us(n, sent, cfg.speed(idx)));
             // An idle engine's frontier is its last processed event, not
@@ -145,7 +148,9 @@ pub fn run_sequential(
         rounds += 1;
 
         for RemoteEvent { to_engine, event } in all_out {
-            engines[to_engine as usize].enqueue(event);
+            let dest = &mut engines[to_engine as usize];
+            dest.counters.record_remote_recv(event.time_us);
+            dest.enqueue(event);
         }
     }
 
@@ -237,6 +242,9 @@ pub fn run_parallel(
                     // Phase 2: process the window and ship remote events.
                     let sent_before = engine.remote_sent();
                     let events = engine.process_window(lbts, &shared);
+                    if events == 0 {
+                        engine.counters.record_stall(gmin);
+                    }
                     let sent = engine.remote_sent() - sent_before;
                     for RemoteEvent { to_engine, event } in engine.take_outbox() {
                         my_senders[to_engine as usize]
@@ -252,6 +260,7 @@ pub fn run_parallel(
                     // Phase 3: drain inbox, account the window.
                     for rx in &my_receivers {
                         for remote in rx.try_iter() {
+                            engine.counters.record_remote_recv(remote.event.time_us);
                             engine.enqueue(remote.event);
                         }
                     }
@@ -295,8 +304,9 @@ pub fn run_parallel(
     finalize(engines, cfg, wall, rounds)
 }
 
-/// Merges per-engine state into the final report.
-fn finalize(
+/// Merges per-engine state into the final report. Also used by the
+/// steppable executor so both paths report identically.
+pub(crate) fn finalize(
     engines: Vec<Engine>,
     cfg: &EmulationConfig,
     wall: WallClock,
@@ -304,35 +314,56 @@ fn finalize(
 ) -> EmulationReport {
     let nengines = cfg.nengines;
     let mut engine_events = Vec::with_capacity(nengines);
+    let mut engine_stalls = Vec::with_capacity(nengines);
+    let mut engine_remote_sent = Vec::with_capacity(nengines);
+    let mut engine_remote_recv = Vec::with_capacity(nengines);
     let mut delivered = 0;
     let mut dropped = 0;
     let mut latency_sum_us = 0u128;
     let mut remote_messages = 0;
     let mut dumps = Vec::with_capacity(nengines);
     let mut raw_windows = Vec::with_capacity(nengines);
+    let mut raw_stalls = Vec::with_capacity(nengines);
+    let mut raw_recvs = Vec::with_capacity(nengines);
     let mut last_event_us = 0u64;
     for e in engines {
         engine_events.push(e.counters.events);
+        engine_stalls.push(e.counters.stalled_rounds);
+        engine_remote_sent.push(e.counters.remote_sent);
+        engine_remote_recv.push(e.counters.remote_recv);
         delivered += e.counters.delivered;
         dropped += e.counters.dropped;
         latency_sum_us += e.counters.latency_sum_us;
         remote_messages += e.counters.remote_sent;
         last_event_us = last_event_us.max(e.counters.last_event_us);
         raw_windows.push(e.counters.windows().to_vec());
+        raw_stalls.push(e.counters.stall_windows().to_vec());
+        raw_recvs.push(e.counters.recv_windows().to_vec());
         dumps.push(e.netflow.into_records());
     }
-    let buckets = raw_windows.iter().map(Vec::len).max().unwrap_or(0);
-    let window_series = raw_windows
-        .into_iter()
-        .map(|mut w| {
-            w.resize(buckets, 0);
-            w
-        })
-        .collect();
+    // One shared bucket count so every series row lines up.
+    let buckets = raw_windows
+        .iter()
+        .chain(&raw_stalls)
+        .chain(&raw_recvs)
+        .map(Vec::len)
+        .max()
+        .unwrap_or(0);
+    let pad = |rows: Vec<Vec<u64>>| -> Vec<Vec<u64>> {
+        rows.into_iter()
+            .map(|mut w| {
+                w.resize(buckets, 0);
+                w
+            })
+            .collect()
+    };
 
     EmulationReport {
         nengines,
         engine_events,
+        engine_stalls,
+        engine_remote_sent,
+        engine_remote_recv,
         delivered,
         dropped,
         latency_sum_us,
@@ -340,7 +371,9 @@ fn finalize(
         rounds,
         virtual_end_us: last_event_us,
         counter_window_us: cfg.counter_window_us,
-        window_series,
+        window_series: pad(raw_windows),
+        stall_series: pad(raw_stalls),
+        recv_series: pad(raw_recvs),
         netflow: merge_dumps(dumps),
         wall,
     }

@@ -1,4 +1,11 @@
 //! The outcome of an emulation run.
+//!
+//! Besides the totals the mapping study consumes, the report carries the
+//! observability series the run report is built from: per-engine executed
+//! events, lookahead stalls, and remote sends/receives, plus the aligned
+//! virtual-time window series for each (`window_series`, `stall_series`,
+//! `recv_series`). All of these are simulated quantities — identical in
+//! sequential and parallel execution.
 
 use crate::cost::WallClock;
 use crate::netflow::FlowRecord;
@@ -10,6 +17,12 @@ pub struct EmulationReport {
     pub nengines: usize,
     /// Kernel events processed per engine — the paper's load metric.
     pub engine_events: Vec<u64>,
+    /// Rounds in which each engine had no event inside the window.
+    pub engine_stalls: Vec<u64>,
+    /// Cross-engine events sent per engine.
+    pub engine_remote_sent: Vec<u64>,
+    /// Cross-engine events received per engine.
+    pub engine_remote_recv: Vec<u64>,
     /// Packets delivered end-to-end.
     pub delivered: u64,
     /// Packets dropped (unreachable destinations).
@@ -27,6 +40,12 @@ pub struct EmulationReport {
     /// Kernel events per engine per virtual-time bucket
     /// (`[engine][bucket]`, all rows equal length).
     pub window_series: Vec<Vec<u64>>,
+    /// Stalled rounds per engine per virtual-time bucket (aligned with
+    /// `window_series`).
+    pub stall_series: Vec<Vec<u64>>,
+    /// Remote receives per engine per virtual-time bucket (aligned with
+    /// `window_series`).
+    pub recv_series: Vec<Vec<u64>>,
     /// Merged NetFlow records (empty unless profiling was enabled).
     pub netflow: Vec<FlowRecord>,
     /// Modeled wall-clock accounting.
@@ -74,6 +93,9 @@ mod tests {
         EmulationReport {
             nengines: 2,
             engine_events: vec![30, 10],
+            engine_stalls: vec![0, 2],
+            engine_remote_sent: vec![1, 1],
+            engine_remote_recv: vec![1, 1],
             delivered: 4,
             dropped: 0,
             latency_sum_us: 400,
@@ -82,6 +104,8 @@ mod tests {
             virtual_end_us: 1000,
             counter_window_us: 100,
             window_series: vec![vec![3, 0], vec![1, 0]],
+            stall_series: vec![vec![0, 0], vec![1, 1]],
+            recv_series: vec![vec![1, 0], vec![0, 1]],
             netflow: vec![],
             wall: WallClock {
                 total_us: 2_000_000.0,

@@ -148,6 +148,9 @@ impl<'a> SteppableEmulation<'a> {
             for (idx, e) in self.engines.iter_mut().enumerate() {
                 let sent_before = e.remote_sent();
                 let n = e.process_window(lbts, &shared);
+                if n == 0 {
+                    e.counters.record_stall(gmin);
+                }
                 let sent = e.remote_sent() - sent_before;
                 let speed = self
                     .cfg
@@ -168,7 +171,9 @@ impl<'a> SteppableEmulation<'a> {
             windows += 1;
 
             for RemoteEvent { to_engine, event } in all_out {
-                self.engines[to_engine as usize].enqueue(event);
+                let dest = &mut self.engines[to_engine as usize];
+                dest.counters.record_remote_recv(event.time_us);
+                dest.enqueue(event);
             }
         }
         windows
@@ -230,47 +235,7 @@ impl<'a> SteppableEmulation<'a> {
 
     /// Finalizes into a report (same shape as the batch executors').
     pub fn finish(self) -> EmulationReport {
-        let nengines = self.cfg.nengines;
-        let mut engine_events = Vec::with_capacity(nengines);
-        let mut delivered = 0;
-        let mut dropped = 0;
-        let mut latency_sum_us = 0u128;
-        let mut remote_messages = 0;
-        let mut dumps = Vec::with_capacity(nengines);
-        let mut raw_windows = Vec::with_capacity(nengines);
-        let mut last_event_us = 0u64;
-        for e in self.engines {
-            engine_events.push(e.counters.events);
-            delivered += e.counters.delivered;
-            dropped += e.counters.dropped;
-            latency_sum_us += e.counters.latency_sum_us;
-            remote_messages += e.counters.remote_sent;
-            last_event_us = last_event_us.max(e.counters.last_event_us);
-            raw_windows.push(e.counters.windows().to_vec());
-            dumps.push(e.netflow.into_records());
-        }
-        let buckets = raw_windows.iter().map(Vec::len).max().unwrap_or(0);
-        let window_series = raw_windows
-            .into_iter()
-            .map(|mut w| {
-                w.resize(buckets, 0);
-                w
-            })
-            .collect();
-        EmulationReport {
-            nengines,
-            engine_events,
-            delivered,
-            dropped,
-            latency_sum_us,
-            remote_messages,
-            rounds: self.rounds,
-            virtual_end_us: last_event_us,
-            counter_window_us: self.cfg.counter_window_us,
-            window_series,
-            netflow: merge_dumps(dumps),
-            wall: self.wall,
-        }
+        crate::exec::finalize(self.engines, &self.cfg, self.wall, self.rounds)
     }
 }
 

@@ -1,12 +1,13 @@
 //! The end-to-end mapping study: choose an approach, produce a partition,
 //! evaluate it by emulation (Figure 1's process, §2.3).
 
-use crate::place::map_place;
-use crate::profile::map_profile;
-use crate::top::map_top;
+use crate::place::map_place_obs;
+use crate::profile::map_profile_obs;
+use crate::top::map_top_obs;
 use crate::MapperConfig;
 use massf_engine::netflow::FlowRecord;
 use massf_engine::{run_sequential, CostModel, EmulationConfig, EmulationReport};
+use massf_obs::Recorder;
 use massf_partition::Partitioning;
 use massf_routing::RoutingTables;
 use massf_topology::Network;
@@ -77,13 +78,30 @@ impl MappingStudy {
         predicted: &[PredictedFlow],
         flows: &[FlowSpec],
     ) -> Partitioning {
+        self.map_obs(approach, predicted, flows, &mut Recorder::new())
+    }
+
+    /// [`MappingStudy::map`] with observability: pipeline stages record
+    /// `mapping/*` spans, partitioner restart batches, and (for PROFILE)
+    /// phase-detection telemetry on `rec`. Recording never changes the
+    /// partition produced.
+    pub fn map_obs(
+        &self,
+        approach: Approach,
+        predicted: &[PredictedFlow],
+        flows: &[FlowSpec],
+        rec: &mut Recorder,
+    ) -> Partitioning {
         match approach {
-            Approach::Top => map_top(&self.net, &self.cfg),
-            Approach::Place => map_place(&self.net, &self.tables, predicted, &self.cfg),
+            Approach::Top => map_top_obs(&self.net, &self.cfg, rec),
+            Approach::Place => map_place_obs(&self.net, &self.tables, predicted, &self.cfg, rec),
             Approach::Profile => {
-                let initial = map_top(&self.net, &self.cfg);
+                let initial = map_top_obs(&self.net, &self.cfg, rec);
+                let span = rec.start();
                 let records = self.profile_records(flows, &initial);
-                map_profile(&self.net, &self.tables, &records, &self.cfg)
+                rec.finish("mapping/profile/profiling_run", span);
+                rec.add_counter("profile.netflow_records", records.len() as u64);
+                map_profile_obs(&self.net, &self.tables, &records, &self.cfg, rec)
             }
         }
     }
@@ -205,6 +223,35 @@ mod tests {
         assert!(!records.is_empty());
         let total: u64 = records.iter().map(|r| r.packets).sum();
         assert!(total > 1000, "profiling saw {total} router-packets");
+    }
+
+    #[test]
+    fn map_obs_records_telemetry_without_changing_results() {
+        let s = study();
+        let (flows, predicted) = workload(&s);
+        let mut rec = Recorder::new();
+        let p = s.map_obs(Approach::Profile, &predicted, &flows, &mut rec);
+        assert_eq!(p, s.map(Approach::Profile, &predicted, &flows));
+
+        let stages: Vec<&str> = rec.restarts().iter().map(|b| b.stage.as_str()).collect();
+        assert!(stages.contains(&"top"), "{stages:?}");
+        assert!(stages.contains(&"profile/latency"), "{stages:?}");
+        assert!(stages.contains(&"profile/combined"), "{stages:?}");
+        for batch in rec.restarts() {
+            assert!((batch.winner as usize) < batch.outcomes.len().max(1));
+        }
+        let telemetry = rec.profile().expect("PROFILE sets phase telemetry");
+        assert!(telemetry.nbuckets > 0);
+        assert!(!telemetry.phases.is_empty());
+        assert_eq!(
+            telemetry.constraint_totals.len(),
+            telemetry.constraints as usize
+        );
+        assert!(rec
+            .spans()
+            .iter()
+            .any(|sp| sp.name == "mapping/profile/profiling_run"));
+        assert!(rec.counters().contains_key("profile.netflow_records"));
     }
 
     #[test]

@@ -18,7 +18,8 @@ use crate::weights::{
     append_memory_constraint, latency_graph, predicted_traffic_graph_with, with_vertex_weights,
 };
 use crate::MapperConfig;
-use massf_partition::multiobjective::combine_and_partition;
+use massf_obs::Recorder;
+use massf_partition::multiobjective::combine_and_partition_obs;
 use massf_partition::Partitioning;
 use massf_routing::RoutingTables;
 use massf_topology::{Network, NodeId};
@@ -45,6 +46,19 @@ pub fn map_place(
     predicted: &[PredictedFlow],
     cfg: &MapperConfig,
 ) -> Partitioning {
+    map_place_obs(net, tables, predicted, cfg, &mut Recorder::new())
+}
+
+/// [`map_place`] with observability: records a `mapping/place/weights` span
+/// and the `place/{latency,bandwidth,combined}` restart batches on `rec`.
+pub fn map_place_obs(
+    net: &Network,
+    tables: &RoutingTables,
+    predicted: &[PredictedFlow],
+    cfg: &MapperConfig,
+    rec: &mut Recorder,
+) -> Partitioning {
+    let span = rec.start();
     let traffic = predicted_traffic_graph_with(net, tables, predicted, cfg.parallelism);
     // Both objective views must balance the same quantity: the predicted
     // per-node traffic (the computation constraint of §2.2.2), optionally
@@ -56,12 +70,15 @@ pub fn map_place(
     };
     let latency = with_vertex_weights(&latency_graph(net), ncon, vwgt.clone());
     let traffic = with_vertex_weights(&traffic, ncon, vwgt);
+    rec.finish("mapping/place/weights", span);
 
-    combine_and_partition(
+    combine_and_partition_obs(
         &latency,
         &traffic,
         cfg.latency_priority,
         &cfg.partition_config(),
+        "place",
+        rec,
     )
     .partitioning
 }

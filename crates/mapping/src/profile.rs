@@ -10,14 +10,15 @@
 //!   partitioner balances *every* phase, not just the average.
 
 use crate::segments::{cluster_segments, segment_vertex_weights};
-use crate::top::map_top;
+use crate::top::map_top_obs;
 use crate::weights::{
     append_memory_constraint, latency_graph, measured_traffic_graph_with, node_time_loads,
     with_vertex_weights,
 };
 use crate::MapperConfig;
 use massf_engine::netflow::FlowRecord;
-use massf_partition::multiobjective::combine_and_partition;
+use massf_obs::{PhaseInfo, ProfileTelemetry, Recorder};
+use massf_partition::multiobjective::combine_and_partition_obs;
 use massf_partition::Partitioning;
 use massf_routing::RoutingTables;
 use massf_topology::Network;
@@ -30,16 +31,31 @@ pub const PROFILE_BUCKETS: u64 = 24;
 
 /// Maps the network using NetFlow records from a profiling run.
 ///
-/// Falls back to [`map_top`] when the profile is empty (nothing was
-/// recorded — e.g. a pure-compute workload).
+/// Falls back to [`crate::top::map_top`] when the profile is empty
+/// (nothing was recorded — e.g. a pure-compute workload).
 pub fn map_profile(
     net: &Network,
     tables: &RoutingTables,
     records: &[FlowRecord],
     cfg: &MapperConfig,
 ) -> Partitioning {
+    map_profile_obs(net, tables, records, cfg, &mut Recorder::new())
+}
+
+/// [`map_profile`] with observability: records `mapping/profile/*` spans,
+/// the `profile/{latency,bandwidth,combined}` restart batches, and the
+/// phase-detection telemetry ([`ProfileTelemetry`]: bucket layout, phase
+/// boundaries with their dominating nodes, and the per-constraint column
+/// totals handed to the partitioner) on `rec`.
+pub fn map_profile_obs(
+    net: &Network,
+    tables: &RoutingTables,
+    records: &[FlowRecord],
+    cfg: &MapperConfig,
+    rec: &mut Recorder,
+) -> Partitioning {
     if records.is_empty() {
-        return map_top(net, cfg);
+        return map_top_obs(net, cfg, rec);
     }
     let horizon = records
         .iter()
@@ -48,6 +64,7 @@ pub fn map_profile(
         .expect("records non-empty");
     let bucket_us = (horizon / PROFILE_BUCKETS).max(1);
 
+    let span = rec.start();
     let loads = node_time_loads(net, records, bucket_us);
     let segments = cluster_segments(
         &loads,
@@ -55,6 +72,8 @@ pub fn map_profile(
         SMOOTH_BUCKETS,
         cfg.max_segments,
     );
+    rec.finish("mapping/profile/segments", span);
+    let span = rec.start();
     // Constraint 0 is always the *total* measured load — the quantity the
     // paper's imbalance metric scores. Each detected phase adds a column so
     // stage-local imbalance is bounded too (§3.3); with a single phase the
@@ -83,10 +102,14 @@ pub fn map_profile(
         ncon = appended.0;
         vwgt = appended.1;
     }
+    rec.set_profile(profile_telemetry(bucket_us, &loads, &segments, ncon, &vwgt));
+    rec.finish("mapping/profile/constraints", span);
 
+    let span = rec.start();
     let traffic = measured_traffic_graph_with(net, tables, records, cfg.parallelism);
     let latency = with_vertex_weights(&latency_graph(net), ncon, vwgt.clone());
     let traffic = with_vertex_weights(&traffic, ncon, vwgt);
+    rec.finish("mapping/profile/traffic_graph", span);
 
     // Keep the total-load constraint tight but give the phase (and memory)
     // columns extra slack: phases are noisy estimates, and over-constraining
@@ -98,7 +121,62 @@ pub fn map_profile(
     }
     pcfg.ub_vec = Some(ubs);
 
-    combine_and_partition(&latency, &traffic, cfg.latency_priority, &pcfg).partitioning
+    combine_and_partition_obs(
+        &latency,
+        &traffic,
+        cfg.latency_priority,
+        &pcfg,
+        "profile",
+        rec,
+    )
+    .partitioning
+}
+
+/// Digests the load curves and constraint columns into the telemetry the
+/// run report carries: per-phase dominating nodes (argmax of raw load over
+/// the phase's buckets; `None` for all-idle phases) and the column sums of
+/// the vertex-weight matrix handed to the partitioner.
+fn profile_telemetry(
+    bucket_us: u64,
+    loads: &[Vec<u64>],
+    segments: &[(usize, usize)],
+    ncon: usize,
+    vwgt: &[i64],
+) -> ProfileTelemetry {
+    let nbuckets = loads.first().map(Vec::len).unwrap_or(0);
+    let phases = segments
+        .iter()
+        .map(|&(start, end)| {
+            let mut dominating = None;
+            let mut best = 0u64;
+            let mut events = 0u64;
+            for (node, row) in loads.iter().enumerate() {
+                let load: u64 = row[start..end.min(row.len())].iter().sum();
+                events += load;
+                if load > best {
+                    best = load;
+                    dominating = Some(node as u64);
+                }
+            }
+            PhaseInfo {
+                start_bucket: start as u64,
+                end_bucket: end as u64,
+                dominating_node: dominating,
+                events,
+            }
+        })
+        .collect();
+    let mut constraint_totals = vec![0i64; ncon];
+    for (i, &w) in vwgt.iter().enumerate() {
+        constraint_totals[i % ncon] += w;
+    }
+    ProfileTelemetry {
+        bucket_us,
+        nbuckets: nbuckets as u64,
+        constraints: ncon as u64,
+        constraint_totals,
+        phases,
+    }
 }
 
 #[cfg(test)]

@@ -7,17 +7,26 @@
 
 use crate::weights::{append_memory_constraint, latency_graph, with_vertex_weights};
 use crate::MapperConfig;
-use massf_partition::{partition_kway, Partitioning};
+use massf_obs::Recorder;
+use massf_partition::{partition_kway_obs, Partitioning};
 use massf_topology::Network;
 
 /// Maps the network using topology information only.
 pub fn map_top(net: &Network, cfg: &MapperConfig) -> Partitioning {
+    map_top_obs(net, cfg, &mut Recorder::new())
+}
+
+/// [`map_top`] with observability: records a `mapping/top/weights` span and
+/// the partitioner's `top` restart batch on `rec`.
+pub fn map_top_obs(net: &Network, cfg: &MapperConfig, rec: &mut Recorder) -> Partitioning {
+    let span = rec.start();
     let mut g = latency_graph(net);
     if cfg.include_memory {
         let (ncon, w) = append_memory_constraint(net, 1, g.vwgt());
         g = with_vertex_weights(&g, ncon, w);
     }
-    partition_kway(&g, &cfg.partition_config())
+    rec.finish("mapping/top/weights", span);
+    partition_kway_obs(&g, &cfg.partition_config(), "top", rec)
 }
 
 #[cfg(test)]

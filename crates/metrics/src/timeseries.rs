@@ -59,6 +59,47 @@ pub fn mean_active_imbalance(window_series: &[Vec<u64>], min_events: u64) -> f64
     }
 }
 
+/// The eight block glyphs a [`sparkline`] is drawn with, lightest first.
+pub const SPARK_GLYPHS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+
+/// Renders a series as a unicode sparkline, scaled to the series maximum.
+///
+/// A zero value maps to the lightest glyph and the maximum to the heaviest,
+/// so shapes are comparable within one line but not across lines. An
+/// all-zero (or empty) series renders as all-lightest glyphs. Purely a
+/// function of the values — deterministic, no locale or width dependence.
+pub fn sparkline(series: &[u64]) -> String {
+    let max = series.iter().copied().max().unwrap_or(0);
+    series
+        .iter()
+        .map(|&v| {
+            if max == 0 {
+                SPARK_GLYPHS[0]
+            } else {
+                // Scale into 0..=7; only v == max reaches the full block.
+                let idx = (v as u128 * (SPARK_GLYPHS.len() as u128 - 1)).div_ceil(max as u128);
+                SPARK_GLYPHS[idx as usize]
+            }
+        })
+        .collect()
+}
+
+/// [`sparkline`] over an `f64` series (per-interval imbalance curves),
+/// scaled via a fixed 1e6 quantization so rendering is bit-stable.
+pub fn sparkline_f64(series: &[f64]) -> String {
+    let quantized: Vec<u64> = series
+        .iter()
+        .map(|&x| {
+            if x.is_finite() && x > 0.0 {
+                (x * 1e6) as u64
+            } else {
+                0
+            }
+        })
+        .collect();
+    sparkline(&quantized)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,5 +143,28 @@ mod tests {
         // active); bucket 1 idle. Mean over active buckets = 0.5.
         let m = mean_active_imbalance(&ws, 1);
         assert!((m - 0.5).abs() < 1e-12, "only bucket 0 contributes: {m}");
+    }
+
+    #[test]
+    fn sparkline_scales_to_max() {
+        let s = sparkline(&[0, 1, 4, 8]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.starts_with('▁'), "{s}");
+        assert!(s.ends_with('█'), "only the max gets the full block: {s}");
+    }
+
+    #[test]
+    fn sparkline_empty_and_flat() {
+        assert_eq!(sparkline(&[]), "");
+        assert_eq!(sparkline(&[0, 0, 0]), "▁▁▁");
+        assert_eq!(sparkline(&[7, 7]), "██");
+    }
+
+    #[test]
+    fn sparkline_f64_quantizes() {
+        let s = sparkline_f64(&[0.0, 0.5, 1.0, f64::NAN]);
+        assert_eq!(s.chars().count(), 4);
+        assert!(s.ends_with('▁'), "NaN maps to the floor: {s}");
+        assert!(s.contains('█'), "{s}");
     }
 }

@@ -1,0 +1,316 @@
+//! # massf-obs
+//!
+//! The run-report observability layer: scoped wall-clock spans, named
+//! counters and gauges, and the structured telemetry (partitioner restart
+//! outcomes, PROFILE phase detection) that the pipeline stages record while
+//! a scenario runs. Everything funnels into a [`report::RunReport`] — a
+//! versioned (`"format": 1`), byte-deterministic JSON document written by
+//! `massf run/record/replay --report <path>` and rendered back to human
+//! text by `massf report <run.json>`.
+//!
+//! ## The determinism rule
+//!
+//! A run report separates two kinds of quantities:
+//!
+//! * **Simulated quantities** — event counts, timelines, imbalance,
+//!   partition sizes, restart outcomes, phase boundaries. These are pure
+//!   functions of the scenario and seed and must be **bit-identical across
+//!   thread counts and runs**. They live at the top level of the report.
+//! * **Wall-clock quantities** — span durations and the thread count that
+//!   produced them. These vary run to run and are segregated under the
+//!   single `timing` key (always the *last* key of the JSON object), which
+//!   golden tests mask off before comparing.
+//!
+//! Span names are stable `area/stage` paths (`mapping/routing_tables`,
+//! `partition/profile/combined`, `engine/emulate`); see DESIGN.md §11 for
+//! the naming convention and the full schema.
+//!
+//! # Examples
+//!
+//! Record a few spans and counters, then round-trip a report through its
+//! JSON form:
+//!
+//! ```
+//! use massf_obs::{Recorder, report::{RunReport, ScenarioInfo}};
+//!
+//! let mut rec = Recorder::new();
+//! let answer = rec.time("examples/compute", || 6 * 7);
+//! rec.add_counter("examples.answers", 1);
+//! assert_eq!(answer, 42);
+//! assert_eq!(rec.counters().get("examples.answers"), Some(&1));
+//!
+//! let report = RunReport::new(
+//!     "run",
+//!     ScenarioInfo {
+//!         network: "2 hosts, 1 router".into(),
+//!         engines: 1,
+//!         approach: "TOP".into(),
+//!         flows: 0,
+//!         duration_s: Some(1.0),
+//!     },
+//!     rec,
+//!     1,
+//! );
+//! let json = report.to_json();
+//! assert!(json.starts_with("{\n  \"tool\": \"massf-run\",\n  \"format\": 1,\n"));
+//! let parsed = RunReport::from_json(&json).unwrap();
+//! assert_eq!(parsed.scenario.approach, "TOP");
+//! assert_eq!(parsed.counters.get("examples.answers"), Some(&1));
+//! ```
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod json;
+pub mod report;
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+/// One finished wall-clock span: a stable `area/stage` name plus the
+/// elapsed time. Spans are *timing* data — never part of the
+/// deterministic report sections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// Stable `area/stage` name (see DESIGN.md §11 for the convention).
+    pub name: String,
+    /// Elapsed wall-clock microseconds.
+    pub wall_us: u64,
+}
+
+/// A span in flight; produced by [`Recorder::start`], consumed by
+/// [`Recorder::finish`]. Lets instrumented code time a region that itself
+/// needs `&mut Recorder` (where a closure-based scope would not borrow).
+#[derive(Debug)]
+pub struct SpanStart(Instant);
+
+/// The outcome of one independent partitioner restart: did it satisfy
+/// every balance constraint, what edge cut did it reach, and how far from
+/// perfect balance it landed. Deterministic — restart `i` always runs seed
+/// `base + i` and outcomes are reported in index order at any thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartOutcome {
+    /// All balance constraints within tolerance.
+    pub feasible: bool,
+    /// Edge cut achieved.
+    pub cut: i64,
+    /// Worst per-constraint balance ratio (1.0 = perfect).
+    pub balance: f64,
+}
+
+/// The outcomes of one best-of-N restart search, labeled with the pipeline
+/// stage that ran it (e.g. `profile/combined`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RestartBatch {
+    /// Which partitioning call this was (`top`, `place/latency`, …).
+    pub stage: String,
+    /// Index into `outcomes` of the winning restart.
+    pub winner: u64,
+    /// Per-restart outcomes in seed order.
+    pub outcomes: Vec<RestartOutcome>,
+}
+
+/// One detected PROFILE load phase (§3.3): a half-open bucket range, the
+/// node dominating the smoothed load curve inside it, and its event total.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseInfo {
+    /// First bucket of the phase (inclusive).
+    pub start_bucket: u64,
+    /// One past the last bucket of the phase.
+    pub end_bucket: u64,
+    /// Node with the maximal load inside the phase; `None` when the phase
+    /// is all-idle.
+    pub dominating_node: Option<u64>,
+    /// Total observed events inside the phase.
+    pub events: u64,
+}
+
+/// PROFILE phase-detection telemetry: how the profiling run's load curves
+/// were bucketed, clustered into phases, and turned into the partitioner's
+/// multi-constraint vertex-weight columns.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfileTelemetry {
+    /// Virtual-time width of one digest bucket (µs).
+    pub bucket_us: u64,
+    /// Number of digest buckets.
+    pub nbuckets: u64,
+    /// Balance-constraint columns handed to the partitioner.
+    pub constraints: u64,
+    /// Total vertex weight per constraint column (the constraint vectors'
+    /// column sums, in constraint order).
+    pub constraint_totals: Vec<i64>,
+    /// The detected phases, covering `[0, nbuckets)`.
+    pub phases: Vec<PhaseInfo>,
+}
+
+/// Collects spans, counters, gauges, and structured telemetry during a
+/// run. Cheap to create; instrumented entry points take `&mut Recorder`
+/// and uninstrumented wrappers pass a throwaway.
+#[derive(Debug, Default)]
+pub struct Recorder {
+    spans: Vec<Span>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    restarts: Vec<RestartBatch>,
+    profile: Option<ProfileTelemetry>,
+}
+
+impl Recorder {
+    /// An empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Times `f` and records the span under `name`.
+    pub fn time<T>(&mut self, name: &str, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.spans.push(Span {
+            name: name.to_string(),
+            wall_us: t0.elapsed().as_micros() as u64,
+        });
+        out
+    }
+
+    /// Starts a span whose body needs `&mut self`; pair with
+    /// [`Recorder::finish`].
+    pub fn start(&self) -> SpanStart {
+        SpanStart(Instant::now())
+    }
+
+    /// Closes a span opened with [`Recorder::start`].
+    pub fn finish(&mut self, name: &str, start: SpanStart) {
+        self.spans.push(Span {
+            name: name.to_string(),
+            wall_us: start.0.elapsed().as_micros() as u64,
+        });
+    }
+
+    /// Adds `n` to the named counter (creating it at 0).
+    pub fn add_counter(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Sets a named gauge (last write wins).
+    pub fn set_gauge(&mut self, name: &str, value: f64) {
+        self.gauges.insert(name.to_string(), value);
+    }
+
+    /// Records a best-of-N restart batch for `stage`.
+    pub fn record_restarts(&mut self, stage: &str, winner: usize, outcomes: Vec<RestartOutcome>) {
+        self.restarts.push(RestartBatch {
+            stage: stage.to_string(),
+            winner: winner as u64,
+            outcomes,
+        });
+    }
+
+    /// Stores the PROFILE phase-detection telemetry.
+    pub fn set_profile(&mut self, telemetry: ProfileTelemetry) {
+        self.profile = Some(telemetry);
+    }
+
+    /// The finished spans, in completion order.
+    pub fn spans(&self) -> &[Span] {
+        &self.spans
+    }
+
+    /// The named counters.
+    pub fn counters(&self) -> &BTreeMap<String, u64> {
+        &self.counters
+    }
+
+    /// The named gauges.
+    pub fn gauges(&self) -> &BTreeMap<String, f64> {
+        &self.gauges
+    }
+
+    /// The recorded restart batches, in call order.
+    pub fn restarts(&self) -> &[RestartBatch] {
+        &self.restarts
+    }
+
+    /// The PROFILE telemetry, when a PROFILE mapping ran.
+    pub fn profile(&self) -> Option<&ProfileTelemetry> {
+        self.profile.as_ref()
+    }
+
+    /// Decomposes the recorder for report assembly.
+    #[allow(clippy::type_complexity)]
+    pub fn into_parts(
+        self,
+    ) -> (
+        Vec<Span>,
+        BTreeMap<String, u64>,
+        BTreeMap<String, f64>,
+        Vec<RestartBatch>,
+        Option<ProfileTelemetry>,
+    ) {
+        (
+            self.spans,
+            self.counters,
+            self.gauges,
+            self.restarts,
+            self.profile,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_records_a_span() {
+        let mut rec = Recorder::new();
+        let v = rec.time("a/b", || 5);
+        assert_eq!(v, 5);
+        assert_eq!(rec.spans().len(), 1);
+        assert_eq!(rec.spans()[0].name, "a/b");
+    }
+
+    #[test]
+    fn start_finish_pairs() {
+        let mut rec = Recorder::new();
+        let s = rec.start();
+        rec.add_counter("x", 2);
+        rec.add_counter("x", 3);
+        rec.finish("outer", s);
+        assert_eq!(rec.counters().get("x"), Some(&5));
+        assert_eq!(rec.spans()[0].name, "outer");
+    }
+
+    #[test]
+    fn gauges_last_write_wins() {
+        let mut rec = Recorder::new();
+        rec.set_gauge("g", 1.0);
+        rec.set_gauge("g", 2.5);
+        assert_eq!(rec.gauges().get("g"), Some(&2.5));
+    }
+
+    #[test]
+    fn restart_batches_accumulate_in_order() {
+        let mut rec = Recorder::new();
+        rec.record_restarts(
+            "top",
+            1,
+            vec![
+                RestartOutcome {
+                    feasible: true,
+                    cut: 10,
+                    balance: 1.1,
+                },
+                RestartOutcome {
+                    feasible: true,
+                    cut: 8,
+                    balance: 1.0,
+                },
+            ],
+        );
+        rec.record_restarts("profile/latency", 0, vec![]);
+        assert_eq!(rec.restarts().len(), 2);
+        assert_eq!(rec.restarts()[0].stage, "top");
+        assert_eq!(rec.restarts()[0].winner, 1);
+        assert_eq!(rec.restarts()[1].stage, "profile/latency");
+    }
+}

@@ -1,0 +1,923 @@
+//! The versioned run report: what `--report <path>` writes and
+//! `massf report` reads back.
+//!
+//! A [`RunReport`] is serialized as hand-formatted JSON with a fixed key
+//! order and fixed number formatting, so two runs of the same scenario
+//! produce byte-identical documents except for the `timing` object —
+//! which is always the **last** top-level key, letting golden tests mask
+//! it by truncating at the `"timing"` line. Schema changes bump
+//! [`JSON_FORMAT_VERSION`]; every key is documented in DESIGN.md §11.
+
+use std::collections::BTreeMap;
+
+use crate::json::{self, fmt_f64, quote, Value};
+use crate::{PhaseInfo, ProfileTelemetry, Recorder, RestartBatch, RestartOutcome, Span};
+use massf_metrics::timeseries::{
+    imbalance_series, mean_active_imbalance, sparkline, sparkline_f64,
+};
+
+/// Version of the run-report JSON schema (`"format"` key).
+pub const JSON_FORMAT_VERSION: u32 = 1;
+
+/// What was run: scenario shape and mapping configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioInfo {
+    /// Human description of the network (e.g. `"42 nodes, 58 links"`).
+    pub network: String,
+    /// Number of emulation engines mapped onto.
+    pub engines: u64,
+    /// Mapping approach label (`TOP`, `PLACE`, `PROFILE`).
+    pub approach: String,
+    /// Number of traffic flows driven through the network.
+    pub flows: u64,
+    /// Emulated duration in seconds; `None` for partition-only commands.
+    pub duration_s: Option<f64>,
+}
+
+/// The final partitioning, summarized.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PartitionInfo {
+    /// Nodes per engine, in engine order.
+    pub sizes: Vec<u64>,
+    /// Links whose endpoints map to different engines.
+    pub cut_links: u64,
+    /// Conservative window lookahead (minimum cut-link latency), µs.
+    pub lookahead_us: u64,
+}
+
+/// Per-engine load totals and virtual-time timelines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EngineLoad {
+    /// Events executed by this engine.
+    pub events: u64,
+    /// Rounds in which the engine had no work inside the window.
+    pub stalled_rounds: u64,
+    /// Events sent to other engines.
+    pub remote_sent: u64,
+    /// Events received from other engines.
+    pub remote_recv: u64,
+    /// Executed events per virtual-time window.
+    pub timeline: Vec<u64>,
+    /// Stalled rounds per virtual-time window (bucketed at the stall's
+    /// window lower bound).
+    pub stall_timeline: Vec<u64>,
+    /// Remote receives per virtual-time window.
+    pub recv_timeline: Vec<u64>,
+}
+
+/// Emulation outcome: totals plus the per-engine loads.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EmulationInfo {
+    /// Packets delivered to their destination host.
+    pub delivered: u64,
+    /// Packets dropped (no route).
+    pub dropped: u64,
+    /// Events executed across all engines.
+    pub total_events: u64,
+    /// Conservative-window rounds executed.
+    pub rounds: u64,
+    /// Cross-engine messages exchanged.
+    pub remote_messages: u64,
+    /// Virtual time at which the emulation ended, µs.
+    pub virtual_end_us: u64,
+    /// Width of one timeline window, µs.
+    pub counter_window_us: u64,
+    /// Mean end-to-end packet latency, µs.
+    pub mean_latency_us: f64,
+    /// Final whole-run load imbalance (max/mean − 1 over engine events).
+    pub imbalance: f64,
+    /// Per-engine breakdown, in engine order.
+    pub engines: Vec<EngineLoad>,
+}
+
+/// Wall-clock data: everything in the report that is *not* deterministic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Timing {
+    /// Worker threads the run used.
+    pub threads: u64,
+    /// Finished spans, in completion order.
+    pub spans: Vec<Span>,
+}
+
+/// The complete run report. See the crate docs for the determinism rule
+/// and DESIGN.md §11 for the field-by-field schema.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// The subcommand that produced the report (`run`, `record`, `replay`).
+    pub command: String,
+    /// Scenario shape.
+    pub scenario: ScenarioInfo,
+    /// Final partitioning, when one was computed.
+    pub partition: Option<PartitionInfo>,
+    /// Partitioner restart batches, in pipeline order.
+    pub restarts: Vec<RestartBatch>,
+    /// PROFILE phase-detection telemetry, when PROFILE ran.
+    pub profile: Option<ProfileTelemetry>,
+    /// Named event counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Named gauges.
+    pub gauges: BTreeMap<String, f64>,
+    /// Emulation outcome, when an emulation ran.
+    pub emulation: Option<EmulationInfo>,
+    /// Wall-clock spans and thread count (masked by golden tests).
+    pub timing: Timing,
+}
+
+impl RunReport {
+    /// Assembles a report from a finished [`Recorder`]; `partition` and
+    /// `emulation` start empty and are filled in by the caller.
+    pub fn new(command: &str, scenario: ScenarioInfo, recorder: Recorder, threads: usize) -> Self {
+        let (spans, counters, gauges, restarts, profile) = recorder.into_parts();
+        RunReport {
+            command: command.to_string(),
+            scenario,
+            partition: None,
+            restarts,
+            profile,
+            counters,
+            gauges,
+            emulation: None,
+            timing: Timing {
+                threads: threads as u64,
+                spans,
+            },
+        }
+    }
+
+    /// Serializes the report as byte-deterministic JSON (trailing newline
+    /// included). The `timing` key is always last.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"tool\": \"massf-run\",\n");
+        out.push_str(&format!("  \"format\": {JSON_FORMAT_VERSION},\n"));
+        out.push_str(&format!("  \"command\": {},\n", quote(&self.command)));
+
+        out.push_str("  \"scenario\": {\n");
+        out.push_str(&format!(
+            "    \"network\": {},\n",
+            quote(&self.scenario.network)
+        ));
+        out.push_str(&format!("    \"engines\": {},\n", self.scenario.engines));
+        out.push_str(&format!(
+            "    \"approach\": {},\n",
+            quote(&self.scenario.approach)
+        ));
+        out.push_str(&format!("    \"flows\": {},\n", self.scenario.flows));
+        out.push_str(&format!(
+            "    \"duration_s\": {}\n",
+            match self.scenario.duration_s {
+                Some(d) => fmt_f64(d),
+                None => "null".to_string(),
+            }
+        ));
+        out.push_str("  },\n");
+
+        match &self.partition {
+            None => out.push_str("  \"partition\": null,\n"),
+            Some(p) => {
+                out.push_str("  \"partition\": {\n");
+                out.push_str(&format!("    \"sizes\": [{}],\n", join_u64(&p.sizes)));
+                out.push_str(&format!("    \"cut_links\": {},\n", p.cut_links));
+                out.push_str(&format!("    \"lookahead_us\": {}\n", p.lookahead_us));
+                out.push_str("  },\n");
+            }
+        }
+
+        if self.restarts.is_empty() {
+            out.push_str("  \"restarts\": [],\n");
+        } else {
+            out.push_str("  \"restarts\": [\n");
+            for (i, batch) in self.restarts.iter().enumerate() {
+                out.push_str("    {\n");
+                out.push_str(&format!("      \"stage\": {},\n", quote(&batch.stage)));
+                out.push_str(&format!("      \"winner\": {},\n", batch.winner));
+                if batch.outcomes.is_empty() {
+                    out.push_str("      \"outcomes\": []\n");
+                } else {
+                    out.push_str("      \"outcomes\": [\n");
+                    for (j, o) in batch.outcomes.iter().enumerate() {
+                        out.push_str(&format!(
+                            "        {{\"feasible\": {}, \"cut\": {}, \"balance\": {}}}{}\n",
+                            o.feasible,
+                            o.cut,
+                            fmt_f64(o.balance),
+                            if j + 1 < batch.outcomes.len() {
+                                ","
+                            } else {
+                                ""
+                            }
+                        ));
+                    }
+                    out.push_str("      ]\n");
+                }
+                out.push_str(&format!(
+                    "    }}{}\n",
+                    if i + 1 < self.restarts.len() { "," } else { "" }
+                ));
+            }
+            out.push_str("  ],\n");
+        }
+
+        match &self.profile {
+            None => out.push_str("  \"profile\": null,\n"),
+            Some(p) => {
+                out.push_str("  \"profile\": {\n");
+                out.push_str(&format!("    \"bucket_us\": {},\n", p.bucket_us));
+                out.push_str(&format!("    \"nbuckets\": {},\n", p.nbuckets));
+                out.push_str(&format!("    \"constraints\": {},\n", p.constraints));
+                out.push_str(&format!(
+                    "    \"constraint_totals\": [{}],\n",
+                    p.constraint_totals
+                        .iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ));
+                if p.phases.is_empty() {
+                    out.push_str("    \"phases\": []\n");
+                } else {
+                    out.push_str("    \"phases\": [\n");
+                    for (i, ph) in p.phases.iter().enumerate() {
+                        out.push_str(&format!(
+                            "      {{\"start_bucket\": {}, \"end_bucket\": {}, \
+                             \"dominating_node\": {}, \"events\": {}}}{}\n",
+                            ph.start_bucket,
+                            ph.end_bucket,
+                            match ph.dominating_node {
+                                Some(n) => n.to_string(),
+                                None => "null".to_string(),
+                            },
+                            ph.events,
+                            if i + 1 < p.phases.len() { "," } else { "" }
+                        ));
+                    }
+                    out.push_str("    ]\n");
+                }
+                out.push_str("  },\n");
+            }
+        }
+
+        push_map(&mut out, "counters", &self.counters, |v| v.to_string());
+        push_map(&mut out, "gauges", &self.gauges, |v| fmt_f64(*v));
+
+        match &self.emulation {
+            None => out.push_str("  \"emulation\": null,\n"),
+            Some(e) => {
+                out.push_str("  \"emulation\": {\n");
+                out.push_str(&format!("    \"delivered\": {},\n", e.delivered));
+                out.push_str(&format!("    \"dropped\": {},\n", e.dropped));
+                out.push_str(&format!("    \"total_events\": {},\n", e.total_events));
+                out.push_str(&format!("    \"rounds\": {},\n", e.rounds));
+                out.push_str(&format!(
+                    "    \"remote_messages\": {},\n",
+                    e.remote_messages
+                ));
+                out.push_str(&format!("    \"virtual_end_us\": {},\n", e.virtual_end_us));
+                out.push_str(&format!(
+                    "    \"counter_window_us\": {},\n",
+                    e.counter_window_us
+                ));
+                out.push_str(&format!(
+                    "    \"mean_latency_us\": {},\n",
+                    fmt_f64(e.mean_latency_us)
+                ));
+                out.push_str(&format!("    \"imbalance\": {},\n", fmt_f64(e.imbalance)));
+                if e.engines.is_empty() {
+                    out.push_str("    \"engines\": []\n");
+                } else {
+                    out.push_str("    \"engines\": [\n");
+                    for (i, eng) in e.engines.iter().enumerate() {
+                        out.push_str("      {\n");
+                        out.push_str(&format!("        \"events\": {},\n", eng.events));
+                        out.push_str(&format!(
+                            "        \"stalled_rounds\": {},\n",
+                            eng.stalled_rounds
+                        ));
+                        out.push_str(&format!("        \"remote_sent\": {},\n", eng.remote_sent));
+                        out.push_str(&format!("        \"remote_recv\": {},\n", eng.remote_recv));
+                        out.push_str(&format!(
+                            "        \"timeline\": [{}],\n",
+                            join_u64(&eng.timeline)
+                        ));
+                        out.push_str(&format!(
+                            "        \"stall_timeline\": [{}],\n",
+                            join_u64(&eng.stall_timeline)
+                        ));
+                        out.push_str(&format!(
+                            "        \"recv_timeline\": [{}]\n",
+                            join_u64(&eng.recv_timeline)
+                        ));
+                        out.push_str(&format!(
+                            "      }}{}\n",
+                            if i + 1 < e.engines.len() { "," } else { "" }
+                        ));
+                    }
+                    out.push_str("    ]\n");
+                }
+                out.push_str("  },\n");
+            }
+        }
+
+        // `timing` must stay the last key: golden tests truncate here.
+        out.push_str("  \"timing\": {\n");
+        out.push_str(&format!("    \"threads\": {},\n", self.timing.threads));
+        if self.timing.spans.is_empty() {
+            out.push_str("    \"spans\": []\n");
+        } else {
+            out.push_str("    \"spans\": [\n");
+            for (i, s) in self.timing.spans.iter().enumerate() {
+                out.push_str(&format!(
+                    "      {{\"name\": {}, \"wall_us\": {}}}{}\n",
+                    quote(&s.name),
+                    s.wall_us,
+                    if i + 1 < self.timing.spans.len() {
+                        ","
+                    } else {
+                        ""
+                    }
+                ));
+            }
+            out.push_str("    ]\n");
+        }
+        out.push_str("  }\n");
+        out.push_str("}\n");
+        out
+    }
+
+    /// Parses a report previously written by [`RunReport::to_json`].
+    ///
+    /// Rejects documents with the wrong `tool`, an unsupported `format`,
+    /// or missing/ill-typed fields; the error string names the offender.
+    pub fn from_json(input: &str) -> Result<RunReport, String> {
+        let root = json::parse(input).map_err(|e| e.to_string())?;
+        let tool = req_str(&root, "tool")?;
+        if tool != "massf-run" {
+            return Err(format!("not a massf run report (tool = \"{tool}\")"));
+        }
+        let format = req_u64(&root, "format")?;
+        if format != JSON_FORMAT_VERSION as u64 {
+            return Err(format!(
+                "unsupported report format {format} (this build reads format {JSON_FORMAT_VERSION})"
+            ));
+        }
+
+        let sc = root.get("scenario").ok_or("missing key \"scenario\"")?;
+        let scenario = ScenarioInfo {
+            network: req_str(sc, "network")?.to_string(),
+            engines: req_u64(sc, "engines")?,
+            approach: req_str(sc, "approach")?.to_string(),
+            flows: req_u64(sc, "flows")?,
+            duration_s: match sc.get("duration_s") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(v.as_f64().ok_or("\"duration_s\" is not a number")?),
+            },
+        };
+
+        let partition = match root.get("partition") {
+            None | Some(Value::Null) => None,
+            Some(p) => Some(PartitionInfo {
+                sizes: req_u64_list(p, "sizes")?,
+                cut_links: req_u64(p, "cut_links")?,
+                lookahead_us: req_u64(p, "lookahead_us")?,
+            }),
+        };
+
+        let mut restarts = Vec::new();
+        for batch in req_array(&root, "restarts")? {
+            let mut outcomes = Vec::new();
+            for o in req_array(batch, "outcomes")? {
+                outcomes.push(RestartOutcome {
+                    feasible: o
+                        .get("feasible")
+                        .and_then(Value::as_bool)
+                        .ok_or("restart outcome missing \"feasible\"")?,
+                    cut: o
+                        .get("cut")
+                        .and_then(Value::as_i64)
+                        .ok_or("restart outcome missing \"cut\"")?,
+                    balance: o
+                        .get("balance")
+                        .and_then(Value::as_f64)
+                        .ok_or("restart outcome missing \"balance\"")?,
+                });
+            }
+            restarts.push(RestartBatch {
+                stage: req_str(batch, "stage")?.to_string(),
+                winner: req_u64(batch, "winner")?,
+                outcomes,
+            });
+        }
+
+        let profile = match root.get("profile") {
+            None | Some(Value::Null) => None,
+            Some(p) => {
+                let mut phases = Vec::new();
+                for ph in req_array(p, "phases")? {
+                    phases.push(PhaseInfo {
+                        start_bucket: req_u64(ph, "start_bucket")?,
+                        end_bucket: req_u64(ph, "end_bucket")?,
+                        dominating_node: match ph.get("dominating_node") {
+                            None | Some(Value::Null) => None,
+                            Some(v) => {
+                                Some(v.as_u64().ok_or("\"dominating_node\" is not an integer")?)
+                            }
+                        },
+                        events: req_u64(ph, "events")?,
+                    });
+                }
+                let totals = req_array(p, "constraint_totals")?
+                    .iter()
+                    .map(|v| v.as_i64().ok_or("constraint total is not an integer"))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Some(ProfileTelemetry {
+                    bucket_us: req_u64(p, "bucket_us")?,
+                    nbuckets: req_u64(p, "nbuckets")?,
+                    constraints: req_u64(p, "constraints")?,
+                    constraint_totals: totals,
+                    phases,
+                })
+            }
+        };
+
+        let mut counters = BTreeMap::new();
+        if let Some(Value::Obj(members)) = root.get("counters") {
+            for (k, v) in members {
+                counters.insert(
+                    k.clone(),
+                    v.as_u64().ok_or("counter value is not an integer")?,
+                );
+            }
+        }
+        let mut gauges = BTreeMap::new();
+        if let Some(Value::Obj(members)) = root.get("gauges") {
+            for (k, v) in members {
+                gauges.insert(k.clone(), v.as_f64().ok_or("gauge value is not a number")?);
+            }
+        }
+
+        let emulation = match root.get("emulation") {
+            None | Some(Value::Null) => None,
+            Some(e) => {
+                let mut engines = Vec::new();
+                for eng in req_array(e, "engines")? {
+                    engines.push(EngineLoad {
+                        events: req_u64(eng, "events")?,
+                        stalled_rounds: req_u64(eng, "stalled_rounds")?,
+                        remote_sent: req_u64(eng, "remote_sent")?,
+                        remote_recv: req_u64(eng, "remote_recv")?,
+                        timeline: req_u64_list(eng, "timeline")?,
+                        stall_timeline: req_u64_list(eng, "stall_timeline")?,
+                        recv_timeline: req_u64_list(eng, "recv_timeline")?,
+                    });
+                }
+                Some(EmulationInfo {
+                    delivered: req_u64(e, "delivered")?,
+                    dropped: req_u64(e, "dropped")?,
+                    total_events: req_u64(e, "total_events")?,
+                    rounds: req_u64(e, "rounds")?,
+                    remote_messages: req_u64(e, "remote_messages")?,
+                    virtual_end_us: req_u64(e, "virtual_end_us")?,
+                    counter_window_us: req_u64(e, "counter_window_us")?,
+                    mean_latency_us: e
+                        .get("mean_latency_us")
+                        .and_then(Value::as_f64)
+                        .ok_or("missing key \"mean_latency_us\"")?,
+                    imbalance: e
+                        .get("imbalance")
+                        .and_then(Value::as_f64)
+                        .ok_or("missing key \"imbalance\"")?,
+                    engines,
+                })
+            }
+        };
+
+        let t = root.get("timing").ok_or("missing key \"timing\"")?;
+        let mut spans = Vec::new();
+        for s in req_array(t, "spans")? {
+            spans.push(Span {
+                name: req_str(s, "name")?.to_string(),
+                wall_us: req_u64(s, "wall_us")?,
+            });
+        }
+        let timing = Timing {
+            threads: req_u64(t, "threads")?,
+            spans,
+        };
+
+        Ok(RunReport {
+            command: req_str(&root, "command")?.to_string(),
+            scenario,
+            partition,
+            restarts,
+            profile,
+            counters,
+            gauges,
+            emulation,
+            timing,
+        })
+    }
+
+    /// Renders the report as human text: sparkline load timelines,
+    /// imbalance-over-time, and a stage-timing breakdown. Everything above
+    /// the final `timing` section is deterministic.
+    pub fn render_human(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "massf run report — command: {}, format {}\n\n",
+            self.command, JSON_FORMAT_VERSION
+        ));
+
+        out.push_str("scenario\n");
+        out.push_str(&format!("  network:   {}\n", self.scenario.network));
+        out.push_str(&format!("  engines:   {}\n", self.scenario.engines));
+        out.push_str(&format!("  approach:  {}\n", self.scenario.approach));
+        out.push_str(&format!("  flows:     {}\n", self.scenario.flows));
+        if let Some(d) = self.scenario.duration_s {
+            out.push_str(&format!("  duration:  {} s\n", fmt_f64(d)));
+        }
+
+        if let Some(p) = &self.partition {
+            out.push_str("\npartition\n");
+            out.push_str(&format!("  sizes:      [{}]\n", join_u64(&p.sizes)));
+            out.push_str(&format!("  cut links:  {}\n", p.cut_links));
+            out.push_str(&format!("  lookahead:  {} us\n", p.lookahead_us));
+        }
+
+        if !self.restarts.is_empty() {
+            out.push_str("\npartitioner restarts\n");
+            for batch in &self.restarts {
+                let line = match batch.outcomes.get(batch.winner as usize) {
+                    Some(w) => format!(
+                        "  {}: winner #{} of {} (cut {}, balance {}, {})\n",
+                        batch.stage,
+                        batch.winner,
+                        batch.outcomes.len(),
+                        w.cut,
+                        fmt_f64(w.balance),
+                        if w.feasible { "feasible" } else { "infeasible" }
+                    ),
+                    None => format!(
+                        "  {}: winner #{} of {}\n",
+                        batch.stage,
+                        batch.winner,
+                        batch.outcomes.len()
+                    ),
+                };
+                out.push_str(&line);
+            }
+        }
+
+        if let Some(p) = &self.profile {
+            out.push_str(&format!(
+                "\nprofile phases ({} buckets x {} us, {} constraints)\n",
+                p.nbuckets, p.bucket_us, p.constraints
+            ));
+            for (i, ph) in p.phases.iter().enumerate() {
+                out.push_str(&format!(
+                    "  phase {}: buckets [{}, {})  dominating node {}  {} events\n",
+                    i,
+                    ph.start_bucket,
+                    ph.end_bucket,
+                    match ph.dominating_node {
+                        Some(n) => n.to_string(),
+                        None => "-".to_string(),
+                    },
+                    ph.events
+                ));
+            }
+            out.push_str(&format!(
+                "  constraint totals: [{}]\n",
+                p.constraint_totals
+                    .iter()
+                    .map(|x| x.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+
+        if let Some(e) = &self.emulation {
+            out.push_str("\nemulation\n");
+            out.push_str(&format!(
+                "  events:     {} total, {} delivered, {} dropped\n",
+                e.total_events, e.delivered, e.dropped
+            ));
+            out.push_str(&format!(
+                "  rounds:     {} ({} remote messages)\n",
+                e.rounds, e.remote_messages
+            ));
+            out.push_str(&format!(
+                "  virtual:    {} us end, {} us windows\n",
+                e.virtual_end_us, e.counter_window_us
+            ));
+            out.push_str(&format!(
+                "  latency:    {} us mean\n",
+                fmt_f64(e.mean_latency_us)
+            ));
+            out.push_str(&format!("  imbalance:  {} final\n", fmt_f64(e.imbalance)));
+
+            if !e.engines.is_empty() {
+                out.push_str(&format!(
+                    "\nengine load (events per {} us window)\n",
+                    e.counter_window_us
+                ));
+                for (i, eng) in e.engines.iter().enumerate() {
+                    out.push_str(&format!(
+                        "  engine {}  {}  {} events | stalls {} | sent {} recv {}\n",
+                        i,
+                        sparkline(&eng.timeline),
+                        eng.events,
+                        eng.stalled_rounds,
+                        eng.remote_sent,
+                        eng.remote_recv
+                    ));
+                }
+                let series: Vec<Vec<u64>> =
+                    e.engines.iter().map(|eng| eng.timeline.clone()).collect();
+                let imb = imbalance_series(&series, 1);
+                out.push_str(&format!(
+                    "  imbalance {}  mean active {}\n",
+                    sparkline_f64(&imb),
+                    fmt_f64(mean_active_imbalance(&series, 1))
+                ));
+            }
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\ncounters\n");
+            for (k, v) in &self.counters {
+                out.push_str(&format!("  {k} = {v}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\ngauges\n");
+            for (k, v) in &self.gauges {
+                out.push_str(&format!("  {k} = {}\n", fmt_f64(*v)));
+            }
+        }
+
+        // Everything below is wall-clock and non-deterministic; golden
+        // tests truncate at this header line.
+        out.push_str("\ntiming (wall-clock, non-deterministic)\n");
+        out.push_str(&format!("  threads: {}\n", self.timing.threads));
+        let width = self
+            .timing
+            .spans
+            .iter()
+            .map(|s| s.name.len())
+            .max()
+            .unwrap_or(0);
+        for s in &self.timing.spans {
+            out.push_str(&format!(
+                "  {:<width$}  {:>10} us\n",
+                s.name,
+                s.wall_us,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+fn join_u64(xs: &[u64]) -> String {
+    xs.iter()
+        .map(|x| x.to_string())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn push_map<V>(
+    out: &mut String,
+    key: &str,
+    map: &BTreeMap<String, V>,
+    render: impl Fn(&V) -> String,
+) {
+    if map.is_empty() {
+        out.push_str(&format!("  \"{key}\": {{}},\n"));
+        return;
+    }
+    out.push_str(&format!("  \"{key}\": {{\n"));
+    for (i, (k, v)) in map.iter().enumerate() {
+        out.push_str(&format!(
+            "    {}: {}{}\n",
+            quote(k),
+            render(v),
+            if i + 1 < map.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  },\n");
+}
+
+fn req_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
+    v.get(key)
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("missing key \"{key}\""))
+}
+
+fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
+    v.get(key)
+        .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing key \"{key}\""))
+}
+
+fn req_array<'v>(v: &'v Value, key: &str) -> Result<&'v [Value], String> {
+    v.get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("missing key \"{key}\""))
+}
+
+fn req_u64_list(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    req_array(v, key)?
+        .iter()
+        .map(|x| {
+            x.as_u64()
+                .ok_or_else(|| format!("\"{key}\" entry is not an integer"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RunReport {
+        let mut rec = Recorder::new();
+        rec.add_counter("mapping.flows_aggregated", 12);
+        rec.set_gauge("partition.balance", 1.042);
+        rec.record_restarts(
+            "top",
+            1,
+            vec![
+                RestartOutcome {
+                    feasible: false,
+                    cut: 14,
+                    balance: 1.5,
+                },
+                RestartOutcome {
+                    feasible: true,
+                    cut: 9,
+                    balance: 1.04,
+                },
+            ],
+        );
+        rec.set_profile(ProfileTelemetry {
+            bucket_us: 1000,
+            nbuckets: 4,
+            constraints: 2,
+            constraint_totals: vec![100, 40],
+            phases: vec![
+                PhaseInfo {
+                    start_bucket: 0,
+                    end_bucket: 2,
+                    dominating_node: Some(3),
+                    events: 70,
+                },
+                PhaseInfo {
+                    start_bucket: 2,
+                    end_bucket: 4,
+                    dominating_node: None,
+                    events: 30,
+                },
+            ],
+        });
+        rec.time("cli/load_network", || ());
+        let mut report = RunReport::new(
+            "run",
+            ScenarioInfo {
+                network: "5 nodes, 6 links".into(),
+                engines: 2,
+                approach: "PROFILE".into(),
+                flows: 3,
+                duration_s: Some(2.0),
+            },
+            rec,
+            4,
+        );
+        report.partition = Some(PartitionInfo {
+            sizes: vec![3, 2],
+            cut_links: 2,
+            lookahead_us: 500,
+        });
+        report.emulation = Some(EmulationInfo {
+            delivered: 40,
+            dropped: 1,
+            total_events: 100,
+            rounds: 7,
+            remote_messages: 9,
+            virtual_end_us: 4000,
+            counter_window_us: 1000,
+            mean_latency_us: 250.5,
+            imbalance: 0.25,
+            engines: vec![
+                EngineLoad {
+                    events: 60,
+                    stalled_rounds: 1,
+                    remote_sent: 5,
+                    remote_recv: 4,
+                    timeline: vec![20, 20, 10, 10],
+                    stall_timeline: vec![0, 0, 1, 0],
+                    recv_timeline: vec![1, 1, 1, 1],
+                },
+                EngineLoad {
+                    events: 40,
+                    stalled_rounds: 2,
+                    remote_sent: 4,
+                    remote_recv: 5,
+                    timeline: vec![10, 10, 10, 10],
+                    stall_timeline: vec![1, 0, 1, 0],
+                    recv_timeline: vec![2, 1, 1, 1],
+                },
+            ],
+        });
+        report
+    }
+
+    #[test]
+    fn json_round_trip_preserves_everything() {
+        let report = sample();
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        // Wall-clock values survive the trip too — equality covers timing.
+        assert_eq!(back, report);
+        // And re-serializing is byte-stable.
+        assert_eq!(back.to_json(), json);
+    }
+
+    #[test]
+    fn timing_is_the_last_key() {
+        let json = sample().to_json();
+        let timing_at = json.find("  \"timing\": {").expect("timing present");
+        // No other top-level key may follow the timing object.
+        let tail = &json[timing_at..];
+        assert!(tail.trim_end().ends_with("}"));
+        let after_timing = &json[..timing_at];
+        assert!(after_timing.contains("\"emulation\""));
+    }
+
+    #[test]
+    fn rejects_foreign_documents() {
+        assert!(RunReport::from_json("{}").unwrap_err().contains("tool"));
+        let wrong_tool = r#"{"tool": "massf-check", "format": 1}"#;
+        assert!(RunReport::from_json(wrong_tool)
+            .unwrap_err()
+            .contains("not a massf run report"));
+        let future = sample()
+            .to_json()
+            .replace("\"format\": 1", "\"format\": 99");
+        assert!(RunReport::from_json(&future)
+            .unwrap_err()
+            .contains("unsupported report format 99"));
+    }
+
+    #[test]
+    fn human_rendering_sections() {
+        let text = sample().render_human();
+        assert!(text.starts_with("massf run report — command: run, format 1\n"));
+        for section in [
+            "scenario\n",
+            "partition\n",
+            "partitioner restarts\n",
+            "profile phases (4 buckets x 1000 us, 2 constraints)\n",
+            "emulation\n",
+            "engine load (events per 1000 us window)\n",
+            "counters\n",
+            "gauges\n",
+            "timing (wall-clock, non-deterministic)\n",
+        ] {
+            assert!(text.contains(section), "missing {section:?} in:\n{text}");
+        }
+        // The timing header is the masking boundary, so it must be unique
+        // and everything deterministic must precede it.
+        assert_eq!(text.matches("timing (wall-clock").count(), 1);
+        let spark_line = text
+            .lines()
+            .find(|l| l.trim_start().starts_with("engine 0"))
+            .unwrap();
+        assert!(spark_line.contains('█'), "{spark_line}");
+    }
+
+    #[test]
+    fn minimal_report_renders_and_round_trips() {
+        let report = RunReport::new(
+            "partition",
+            ScenarioInfo {
+                network: "empty".into(),
+                engines: 1,
+                approach: "TOP".into(),
+                flows: 0,
+                duration_s: None,
+            },
+            Recorder::new(),
+            1,
+        );
+        let json = report.to_json();
+        assert!(json.contains("\"duration_s\": null"));
+        assert!(json.contains("\"partition\": null"));
+        assert!(json.contains("\"emulation\": null"));
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        let text = report.render_human();
+        assert!(!text.contains("emulation\n"));
+        assert!(text.contains("timing (wall-clock"));
+    }
+}

@@ -206,6 +206,21 @@ impl Partitioning {
 /// predicate the sequential loop used, so the result is deterministic in
 /// `cfg.seed` and identical at every thread count.
 pub fn partition_kway(g: &CsrGraph, cfg: &PartitionConfig) -> Partitioning {
+    partition_kway_obs(g, cfg, "partition", &mut Recorder::new())
+}
+
+/// [`partition_kway`] with observability: times the search as a
+/// `partition/{stage}` span on `rec` and records every restart's
+/// (feasibility, cut, balance) outcome plus the winner index as a restart
+/// batch labeled `stage`. The partitioning returned is exactly what
+/// [`partition_kway`] computes — recording never perturbs the search.
+pub fn partition_kway_obs(
+    g: &CsrGraph,
+    cfg: &PartitionConfig,
+    stage: &str,
+    rec: &mut Recorder,
+) -> Partitioning {
+    let span = rec.start();
     let restarts = cfg.restarts.max(1);
     let scored = par_indexed_map(cfg.threads, restarts, |i| {
         let attempt =
@@ -219,21 +234,31 @@ pub fn partition_kway(g: &CsrGraph, cfg: &PartitionConfig) -> Partitioning {
         });
         (feasible, cut, bal, attempt)
     });
-    let mut best: Option<(bool, Weight, f64, Partitioning)> = None;
-    for (feasible, cut, bal, attempt) in scored {
+    let mut outcomes = Vec::with_capacity(restarts);
+    let mut best: Option<(bool, Weight, f64, usize, Partitioning)> = None;
+    for (i, (feasible, cut, bal, attempt)) in scored.into_iter().enumerate() {
+        outcomes.push(RestartOutcome {
+            feasible,
+            cut,
+            balance: bal,
+        });
         let better = match &best {
             None => true,
-            Some((bf, bc, bb, _)) => {
+            Some((bf, bc, bb, _, _)) => {
                 (feasible, std::cmp::Reverse(cut)) > (*bf, std::cmp::Reverse(*bc))
                     || (feasible == *bf && cut == *bc && bal < *bb)
             }
         };
         if better {
-            best = Some((feasible, cut, bal, attempt));
+            best = Some((feasible, cut, bal, i, attempt));
         }
     }
-    best.expect("restarts >= 1").3
+    let (_, _, _, winner, part) = best.expect("restarts >= 1");
+    rec.record_restarts(stage, winner, outcomes);
+    rec.finish(&format!("partition/{stage}"), span);
+    part
 }
 
 use massf_graph::Weight;
+use massf_obs::{Recorder, RestartOutcome};
 use massf_par::{par_indexed_map, Parallelism};

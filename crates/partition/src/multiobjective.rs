@@ -14,8 +14,9 @@
 //! "latency/traffic priority ratio" of 6:4).
 
 use crate::quality::edge_cut;
-use crate::{partition_kway, PartitionConfig, Partitioning};
+use crate::{partition_kway_obs, PartitionConfig, Partitioning};
 use massf_graph::{CsrGraph, Weight};
+use massf_obs::Recorder;
 
 /// Fixed-point scale applied when converting normalized combined weights
 /// back to the integer weights the partitioner consumes.
@@ -78,13 +79,39 @@ pub fn combine_and_partition(
     p: f64,
     cfg: &PartitionConfig,
 ) -> MultiObjectiveResult {
-    let part_lat = partition_kway(g_latency, cfg);
-    let part_bw = partition_kway(g_bandwidth, cfg);
+    combine_and_partition_obs(
+        g_latency,
+        g_bandwidth,
+        p,
+        cfg,
+        "combine",
+        &mut Recorder::new(),
+    )
+}
+
+/// [`combine_and_partition`] with observability: the three partitioner
+/// calls record restart batches `{stage_prefix}/latency`,
+/// `{stage_prefix}/bandwidth`, and `{stage_prefix}/combined` on `rec`.
+pub fn combine_and_partition_obs(
+    g_latency: &CsrGraph,
+    g_bandwidth: &CsrGraph,
+    p: f64,
+    cfg: &PartitionConfig,
+    stage_prefix: &str,
+    rec: &mut Recorder,
+) -> MultiObjectiveResult {
+    let part_lat = partition_kway_obs(g_latency, cfg, &format!("{stage_prefix}/latency"), rec);
+    let part_bw = partition_kway_obs(g_bandwidth, cfg, &format!("{stage_prefix}/bandwidth"), rec);
     let c_lat = edge_cut(g_latency, &part_lat.part);
     let c_bw = edge_cut(g_bandwidth, &part_bw.part);
 
     let combined_graph = combine_edge_weights(g_latency, g_bandwidth, c_lat, c_bw, p);
-    let partitioning = partition_kway(&combined_graph, cfg);
+    let partitioning = partition_kway_obs(
+        &combined_graph,
+        cfg,
+        &format!("{stage_prefix}/combined"),
+        rec,
+    );
     MultiObjectiveResult {
         partitioning,
         latency_cut: c_lat,

@@ -12,7 +12,7 @@
 //! ```
 //!
 //! Node ids must be dense and in order (this keeps the file a faithful dump
-//! of the in-memory model). [`write`] and [`parse`] round-trip exactly.
+//! of the in-memory model). [`write()`] and [`parse`] round-trip exactly.
 
 use crate::model::{Network, NodeKind};
 

@@ -8,9 +8,10 @@
 //! massf topology <campus|teragrid|brite|brite-scaleup>
 //! massf check <network.dml> [--engines K] [--traffic <spec.txt>] [--format human|json]
 //! massf partition <network.dml> --engines K [--seed N]
-//! massf run <network.dml> --engines K --traffic <spec.txt> --duration-s S
-//!           [--approach top|place|profile] [--replay]
+//! massf run <network.dml> [--engines K] [--traffic <spec.txt>] [--duration-s S]
+//!           [--approach top|place|profile] [--replay] [--report <run.json>]
 //! massf ping <network.dml> <src-name> <dst-name>
+//! massf report <run.json>
 //! ```
 //!
 //! Every scenario-consuming subcommand runs the `massf-lint` preflight
@@ -20,7 +21,9 @@
 //!
 //! All logic lives here (testable); `src/bin/massf.rs` is a thin shim.
 
+use massf_core::engine::engine::lookahead_us;
 use massf_core::engine::probe;
+use massf_core::obs::report::{EmulationInfo, EngineLoad, PartitionInfo, ScenarioInfo};
 use massf_core::prelude::*;
 use massf_core::routing::RoutingTables;
 use massf_core::topology::dml;
@@ -65,23 +68,32 @@ USAGE:
                   [--deny-warnings]
       Partition the network with the TOP approach; prints node -> engine.
 
-  massf run <network.dml> --engines K --traffic <spec.txt> --duration-s S
+  massf run <network.dml> [--engines K] [--traffic <spec.txt>] [--duration-s S]
             [--approach top|place|profile] [--replay] [--threads T]
-            [--deny-warnings]
-      Generate background traffic from the spec, map it with the chosen
-      approach, emulate, and print the load-balance report.
+            [--deny-warnings] [--report <run.json>]
+      Generate background traffic from the spec (a built-in CBR background
+      when --traffic is omitted), map it with the chosen approach, emulate,
+      and print the load-balance report. Defaults: 3 engines, 10 s,
+      profile approach. --report also writes the versioned JSON run
+      report (see `massf report`).
 
   massf ping <network.dml> <src-name> <dst-name>
       Emulate an ICMP echo through the discrete-event engine.
 
   massf record <network.dml> --traffic <spec.txt> --duration-s S --out <trace.txt>
+               [--report <run.json>]
       Generate a traffic schedule from the spec and save it as a trace.
 
   massf replay <network.dml> <trace.txt> --engines K
                [--approach top|place|profile] [--threads T]
-               [--deny-warnings]
+               [--deny-warnings] [--report <run.json>]
       Replay a recorded trace as fast as possible (isolated network
       emulation, the paper's Figures 9/10 measurement).
+
+  massf report <run.json>
+      Render a JSON run report written by --report as human text:
+      sparkline load timelines, imbalance-over-time, partitioner restart
+      outcomes, and the wall-clock stage-timing breakdown.
 
   --threads T       Worker threads for the mapping pipeline (routing
                     tables, traffic accumulation, partitioner restarts).
@@ -107,6 +119,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         Some("ping") => cmd_ping(&args[1..]),
         Some("record") => cmd_record(&args[1..]),
         Some("replay") => cmd_replay(&args[1..]),
+        Some("report") => cmd_report(&args[1..]),
         Some(other) => Err(err(format!("unknown command {other:?}; try `massf help`"))),
     }
 }
@@ -365,6 +378,52 @@ fn generate_traffic(
     }
 }
 
+/// Traffic spec used when `massf run` is invoked without `--traffic`: a
+/// modest CBR background that fits any of the shipped topologies.
+const DEFAULT_TRAFFIC_SPEC: &str = "traffic { name CBR\n sessions 6\n rate_mbps 4 }";
+
+/// Summarizes `partition` for the run report: nodes per engine, cut-link
+/// count, and the conservative window lookahead the engines would use.
+fn partition_info(net: &Network, partition: &Partitioning) -> PartitionInfo {
+    let cut_links = net
+        .links()
+        .iter()
+        .filter(|l| partition.part[l.a as usize] != partition.part[l.b as usize])
+        .count() as u64;
+    PartitionInfo {
+        sizes: partition.part_sizes().iter().map(|&s| s as u64).collect(),
+        cut_links,
+        lookahead_us: lookahead_us(net, &partition.part),
+    }
+}
+
+/// Digests an [`EmulationReport`] into the run report's emulation section.
+fn emulation_info(report: &EmulationReport) -> EmulationInfo {
+    let engines = (0..report.nengines)
+        .map(|i| EngineLoad {
+            events: report.engine_events[i],
+            stalled_rounds: report.engine_stalls[i],
+            remote_sent: report.engine_remote_sent[i],
+            remote_recv: report.engine_remote_recv[i],
+            timeline: report.window_series[i].clone(),
+            stall_timeline: report.stall_series[i].clone(),
+            recv_timeline: report.recv_series[i].clone(),
+        })
+        .collect();
+    EmulationInfo {
+        delivered: report.delivered,
+        dropped: report.dropped,
+        total_events: report.total_events(),
+        rounds: report.rounds,
+        remote_messages: report.remote_messages,
+        virtual_end_us: report.virtual_end_us,
+        counter_window_us: report.counter_window_us,
+        mean_latency_us: report.mean_latency_us(),
+        imbalance: load_imbalance(&report.engine_events),
+        engines,
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
     validate_flags(
         "run",
@@ -375,25 +434,36 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             "--duration-s",
             "--approach",
             "--threads",
+            "--report",
         ],
         &["--replay", "--deny-warnings"],
     )?;
     let path = args.first().ok_or_else(|| {
-        err("usage: massf run <network.dml> --engines K --traffic <spec> --duration-s S")
+        err("usage: massf run <network.dml> [--engines K] [--traffic <spec>] [--duration-s S]")
     })?;
+    let mut rec = Recorder::new();
+    let span = rec.start();
     let net = load_network(path)?;
-    let engines: usize = flag(args, "--engines")
-        .ok_or_else(|| err("missing --engines"))?
-        .parse()
-        .map_err(|_| err("--engines must be a number"))?;
-    let spec_path = flag(args, "--traffic").ok_or_else(|| err("missing --traffic"))?;
-    let spec_text = std::fs::read_to_string(spec_path)
-        .map_err(|e| err(format!("cannot read {spec_path}: {e}")))?;
-    let kind = parse_traffic(&spec_text).map_err(|e| err(format!("{spec_path}: {e}")))?;
-    let duration_s: f64 = flag(args, "--duration-s")
-        .ok_or_else(|| err("missing --duration-s"))?
-        .parse()
-        .map_err(|_| err("--duration-s must be a number"))?;
+    rec.finish("cli/load_network", span);
+    let engines: usize = match flag(args, "--engines") {
+        Some(e) => e.parse().map_err(|_| err("--engines must be a number"))?,
+        None => 3,
+    };
+    let (spec_label, spec_text) = match flag(args, "--traffic") {
+        Some(spec_path) => (
+            spec_path,
+            std::fs::read_to_string(spec_path)
+                .map_err(|e| err(format!("cannot read {spec_path}: {e}")))?,
+        ),
+        None => ("<built-in CBR>", DEFAULT_TRAFFIC_SPEC.to_string()),
+    };
+    let kind = parse_traffic(&spec_text).map_err(|e| err(format!("{spec_label}: {e}")))?;
+    let duration_s: f64 = match flag(args, "--duration-s") {
+        Some(d) => d
+            .parse()
+            .map_err(|_| err("--duration-s must be a number"))?,
+        None => 10.0,
+    };
     let duration_us = (duration_s * 1e6) as u64;
     let approach = match flag(args, "--approach").unwrap_or("profile") {
         "top" => Approach::Top,
@@ -406,24 +476,36 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
 
     // Stage 1: static preflight; flow generation is only safe on a clean
     // base (generators assert on degenerate host sets).
+    let span = rec.start();
     preflight(&net, Some(engines), Some(&kind), &[], &[], deny)?;
+    rec.finish("cli/preflight", span);
+    let span = rec.start();
     let (flows, predicted) = generate_traffic(&net, &kind, duration_us);
+    rec.finish("cli/traffic_gen", span);
     if flows.is_empty() {
         return Err(err("the traffic spec generated no flows for this duration"));
     }
     // Stage 2: the generated schedule itself.
+    let span = rec.start();
     preflight(&net, Some(engines), Some(&kind), &predicted, &flows, deny)?;
+    rec.finish("cli/preflight_schedule", span);
+    rec.add_counter("traffic.flows", flows.len() as u64);
     let mut cfg = MapperConfig::new(engines);
     if let Some(par) = threads_flag(args)? {
         cfg = cfg.with_parallelism(par);
     }
+    let threads = cfg.parallelism.get();
+    let span = rec.start();
     let study = MappingStudy::new(net, cfg);
-    let partition = study.map(approach, &predicted, &flows);
+    rec.finish("mapping/routing_tables", span);
+    let partition = study.map_obs(approach, &predicted, &flows, &mut rec);
+    let span = rec.start();
     let report = if replay {
         study.replay(&partition, &flows)
     } else {
         study.evaluate(&partition, &flows, CostModel::live_application())
     };
+    rec.finish("engine/emulate", span);
 
     let mut out = String::new();
     out.push_str(&format!("network      : {}\n", study.net.summary()));
@@ -445,15 +527,43 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         report.remote_messages
     ));
     out.push_str(&format!("{}\n", report.balance_line()));
+
+    if let Some(report_path) = flag(args, "--report") {
+        let mut run_report = RunReport::new(
+            "run",
+            ScenarioInfo {
+                network: study.net.summary(),
+                engines: engines as u64,
+                approach: approach.label().to_string(),
+                flows: flows.len() as u64,
+                duration_s: Some(duration_s),
+            },
+            rec,
+            threads,
+        );
+        run_report.partition = Some(partition_info(&study.net, &partition));
+        run_report.emulation = Some(emulation_info(&report));
+        std::fs::write(report_path, run_report.to_json())
+            .map_err(|e| err(format!("cannot write {report_path}: {e}")))?;
+        out.push_str(&format!("report       : {report_path}\n"));
+    }
     Ok(out)
 }
 
 fn cmd_record(args: &[String]) -> Result<String, CliError> {
-    validate_flags("record", args, &["--traffic", "--duration-s", "--out"], &[])?;
+    validate_flags(
+        "record",
+        args,
+        &["--traffic", "--duration-s", "--out", "--report"],
+        &[],
+    )?;
     let path = args.first().ok_or_else(|| {
         err("usage: massf record <network.dml> --traffic <spec> --duration-s S --out <trace>")
     })?;
+    let mut rec = Recorder::new();
+    let span = rec.start();
     let net = load_network(path)?;
+    rec.finish("cli/load_network", span);
     let spec_path = flag(args, "--traffic").ok_or_else(|| err("missing --traffic"))?;
     let spec_text = std::fs::read_to_string(spec_path)
         .map_err(|e| err(format!("cannot read {spec_path}: {e}")))?;
@@ -464,9 +574,30 @@ fn cmd_record(args: &[String]) -> Result<String, CliError> {
         .map_err(|_| err("--duration-s must be a number"))?;
     let out_path = flag(args, "--out").ok_or_else(|| err("missing --out"))?;
     preflight(&net, None, Some(&kind), &[], &[], false)?;
+    let span = rec.start();
     let (flows, _) = generate_traffic(&net, &kind, (duration_s * 1e6) as u64);
+    rec.finish("cli/traffic_gen", span);
+    rec.add_counter("traffic.flows", flows.len() as u64);
     let text = massf_core::traffic::tracefile::write(&flows);
     std::fs::write(out_path, &text).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
+    if let Some(report_path) = flag(args, "--report") {
+        // No mapping and no emulation happen here, so the report carries
+        // only the scenario shape (engines 0, approach "-") and timing.
+        let run_report = RunReport::new(
+            "record",
+            ScenarioInfo {
+                network: net.summary(),
+                engines: 0,
+                approach: "-".to_string(),
+                flows: flows.len() as u64,
+                duration_s: Some(duration_s),
+            },
+            rec,
+            1,
+        );
+        std::fs::write(report_path, run_report.to_json())
+            .map_err(|e| err(format!("cannot write {report_path}: {e}")))?;
+    }
     Ok(format!(
         "recorded {} flows to {out_path}
 ",
@@ -483,10 +614,13 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     validate_flags(
         "replay",
         rest,
-        &["--engines", "--approach", "--threads"],
+        &["--engines", "--approach", "--threads", "--report"],
         &["--deny-warnings"],
     )?;
+    let mut rec = Recorder::new();
+    let span = rec.start();
     let net = load_network(path)?;
+    rec.finish("cli/load_network", span);
     let trace_text = std::fs::read_to_string(trace_path)
         .map_err(|e| err(format!("cannot read {trace_path}: {e}")))?;
     let flows = massf_core::traffic::tracefile::parse(&trace_text)
@@ -501,7 +635,10 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     let deny = rest.iter().any(|a| a == "--deny-warnings");
     // Foreign trace endpoints, infeasible engine counts, and degenerate
     // schedules all surface here as MC* diagnostics.
+    let span = rec.start();
     preflight(&net, Some(engines), None, &[], &flows, deny)?;
+    rec.finish("cli/preflight", span);
+    rec.add_counter("traffic.flows", flows.len() as u64);
     let approach = match flag(rest, "--approach").unwrap_or("profile") {
         "top" => Approach::Top,
         "place" => Approach::Place,
@@ -512,9 +649,34 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     if let Some(par) = threads_flag(rest)? {
         cfg = cfg.with_parallelism(par);
     }
+    let threads = cfg.parallelism.get();
+    let span = rec.start();
     let study = MappingStudy::new(net, cfg);
-    let partition = study.map(approach, &[], &flows);
+    rec.finish("mapping/routing_tables", span);
+    let partition = study.map_obs(approach, &[], &flows, &mut rec);
+    let span = rec.start();
     let report = study.replay(&partition, &flows);
+    rec.finish("engine/emulate", span);
+    if let Some(report_path) = flag(rest, "--report") {
+        let mut run_report = RunReport::new(
+            "replay",
+            ScenarioInfo {
+                network: study.net.summary(),
+                engines: engines as u64,
+                approach: approach.label().to_string(),
+                flows: flows.len() as u64,
+                // The trace fixes the schedule; no wall-clock duration
+                // knob is involved in a replay.
+                duration_s: None,
+            },
+            rec,
+            threads,
+        );
+        run_report.partition = Some(partition_info(&study.net, &partition));
+        run_report.emulation = Some(emulation_info(&report));
+        std::fs::write(report_path, run_report.to_json())
+            .map_err(|e| err(format!("cannot write {report_path}: {e}")))?;
+    }
     Ok(format!(
         "replayed {} flows under {}: {} packets in {:.2}s modeled, imbalance {:.3}
 {}
@@ -526,6 +688,17 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
         load_imbalance(&report.engine_events),
         report.balance_line()
     ))
+}
+
+fn cmd_report(args: &[String]) -> Result<String, CliError> {
+    validate_flags("report", args, &[], &[])?;
+    let path = args
+        .first()
+        .ok_or_else(|| err("usage: massf report <run.json>"))?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    let report = RunReport::from_json(&text).map_err(|e| err(format!("{path}: {e}")))?;
+    Ok(report.render_human())
 }
 
 fn find_node(net: &Network, name: &str) -> Result<NodeId, CliError> {
@@ -732,16 +905,71 @@ mod tests {
         ]))
         .unwrap();
         assert!(out.contains("recorded 5 flows"), "{out}");
+        let report = tempfile_path::write("massf_cli_replay_report.json", "");
         let out = run(&args(&[
             "replay",
             net_file.as_str(),
             trace.as_str(),
             "--engines",
             "3",
+            "--report",
+            report.as_str(),
         ]))
         .unwrap();
         assert!(out.contains("replayed 5 flows"), "{out}");
         assert!(out.contains("imbalance"), "{out}");
+        let parsed =
+            RunReport::from_json(&std::fs::read_to_string(report.0.as_path()).unwrap()).unwrap();
+        assert_eq!(parsed.command, "replay");
+        assert_eq!(parsed.scenario.duration_s, None);
+        assert!(parsed.emulation.is_some());
+    }
+
+    #[test]
+    fn run_defaults_write_and_render_report() {
+        // The quickstart invocation: no --engines/--traffic/--duration-s,
+        // just the scenario and a report path.
+        let net_file = write_campus();
+        let report = tempfile_path::write("massf_cli_run_report.json", "");
+        let out = run(&args(&[
+            "run",
+            net_file.as_str(),
+            "--duration-s",
+            "2",
+            "--report",
+            report.as_str(),
+        ]))
+        .unwrap();
+        assert!(out.contains("approach     : PROFILE"), "{out}");
+        assert!(out.contains("report       : "), "{out}");
+
+        let json = std::fs::read_to_string(report.0.as_path()).unwrap();
+        assert!(
+            json.starts_with("{\n  \"tool\": \"massf-run\",\n"),
+            "{json}"
+        );
+        let parsed = RunReport::from_json(&json).unwrap();
+        assert_eq!(parsed.command, "run");
+        assert_eq!(parsed.scenario.engines, 3, "default engine count");
+        let emu = parsed.emulation.as_ref().expect("emulation section");
+        assert_eq!(emu.engines.len(), 3);
+        let part = parsed.partition.as_ref().expect("partition section");
+        assert!(part.cut_links > 0);
+        assert!(parsed.profile.is_some(), "PROFILE telemetry recorded");
+
+        let rendered = run(&args(&["report", report.as_str()])).unwrap();
+        assert!(rendered.contains("engine load"), "{rendered}");
+        assert!(rendered.contains("partitioner restarts"), "{rendered}");
+        assert!(rendered.contains("timing (wall-clock"), "{rendered}");
+    }
+
+    #[test]
+    fn report_rejects_missing_and_foreign_files() {
+        let e = run(&args(&["report", "/nonexistent/run.json"])).unwrap_err();
+        assert!(e.0.contains("cannot read"), "{e}");
+        let junk = tempfile_path::write("massf_cli_junk.json", "{\"tool\": \"other\"}");
+        let e = run(&args(&["report", junk.as_str()])).unwrap_err();
+        assert!(e.0.contains("not a massf run report"), "{e}");
     }
 
     #[test]
@@ -774,6 +1002,7 @@ mod tests {
             &["ping", f.as_str(), "host0", "host1", "--bogus"],
             &["record", f.as_str(), "--bogus"],
             &["replay", f.as_str(), "trace.txt", "--bogus"],
+            &["report", "run.json", "--bogus"],
         ];
         for case in cases {
             let e = run(&args(case)).unwrap_err();

@@ -1,0 +1,111 @@
+//! Golden-file tests for the `--report` run report (the `massf-obs`
+//! layer driven through the CLI).
+//!
+//! The goldens in `tests/golden/campus_run_report.{json,txt}` hold the
+//! deterministic prefix of the report for the shipped campus + CBR
+//! scenario: everything above the `timing` key (JSON) or the
+//! `timing (wall-clock…)` header (human text). Wall-clock spans live
+//! below that boundary by construction, so the masked prefix must match
+//! byte for byte across runs *and* across `--threads` settings.
+
+use massf_repro::cli;
+
+fn args(list: &[&str]) -> Vec<String> {
+    list.iter().map(|s| s.to_string()).collect()
+}
+
+/// Runs the campus CBR scenario with `--report` and returns the JSON text.
+fn campus_report_json(threads: &str) -> String {
+    let path = std::env::temp_dir().join(format!(
+        "massf_run_report_{}_t{threads}.json",
+        std::process::id()
+    ));
+    let path_str = path.to_str().unwrap();
+    cli::run(&args(&[
+        "run",
+        "examples/scenarios/campus.dml",
+        "--engines",
+        "3",
+        "--traffic",
+        "examples/scenarios/cbr.txt",
+        "--duration-s",
+        "2",
+        "--threads",
+        threads,
+        "--report",
+        path_str,
+    ]))
+    .expect("campus run must succeed");
+    let json = std::fs::read_to_string(&path).expect("report written");
+    let _ = std::fs::remove_file(&path);
+    json
+}
+
+/// Truncates a JSON report at the `timing` key — the non-deterministic
+/// remainder of the document.
+fn mask_json(json: &str) -> &str {
+    let at = json
+        .find("  \"timing\": {")
+        .expect("report has a timing key");
+    &json[..at]
+}
+
+/// Truncates a human rendering at the wall-clock section header.
+fn mask_human(text: &str) -> &str {
+    let at = text
+        .find("timing (wall-clock")
+        .expect("rendering has a timing section");
+    &text[..at]
+}
+
+#[test]
+fn campus_json_report_matches_golden() {
+    let json = campus_report_json("1");
+    let golden = include_str!("golden/campus_run_report.json");
+    assert_eq!(
+        mask_json(&json),
+        golden,
+        "deterministic report prefix drifted from tests/golden/campus_run_report.json"
+    );
+}
+
+#[test]
+fn campus_human_report_matches_golden() {
+    let json = campus_report_json("1");
+    let path = std::env::temp_dir().join(format!("massf_run_report_{}_h.json", std::process::id()));
+    std::fs::write(&path, &json).unwrap();
+    let text = cli::run(&args(&["report", path.to_str().unwrap()])).expect("report renders");
+    let _ = std::fs::remove_file(&path);
+    let golden = include_str!("golden/campus_run_report.txt");
+    assert_eq!(
+        mask_human(&text),
+        golden,
+        "deterministic rendering prefix drifted from tests/golden/campus_run_report.txt"
+    );
+}
+
+#[test]
+fn masked_report_is_byte_identical_across_threads() {
+    let base = campus_report_json("1");
+    for threads in ["2", "4"] {
+        let other = campus_report_json(threads);
+        assert_eq!(
+            mask_json(&base),
+            mask_json(&other),
+            "simulated quantities vary at --threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn timing_is_present_and_last() {
+    let json = campus_report_json("1");
+    let at = json.find("  \"timing\": {").unwrap();
+    // Nothing but the timing object and the closing brace may follow.
+    let tail = &json[at..];
+    assert!(tail.trim_end().ends_with('}'), "{tail}");
+    assert!(
+        !tail.contains("\"emulation\""),
+        "emulation data leaked below the timing boundary"
+    );
+}
