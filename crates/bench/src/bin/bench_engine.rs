@@ -1,0 +1,139 @@
+//! Engine event-core throughput: the calendar-queue scheduler against the
+//! binary-heap baseline over the three Table 1 scenarios, driven both
+//! sequentially and with one thread per engine. Dumps
+//! `results/BENCH_engine.json`.
+//!
+//! Both schedulers pop the identical total event order, so every run of a
+//! scenario produces the same report — the binary asserts this — and the
+//! comparison isolates pure scheduler cost. Alongside events/second the
+//! table records peak queue depth, conservative-window rounds, and logical
+//! allocations per thousand events (scheduler buffer growth + outbox
+//! growth, counted deterministically at the call sites).
+//!
+//! Usage: `bench_engine [scale]` (default 1.0) or `bench_engine --smoke`
+//! for the CI smoke run: tiny scale, one rep, and a self-check that the
+//! dumped JSON parses and every throughput cell is positive.
+
+use massf_bench::dump_json;
+use massf_core::engine::{run_parallel, run_sequential, EmulationReport, SchedulerKind};
+use massf_core::prelude::*;
+use massf_metrics::report::ResultTable;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// (engine events, delivered, rounds, virtual end, queue peaks).
+type Fingerprint = (Vec<u64>, u64, u64, u64, Vec<u64>);
+
+/// Simulated quantities that must not depend on scheduler or executor.
+fn fingerprint(r: &EmulationReport) -> Fingerprint {
+    (
+        r.engine_events.clone(),
+        r.delivered,
+        r.rounds,
+        r.virtual_end_us,
+        r.engine_queue_peak.clone(),
+    )
+}
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let smoke = arg.as_deref() == Some("--smoke");
+    let scale = if smoke {
+        0.08
+    } else {
+        arg.and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0)
+    };
+    assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+    let reps = if smoke { 1 } else { 3 };
+
+    let mut t = ResultTable::new(
+        "BENCH_engine",
+        "Engine throughput (events/second unless noted): heap baseline vs calendar queue",
+    );
+
+    for topo in Topology::TABLE1 {
+        let built = Scenario::new(topo, Workload::Scalapack)
+            .with_scale(scale)
+            .build();
+        let partition = built
+            .study
+            .map(Approach::Top, &built.predicted, &built.flows);
+        let base = EmulationConfig::new(partition.part.clone(), partition.nparts);
+        let row = topo.label();
+
+        let mut reference: Option<Fingerprint> = None;
+        let mut eps_seq = [0.0f64; 2];
+        for (i, kind) in [SchedulerKind::Heap, SchedulerKind::Calendar]
+            .into_iter()
+            .enumerate()
+        {
+            let cfg = base.clone().with_scheduler(kind);
+            let (secs, report) = time_best(reps, || {
+                run_sequential(&built.study.net, &built.study.tables, &built.flows, &cfg)
+            });
+            let events = report.total_events() as f64;
+            eps_seq[i] = events / secs.max(1e-9);
+            t.set(row, format!("{}-seq", kind.label()), eps_seq[i]);
+
+            let (secs, preport) = time_best(reps, || {
+                run_parallel(&built.study.net, &built.study.tables, &built.flows, &cfg)
+            });
+            t.set(
+                row,
+                format!("{}-thr", kind.label()),
+                events / secs.max(1e-9),
+            );
+
+            // Same simulated outcome for every scheduler and executor.
+            for r in [&report, &preport] {
+                let fp = fingerprint(r);
+                match &reference {
+                    None => reference = Some(fp),
+                    Some(want) => assert_eq!(want, &fp, "{row}: results diverged"),
+                }
+            }
+
+            if kind == SchedulerKind::Calendar {
+                let allocs: u64 = report.engine_reallocs.iter().sum();
+                t.set(row, "allocs/kev", 1000.0 * allocs as f64 / events.max(1.0));
+                let peak = report.engine_queue_peak.iter().max().copied().unwrap_or(0);
+                t.set(row, "queue-peak", peak as f64);
+                t.set(row, "rounds", report.rounds as f64);
+            }
+        }
+        t.set(row, "seq-speedup", eps_seq[1] / eps_seq[0].max(1e-9));
+    }
+
+    print!("{}", t.render(1));
+    for row in &t.rows {
+        if let Some(s) = t.get(row, "seq-speedup") {
+            println!("  {row}: calendar is {s:.2}x the heap baseline (sequential)");
+        }
+    }
+    dump_json(&t);
+
+    if smoke {
+        let json = std::fs::read_to_string("results/BENCH_engine.json")
+            .expect("smoke: results/BENCH_engine.json written");
+        massf_core::obs::json::parse(&json).expect("smoke: dump is valid JSON");
+        for row in &t.rows {
+            for col in ["heap-seq", "calendar-seq", "heap-thr", "calendar-thr"] {
+                let v = t.get(row, col).expect("smoke: cell filled");
+                assert!(v > 0.0, "smoke: {row}/{col} throughput must be positive");
+            }
+        }
+        println!("smoke ok: JSON valid, all throughput cells positive");
+    }
+}

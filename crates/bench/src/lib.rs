@@ -25,6 +25,7 @@
 //! | `ablate_dynamic` | extension — dynamic remapping (§6 future work) |
 //! | `ablate_transport` | extension — paced vs window/ACK transport |
 //! | `bench_pipeline` | mapping-pipeline thread-scaling wall-clock |
+//! | `bench_engine` | event-core throughput: calendar queue vs heap baseline |
 //! | `all_experiments` | the §4 set (Table 1, Figures 4–10, Table 2) |
 //!
 //! Every binary accepts an optional first argument: the problem-size scale

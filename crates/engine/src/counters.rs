@@ -31,6 +31,9 @@ pub struct EngineCounters {
     pub remote_recv: u64,
     /// Rounds in which this engine executed no event inside the window.
     pub stalled_rounds: u64,
+    /// Logical allocations on the event path outside the scheduler
+    /// (outbox capacity growth), counted deterministically.
+    pub reallocs: u64,
     /// Timestamp of the most recent kernel event (0 if none yet).
     pub last_event_us: u64,
     /// Width of a virtual-time bucket in µs.
@@ -54,6 +57,7 @@ impl EngineCounters {
             remote_sent: 0,
             remote_recv: 0,
             stalled_rounds: 0,
+            reallocs: 0,
             last_event_us: 0,
             window_us: window_us.max(1),
             windows: Vec::new(),

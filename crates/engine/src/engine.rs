@@ -4,11 +4,10 @@ use crate::counters::EngineCounters;
 use crate::event::{Event, EventKind, Packet};
 use crate::link::LinkOccupancy;
 use crate::netflow::NetFlowCollector;
+use crate::sched::{EventQueue, SchedStats, SchedulerKind};
 use massf_routing::RoutingTables;
 use massf_topology::{Network, NodeId, NodeKind};
 use massf_traffic::FlowSpec;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
 
 /// Immutable state shared by every engine during a run.
 pub struct Shared<'a> {
@@ -36,23 +35,29 @@ pub struct RemoteEvent {
 pub struct Engine {
     /// This engine's id (partition label).
     pub id: u32,
-    queue: BinaryHeap<Reverse<Event>>,
+    queue: EventQueue,
     links: LinkOccupancy,
     /// Kernel-event accounting.
     pub counters: EngineCounters,
     /// NetFlow collector for routers owned by this engine.
     pub netflow: NetFlowCollector,
-    /// Outbox filled during a window, drained by the executor.
+    /// Outbox filled during a window, drained by the executor into a
+    /// reusable buffer (the capacity survives across windows).
     outbox: Vec<RemoteEvent>,
 }
 
 impl Engine {
-    /// Creates engine `id` with the given virtual-time bucket width and
-    /// NetFlow recording switch.
-    pub fn new(id: u32, counter_window_us: u64, netflow_enabled: bool) -> Self {
+    /// Creates engine `id` with the given virtual-time bucket width,
+    /// NetFlow recording switch, and scheduler implementation.
+    pub fn new(
+        id: u32,
+        counter_window_us: u64,
+        netflow_enabled: bool,
+        scheduler: SchedulerKind,
+    ) -> Self {
         Self {
             id,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(scheduler),
             links: LinkOccupancy::new(),
             counters: EngineCounters::new(counter_window_us),
             netflow: NetFlowCollector::new(netflow_enabled),
@@ -64,37 +69,38 @@ impl Engine {
     /// to this engine.
     pub fn seed_flow(&mut self, idx: u32, flow: &FlowSpec, shared: &Shared<'_>) {
         if shared.partition[flow.src as usize] == self.id {
-            self.queue.push(Reverse(Event {
+            self.queue.push(Event {
                 time_us: flow.start_us,
                 node: flow.src,
                 kind: EventKind::Inject {
                     flow: idx,
                     packet_no: 0,
                 },
-            }));
+            });
         }
     }
 
     /// Accepts an event shipped from another engine (or re-enqueues a
     /// deferred local one).
     pub fn enqueue(&mut self, event: Event) {
-        self.queue.push(Reverse(event));
+        self.queue.push(event);
     }
 
     /// Timestamp of the next pending event, or `None` when idle.
     pub fn next_time(&self) -> Option<u64> {
-        self.queue.peek().map(|Reverse(e)| e.time_us)
+        self.queue.next_time()
+    }
+
+    /// Scheduler counters (peak depth, rebuilds, logical reallocations).
+    pub fn queue_stats(&self) -> SchedStats {
+        self.queue.stats()
     }
 
     /// Processes every event strictly below `lbts`; returns the number of
     /// kernel events handled. Cross-engine packets accumulate in the outbox.
     pub fn process_window(&mut self, lbts: u64, shared: &Shared<'_>) -> u64 {
         let before = self.counters.events;
-        while let Some(Reverse(ev)) = self.queue.peek().copied().map(Some).unwrap_or(None) {
-            if ev.time_us >= lbts {
-                break;
-            }
-            self.queue.pop();
+        while let Some(ev) = self.queue.pop_below(lbts) {
             self.handle(ev, shared);
         }
         self.counters.events - before
@@ -105,10 +111,16 @@ impl Engine {
         std::mem::take(&mut self.outbox)
     }
 
-    /// Drains every pending event (used when nodes migrate between
-    /// engines: events follow their node).
+    /// Appends the outbox to `into`, keeping the outbox's capacity for the
+    /// next window (the steady-state, allocation-free drain).
+    pub fn drain_outbox(&mut self, into: &mut Vec<RemoteEvent>) {
+        into.append(&mut self.outbox);
+    }
+
+    /// Drains every pending event in ascending order (used when nodes
+    /// migrate between engines: events follow their node).
     pub fn drain_events(&mut self) -> Vec<Event> {
-        self.queue.drain().map(|Reverse(e)| e).collect()
+        self.queue.drain()
     }
 
     /// Drains the per-direction link occupancy (migrated with the sending
@@ -143,14 +155,14 @@ impl Engine {
                 let chain_limit = f.window.map(|w| w as u64).unwrap_or(f.packets);
                 let next = packet_no + 1;
                 if next < f.packets && next < chain_limit {
-                    self.queue.push(Reverse(Event {
+                    self.queue.push(Event {
                         time_us: ev.time_us + f.packet_interval_us,
                         node: f.src,
                         kind: EventKind::Inject {
                             flow,
                             packet_no: next,
                         },
-                    }));
+                    });
                 }
                 let bytes = packet_bytes(f, packet_no);
                 let pkt = Packet::for_flow(flow, packet_no, f.src, f.dst, bytes, ev.time_us);
@@ -168,14 +180,14 @@ impl Engine {
                     if let Some(w) = f.window {
                         let released = pkt.packet_no() + w as u64;
                         if released < f.packets {
-                            self.queue.push(Reverse(Event {
+                            self.queue.push(Event {
                                 time_us: ev.time_us,
                                 node: ev.node,
                                 kind: EventKind::Inject {
                                     flow: pkt.flow,
                                     packet_no: released,
                                 },
-                            }));
+                            });
                         }
                     }
                 } else {
@@ -192,11 +204,12 @@ impl Engine {
     /// Transmits `pkt` from `node` toward its destination, producing the
     /// arrival event locally or in the outbox.
     fn forward(&mut self, pkt: Packet, node: NodeId, now_us: u64, shared: &Shared<'_>) {
-        let Some(link_id) = shared.tables.next_link(node, pkt.dst) else {
+        let link_id = shared.tables.next_link_raw(node, pkt.dst);
+        if link_id == RoutingTables::NO_ROUTE {
             // Unreachable destination (or src == dst): account and drop.
             self.counters.dropped += 1;
             return;
-        };
+        }
         let link = shared.net.link(link_id);
         let from_a = link.a == node;
         let transit = self
@@ -210,8 +223,11 @@ impl Engine {
         };
         let owner = shared.partition[next as usize];
         if owner == self.id {
-            self.queue.push(Reverse(event));
+            self.queue.push(event);
         } else {
+            if self.outbox.len() == self.outbox.capacity() {
+                self.counters.reallocs += 1;
+            }
             self.counters.remote_sent += 1;
             self.outbox.push(RemoteEvent {
                 to_engine: owner,
@@ -288,7 +304,7 @@ mod tests {
             flows: &flows,
             partition: &partition,
         };
-        let mut e = Engine::new(0, 1_000_000, true);
+        let mut e = Engine::new(0, 1_000_000, true, SchedulerKind::default());
         e.seed_flow(0, &flows[0], &shared);
         e.process_window(u64::MAX, &shared);
         assert_eq!(e.counters.delivered, 5);
@@ -313,7 +329,7 @@ mod tests {
             flows: &flows,
             partition: &partition,
         };
-        let mut e = Engine::new(0, 1_000_000, false);
+        let mut e = Engine::new(0, 1_000_000, false, SchedulerKind::default());
         e.seed_flow(0, &flows[0], &shared);
         e.process_window(u64::MAX, &shared);
         // Two hops, each 1500 B at 100 Mbps = 120 µs tx + 10 µs latency.
@@ -332,7 +348,7 @@ mod tests {
             flows: &flows,
             partition: &partition,
         };
-        let mut e = Engine::new(0, 1_000_000, false);
+        let mut e = Engine::new(0, 1_000_000, false, SchedulerKind::default());
         e.seed_flow(0, &flows[0], &shared);
         e.process_window(u64::MAX, &shared);
         let out = e.take_outbox();
@@ -355,7 +371,7 @@ mod tests {
             flows: &flows,
             partition: &partition,
         };
-        let mut e = Engine::new(0, 1_000_000, false);
+        let mut e = Engine::new(0, 1_000_000, false, SchedulerKind::default());
         e.seed_flow(0, &flows[0], &shared);
         let n = e.process_window(150, &shared);
         // Only the first injection is below 150 (its downstream arrivals
@@ -377,7 +393,7 @@ mod tests {
             flows: &flows,
             partition: &partition,
         };
-        let mut e = Engine::new(0, 1_000_000, false);
+        let mut e = Engine::new(0, 1_000_000, false, SchedulerKind::default());
         e.seed_flow(0, &flows[0], &shared);
         e.process_window(u64::MAX, &shared);
         assert_eq!(e.counters.dropped, 2);

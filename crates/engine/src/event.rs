@@ -109,7 +109,7 @@ impl Event {
     /// node at most once and injections carry unique `(flow, packet_no)` —
     /// so processing order is deterministic regardless of which thread
     /// enqueued the event first.
-    fn key(&self) -> (u64, u8, u64, NodeId) {
+    pub(crate) fn key(&self) -> (u64, u8, u64, NodeId) {
         match self.kind {
             EventKind::Inject { flow, packet_no } => (
                 self.time_us,

@@ -7,6 +7,7 @@ use crate::cost::{CostModel, WallClock};
 use crate::engine::{lookahead_us, Engine, RemoteEvent, Shared};
 use crate::netflow::merge_dumps;
 use crate::report::EmulationReport;
+use crate::sched::SchedulerKind;
 use massf_routing::RoutingTables;
 use massf_topology::Network;
 use massf_traffic::FlowSpec;
@@ -32,6 +33,9 @@ pub struct EmulationConfig {
     /// paper's homogeneous cluster. Only affects the modeled wall clock,
     /// never emulation results.
     pub engine_speeds: Option<Vec<f64>>,
+    /// Event-scheduler implementation. Both kinds pop in the identical
+    /// total event order, so this only affects throughput — never results.
+    pub scheduler: SchedulerKind,
 }
 
 impl EmulationConfig {
@@ -45,7 +49,14 @@ impl EmulationConfig {
             netflow: false,
             cost: CostModel::default(),
             engine_speeds: None,
+            scheduler: SchedulerKind::default(),
         }
+    }
+
+    /// Selects the event-scheduler implementation.
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
     }
 
     /// Sets relative engine speeds (length must equal `nengines`).
@@ -105,7 +116,7 @@ pub fn run_sequential(
     let lookahead = lookahead_us(net, &cfg.partition);
 
     let mut engines: Vec<Engine> = (0..cfg.nengines as u32)
-        .map(|id| Engine::new(id, cfg.counter_window_us, cfg.netflow))
+        .map(|id| Engine::new(id, cfg.counter_window_us, cfg.netflow, cfg.scheduler))
         .collect();
     for (i, f) in flows.iter().enumerate() {
         engines[cfg.partition[f.src as usize] as usize].seed_flow(i as u32, f, &shared);
@@ -114,6 +125,9 @@ pub fn run_sequential(
     let mut wall = WallClock::default();
     let mut rounds = 0u64;
     let mut virtual_now = 0u64;
+    // One delivery buffer for the whole run; its capacity is reused every
+    // round instead of reallocating per window.
+    let mut all_out: Vec<RemoteEvent> = Vec::new();
 
     while let Some(gmin) = engines.iter().filter_map(Engine::next_time).min() {
         let lbts = gmin.saturating_add(lookahead);
@@ -123,7 +137,6 @@ pub fn run_sequential(
 
         let mut max_busy = 0.0f64;
         let mut progress = lbts;
-        let mut all_out: Vec<RemoteEvent> = Vec::new();
         for (idx, e) in engines.iter_mut().enumerate() {
             let sent_before = e.remote_sent();
             let n = e.process_window(lbts, &shared);
@@ -137,7 +150,7 @@ pub fn run_sequential(
             // and lbts would wreck the virtual clock.
             let frontier = e.next_time().unwrap_or(e.counters.last_event_us);
             progress = progress.min(frontier.min(lbts));
-            all_out.append(&mut e.take_outbox());
+            e.drain_outbox(&mut all_out);
         }
         // Virtual progress this round: the new global frontier, capped by
         // lbts and never behind gmin (matches the parallel executor).
@@ -147,7 +160,7 @@ pub fn run_sequential(
         wall.add_busy_window(&cfg.cost, max_busy, span);
         rounds += 1;
 
-        for RemoteEvent { to_engine, event } in all_out {
+        for RemoteEvent { to_engine, event } in all_out.drain(..) {
             let dest = &mut engines[to_engine as usize];
             dest.counters.record_remote_recv(event.time_us);
             dest.enqueue(event);
@@ -213,13 +226,16 @@ pub fn run_parallel(
                     flows,
                     partition,
                 };
-                let mut engine = Engine::new(id as u32, cfg.counter_window_us, cfg.netflow);
+                let mut engine =
+                    Engine::new(id as u32, cfg.counter_window_us, cfg.netflow, cfg.scheduler);
                 for (i, f) in flows.iter().enumerate() {
                     engine.seed_flow(i as u32, f, &shared);
                 }
                 let mut wall = WallClock::default();
                 let mut rounds = 0u64;
                 let mut virtual_now = 0u64;
+                // Reused across rounds — no per-window outbox allocation.
+                let mut out_buf: Vec<RemoteEvent> = Vec::new();
 
                 loop {
                     // Phase 1: publish local min, agree on LBTS.
@@ -246,7 +262,8 @@ pub fn run_parallel(
                         engine.counters.record_stall(gmin);
                     }
                     let sent = engine.remote_sent() - sent_before;
-                    for RemoteEvent { to_engine, event } in engine.take_outbox() {
+                    engine.drain_outbox(&mut out_buf);
+                    for RemoteEvent { to_engine, event } in out_buf.drain(..) {
                         my_senders[to_engine as usize]
                             .send(RemoteEvent { to_engine, event })
                             .expect("peer thread alive");
@@ -317,6 +334,9 @@ pub(crate) fn finalize(
     let mut engine_stalls = Vec::with_capacity(nengines);
     let mut engine_remote_sent = Vec::with_capacity(nengines);
     let mut engine_remote_recv = Vec::with_capacity(nengines);
+    let mut engine_queue_peak = Vec::with_capacity(nengines);
+    let mut engine_sched_resizes = Vec::with_capacity(nengines);
+    let mut engine_reallocs = Vec::with_capacity(nengines);
     let mut delivered = 0;
     let mut dropped = 0;
     let mut latency_sum_us = 0u128;
@@ -327,10 +347,14 @@ pub(crate) fn finalize(
     let mut raw_recvs = Vec::with_capacity(nengines);
     let mut last_event_us = 0u64;
     for e in engines {
+        let sched = e.queue_stats();
         engine_events.push(e.counters.events);
         engine_stalls.push(e.counters.stalled_rounds);
         engine_remote_sent.push(e.counters.remote_sent);
         engine_remote_recv.push(e.counters.remote_recv);
+        engine_queue_peak.push(sched.peak_depth);
+        engine_sched_resizes.push(sched.resizes);
+        engine_reallocs.push(sched.reallocs + e.counters.reallocs);
         delivered += e.counters.delivered;
         dropped += e.counters.dropped;
         latency_sum_us += e.counters.latency_sum_us;
@@ -364,6 +388,9 @@ pub(crate) fn finalize(
         engine_stalls,
         engine_remote_sent,
         engine_remote_recv,
+        engine_queue_peak,
+        engine_sched_resizes,
+        engine_reallocs,
         delivered,
         dropped,
         latency_sum_us,

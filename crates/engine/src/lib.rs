@@ -28,6 +28,14 @@
 //! [`exec::run_sequential`] (rounds simulated in one thread) and
 //! [`exec::run_parallel`] (one thread per engine over `mpsc` channels).
 //!
+//! ## Event scheduling
+//!
+//! Each engine's pending events live in a deterministic calendar queue
+//! ([`sched`]) tuned to the windowed access pattern — O(1) amortized
+//! push/pop versus the binary heap's O(log n), popping in the identical
+//! total event order (the heap remains selectable via
+//! [`exec::EmulationConfig::with_scheduler`] as the benchmark baseline).
+//!
 //! ## Instrumentation
 //!
 //! * [`netflow`] — Cisco-NetFlow-like per-router flow records (§3.3);
@@ -78,10 +86,12 @@ pub mod link;
 pub mod netflow;
 pub mod probe;
 pub mod report;
+pub mod sched;
 pub mod stepping;
 pub mod trace;
 
 pub use cost::CostModel;
 pub use exec::{run_parallel, run_sequential, EmulationConfig};
 pub use report::EmulationReport;
+pub use sched::{SchedStats, SchedulerKind};
 pub use stepping::{MigrationCost, SteppableEmulation};

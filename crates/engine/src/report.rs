@@ -23,6 +23,16 @@ pub struct EmulationReport {
     pub engine_remote_sent: Vec<u64>,
     /// Cross-engine events received per engine.
     pub engine_remote_recv: Vec<u64>,
+    /// Peak scheduler depth per engine (largest number of pending events
+    /// observed). A simulated quantity: identical across executors and
+    /// scheduler kinds.
+    pub engine_queue_peak: Vec<u64>,
+    /// Calendar-queue rebuilds per engine (0 under the heap scheduler).
+    pub engine_sched_resizes: Vec<u64>,
+    /// Logical event-path allocations per engine: capacity-growth events
+    /// of the scheduler's buffers plus the cross-engine outbox. Counted
+    /// deterministically at the call sites.
+    pub engine_reallocs: Vec<u64>,
     /// Packets delivered end-to-end.
     pub delivered: u64,
     /// Packets dropped (unreachable destinations).
@@ -96,6 +106,9 @@ mod tests {
             engine_stalls: vec![0, 2],
             engine_remote_sent: vec![1, 1],
             engine_remote_recv: vec![1, 1],
+            engine_queue_peak: vec![6, 3],
+            engine_sched_resizes: vec![1, 0],
+            engine_reallocs: vec![2, 1],
             delivered: 4,
             dropped: 0,
             latency_sum_us: 400,

@@ -1,0 +1,675 @@
+//! Deterministic event schedulers for the engine hot path.
+//!
+//! The conservative protocol gives the event queue a very regular access
+//! pattern: every round pops *all* events below the window bound `lbts`,
+//! and every push lands within one lookahead horizon of the current
+//! frontier. A classic binary heap spends O(log n) comparisons per
+//! operation re-proving an order the access pattern almost gives us for
+//! free; the [`CalendarQueue`] here exploits the pattern for O(1)
+//! amortized push/pop.
+//!
+//! ## Determinism contract
+//!
+//! Both schedulers pop events in exactly ascending [`Event`] order — the
+//! total order `(time, kind class, packet/flow id, node)` defined by
+//! `Ord for Event`. Event keys are unique within one run (a packet
+//! arrives at a given node at most once; injections carry unique
+//! `(flow, packet_no)`), so the pop sequence is a pure function of the
+//! *set* of pushed events, independent of push order and of which
+//! scheduler produced it. That is why swapping the heap for the calendar
+//! queue leaves every report, golden file, and obs timeline byte-identical.
+//!
+//! ## Calendar layout
+//!
+//! Events live in `buckets[i]`, one bucket per `width_us` of virtual time
+//! starting at `base_us`; each bucket is kept sorted **descending** so the
+//! minimum is `bucket.last()` and pops are `Vec::pop`. `width_us` is a
+//! power of two, so the bucket index is a shift, not a division. Events at
+//! or beyond the calendar year (`year_end_us`) wait in the unsorted `far`
+//! overflow ladder and are folded in at the next rebuild. Bucket indices
+//! clamp at both ends (events earlier than `base_us` — possible after a
+//! live migration re-enqueues another engine's backlog — go to bucket 0;
+//! saturated years clamp to the last bucket), which preserves the one
+//! invariant everything rests on: the bucket index is monotone
+//! non-decreasing in event time, and same-time events always share a
+//! bucket. The cached global minimum therefore always sits at the tail of
+//! the first non-empty bucket.
+//!
+//! Rebuilds (triggered when the queue doubles past the bucket count,
+//! shrinks far below it, or the calendar drains while `far` holds events)
+//! re-span the live horizon at roughly one event per bucket. All sizing is
+//! a pure function of the pushed events, so rebuild counts and peak depths
+//! are themselves deterministic and safe to surface in the run report.
+
+use crate::event::Event;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Which scheduler implementation an engine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulerKind {
+    /// The calendar queue — O(1) amortized, the default.
+    #[default]
+    Calendar,
+    /// The original binary heap — O(log n), kept as the measurable
+    /// baseline for `bench_engine`.
+    Heap,
+}
+
+impl SchedulerKind {
+    /// Stable label used in benchmark tables.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SchedulerKind::Calendar => "calendar",
+            SchedulerKind::Heap => "heap",
+        }
+    }
+}
+
+/// Scheduler counters surfaced into the run report.
+///
+/// All three are simulated quantities — pure functions of the event set —
+/// so they are identical across sequential and per-thread execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Largest number of pending events ever observed.
+    pub peak_depth: u64,
+    /// Calendar rebuilds (bucket-array re-spans); always 0 for the heap.
+    pub resizes: u64,
+    /// Logical allocations on the event path: capacity-growth events of
+    /// the underlying buffers. Counted at the call sites rather than
+    /// measured by a counting allocator because the workspace is
+    /// `forbid(unsafe_code)`; steady state should drive this to ~0 growth
+    /// per event.
+    pub reallocs: u64,
+}
+
+/// Fewest buckets the calendar ever uses.
+const MIN_BUCKETS: usize = 16;
+/// Most buckets a rebuild will allocate.
+const MAX_BUCKETS: usize = 1 << 20;
+/// Bucket width before the first rebuild has seen a real horizon (µs).
+const INITIAL_WIDTH_US: u64 = 1024;
+
+/// The calendar/ladder queue. See the module docs for the layout and the
+/// determinism argument.
+#[derive(Debug, Clone)]
+pub struct CalendarQueue {
+    /// One `Vec` per bucket, each sorted descending (minimum at the tail).
+    buckets: Vec<Vec<Event>>,
+    /// Power-of-two bucket width in µs.
+    width_us: u64,
+    /// `log2(width_us)` — the bucket index is a shift.
+    shift: u32,
+    /// Virtual time of bucket 0's lower edge.
+    base_us: u64,
+    /// `base_us + width_us * buckets.len()` (saturating): first timestamp
+    /// the calendar cannot hold.
+    year_end_us: u64,
+    /// Overflow ladder: events at/after `year_end_us`, unsorted.
+    far: Vec<Event>,
+    /// Cached global minimum (always resident in the calendar, never in
+    /// `far`).
+    min: Option<Event>,
+    /// Total pending events (calendar + far).
+    len: usize,
+    /// Reusable rebuild buffer, recycled across rebuilds.
+    scratch: Vec<Event>,
+    stats: SchedStats,
+}
+
+impl Default for CalendarQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CalendarQueue {
+    /// An empty queue with the minimum geometry.
+    pub fn new() -> Self {
+        Self {
+            buckets: (0..MIN_BUCKETS).map(|_| Vec::new()).collect(),
+            width_us: INITIAL_WIDTH_US,
+            shift: INITIAL_WIDTH_US.trailing_zeros(),
+            base_us: 0,
+            year_end_us: INITIAL_WIDTH_US * MIN_BUCKETS as u64,
+            far: Vec::new(),
+            min: None,
+            len: 0,
+            scratch: Vec::new(),
+            stats: SchedStats::default(),
+        }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Scheduler counters so far.
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Timestamp of the next event, or `None` when idle. O(1).
+    #[inline]
+    pub fn next_time(&self) -> Option<u64> {
+        self.min.map(|e| e.time_us)
+    }
+
+    #[inline]
+    fn bucket_of(&self, time_us: u64) -> usize {
+        // Bottom-clamp (saturating_sub) and top-clamp (min) keep the index
+        // monotone in time even for pre-base pushes and saturated years.
+        ((time_us.saturating_sub(self.base_us) >> self.shift) as usize).min(self.buckets.len() - 1)
+    }
+
+    /// Enqueues `ev`. O(1) amortized.
+    pub fn push(&mut self, ev: Event) {
+        if self.len == 0 {
+            // Re-anchor the (empty) calendar at this event.
+            self.base_us = ev.time_us;
+            self.year_end_us = self
+                .base_us
+                .saturating_add(self.width_us.saturating_mul(self.buckets.len() as u64));
+            if self.buckets[0].capacity() == 0 {
+                self.stats.reallocs += 1;
+            }
+            self.buckets[0].push(ev);
+            self.min = Some(ev);
+            self.len = 1;
+            self.stats.peak_depth = self.stats.peak_depth.max(1);
+            return;
+        }
+        if ev.time_us >= self.year_end_us {
+            if self.far.len() == self.far.capacity() {
+                self.stats.reallocs += 1;
+            }
+            // `far` holds only times >= year_end_us, all later than every
+            // calendar event, so the cached min cannot change.
+            self.far.push(ev);
+        } else {
+            let b = self.bucket_of(ev.time_us);
+            let bucket = &mut self.buckets[b];
+            if bucket.len() == bucket.capacity() {
+                self.stats.reallocs += 1;
+            }
+            let pos = bucket.partition_point(|q| q > &ev);
+            bucket.insert(pos, ev);
+            if self.min.is_none_or(|m| ev < m) {
+                self.min = Some(ev);
+            }
+        }
+        self.len += 1;
+        self.stats.peak_depth = self.stats.peak_depth.max(self.len as u64);
+        if self.len > 2 * self.buckets.len() && self.buckets.len() < MAX_BUCKETS {
+            self.rebuild();
+        }
+    }
+
+    /// Removes and returns the minimum event. O(1) amortized.
+    pub fn pop(&mut self) -> Option<Event> {
+        let min = self.min?;
+        let b = self.bucket_of(min.time_us);
+        let ev = self.buckets[b].pop().expect("cached min bucket non-empty");
+        debug_assert_eq!(ev, min, "cached min out of sync");
+        self.len -= 1;
+        // The next minimum is the tail of the first non-empty bucket at or
+        // after b (buckets before b are empty — the index is monotone in
+        // time and `min` was global).
+        if let Some(&next) = self.buckets[b].last() {
+            self.min = Some(next);
+        } else {
+            self.min = None;
+            for bucket in &self.buckets[b + 1..] {
+                if let Some(&next) = bucket.last() {
+                    self.min = Some(next);
+                    break;
+                }
+            }
+            if self.min.is_none() && !self.far.is_empty() {
+                // Calendar drained but the ladder still holds events: fold
+                // them in now so `min` stays resident in the calendar.
+                self.rebuild();
+            }
+        }
+        if self.len * 4 < self.buckets.len() && self.buckets.len() > MIN_BUCKETS {
+            self.rebuild();
+        }
+        Some(ev)
+    }
+
+    /// Pops the minimum event if its timestamp is strictly below
+    /// `bound_us` — the conservative-window primitive.
+    #[inline]
+    pub fn pop_below(&mut self, bound_us: u64) -> Option<Event> {
+        if self.min?.time_us >= bound_us {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Removes every pending event (ascending order). Used when nodes
+    /// migrate between engines.
+    pub fn drain(&mut self) -> Vec<Event> {
+        let mut out = Vec::with_capacity(self.len);
+        for b in &mut self.buckets {
+            // Buckets are sorted descending; reverse each for ascending.
+            b.reverse();
+            out.append(b);
+        }
+        self.far.sort_unstable();
+        out.append(&mut self.far);
+        self.len = 0;
+        self.min = None;
+        out
+    }
+
+    /// Collects every event, re-spans the horizon at ~1 event/bucket with
+    /// a power-of-two width, and redistributes (descending, so each bucket
+    /// comes out sorted). Folds the `far` ladder back in.
+    fn rebuild(&mut self) {
+        self.stats.resizes += 1;
+        let mut all = std::mem::take(&mut self.scratch);
+        all.clear();
+        if all.capacity() < self.len {
+            self.stats.reallocs += 1;
+        }
+        for b in &mut self.buckets {
+            all.append(b);
+        }
+        all.append(&mut self.far);
+        debug_assert_eq!(all.len(), self.len);
+        if all.is_empty() {
+            if self.buckets.len() != MIN_BUCKETS {
+                self.buckets.resize_with(MIN_BUCKETS, Vec::new);
+            }
+            self.width_us = INITIAL_WIDTH_US;
+            self.shift = self.width_us.trailing_zeros();
+            self.min = None;
+            self.scratch = all;
+            return;
+        }
+        all.sort_unstable();
+        let min_ev = all[0];
+        let span = all[all.len() - 1].time_us - min_ev.time_us;
+        let nbuckets = all
+            .len()
+            .next_power_of_two()
+            .clamp(MIN_BUCKETS, MAX_BUCKETS);
+        self.width_us = (span / all.len() as u64 + 1).next_power_of_two();
+        self.shift = self.width_us.trailing_zeros();
+        self.base_us = min_ev.time_us;
+        self.year_end_us = self
+            .base_us
+            .saturating_add(self.width_us.saturating_mul(nbuckets as u64));
+        if self.buckets.len() != nbuckets {
+            if nbuckets > self.buckets.len() {
+                self.stats.reallocs += 1;
+            }
+            self.buckets.resize_with(nbuckets, Vec::new);
+        }
+        for ev in all.drain(..).rev() {
+            let b = self.bucket_of(ev.time_us);
+            self.buckets[b].push(ev);
+        }
+        self.min = Some(min_ev);
+        self.scratch = all;
+    }
+}
+
+/// The original `BinaryHeap` scheduler, kept selectable so `bench_engine`
+/// can measure the calendar queue against the exact pre-existing baseline.
+#[derive(Debug, Clone, Default)]
+pub struct HeapQueue {
+    heap: BinaryHeap<Reverse<Event>>,
+    stats: SchedStats,
+}
+
+impl HeapQueue {
+    /// An empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Scheduler counters so far (`resizes` stays 0).
+    pub fn stats(&self) -> SchedStats {
+        self.stats
+    }
+
+    /// Timestamp of the next event, or `None` when idle.
+    #[inline]
+    pub fn next_time(&self) -> Option<u64> {
+        self.heap.peek().map(|Reverse(e)| e.time_us)
+    }
+
+    /// Enqueues `ev`.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        if self.heap.len() == self.heap.capacity() {
+            self.stats.reallocs += 1;
+        }
+        self.heap.push(Reverse(ev));
+        self.stats.peak_depth = self.stats.peak_depth.max(self.heap.len() as u64);
+    }
+
+    /// Removes and returns the minimum event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event> {
+        self.heap.pop().map(|Reverse(e)| e)
+    }
+
+    /// Pops the minimum event if its timestamp is strictly below
+    /// `bound_us`.
+    #[inline]
+    pub fn pop_below(&mut self, bound_us: u64) -> Option<Event> {
+        if self.heap.peek()?.0.time_us >= bound_us {
+            return None;
+        }
+        self.pop()
+    }
+
+    /// Removes every pending event (ascending order).
+    pub fn drain(&mut self) -> Vec<Event> {
+        let mut out: Vec<Event> = self.heap.drain().map(|Reverse(e)| e).collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+/// An engine's event queue: one of the two scheduler implementations,
+/// selected by [`SchedulerKind`] in the emulation config.
+#[derive(Debug, Clone)]
+pub enum EventQueue {
+    /// Calendar-queue scheduler.
+    Calendar(CalendarQueue),
+    /// Binary-heap scheduler.
+    Heap(HeapQueue),
+}
+
+impl EventQueue {
+    /// Creates the scheduler `kind` selects.
+    pub fn new(kind: SchedulerKind) -> Self {
+        match kind {
+            SchedulerKind::Calendar => EventQueue::Calendar(CalendarQueue::new()),
+            SchedulerKind::Heap => EventQueue::Heap(HeapQueue::new()),
+        }
+    }
+
+    /// Pending events.
+    pub fn len(&self) -> usize {
+        match self {
+            EventQueue::Calendar(q) => q.len(),
+            EventQueue::Heap(q) => q.len(),
+        }
+    }
+
+    /// True when nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Scheduler counters so far.
+    pub fn stats(&self) -> SchedStats {
+        match self {
+            EventQueue::Calendar(q) => q.stats(),
+            EventQueue::Heap(q) => q.stats(),
+        }
+    }
+
+    /// Timestamp of the next event, or `None` when idle.
+    #[inline]
+    pub fn next_time(&self) -> Option<u64> {
+        match self {
+            EventQueue::Calendar(q) => q.next_time(),
+            EventQueue::Heap(q) => q.next_time(),
+        }
+    }
+
+    /// Enqueues `ev`.
+    #[inline]
+    pub fn push(&mut self, ev: Event) {
+        match self {
+            EventQueue::Calendar(q) => q.push(ev),
+            EventQueue::Heap(q) => q.push(ev),
+        }
+    }
+
+    /// Removes and returns the minimum event.
+    #[inline]
+    pub fn pop(&mut self) -> Option<Event> {
+        match self {
+            EventQueue::Calendar(q) => q.pop(),
+            EventQueue::Heap(q) => q.pop(),
+        }
+    }
+
+    /// Pops the minimum event if its timestamp is strictly below
+    /// `bound_us`.
+    #[inline]
+    pub fn pop_below(&mut self, bound_us: u64) -> Option<Event> {
+        match self {
+            EventQueue::Calendar(q) => q.pop_below(bound_us),
+            EventQueue::Heap(q) => q.pop_below(bound_us),
+        }
+    }
+
+    /// Removes every pending event in ascending order.
+    pub fn drain(&mut self) -> Vec<Event> {
+        match self {
+            EventQueue::Calendar(q) => q.drain(),
+            EventQueue::Heap(q) => q.drain(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{EventKind, Packet};
+
+    fn inject(time_us: u64, flow: u32, packet_no: u64, node: u32) -> Event {
+        Event {
+            time_us,
+            node,
+            kind: EventKind::Inject { flow, packet_no },
+        }
+    }
+
+    fn arrive(time_us: u64, flow: u32, packet_no: u64, node: u32) -> Event {
+        Event {
+            time_us,
+            node,
+            kind: EventKind::Arrive {
+                pkt: Packet::for_flow(flow, packet_no, 0, node, 1500, 0),
+            },
+        }
+    }
+
+    /// Deterministic xorshift so tests need no RNG crate (and no wall
+    /// clock).
+    struct XorShift(u64);
+    impl XorShift {
+        fn next(&mut self) -> u64 {
+            let mut x = self.0;
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            self.0 = x;
+            x
+        }
+    }
+
+    fn random_event(rng: &mut XorShift, time_range: u64) -> Event {
+        let t = rng.next() % time_range;
+        let flow = (rng.next() % 8) as u32;
+        let no = rng.next() % 64;
+        let node = (rng.next() % 32) as u32;
+        if rng.next().is_multiple_of(2) {
+            inject(t, flow, no, node)
+        } else {
+            arrive(t, flow, no, node)
+        }
+    }
+
+    /// The core contract: identical pop sequence to a reference heap for
+    /// interleaved pushes/pops, across tight (tie-heavy) and wide spans.
+    #[test]
+    fn matches_reference_heap_order() {
+        for &time_range in &[8u64, 1000, 50_000_000] {
+            let mut rng = XorShift(0x9e3779b97f4a7c15);
+            let mut cal = CalendarQueue::new();
+            let mut heap = BinaryHeap::new();
+            for step in 0..4000 {
+                if step % 3 != 2 {
+                    let ev = random_event(&mut rng, time_range);
+                    cal.push(ev);
+                    heap.push(Reverse(ev));
+                } else {
+                    assert_eq!(cal.pop(), heap.pop().map(|Reverse(e)| e));
+                }
+                assert_eq!(cal.next_time(), heap.peek().map(|Reverse(e)| e.time_us));
+                assert_eq!(cal.len(), heap.len());
+            }
+            while let Some(Reverse(want)) = heap.pop() {
+                assert_eq!(cal.pop(), Some(want));
+            }
+            assert!(cal.is_empty());
+            assert_eq!(cal.pop(), None);
+        }
+    }
+
+    #[test]
+    fn pop_below_respects_the_window() {
+        let mut q = CalendarQueue::new();
+        for t in [5u64, 10, 15, 20] {
+            q.push(inject(t, 0, t, 0));
+        }
+        assert_eq!(q.pop_below(5), None, "bound is exclusive");
+        assert_eq!(q.pop_below(11).map(|e| e.time_us), Some(5));
+        assert_eq!(q.pop_below(11).map(|e| e.time_us), Some(10));
+        assert_eq!(q.pop_below(11), None);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn far_overflow_folds_back_in() {
+        let mut q = CalendarQueue::new();
+        q.push(inject(0, 0, 0, 0));
+        // Far beyond the initial year (16 buckets * 1024 µs).
+        q.push(inject(1 << 40, 0, 1, 0));
+        q.push(inject(1 << 41, 0, 2, 0));
+        assert_eq!(q.pop().map(|e| e.time_us), Some(0));
+        assert_eq!(q.pop().map(|e| e.time_us), Some(1 << 40));
+        assert_eq!(q.pop().map(|e| e.time_us), Some(1 << 41));
+        assert_eq!(q.pop(), None);
+        assert!(q.stats().resizes > 0, "ladder fold-in is a rebuild");
+    }
+
+    #[test]
+    fn push_below_base_reanchors_the_min() {
+        // A live migration can hand an engine events earlier than anything
+        // it has seen; the bottom clamp must surface them first.
+        let mut q = CalendarQueue::new();
+        q.push(inject(10_000, 0, 0, 0));
+        q.push(inject(9_000, 0, 1, 0));
+        q.push(inject(50, 0, 2, 0));
+        assert_eq!(q.next_time(), Some(50));
+        assert_eq!(q.pop().map(|e| e.time_us), Some(50));
+        assert_eq!(q.pop().map(|e| e.time_us), Some(9_000));
+        assert_eq!(q.pop().map(|e| e.time_us), Some(10_000));
+    }
+
+    #[test]
+    fn grow_and_shrink_rebuilds_fire() {
+        let mut q = CalendarQueue::new();
+        for i in 0..200u64 {
+            q.push(inject(i * 7, 0, i, 0));
+        }
+        let grown = q.stats().resizes;
+        assert!(grown > 0, "200 events must outgrow 16 buckets");
+        assert!(q.stats().peak_depth == 200);
+        for _ in 0..198 {
+            q.pop();
+        }
+        assert!(q.stats().resizes > grown, "draining must shrink the array");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().map(|e| e.time_us), Some(198 * 7));
+        assert_eq!(q.pop().map(|e| e.time_us), Some(199 * 7));
+    }
+
+    #[test]
+    fn drain_is_sorted_and_resets() {
+        let mut rng = XorShift(42);
+        let mut q = CalendarQueue::new();
+        let mut events = Vec::new();
+        for _ in 0..300 {
+            let ev = random_event(&mut rng, 1 << 30);
+            q.push(ev);
+            events.push(ev);
+        }
+        events.sort_unstable();
+        assert_eq!(q.drain(), events);
+        assert!(q.is_empty());
+        assert_eq!(q.next_time(), None);
+        // The queue remains usable after a drain.
+        q.push(inject(3, 0, 0, 0));
+        assert_eq!(q.pop().map(|e| e.time_us), Some(3));
+    }
+
+    #[test]
+    fn heap_queue_matches_and_counts_depth() {
+        let mut rng = XorShift(7);
+        let mut a = HeapQueue::new();
+        let mut b = CalendarQueue::new();
+        for _ in 0..500 {
+            let ev = random_event(&mut rng, 4096);
+            a.push(ev);
+            b.push(ev);
+        }
+        assert_eq!(a.stats().peak_depth, 500);
+        assert_eq!(b.stats().peak_depth, 500);
+        assert_eq!(a.stats().resizes, 0);
+        for _ in 0..500 {
+            assert_eq!(a.pop(), b.pop());
+        }
+    }
+
+    #[test]
+    fn event_queue_dispatches_by_kind() {
+        for kind in [SchedulerKind::Calendar, SchedulerKind::Heap] {
+            let mut q = EventQueue::new(kind);
+            assert!(q.is_empty());
+            q.push(inject(9, 1, 2, 3));
+            q.push(inject(4, 1, 3, 3));
+            assert_eq!(q.len(), 2);
+            assert_eq!(q.next_time(), Some(4));
+            assert_eq!(q.pop_below(4), None);
+            assert_eq!(q.pop_below(10).map(|e| e.time_us), Some(4));
+            assert_eq!(q.drain().len(), 1);
+            assert_eq!(q.stats().peak_depth, 2);
+        }
+    }
+
+    #[test]
+    fn scheduler_kind_labels() {
+        assert_eq!(SchedulerKind::default(), SchedulerKind::Calendar);
+        assert_eq!(SchedulerKind::Calendar.label(), "calendar");
+        assert_eq!(SchedulerKind::Heap.label(), "heap");
+    }
+}

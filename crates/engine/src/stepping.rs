@@ -76,7 +76,7 @@ impl<'a> SteppableEmulation<'a> {
         assert!(cfg.partition.iter().all(|&p| (p as usize) < cfg.nengines));
         let lookahead = lookahead_us(net, &cfg.partition);
         let mut engines: Vec<Engine> = (0..cfg.nengines as u32)
-            .map(|id| Engine::new(id, cfg.counter_window_us, cfg.netflow))
+            .map(|id| Engine::new(id, cfg.counter_window_us, cfg.netflow, cfg.scheduler))
             .collect();
         {
             let shared = Shared {
@@ -125,6 +125,8 @@ impl<'a> SteppableEmulation<'a> {
     /// executed.
     pub fn run_until(&mut self, until_us: u64) -> u64 {
         let mut windows = 0u64;
+        // Reused across every window of this call.
+        let mut all_out: Vec<RemoteEvent> = Vec::new();
         while let Some(gmin) = self.next_event_time() {
             if gmin >= until_us {
                 break;
@@ -144,7 +146,6 @@ impl<'a> SteppableEmulation<'a> {
             };
             let mut max_busy = 0.0f64;
             let mut progress = lbts;
-            let mut all_out: Vec<RemoteEvent> = Vec::new();
             for (idx, e) in self.engines.iter_mut().enumerate() {
                 let sent_before = e.remote_sent();
                 let n = e.process_window(lbts, &shared);
@@ -161,7 +162,7 @@ impl<'a> SteppableEmulation<'a> {
                 max_busy = max_busy.max(self.cfg.cost.engine_busy_us(n, sent, speed));
                 let frontier = e.next_time().unwrap_or(e.counters.last_event_us);
                 progress = progress.min(frontier.min(lbts));
-                all_out.append(&mut e.take_outbox());
+                e.drain_outbox(&mut all_out);
             }
             let progress = progress.max(gmin);
             let span = progress.saturating_sub(self.virtual_now);
@@ -170,7 +171,7 @@ impl<'a> SteppableEmulation<'a> {
             self.rounds += 1;
             windows += 1;
 
-            for RemoteEvent { to_engine, event } in all_out {
+            for RemoteEvent { to_engine, event } in all_out.drain(..) {
                 let dest = &mut self.engines[to_engine as usize];
                 dest.counters.record_remote_recv(event.time_us);
                 dest.enqueue(event);

@@ -1,0 +1,158 @@
+//! Property-based equivalence of the calendar-queue scheduler against a
+//! reference `BinaryHeap<Reverse<Event>>` — the exact structure the engine
+//! used before the calendar queue replaced it. Under arbitrary
+//! interleavings of pushes, pops, and windowed `pop_below` calls — with
+//! timestamps drawn from ranges narrow enough to force heavy ties — both
+//! schedulers must report the same lengths, the same `next_time`, and pop
+//! the byte-identical event sequence.
+
+use massf_engine::event::{Event, EventKind, Packet};
+use massf_engine::sched::{CalendarQueue, HeapQueue};
+use proptest::prelude::*;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// One step of the schedule workload.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push an event at `time`; `arrive` picks the event class and `node`
+    /// the tie-breaking node id.
+    Push { time: u64, node: u32, arrive: bool },
+    /// Pop the minimum.
+    Pop,
+    /// Drain everything strictly below `bound` (a conservative window).
+    PopBelow { bound: u64 },
+}
+
+/// Ops weighted 4:2:1 push : pop : windowed drain (the vendored proptest
+/// has no `prop_oneof!`, so a selector drives the choice).
+fn arb_op(max_time: u64) -> impl Strategy<Value = Op> {
+    (0u8..7, 0..max_time, 0u32..8, prop::bool::ANY).prop_map(move |(sel, time, node, arrive)| {
+        match sel {
+            0..=3 => Op::Push { time, node, arrive },
+            4 | 5 => Op::Pop,
+            _ => Op::PopBelow {
+                bound: time.saturating_add(10),
+            },
+        }
+    })
+}
+
+/// Builds the event for push number `seq`. The sequence number becomes the
+/// packet/flow id, so every event key in one run is unique — mirroring the
+/// engine, where a packet arrives at a given node at most once. Times and
+/// nodes still collide constantly, exercising every tie-break level.
+fn event(seq: u64, time: u64, node: u32, arrive: bool) -> Event {
+    let kind = if arrive {
+        EventKind::Arrive {
+            pkt: Packet::for_flow(0, seq, 0, 1, 100, 0),
+        }
+    } else {
+        EventKind::Inject {
+            flow: 0,
+            packet_no: seq,
+        }
+    };
+    Event {
+        time_us: time,
+        node,
+        kind,
+    }
+}
+
+/// Applies `ops` to the calendar queue and the reference heap in lockstep,
+/// checking every observable after every step.
+fn check_against_reference(ops: &[Op]) {
+    let mut cal = CalendarQueue::new();
+    let mut reference: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    for op in ops {
+        match *op {
+            Op::Push { time, node, arrive } => {
+                let ev = event(seq, time, node, arrive);
+                seq += 1;
+                cal.push(ev);
+                reference.push(Reverse(ev));
+            }
+            Op::Pop => {
+                let want = reference.pop().map(|Reverse(e)| e);
+                assert_eq!(cal.pop(), want);
+            }
+            Op::PopBelow { bound } => loop {
+                let want = match reference.peek() {
+                    Some(Reverse(e)) if e.time_us < bound => reference.pop().map(|Reverse(e)| e),
+                    _ => None,
+                };
+                let got = cal.pop_below(bound);
+                assert_eq!(got, want);
+                if got.is_none() {
+                    break;
+                }
+            },
+        }
+        assert_eq!(cal.len(), reference.len());
+        assert_eq!(
+            cal.next_time(),
+            reference.peek().map(|Reverse(e)| e.time_us)
+        );
+    }
+    // Whatever remains drains in exactly ascending order.
+    let mut rest: Vec<Event> = reference
+        .into_sorted_vec()
+        .into_iter()
+        .map(|Reverse(e)| e)
+        .collect();
+    rest.reverse();
+    assert_eq!(cal.drain(), rest);
+    assert!(cal.is_empty());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Wide timestamp range: events spread across buckets and the far
+    /// ladder, triggering grow/shrink/fold-in rebuilds.
+    #[test]
+    fn calendar_matches_heap_wide_times(ops in prop::collection::vec(arb_op(5_000_000), 1..300)) {
+        check_against_reference(&ops);
+    }
+
+    /// Narrow timestamp range: almost every event ties on time, so order
+    /// is decided entirely by the (kind class, id, node) tie-break.
+    #[test]
+    fn calendar_matches_heap_heavy_ties(ops in prop::collection::vec(arb_op(6), 1..300)) {
+        check_against_reference(&ops);
+    }
+
+    /// The production wrapper with the heap kind must equal the raw
+    /// reference too — it is the benchmark baseline.
+    #[test]
+    fn heap_queue_matches_reference(ops in prop::collection::vec(arb_op(1_000), 1..150)) {
+        let mut hq = HeapQueue::new();
+        let mut reference: BinaryHeap<Reverse<Event>> = BinaryHeap::new();
+        let mut seq = 0u64;
+        for op in &ops {
+            match *op {
+                Op::Push { time, node, arrive } => {
+                    let ev = event(seq, time, node, arrive);
+                    seq += 1;
+                    hq.push(ev);
+                    reference.push(Reverse(ev));
+                }
+                Op::Pop => {
+                    assert_eq!(hq.pop(), reference.pop().map(|Reverse(e)| e));
+                }
+                Op::PopBelow { bound } => {
+                    while let Some(e) = hq.pop_below(bound) {
+                        assert_eq!(Some(Reverse(e)), reference.pop());
+                        prop_assert!(e.time_us < bound);
+                    }
+                    if let Some(Reverse(e)) = reference.peek() {
+                        prop_assert!(e.time_us >= bound);
+                    }
+                }
+            }
+            prop_assert_eq!(hq.len(), reference.len());
+        }
+    }
+}

@@ -78,6 +78,7 @@ pub fn run_dynamic(
         netflow: true, // live profiling is what enables remapping
         cost: cfg.cost,
         engine_speeds: study.cfg.engine_capacities.clone(),
+        scheduler: massf_engine::SchedulerKind::default(),
     };
     let mut emu = SteppableEmulation::new(&study.net, &study.tables, flows, emu_cfg);
 

@@ -6,7 +6,7 @@ use crate::profile::map_profile_obs;
 use crate::top::map_top_obs;
 use crate::MapperConfig;
 use massf_engine::netflow::FlowRecord;
-use massf_engine::{run_sequential, CostModel, EmulationConfig, EmulationReport};
+use massf_engine::{run_sequential, CostModel, EmulationConfig, EmulationReport, SchedulerKind};
 use massf_obs::Recorder;
 use massf_partition::Partitioning;
 use massf_routing::RoutingTables;
@@ -116,6 +116,7 @@ impl MappingStudy {
             netflow: true,
             cost: CostModel::default(),
             engine_speeds: self.cfg.engine_capacities.clone(),
+            scheduler: SchedulerKind::default(),
         };
         run_sequential(&self.net, &self.tables, flows, &cfg).netflow
     }
@@ -134,6 +135,7 @@ impl MappingStudy {
             netflow: false,
             cost,
             engine_speeds: self.cfg.engine_capacities.clone(),
+            scheduler: SchedulerKind::default(),
         };
         run_sequential(&self.net, &self.tables, flows, &cfg)
     }

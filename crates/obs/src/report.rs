@@ -56,6 +56,12 @@ pub struct EngineLoad {
     pub remote_sent: u64,
     /// Events received from other engines.
     pub remote_recv: u64,
+    /// Peak pending-event count in the engine's scheduler queue.
+    /// Identical across scheduler kinds and thread counts.
+    pub queue_peak: u64,
+    /// Scheduler bucket-array rebuilds (0 for the heap baseline).
+    /// Deterministic per scheduler kind.
+    pub sched_resizes: u64,
     /// Executed events per virtual-time window.
     pub timeline: Vec<u64>,
     /// Stalled rounds per virtual-time window (bucketed at the stall's
@@ -296,6 +302,11 @@ impl RunReport {
                         ));
                         out.push_str(&format!("        \"remote_sent\": {},\n", eng.remote_sent));
                         out.push_str(&format!("        \"remote_recv\": {},\n", eng.remote_recv));
+                        out.push_str(&format!("        \"queue_peak\": {},\n", eng.queue_peak));
+                        out.push_str(&format!(
+                            "        \"sched_resizes\": {},\n",
+                            eng.sched_resizes
+                        ));
                         out.push_str(&format!(
                             "        \"timeline\": [{}],\n",
                             join_u64(&eng.timeline)
@@ -466,6 +477,8 @@ impl RunReport {
                         stalled_rounds: req_u64(eng, "stalled_rounds")?,
                         remote_sent: req_u64(eng, "remote_sent")?,
                         remote_recv: req_u64(eng, "remote_recv")?,
+                        queue_peak: req_u64(eng, "queue_peak")?,
+                        sched_resizes: req_u64(eng, "sched_resizes")?,
                         timeline: req_u64_list(eng, "timeline")?,
                         stall_timeline: req_u64_list(eng, "stall_timeline")?,
                         recv_timeline: req_u64_list(eng, "recv_timeline")?,
@@ -623,13 +636,15 @@ impl RunReport {
                 ));
                 for (i, eng) in e.engines.iter().enumerate() {
                     out.push_str(&format!(
-                        "  engine {}  {}  {} events | stalls {} | sent {} recv {}\n",
+                        "  engine {}  {}  {} events | stalls {} | sent {} recv {} | \
+                         queue peak {}\n",
                         i,
                         sparkline(&eng.timeline),
                         eng.events,
                         eng.stalled_rounds,
                         eng.remote_sent,
-                        eng.remote_recv
+                        eng.remote_recv,
+                        eng.queue_peak
                     ));
                 }
                 let series: Vec<Vec<u64>> =
@@ -814,6 +829,8 @@ mod tests {
                     stalled_rounds: 1,
                     remote_sent: 5,
                     remote_recv: 4,
+                    queue_peak: 12,
+                    sched_resizes: 1,
                     timeline: vec![20, 20, 10, 10],
                     stall_timeline: vec![0, 0, 1, 0],
                     recv_timeline: vec![1, 1, 1, 1],
@@ -823,6 +840,8 @@ mod tests {
                     stalled_rounds: 2,
                     remote_sent: 4,
                     remote_recv: 5,
+                    queue_peak: 8,
+                    sched_resizes: 0,
                     timeline: vec![10, 10, 10, 10],
                     stall_timeline: vec![1, 0, 1, 0],
                     recv_timeline: vec![2, 1, 1, 1],

@@ -132,11 +132,24 @@ impl RoutingTables {
         (h != NodeId::MAX).then_some(h)
     }
 
+    /// Sentinel returned by [`next_link_raw`](Self::next_link_raw) where
+    /// no route exists (destination reached, or unreachable).
+    pub const NO_ROUTE: LinkId = NO_LINK;
+
     /// The link carrying traffic from `src` toward `dst`.
     #[inline]
     pub fn next_link(&self, src: NodeId, dst: NodeId) -> Option<LinkId> {
-        let l = self.next_link[src as usize * self.n + dst as usize];
+        let l = self.next_link_raw(src, dst);
         (l != NO_LINK).then_some(l)
+    }
+
+    /// [`next_link`](Self::next_link) without the `Option` wrapper: returns
+    /// [`NO_ROUTE`](Self::NO_ROUTE) instead. The forwarding hot loop calls
+    /// this once per hop; keeping the sentinel raw lets the common case be
+    /// a single load plus one well-predicted branch.
+    #[inline]
+    pub fn next_link_raw(&self, src: NodeId, dst: NodeId) -> LinkId {
+        self.next_link[src as usize * self.n + dst as usize]
     }
 
     /// End-to-end latency (µs) of the routed path, `None` if unreachable.

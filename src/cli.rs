@@ -405,6 +405,8 @@ fn emulation_info(report: &EmulationReport) -> EmulationInfo {
             stalled_rounds: report.engine_stalls[i],
             remote_sent: report.engine_remote_sent[i],
             remote_recv: report.engine_remote_recv[i],
+            queue_peak: report.engine_queue_peak[i],
+            sched_resizes: report.engine_sched_resizes[i],
             timeline: report.window_series[i].clone(),
             stall_timeline: report.stall_series[i].clone(),
             recv_timeline: report.recv_series[i].clone(),
