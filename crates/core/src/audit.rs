@@ -1,0 +1,114 @@
+//! Post-pipeline artifact audits: thin entry points over `massf-lint`'s
+//! artifact-pass registry (MC013–MC018).
+//!
+//! The request preflight ([`crate::scenario::BuiltScenario::lint`]) judges
+//! what was asked for; these helpers judge what the pipeline produced — a
+//! concrete [`Partitioning`] plus the [`MappingStudy`]'s routing tables,
+//! or a recorded trace file. The CLI runs them after `partition`, `run`,
+//! `record`, and `replay` and refuses past any Error, the same contract
+//! as the preflight.
+
+use massf_lint::{ArtifactInput, Diagnostics};
+use massf_mapping::MappingStudy;
+use massf_partition::Partitioning;
+use massf_topology::Network;
+use massf_traffic::tracefile::{self, Trace};
+
+/// Audits the pipeline outputs of `study` — the given `partition` plus the
+/// study's routing tables — under the study's engine count, tolerance, and
+/// (when configured) heterogeneous capacity vector. Returns a finished
+/// MC013–MC018 report.
+pub fn audit_study(study: &MappingStudy, partition: &Partitioning) -> Diagnostics {
+    let mut input = ArtifactInput::new(&study.net)
+        .with_engines(study.cfg.engines)
+        .with_ubfactor(study.cfg.ubfactor)
+        .with_partition(partition)
+        .with_tables(&study.tables);
+    if let Some(caps) = &study.cfg.engine_capacities {
+        input.engine_capacities = Some(caps);
+    }
+    massf_lint::lint_artifacts(&input)
+}
+
+/// A validated trace file: the lint report plus the parsed trace when the
+/// text parsed at all.
+#[derive(Debug)]
+pub struct TraceAudit {
+    /// MC016 findings (plus endpoint/request findings when a network was
+    /// supplied), finished and ordered.
+    pub diags: Diagnostics,
+    /// The parsed trace, `None` when the text was rejected outright.
+    pub trace: Option<Trace>,
+}
+
+/// Validates trace text: parses it, runs the MC016 trace lint, and — when
+/// `net` is given — additionally runs the request passes over the parsed
+/// schedule so endpoint validity (MC009) and injection feasibility are
+/// checked against that topology. This is the `massf check <trace.txt>`
+/// and `replay` entry point; `replay`'s former ad-hoc trace checks live
+/// here as lint findings.
+pub fn audit_trace(text: &str, net: Option<&Network>) -> TraceAudit {
+    let parsed = tracefile::parse_trace(text);
+    let mut diags = massf_lint::lint_trace(&parsed);
+    if let (Some(net), Ok(trace)) = (net, &parsed) {
+        let mut input = massf_lint::LintInput::network(net);
+        input.flows = &trace.flows;
+        diags.merge(massf_lint::lint_scenario(&input));
+        diags.finish();
+    }
+    TraceAudit {
+        diags,
+        trace: parsed.ok(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_mapping::{Approach, MapperConfig};
+    use massf_topology::campus::campus;
+    use massf_traffic::FlowSpec;
+
+    #[test]
+    fn campus_top_partition_audits_clean_of_errors() {
+        let study = MappingStudy::new(campus(), MapperConfig::new(3));
+        let p = study.map(Approach::Top, &[], &[]);
+        let d = audit_study(&study, &p);
+        assert!(!d.has_errors(), "{}", d.summary_line());
+        assert_eq!(
+            d.passes_run(),
+            massf_lint::artifact::artifact_registry().len()
+        );
+    }
+
+    #[test]
+    fn trace_audit_catches_foreign_endpoints_with_a_network() {
+        let net = campus();
+        let flows = vec![FlowSpec {
+            src: 9_999,
+            dst: 0,
+            start_us: 0,
+            packets: 1,
+            bytes: 1_500,
+            packet_interval_us: 100,
+            window: None,
+        }];
+        let text = tracefile::write(&flows);
+        let audit = audit_trace(&text, Some(&net));
+        assert!(audit.diags.has_errors());
+        assert!(audit.diags.iter().any(|x| x.code.as_str() == "MC009"));
+        assert!(audit.trace.is_some());
+
+        // Without a network, only the trace-shape checks run: this trace
+        // is shape-clean.
+        let solo = audit_trace(&text, None);
+        assert!(!solo.diags.has_errors(), "{}", solo.diags.summary_line());
+    }
+
+    #[test]
+    fn unparsable_text_yields_no_trace_and_an_error() {
+        let audit = audit_trace("garbage", Some(&campus()));
+        assert!(audit.trace.is_none());
+        assert!(audit.diags.has_errors());
+    }
+}

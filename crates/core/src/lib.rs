@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod audit;
 pub mod experiment;
 pub mod scenario;
 

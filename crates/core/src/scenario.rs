@@ -239,6 +239,13 @@ impl BuiltScenario {
         input.predicted = &self.predicted;
         massf_lint::lint_scenario(&input)
     }
+
+    /// Runs the post-pipeline artifact audit (MC013–MC018) over a concrete
+    /// partitioning produced from this scenario; see
+    /// [`crate::audit::audit_study`].
+    pub fn audit(&self, partition: &massf_partition::Partitioning) -> massf_lint::Diagnostics {
+        crate::audit::audit_study(&self.study, partition)
+    }
 }
 
 /// Picks `n` hosts spread evenly through the host list (deterministic).

@@ -44,8 +44,11 @@
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+pub mod artifact;
 pub mod passes;
 pub mod render;
+
+pub use artifact::{lint_artifacts, lint_trace, ArtifactInput};
 
 use massf_topology::{Network, NodeId};
 use massf_traffic::spec::TrafficKind;
@@ -106,11 +109,33 @@ pub enum Code {
     Mc011,
     /// Degree anomalies (isolated nodes, multihomed hosts).
     Mc012,
+    /// Partition-shape audit of a concrete partitioning (contiguity,
+    /// empty/singleton parts, cut-latency floor).
+    Mc013,
+    /// Asymmetric A→B vs. B→A shortest-path latencies in built routing
+    /// tables.
+    Mc014,
+    /// Equal-cost multi-path ambiguity: routes whose next-hop choice rests
+    /// on the deterministic tie-break, not on cost.
+    Mc015,
+    /// Trace-file lint (header/version, monotonic timestamps, horizon vs.
+    /// declared duration, degenerate schedules).
+    Mc016,
+    /// Heterogeneous engine-capacity feasibility (MC007 generalized to
+    /// capacity vectors).
+    Mc017,
+    /// Cross-AS aggregate lookahead: an AS reachable only through
+    /// low-latency links (the aggregate form of MC003).
+    Mc018,
+    /// Reserved: PLACE predicted-weight vs. measured-load drift.
+    Mc019,
+    /// Reserved: PROFILE NetFlow-aggregate vs. partition-weight drift.
+    Mc020,
 }
 
 impl Code {
     /// Every code, in catalog order.
-    pub const ALL: [Code; 12] = [
+    pub const ALL: [Code; 20] = [
         Code::Mc001,
         Code::Mc002,
         Code::Mc003,
@@ -123,6 +148,14 @@ impl Code {
         Code::Mc010,
         Code::Mc011,
         Code::Mc012,
+        Code::Mc013,
+        Code::Mc014,
+        Code::Mc015,
+        Code::Mc016,
+        Code::Mc017,
+        Code::Mc018,
+        Code::Mc019,
+        Code::Mc020,
     ];
 
     /// The stable `MCnnn` string.
@@ -140,6 +173,14 @@ impl Code {
             Code::Mc010 => "MC010",
             Code::Mc011 => "MC011",
             Code::Mc012 => "MC012",
+            Code::Mc013 => "MC013",
+            Code::Mc014 => "MC014",
+            Code::Mc015 => "MC015",
+            Code::Mc016 => "MC016",
+            Code::Mc017 => "MC017",
+            Code::Mc018 => "MC018",
+            Code::Mc019 => "MC019",
+            Code::Mc020 => "MC020",
         }
     }
 
@@ -158,6 +199,14 @@ impl Code {
             Code::Mc010 => "spec-topology-fit",
             Code::Mc011 => "parallel-links",
             Code::Mc012 => "degree-anomalies",
+            Code::Mc013 => "partition-shape",
+            Code::Mc014 => "routing-asymmetry",
+            Code::Mc015 => "ecmp-ambiguity",
+            Code::Mc016 => "trace-lint",
+            Code::Mc017 => "capacity-feasibility",
+            Code::Mc018 => "cross-as-lookahead",
+            Code::Mc019 => "predicted-load-drift",
+            Code::Mc020 => "measured-load-drift",
         }
     }
 
@@ -180,7 +229,35 @@ impl Code {
             Code::Mc010 => "the background-traffic spec must fit the topology's host count",
             Code::Mc011 => "parallel links between one pair merge in the partitioner graph",
             Code::Mc012 => "isolated nodes and multihomed hosts are load-model anomalies",
+            Code::Mc013 => {
+                "a concrete partition must have contiguous, non-empty parts and a safe cut-latency floor"
+            }
+            Code::Mc014 => "shortest-path latency must agree in both directions over symmetric links",
+            Code::Mc015 => {
+                "equal-cost next hops make the route a tie-break artifact, not a cost decision"
+            }
+            Code::Mc016 => {
+                "a trace file must parse, stay monotonic, and fit its declared duration"
+            }
+            Code::Mc017 => {
+                "a heterogeneous engine-capacity vector must be valid and satisfiable"
+            }
+            Code::Mc018 => {
+                "an AS reachable only through low-latency links collapses lookahead when isolated"
+            }
+            Code::Mc019 => {
+                "reserved: drift between PLACE predicted weights and measured engine load"
+            }
+            Code::Mc020 => {
+                "reserved: drift between PROFILE NetFlow aggregates and partition weights"
+            }
         }
+    }
+
+    /// True for codes reserved in the catalog but not yet backed by a pass
+    /// (MC019/MC020 await the PLACE-vs-PROFILE drift comparison).
+    pub fn is_reserved(self) -> bool {
+        matches!(self, Code::Mc019 | Code::Mc020)
     }
 }
 
@@ -209,6 +286,15 @@ pub enum Location {
     },
     /// A flow (concrete or predicted), by index in its schedule.
     Flow(usize),
+    /// A partition part (engine index) in a concrete partitioning.
+    Part(usize),
+    /// A routed source-destination pair.
+    Route {
+        /// Route source node.
+        src: NodeId,
+        /// Route destination node.
+        dst: NodeId,
+    },
 }
 
 impl Location {
@@ -220,6 +306,8 @@ impl Location {
             Location::Node { id, .. } => (2, *id as u64),
             Location::Link { id, .. } => (3, *id as u64),
             Location::Flow(i) => (4, *i as u64),
+            Location::Part(p) => (5, *p as u64),
+            Location::Route { src, dst } => (6, ((*src as u64) << 32) | *dst as u64),
         }
     }
 
@@ -231,6 +319,8 @@ impl Location {
             Location::Node { id, name } => format!("node {id} ({name})"),
             Location::Link { id, a, b } => format!("link {id} ({a}-{b})"),
             Location::Flow(i) => format!("flow {i}"),
+            Location::Part(p) => format!("part {p}"),
+            Location::Route { src, dst } => format!("route {src}->{dst}"),
         }
     }
 }
@@ -326,6 +416,21 @@ impl Diagnostics {
                 d.severity = Severity::Error;
             }
         }
+    }
+
+    /// Merges another report into this one: findings concatenate (subject
+    /// to this report's per-code caps), suppression counts add, and
+    /// `passes_run` accumulates. Call [`Diagnostics::finish`] afterwards
+    /// to restore report order. This is how the CLI folds an
+    /// artifact-audit report into a request-preflight report.
+    pub fn merge(&mut self, other: Diagnostics) {
+        for d in other.diags {
+            self.push(d.code, d.severity, d.location, d.message);
+        }
+        for (code, n) in other.suppressed {
+            *self.suppressed.entry(code).or_insert(0) += n;
+        }
+        self.passes_run += other.passes_run;
     }
 
     /// Sorts into the deterministic report order: severity (errors first),
@@ -484,11 +589,38 @@ mod tests {
         dedup.dedup();
         assert_eq!(strs, dedup);
         assert_eq!(strs[0], "MC001");
-        assert_eq!(*strs.last().unwrap(), "MC012");
+        assert_eq!(*strs.last().unwrap(), "MC020");
         for c in Code::ALL {
             assert!(!c.name().is_empty());
             assert!(!c.summary().is_empty());
         }
+        let reserved: Vec<&str> = Code::ALL
+            .iter()
+            .filter(|c| c.is_reserved())
+            .map(|c| c.as_str())
+            .collect();
+        assert_eq!(reserved, vec!["MC019", "MC020"]);
+    }
+
+    #[test]
+    fn merge_accumulates_findings_and_passes() {
+        let mut a = Diagnostics::new();
+        a.push(Code::Mc003, Severity::Warn, Location::Network, "w".into());
+        a.passes_run = 12;
+        let mut b = Diagnostics::new();
+        b.push(Code::Mc013, Severity::Error, Location::Part(1), "e".into());
+        b.push(
+            Code::Mc015,
+            Severity::Note,
+            Location::Route { src: 0, dst: 3 },
+            "n".into(),
+        );
+        b.passes_run = 6;
+        a.merge(b);
+        a.finish();
+        assert_eq!(a.len(), 3);
+        assert_eq!(a.passes_run(), 18);
+        assert_eq!(a.iter().next().unwrap().code, Code::Mc013, "errors first");
     }
 
     #[test]

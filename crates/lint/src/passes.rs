@@ -102,7 +102,7 @@ pub fn registry() -> &'static [Pass] {
     &REGISTRY
 }
 
-fn node_loc(net: &Network, id: NodeId) -> Location {
+pub(crate) fn node_loc(net: &Network, id: NodeId) -> Location {
     Location::Node {
         id,
         name: net.node(id).name.clone(),

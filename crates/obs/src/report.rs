@@ -96,6 +96,39 @@ pub struct EmulationInfo {
     pub engines: Vec<EngineLoad>,
 }
 
+/// One post-pipeline lint finding carried in the report. Plain strings:
+/// `massf-obs` sits below `massf-lint` in the crate graph (lint depends on
+/// the mapping pipeline, which records through obs), so the audit's typed
+/// diagnostics are flattened by the caller.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintFinding {
+    /// Severity label (`error`, `warning`, `note`).
+    pub severity: String,
+    /// Stable pass code (`MC013`…).
+    pub code: String,
+    /// Rendered location (`part 2`, `route 3->9`, …).
+    pub location: String,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+/// Summary of the post-pipeline artifact audit (`massf-lint` MC013–MC018),
+/// fully deterministic: the audit runs single-threaded over deterministic
+/// pipeline outputs, so this block is byte-identical across `--threads`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LintSummary {
+    /// Error-level findings.
+    pub errors: u64,
+    /// Warn-level findings.
+    pub warnings: u64,
+    /// Note-level findings.
+    pub notes: u64,
+    /// Passes that ran to produce the audit.
+    pub passes_run: u64,
+    /// The findings, in report order.
+    pub findings: Vec<LintFinding>,
+}
+
 /// Wall-clock data: everything in the report that is *not* deterministic.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Timing {
@@ -125,6 +158,8 @@ pub struct RunReport {
     pub gauges: BTreeMap<String, f64>,
     /// Emulation outcome, when an emulation ran.
     pub emulation: Option<EmulationInfo>,
+    /// Post-pipeline artifact-audit summary, when an audit ran.
+    pub lint: Option<LintSummary>,
     /// Wall-clock spans and thread count (masked by golden tests).
     pub timing: Timing,
 }
@@ -143,6 +178,7 @@ impl RunReport {
             counters,
             gauges,
             emulation: None,
+            lint: None,
             timing: Timing {
                 threads: threads as u64,
                 spans,
@@ -330,6 +366,35 @@ impl RunReport {
             }
         }
 
+        match &self.lint {
+            None => out.push_str("  \"lint\": null,\n"),
+            Some(l) => {
+                out.push_str("  \"lint\": {\n");
+                out.push_str(&format!("    \"errors\": {},\n", l.errors));
+                out.push_str(&format!("    \"warnings\": {},\n", l.warnings));
+                out.push_str(&format!("    \"notes\": {},\n", l.notes));
+                out.push_str(&format!("    \"passes_run\": {},\n", l.passes_run));
+                if l.findings.is_empty() {
+                    out.push_str("    \"findings\": []\n");
+                } else {
+                    out.push_str("    \"findings\": [\n");
+                    for (i, f) in l.findings.iter().enumerate() {
+                        out.push_str(&format!(
+                            "      {{\"severity\": {}, \"code\": {}, \"location\": {}, \
+                             \"message\": {}}}{}\n",
+                            quote(&f.severity),
+                            quote(&f.code),
+                            quote(&f.location),
+                            quote(&f.message),
+                            if i + 1 < l.findings.len() { "," } else { "" }
+                        ));
+                    }
+                    out.push_str("    ]\n");
+                }
+                out.push_str("  },\n");
+            }
+        }
+
         // `timing` must stay the last key: golden tests truncate here.
         out.push_str("  \"timing\": {\n");
         out.push_str(&format!("    \"threads\": {},\n", self.timing.threads));
@@ -505,6 +570,28 @@ impl RunReport {
             }
         };
 
+        let lint = match root.get("lint") {
+            None | Some(Value::Null) => None,
+            Some(l) => {
+                let mut findings = Vec::new();
+                for f in req_array(l, "findings")? {
+                    findings.push(LintFinding {
+                        severity: req_str(f, "severity")?.to_string(),
+                        code: req_str(f, "code")?.to_string(),
+                        location: req_str(f, "location")?.to_string(),
+                        message: req_str(f, "message")?.to_string(),
+                    });
+                }
+                Some(LintSummary {
+                    errors: req_u64(l, "errors")?,
+                    warnings: req_u64(l, "warnings")?,
+                    notes: req_u64(l, "notes")?,
+                    passes_run: req_u64(l, "passes_run")?,
+                    findings,
+                })
+            }
+        };
+
         let t = root.get("timing").ok_or("missing key \"timing\"")?;
         let mut spans = Vec::new();
         for s in req_array(t, "spans")? {
@@ -527,6 +614,7 @@ impl RunReport {
             counters,
             gauges,
             emulation,
+            lint,
             timing,
         })
     }
@@ -668,6 +756,20 @@ impl RunReport {
             out.push_str("\ngauges\n");
             for (k, v) in &self.gauges {
                 out.push_str(&format!("  {k} = {}\n", fmt_f64(*v)));
+            }
+        }
+
+        if let Some(l) = &self.lint {
+            out.push_str("\nlint audit\n");
+            out.push_str(&format!(
+                "  {} error(s), {} warning(s), {} note(s) — {} passes run\n",
+                l.errors, l.warnings, l.notes, l.passes_run
+            ));
+            for f in &l.findings {
+                out.push_str(&format!(
+                    "  {}[{}] {}: {}\n",
+                    f.severity, f.code, f.location, f.message
+                ));
             }
         }
 
@@ -848,6 +950,26 @@ mod tests {
                 },
             ],
         });
+        report.lint = Some(LintSummary {
+            errors: 0,
+            warnings: 1,
+            notes: 1,
+            passes_run: 18,
+            findings: vec![
+                LintFinding {
+                    severity: "warning".into(),
+                    code: "MC013".into(),
+                    location: "part 1".into(),
+                    message: "engine 1's region splits into 2 disconnected fragments".into(),
+                },
+                LintFinding {
+                    severity: "note".into(),
+                    code: "MC015".into(),
+                    location: "route 0->4".into(),
+                    message: "2 equal-cost first hops".into(),
+                },
+            ],
+        });
         report
     }
 
@@ -871,6 +993,8 @@ mod tests {
         assert!(tail.trim_end().ends_with("}"));
         let after_timing = &json[..timing_at];
         assert!(after_timing.contains("\"emulation\""));
+        // The lint block is deterministic, so it sits above the boundary.
+        assert!(after_timing.contains("\"lint\""));
     }
 
     #[test]
@@ -901,6 +1025,7 @@ mod tests {
             "engine load (events per 1000 us window)\n",
             "counters\n",
             "gauges\n",
+            "lint audit\n",
             "timing (wall-clock, non-deterministic)\n",
         ] {
             assert!(text.contains(section), "missing {section:?} in:\n{text}");
@@ -933,10 +1058,26 @@ mod tests {
         assert!(json.contains("\"duration_s\": null"));
         assert!(json.contains("\"partition\": null"));
         assert!(json.contains("\"emulation\": null"));
+        assert!(json.contains("\"lint\": null"));
         let back = RunReport::from_json(&json).unwrap();
         assert_eq!(back, report);
         let text = report.render_human();
         assert!(!text.contains("emulation\n"));
+        assert!(!text.contains("lint audit\n"));
         assert!(text.contains("timing (wall-clock"));
+    }
+
+    #[test]
+    fn reports_without_a_lint_key_still_parse() {
+        // Format-1 documents written before the lint block existed have no
+        // "lint" key at all; they must keep parsing as `lint: None`.
+        let report = sample();
+        let json = report.to_json();
+        let lint_at = json.find("  \"lint\": {").unwrap();
+        let timing_at = json.find("  \"timing\": {").unwrap();
+        let stripped = format!("{}{}", &json[..lint_at], &json[timing_at..]);
+        let back = RunReport::from_json(&stripped).unwrap();
+        assert_eq!(back.lint, None);
+        assert_eq!(back.emulation, report.emulation);
     }
 }

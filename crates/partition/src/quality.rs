@@ -222,6 +222,25 @@ pub fn worst_target_balance(g: &CsrGraph, part: &[u32], fractions: &[f64]) -> f6
         .fold(1.0, f64::max)
 }
 
+/// Connected-component count of each part's induced subgraph: `counts[p]`
+/// is how many pieces part `p` falls into under `g`'s edges. `1` is a
+/// contiguous part, `0` an empty one, `>1` a fragmented one. Contiguity is
+/// the partition-shape property the artifact audit (MC013) checks: a
+/// fragmented engine region pays cut latency between its own fragments.
+pub fn part_component_counts(g: &CsrGraph, part: &[u32], nparts: usize) -> Vec<usize> {
+    debug_assert_eq!(part.len(), g.nvtxs());
+    massf_graph::subgraph::split_by_partition(g, part, nparts)
+        .iter()
+        .map(|sg| {
+            if sg.graph.nvtxs() == 0 {
+                0
+            } else {
+                massf_graph::connectivity::connected_components(&sg.graph).count as usize
+            }
+        })
+        .collect()
+}
+
 /// A constraint no `nparts`-way partition can balance within `ubfactor`:
 /// some single vertex already outweighs the per-part capacity
 /// `ubfactor * total / nparts`, so wherever it lands, that part busts the
@@ -269,6 +288,131 @@ pub fn infeasible_constraints(
         }
     }
     out
+}
+
+/// [`infeasible_constraints`] generalized to heterogeneous per-part target
+/// fractions (`fractions[p]` of the total weight belongs on part `p`; see
+/// `PartitionConfig::with_capacities`). A constraint is infeasible when the
+/// heaviest single vertex exceeds even the *largest* part's capacity
+/// `ubfactor * max(fractions) * total` — wherever that vertex lands, the
+/// balance target is busted. Uniform fractions reduce this to
+/// [`infeasible_constraints`].
+pub fn infeasible_target_constraints(
+    g: &CsrGraph,
+    fractions: &[f64],
+    ubfactor: f64,
+) -> Vec<InfeasibleConstraint> {
+    let max_fraction = fractions.iter().copied().fold(0.0f64, f64::max);
+    if fractions.is_empty() || g.nvtxs() == 0 || max_fraction <= 0.0 {
+        return vec![];
+    }
+    let ncon = g.ncon();
+    let mut out = Vec::new();
+    for c in 0..ncon {
+        let mut total: Weight = 0;
+        let mut max: Weight = 0;
+        for v in 0..g.nvtxs() {
+            let w = g.vwgt()[v * ncon + c];
+            total += w;
+            max = max.max(w);
+        }
+        let capacity = ubfactor * max_fraction * total as f64;
+        if max as f64 > capacity {
+            out.push(InfeasibleConstraint {
+                constraint: c,
+                max_vertex_weight: max,
+                capacity,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod shape_tests {
+    use super::*;
+    use massf_graph::GraphBuilder;
+
+    /// Path 0-1-2-3-4-5.
+    fn path6() -> CsrGraph {
+        let mut b = GraphBuilder::new(1);
+        b.add_unit_vertices(6);
+        for i in 0..5u32 {
+            b.add_edge(i, i + 1, 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn contiguous_parts_have_one_component_each() {
+        let g = path6();
+        assert_eq!(
+            part_component_counts(&g, &[0, 0, 0, 1, 1, 1], 2),
+            vec![1, 1]
+        );
+    }
+
+    #[test]
+    fn fragmented_and_empty_parts_are_counted() {
+        let g = path6();
+        // Part 0 owns {0, 2, 4}: three isolated fragments of the path.
+        // Part 2 owns nothing.
+        let counts = part_component_counts(&g, &[0, 1, 0, 1, 0, 1], 3);
+        assert_eq!(counts, vec![3, 3, 0]);
+    }
+}
+
+#[cfg(test)]
+mod target_feasibility_tests {
+    use super::*;
+    use massf_graph::GraphBuilder;
+
+    fn weighted(vwgts: &[Weight]) -> CsrGraph {
+        let mut b = GraphBuilder::new(1);
+        for &w in vwgts {
+            b.add_vertex(&[w]);
+        }
+        for i in 0..vwgts.len() as u32 - 1 {
+            b.add_edge(i, i + 1, 1).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn uniform_fractions_match_homogeneous_check() {
+        let g = weighted(&[90, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1]);
+        let uniform = vec![0.5, 0.5];
+        assert_eq!(
+            infeasible_target_constraints(&g, &uniform, 1.25).len(),
+            infeasible_constraints(&g, 2, 1.25).len()
+        );
+        assert_eq!(infeasible_target_constraints(&g, &uniform, 1.25).len(), 1);
+    }
+
+    #[test]
+    fn a_large_target_part_absorbs_the_heavy_vertex() {
+        // The 90-weight vertex fits a part targeted at 95% of the total:
+        // capacity = 1.10 * 0.95 * 100 = 104.5 > 90.
+        let g = weighted(&[90, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1]);
+        assert!(infeasible_target_constraints(&g, &[0.95, 0.05], 1.10).is_empty());
+    }
+
+    #[test]
+    fn skewed_small_targets_are_infeasible() {
+        // Total 100, max fraction 0.4: capacity = 1.10 * 40 = 44 < 90.
+        let g = weighted(&[90, 1, 1, 1, 1, 1, 1, 1, 1, 1, 1]);
+        let inf = infeasible_target_constraints(&g, &[0.4, 0.3, 0.3], 1.10);
+        assert_eq!(inf.len(), 1);
+        assert_eq!(inf[0].max_vertex_weight, 90);
+        assert!(inf[0].capacity < 90.0);
+    }
+
+    #[test]
+    fn degenerate_fraction_vectors_are_vacuously_feasible() {
+        let g = weighted(&[90, 1]);
+        assert!(infeasible_target_constraints(&g, &[], 1.10).is_empty());
+        assert!(infeasible_target_constraints(&g, &[0.0, 0.0], 1.10).is_empty());
+    }
 }
 
 #[cfg(test)]

@@ -15,6 +15,7 @@
 
 pub mod hierarchy;
 pub mod memory;
+pub mod probes;
 pub mod spf;
 pub mod tables;
 pub mod traceroute;

@@ -1,0 +1,216 @@
+//! Static probes over built routing tables, consumed by the artifact
+//! audit (`massf-lint` MC014/MC015).
+//!
+//! * [`asymmetric_latencies`] — (src, dst) pairs whose A→B and B→A
+//!   shortest-path latencies disagree. Links are bidirectional with one
+//!   latency, so Dijkstra over an intact table is symmetric by
+//!   construction; asymmetry means a corrupted or hand-edited table (or a
+//!   future directed-link model leaking in) and breaks the conservative
+//!   lookahead argument, which assumes the cut latency bounds *both*
+//!   directions.
+//! * [`ecmp_sites`] — (src, dst) pairs with several equal-cost first hops.
+//!   The Dijkstra tie-break (latency, then hop count, then node id) picks
+//!   one deterministically, but the choice is an artifact of node
+//!   numbering: renumbering the topology re-routes that traffic and shifts
+//!   link load between engines. The audit surfaces how much of the route
+//!   set rests on tie-breaks.
+//!
+//! Both probes collect at most a caller-given number of witnesses and
+//! return the exact total alongside, so lint reports stay bounded while
+//! the summary stays truthful.
+
+use crate::RoutingTables;
+use massf_topology::{Network, NodeId};
+
+/// One src/dst pair whose two directions disagree on shortest-path
+/// latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AsymmetricPair {
+    /// Pair endpoint with the lower node id.
+    pub a: NodeId,
+    /// Pair endpoint with the higher node id.
+    pub b: NodeId,
+    /// Latency a→b in microseconds (`u64::MAX` when unreachable).
+    pub ab_us: u64,
+    /// Latency b→a in microseconds (`u64::MAX` when unreachable).
+    pub ba_us: u64,
+}
+
+/// Scans the latency matrix for direction disagreements. Returns up to
+/// `cap` witness pairs in ascending `(a, b)` order plus the total number
+/// of asymmetric pairs. One-way reachability (one direction `u64::MAX`)
+/// counts as asymmetry.
+pub fn asymmetric_latencies(tables: &RoutingTables, cap: usize) -> (Vec<AsymmetricPair>, usize) {
+    let n = tables.n;
+    let mut out = Vec::new();
+    let mut total = 0usize;
+    for a in 0..n {
+        for b in (a + 1)..n {
+            let ab = tables.latency_us[a * n + b];
+            let ba = tables.latency_us[b * n + a];
+            if ab != ba {
+                total += 1;
+                if out.len() < cap {
+                    out.push(AsymmetricPair {
+                        a: a as NodeId,
+                        b: b as NodeId,
+                        ab_us: ab,
+                        ba_us: ba,
+                    });
+                }
+            }
+        }
+    }
+    (out, total)
+}
+
+/// One src/dst pair whose shortest path admits several equal-cost first
+/// hops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EcmpSite {
+    /// Route source.
+    pub src: NodeId,
+    /// Route destination.
+    pub dst: NodeId,
+    /// Every cost-optimal first hop out of `src`, ascending by node id.
+    /// Always at least two entries.
+    pub next_hops: Vec<NodeId>,
+}
+
+/// Finds routes with equal-cost next-hop alternatives: neighbor `v` of
+/// `src` is cost-optimal toward `dst` when
+/// `link(src,v) + dist(v,dst) == dist(src,dst)`. Returns up to `cap`
+/// witness sites in ascending `(src, dst)` order plus the total count of
+/// ambiguous pairs.
+pub fn ecmp_sites(net: &Network, tables: &RoutingTables, cap: usize) -> (Vec<EcmpSite>, usize) {
+    let n = tables.n;
+    debug_assert_eq!(n, net.node_count());
+    let mut out = Vec::new();
+    let mut total = 0usize;
+    let mut hops = Vec::new();
+    for src in 0..n {
+        for dst in 0..n {
+            let dist = tables.latency_us[src * n + dst];
+            if src == dst || dist == u64::MAX {
+                continue;
+            }
+            hops.clear();
+            for &(v, l) in net.neighbors(src as NodeId) {
+                let via = net.link(l).latency_us;
+                let rest = tables.latency_us[v as usize * n + dst];
+                if rest != u64::MAX && via.saturating_add(rest) == dist {
+                    hops.push(v);
+                }
+            }
+            if hops.len() >= 2 {
+                total += 1;
+                if out.len() < cap {
+                    hops.sort_unstable();
+                    out.push(EcmpSite {
+                        src: src as NodeId,
+                        dst: dst as NodeId,
+                        next_hops: hops.clone(),
+                    });
+                }
+            }
+        }
+    }
+    (out, total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use massf_topology::Network;
+
+    /// Square r0-r1-r2-r3-r0 with equal link latencies: two equal-cost
+    /// routes between opposite corners.
+    fn square() -> Network {
+        let mut net = Network::new();
+        let r: Vec<_> = (0..4).map(|i| net.add_router(format!("r{i}"), 0)).collect();
+        net.add_link(r[0], r[1], 1000.0, 100);
+        net.add_link(r[1], r[2], 1000.0, 100);
+        net.add_link(r[2], r[3], 1000.0, 100);
+        net.add_link(r[3], r[0], 1000.0, 100);
+        net
+    }
+
+    #[test]
+    fn intact_tables_are_symmetric() {
+        let net = square();
+        let tables = RoutingTables::build(&net);
+        let (pairs, total) = asymmetric_latencies(&tables, 8);
+        assert!(pairs.is_empty(), "{pairs:?}");
+        assert_eq!(total, 0);
+    }
+
+    #[test]
+    fn corrupted_direction_is_detected() {
+        let net = square();
+        let mut tables = RoutingTables::build(&net);
+        let n = tables.n;
+        // Corrupt one direction of the 0→2 route.
+        tables.latency_us[2] += 7;
+        let (pairs, total) = asymmetric_latencies(&tables, 8);
+        assert_eq!(total, 1);
+        assert_eq!(pairs.len(), 1);
+        assert_eq!((pairs[0].a, pairs[0].b), (0, 2));
+        assert_eq!(pairs[0].ab_us, tables.latency_us[2]);
+        assert_eq!(pairs[0].ba_us, tables.latency_us[2 * n]);
+    }
+
+    #[test]
+    fn one_way_reachability_counts_as_asymmetry() {
+        let net = square();
+        let mut tables = RoutingTables::build(&net);
+        tables.latency_us[3] = u64::MAX;
+        let (pairs, total) = asymmetric_latencies(&tables, 8);
+        assert_eq!(total, 1);
+        assert_eq!(pairs[0].ba_us, tables.latency_us[3 * tables.n]);
+    }
+
+    #[test]
+    fn cap_bounds_witnesses_but_not_the_total() {
+        let net = square();
+        let mut tables = RoutingTables::build(&net);
+        let n = tables.n;
+        for dst in 1..4 {
+            tables.latency_us[dst] += 1;
+        }
+        let (pairs, total) = asymmetric_latencies(&tables, 2);
+        assert_eq!(total, 3);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs
+            .windows(2)
+            .all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b)));
+        let _ = n;
+    }
+
+    #[test]
+    fn square_has_ecmp_between_opposite_corners() {
+        let net = square();
+        let tables = RoutingTables::build(&net);
+        let (sites, total) = ecmp_sites(&net, &tables, 32);
+        // 0↔2 and 1↔3 are ambiguous in both directions: 4 ordered pairs.
+        assert_eq!(total, 4);
+        let site = sites
+            .iter()
+            .find(|s| s.src == 0 && s.dst == 2)
+            .expect("0->2 is ambiguous");
+        assert_eq!(site.next_hops, vec![1, 3]);
+    }
+
+    #[test]
+    fn a_line_has_no_ecmp() {
+        let mut net = Network::new();
+        let a = net.add_router("a", 0);
+        let b = net.add_router("b", 0);
+        let c = net.add_router("c", 0);
+        net.add_link(a, b, 1000.0, 100);
+        net.add_link(b, c, 1000.0, 150);
+        let tables = RoutingTables::build(&net);
+        let (sites, total) = ecmp_sites(&net, &tables, 32);
+        assert!(sites.is_empty());
+        assert_eq!(total, 0);
+    }
+}

@@ -7,10 +7,15 @@
 //!
 //! ```text
 //! # massf-trace v1
+//! # duration_us <N>          (optional declared emulation horizon)
 //! flow <src> <dst> <start_us> <packets> <bytes> <interval_us> [w<window>]
 //! ```
 //!
-//! One line per flow, everything else is a comment. Round-trips exactly.
+//! One line per flow, everything else is a comment. The `# duration_us`
+//! comment is the one piece of structured metadata: `record` writes the
+//! emulation duration there so `massf check <trace.txt>` (lint MC016) can
+//! compare the schedule horizon against what was declared. Round-trips
+//! exactly.
 
 use crate::flow::FlowSpec;
 use massf_topology::NodeId;
@@ -18,11 +23,23 @@ use massf_topology::NodeId;
 /// Magic first line of a trace file.
 pub const HEADER: &str = "# massf-trace v1";
 
+/// Prefix every trace header shares regardless of version; used to sniff
+/// "is this file a trace at all" before judging the version.
+pub const HEADER_PREFIX: &str = "# massf-trace";
+
+/// Structured metadata comment declaring the emulation horizon.
+const DURATION_KEY: &str = "# duration_us ";
+
 /// Errors from [`parse`].
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum TraceError {
     /// Missing or wrong header line.
     BadHeader,
+    /// The file is a massf trace, but of a version this build cannot read.
+    BadVersion {
+        /// The full header line found.
+        found: String,
+    },
     /// A flow line could not be parsed.
     BadLine {
         /// 1-based line number.
@@ -36,6 +53,12 @@ impl std::fmt::Display for TraceError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             TraceError::BadHeader => write!(f, "not a massf trace (missing '{HEADER}')"),
+            TraceError::BadVersion { found } => {
+                write!(
+                    f,
+                    "unsupported trace header {found:?} (this build reads '{HEADER}')"
+                )
+            }
             TraceError::BadLine { line, message } => write!(f, "line {line}: {message}"),
         }
     }
@@ -43,11 +66,30 @@ impl std::fmt::Display for TraceError {
 
 impl std::error::Error for TraceError {}
 
-/// Serializes a flow schedule.
+/// A parsed trace: the flow schedule plus any structured metadata the
+/// file declared.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Trace {
+    /// The flow schedule, in file order.
+    pub flows: Vec<FlowSpec>,
+    /// The `# duration_us <N>` horizon, when declared.
+    pub declared_duration_us: Option<u64>,
+}
+
+/// Serializes a flow schedule without a declared horizon.
 pub fn write(flows: &[FlowSpec]) -> String {
+    write_with_duration(flows, None)
+}
+
+/// Serializes a flow schedule, declaring `duration_us` as the emulation
+/// horizon when given.
+pub fn write_with_duration(flows: &[FlowSpec], duration_us: Option<u64>) -> String {
     let mut out = String::with_capacity(40 * flows.len() + 64);
     out.push_str(HEADER);
     out.push('\n');
+    if let Some(d) = duration_us {
+        out.push_str(&format!("{DURATION_KEY}{d}\n"));
+    }
     out.push_str(&format!("# {} flows\n", flows.len()));
     for f in flows {
         out.push_str(&format!(
@@ -62,18 +104,33 @@ pub fn write(flows: &[FlowSpec]) -> String {
     out
 }
 
-/// Parses a trace file.
+/// Parses a trace file, returning only the flow schedule. Convenience
+/// wrapper over [`parse_trace`] for callers that ignore metadata.
 pub fn parse(text: &str) -> Result<Vec<FlowSpec>, TraceError> {
+    parse_trace(text).map(|t| t.flows)
+}
+
+/// Parses a trace file, including structured metadata comments.
+pub fn parse_trace(text: &str) -> Result<Trace, TraceError> {
     let mut lines = text.lines().enumerate();
     match lines.next() {
         Some((_, l)) if l.trim() == HEADER => {}
+        Some((_, l)) if l.trim().starts_with(HEADER_PREFIX) => {
+            return Err(TraceError::BadVersion {
+                found: l.trim().to_string(),
+            })
+        }
         _ => return Err(TraceError::BadHeader),
     }
     let mut flows = Vec::new();
+    let mut declared_duration_us = None;
     for (i, raw) in lines {
         let line_no = i + 1;
         let line = raw.trim();
         if line.is_empty() || line.starts_with('#') {
+            if let Some(v) = line.strip_prefix(DURATION_KEY) {
+                declared_duration_us = v.trim().parse::<u64>().ok().or(declared_duration_us);
+            }
             continue;
         }
         let bad = |message: &str| TraceError::BadLine {
@@ -126,7 +183,10 @@ pub fn parse(text: &str) -> Result<Vec<FlowSpec>, TraceError> {
             window,
         });
     }
-    Ok(flows)
+    Ok(Trace {
+        flows,
+        declared_duration_us,
+    })
 }
 
 #[cfg(test)]
@@ -202,5 +262,29 @@ mod tests {
         let flows = parse(&text).unwrap();
         assert_eq!(flows[0].window, Some(8));
         assert_eq!(parse(&write(&flows)).unwrap(), flows);
+    }
+
+    #[test]
+    fn declared_duration_roundtrips() {
+        let flows = sample();
+        let text = write_with_duration(&flows, Some(10_000_000));
+        let trace = parse_trace(&text).unwrap();
+        assert_eq!(trace.declared_duration_us, Some(10_000_000));
+        assert_eq!(trace.flows, flows);
+        // `write` declares nothing; `parse` ignores metadata either way.
+        assert_eq!(
+            parse_trace(&write(&flows)).unwrap().declared_duration_us,
+            None
+        );
+        assert_eq!(parse(&text).unwrap(), flows);
+    }
+
+    #[test]
+    fn unsupported_version_is_distinguished_from_non_trace() {
+        match parse("# massf-trace v9\nflow 1 2 0 1 100 1\n") {
+            Err(TraceError::BadVersion { found }) => assert_eq!(found, "# massf-trace v9"),
+            other => panic!("expected BadVersion, got {other:?}"),
+        }
+        assert_eq!(parse("hello\n"), Err(TraceError::BadHeader));
     }
 }

@@ -6,7 +6,8 @@
 //!
 //! ```text
 //! massf topology <campus|teragrid|brite|brite-scaleup>
-//! massf check <network.dml> [--engines K] [--traffic <spec.txt>] [--format human|json]
+//! massf check <network.dml|trace.txt> [--engines K] [--traffic <spec.txt>]
+//!             [--audit] [--capacities C1,C2,...] [--format human|json]
 //! massf partition <network.dml> --engines K [--seed N]
 //! massf run <network.dml> [--engines K] [--traffic <spec.txt>] [--duration-s S]
 //!           [--approach top|place|profile] [--replay] [--report <run.json>]
@@ -23,14 +24,16 @@
 
 use massf_core::engine::engine::lookahead_us;
 use massf_core::engine::probe;
-use massf_core::obs::report::{EmulationInfo, EngineLoad, PartitionInfo, ScenarioInfo};
+use massf_core::obs::report::{
+    EmulationInfo, EngineLoad, LintFinding, LintSummary, PartitionInfo, ScenarioInfo,
+};
 use massf_core::prelude::*;
 use massf_core::routing::RoutingTables;
 use massf_core::topology::dml;
 use massf_core::topology::NodeId;
 use massf_core::traffic::spec::{parse_traffic, TrafficKind};
 use massf_core::traffic::{cbr, http, onoff};
-use massf_lint::{render, LintInput};
+use massf_lint::{render, ArtifactInput, Diagnostics, LintInput};
 
 /// A CLI failure with a user-facing message.
 #[derive(Debug, PartialEq, Eq)]
@@ -57,16 +60,27 @@ USAGE:
       Print the network in the description format.
 
   massf check <network.dml> [--engines K] [--traffic <spec.txt>]
-              [--duration-s S] [--format human|json] [--deny-warnings]
-              [--threads T]
+              [--duration-s S] [--audit] [--capacities C1,C2,...]
+              [--format human|json] [--deny-warnings] [--threads T]
+  massf check <trace.txt> [--network <network.dml>] [--format human|json]
+              [--deny-warnings]
       Statically lint the scenario: topology, partition request, traffic
       spec, and (when a spec and duration are given) the generated flow
-      schedule. Exits 0 when no Error-level diagnostics are found, 1
-      otherwise; the report is printed either way.
+      schedule. --audit (alias --partition) additionally maps a TOP
+      partition and runs the artifact passes MC013..MC018 over the
+      concrete partition and routing tables; --capacities audits a
+      heterogeneous engine-capacity vector and implies --audit. A file
+      beginning with `# massf-trace` is linted as a recorded trace
+      instead (MC016), plus endpoint validity when --network names the
+      topology it was recorded on. Exits 0 when no Error-level
+      diagnostics are found, 1 otherwise; the report is printed either
+      way.
 
   massf partition <network.dml> --engines K [--seed N] [--threads T]
                   [--deny-warnings]
       Partition the network with the TOP approach; prints node -> engine.
+      The produced partition is audited (MC013, MC017, MC018) and the
+      command refuses past any Error-level finding.
 
   massf run <network.dml> [--engines K] [--traffic <spec.txt>] [--duration-s S]
             [--approach top|place|profile] [--replay] [--threads T]
@@ -74,21 +88,27 @@ USAGE:
       Generate background traffic from the spec (a built-in CBR background
       when --traffic is omitted), map it with the chosen approach, emulate,
       and print the load-balance report. Defaults: 3 engines, 10 s,
-      profile approach. --report also writes the versioned JSON run
-      report (see `massf report`).
+      profile approach. The mapped partition and routing tables are
+      audited (MC013..MC018) before emulating; Errors refuse. --report
+      also writes the versioned JSON run report (see `massf report`),
+      including the audit as its `lint` block.
 
   massf ping <network.dml> <src-name> <dst-name>
       Emulate an ICMP echo through the discrete-event engine.
 
   massf record <network.dml> --traffic <spec.txt> --duration-s S --out <trace.txt>
-               [--report <run.json>]
-      Generate a traffic schedule from the spec and save it as a trace.
+               [--deny-warnings] [--report <run.json>]
+      Generate a traffic schedule from the spec and save it as a trace
+      (with the declared duration embedded). The trace text is audited
+      (MC016) before anything is written; Errors refuse.
 
   massf replay <network.dml> <trace.txt> --engines K
                [--approach top|place|profile] [--threads T]
                [--deny-warnings] [--report <run.json>]
       Replay a recorded trace as fast as possible (isolated network
-      emulation, the paper's Figures 9/10 measurement).
+      emulation, the paper's Figures 9/10 measurement). The trace is
+      checked first (MC016 shape plus endpoint validity against the
+      network), and the mapped partition is audited before emulating.
 
   massf report <run.json>
       Render a JSON run report written by --report as human text:
@@ -104,8 +124,9 @@ USAGE:
   massf help
       Show this text.
 
-Scenario-consuming subcommands run the massf-lint preflight and refuse
-to proceed past any Error-level diagnostic (stable codes MC001..MC012).
+Scenario-consuming subcommands run the massf-lint preflight before the
+pipeline and the artifact audit after it, refusing to proceed past any
+Error-level diagnostic (stable codes MC001..MC020).
 ";
 
 /// Runs the CLI; returns the text to print or an error message.
@@ -218,21 +239,23 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
             "--duration-s",
             "--format",
             "--threads",
+            "--capacities",
+            "--network",
         ],
-        &["--deny-warnings"],
+        &["--deny-warnings", "--audit", "--partition"],
     )?;
-    let path = args
-        .first()
-        .ok_or_else(|| err("usage: massf check <network.dml> [--engines K] [--traffic <spec>]"))?;
+    let path = args.first().ok_or_else(|| {
+        err("usage: massf check <network.dml|trace.txt> [--engines K] [--traffic <spec>]")
+    })?;
     let json = match flag(args, "--format").unwrap_or("human") {
         "human" => false,
         "json" => true,
         other => return Err(err(format!("unknown format {other:?} (human|json)"))),
     };
     let deny = args.iter().any(|a| a == "--deny-warnings");
-    // Accepted for CLI uniformity; linting is single-threaded by design so
-    // reports are byte-identical at any thread count.
-    threads_flag(args)?;
+    // Validated here, consumed by the audit stage below; every lint stage
+    // is byte-identical at any thread count.
+    let threads = threads_flag(args)?;
     let engines = match flag(args, "--engines") {
         Some(e) => Some(
             e.parse::<usize>()
@@ -240,7 +263,16 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
         ),
         None => None,
     };
-    let net = load_network(path)?;
+    let text =
+        std::fs::read_to_string(path).map_err(|e| err(format!("cannot read {path}: {e}")))?;
+    // A trace file lints as a trace, not as a topology. Anything whose
+    // first bytes are the trace header goes down the MC016 path —
+    // including wrong-version traces, which MC016 rejects with the found
+    // header rather than a DML parse error.
+    if text.starts_with(massf_core::traffic::tracefile::HEADER_PREFIX) {
+        return check_trace(&text, args, json, deny);
+    }
+    let net = dml::parse(&text).map_err(|e| err(format!("{path}: {e}")))?;
     let kind = match flag(args, "--traffic") {
         Some(spec_path) => {
             let text = std::fs::read_to_string(spec_path)
@@ -278,6 +310,49 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
             diags = massf_lint::lint_scenario(&input);
         }
     }
+
+    // Stage 3 (opt-in): the artifact audit. Map a TOP partition through
+    // the real pipeline and run MC013..MC018 over the partition and
+    // routing tables it produced.
+    let caps: Option<Vec<f64>> = match flag(args, "--capacities") {
+        Some(list) => Some(
+            list.split(',')
+                .map(|s| {
+                    s.trim()
+                        .parse::<f64>()
+                        .map_err(|_| err(format!("--capacities: {s:?} is not a number")))
+                })
+                .collect::<Result<_, _>>()?,
+        ),
+        None => None,
+    };
+    let audit = caps.is_some() || args.iter().any(|a| a == "--audit" || a == "--partition");
+    if audit {
+        let engines_n = engines.unwrap_or(3);
+        let mut cfg = MapperConfig::new(engines_n);
+        if let Some(par) = threads {
+            cfg = cfg.with_parallelism(par);
+        }
+        // A degenerate capacity vector never reaches the mapper (it
+        // asserts on length); MC017 reports it on the audit side instead.
+        if let Some(c) = &caps {
+            if c.len() == engines_n && c.iter().all(|x| x.is_finite() && *x > 0.0) {
+                cfg = cfg.with_engine_capacities(c.clone());
+            }
+        }
+        let study = MappingStudy::new(net.clone(), cfg);
+        let partition = study.map(Approach::Top, &[], &[]);
+        let mut artifact = ArtifactInput::new(&net)
+            .with_engines(engines_n)
+            .with_ubfactor(study.cfg.ubfactor)
+            .with_partition(&partition)
+            .with_tables(&study.tables);
+        if let Some(c) = &caps {
+            artifact = artifact.with_capacities(c);
+        }
+        diags.merge(massf_lint::lint_artifacts(&artifact));
+        diags.finish();
+    }
     if deny {
         diags.deny_warnings();
         diags.finish();
@@ -291,6 +366,70 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
         Err(CliError(report))
     } else {
         Ok(report)
+    }
+}
+
+/// The trace half of `massf check`: MC016 over the file text, plus the
+/// request passes (endpoint validity and schedule feasibility) when
+/// `--network` supplies the topology the trace was recorded on.
+fn check_trace(text: &str, args: &[String], json: bool, deny: bool) -> Result<String, CliError> {
+    let net = match flag(args, "--network") {
+        Some(p) => Some(load_network(p)?),
+        None => None,
+    };
+    let mut audit = massf_core::audit::audit_trace(text, net.as_ref());
+    if deny {
+        audit.diags.deny_warnings();
+        audit.diags.finish();
+    }
+    let report = if json {
+        render::json(&audit.diags)
+    } else {
+        render::human(&audit.diags)
+    };
+    if audit.diags.has_errors() {
+        Err(CliError(report))
+    } else {
+        Ok(report)
+    }
+}
+
+/// Applies `--deny-warnings` to a post-pipeline artifact audit and
+/// refuses — with the human-rendered report — past any Error-level
+/// finding, mirroring the preflight contract.
+fn audit_gate(diags: &mut Diagnostics, deny_warnings: bool) -> Result<(), CliError> {
+    if deny_warnings {
+        diags.deny_warnings();
+        diags.finish();
+    }
+    if diags.has_errors() {
+        return Err(err(format!(
+            "artifact audit failed\n{}",
+            render::human(diags)
+        )));
+    }
+    Ok(())
+}
+
+/// Digests a finished lint report into the run report's plain-string
+/// `lint` block (`massf-obs` cannot depend on `massf-lint` without a
+/// crate cycle, so the conversion lives here).
+fn lint_summary(diags: &Diagnostics) -> LintSummary {
+    use massf_lint::Severity;
+    LintSummary {
+        errors: diags.count(Severity::Error) as u64,
+        warnings: diags.count(Severity::Warn) as u64,
+        notes: diags.count(Severity::Note) as u64,
+        passes_run: diags.passes_run() as u64,
+        findings: diags
+            .iter()
+            .map(|d| LintFinding {
+                severity: d.severity.label().to_string(),
+                code: d.code.as_str().to_string(),
+                location: d.location.render(),
+                message: d.message.clone(),
+            })
+            .collect(),
     }
 }
 
@@ -344,6 +483,15 @@ fn cmd_partition(args: &[String]) -> Result<String, CliError> {
         cfg = cfg.with_parallelism(par);
     }
     let partition = massf_core::mapping::top::map_top(&net, &cfg);
+    // Post-pipeline audit of the concrete partition (no routing tables
+    // were built here, so MC014/MC015 skip but still count as run).
+    let mut audit = massf_lint::lint_artifacts(
+        &ArtifactInput::new(&net)
+            .with_engines(engines)
+            .with_ubfactor(cfg.ubfactor)
+            .with_partition(&partition),
+    );
+    audit_gate(&mut audit, deny)?;
     let mut out = String::new();
     for n in net.nodes() {
         out.push_str(&format!("{}\t{}\n", n.name, partition.part[n.id as usize]));
@@ -501,6 +649,12 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     let study = MappingStudy::new(net, cfg);
     rec.finish("mapping/routing_tables", span);
     let partition = study.map_obs(approach, &predicted, &flows, &mut rec);
+    // Post-pipeline audit: the mapped partition plus the study's routing
+    // tables must hold up before any emulation time is spent on them.
+    let span = rec.start();
+    let mut audit = massf_core::audit::audit_study(&study, &partition);
+    rec.finish("cli/audit", span);
+    audit_gate(&mut audit, deny)?;
     let span = rec.start();
     let report = if replay {
         study.replay(&partition, &flows)
@@ -545,6 +699,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         );
         run_report.partition = Some(partition_info(&study.net, &partition));
         run_report.emulation = Some(emulation_info(&report));
+        run_report.lint = Some(lint_summary(&audit));
         std::fs::write(report_path, run_report.to_json())
             .map_err(|e| err(format!("cannot write {report_path}: {e}")))?;
         out.push_str(&format!("report       : {report_path}\n"));
@@ -557,7 +712,7 @@ fn cmd_record(args: &[String]) -> Result<String, CliError> {
         "record",
         args,
         &["--traffic", "--duration-s", "--out", "--report"],
-        &[],
+        &["--deny-warnings"],
     )?;
     let path = args.first().ok_or_else(|| {
         err("usage: massf record <network.dml> --traffic <spec> --duration-s S --out <trace>")
@@ -575,17 +730,24 @@ fn cmd_record(args: &[String]) -> Result<String, CliError> {
         .parse()
         .map_err(|_| err("--duration-s must be a number"))?;
     let out_path = flag(args, "--out").ok_or_else(|| err("missing --out"))?;
-    preflight(&net, None, Some(&kind), &[], &[], false)?;
+    let deny = args.iter().any(|a| a == "--deny-warnings");
+    preflight(&net, None, Some(&kind), &[], &[], deny)?;
+    let duration_us = (duration_s * 1e6) as u64;
     let span = rec.start();
-    let (flows, _) = generate_traffic(&net, &kind, (duration_s * 1e6) as u64);
+    let (flows, _) = generate_traffic(&net, &kind, duration_us);
     rec.finish("cli/traffic_gen", span);
     rec.add_counter("traffic.flows", flows.len() as u64);
-    let text = massf_core::traffic::tracefile::write(&flows);
+    let text = massf_core::traffic::tracefile::write_with_duration(&flows, Some(duration_us));
+    // Audit the exact bytes headed for disk — what `replay` and
+    // `massf check` will read back — and refuse to write a broken trace.
+    let mut audit = massf_core::audit::audit_trace(&text, Some(&net)).diags;
+    audit_gate(&mut audit, deny)?;
     std::fs::write(out_path, &text).map_err(|e| err(format!("cannot write {out_path}: {e}")))?;
     if let Some(report_path) = flag(args, "--report") {
         // No mapping and no emulation happen here, so the report carries
-        // only the scenario shape (engines 0, approach "-") and timing.
-        let run_report = RunReport::new(
+        // the scenario shape (engines 0, approach "-"), the trace audit,
+        // and timing.
+        let mut run_report = RunReport::new(
             "record",
             ScenarioInfo {
                 network: net.summary(),
@@ -597,6 +759,7 @@ fn cmd_record(args: &[String]) -> Result<String, CliError> {
             rec,
             1,
         );
+        run_report.lint = Some(lint_summary(&audit));
         std::fs::write(report_path, run_report.to_json())
             .map_err(|e| err(format!("cannot write {report_path}: {e}")))?;
     }
@@ -625,18 +788,34 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     rec.finish("cli/load_network", span);
     let trace_text = std::fs::read_to_string(trace_path)
         .map_err(|e| err(format!("cannot read {trace_path}: {e}")))?;
-    let flows = massf_core::traffic::tracefile::parse(&trace_text)
-        .map_err(|e| err(format!("{trace_path}: {e}")))?;
-    if flows.is_empty() {
-        return Err(err("trace contains no flows"));
+    let deny = rest.iter().any(|a| a == "--deny-warnings");
+    // MC016 trace-shape lint plus endpoint validity against this
+    // topology; the former ad-hoc "trace contains no flows" refusal is
+    // the MC016 empty-trace Error now.
+    let span = rec.start();
+    let trace_audit = massf_core::audit::audit_trace(&trace_text, Some(&net));
+    rec.finish("cli/trace_audit", span);
+    let mut trace_diags = trace_audit.diags;
+    if deny {
+        trace_diags.deny_warnings();
+        trace_diags.finish();
     }
+    if trace_diags.has_errors() {
+        return Err(err(format!(
+            "trace check failed\n{}",
+            render::human(&trace_diags)
+        )));
+    }
+    let flows = trace_audit
+        .trace
+        .expect("an error-free trace audit implies the trace parsed")
+        .flows;
     let engines: usize = flag(rest, "--engines")
         .ok_or_else(|| err("missing --engines"))?
         .parse()
         .map_err(|_| err("--engines must be a number"))?;
-    let deny = rest.iter().any(|a| a == "--deny-warnings");
-    // Foreign trace endpoints, infeasible engine counts, and degenerate
-    // schedules all surface here as MC* diagnostics.
+    // Infeasible engine counts and degenerate schedules surface here as
+    // MC* diagnostics.
     let span = rec.start();
     preflight(&net, Some(engines), None, &[], &flows, deny)?;
     rec.finish("cli/preflight", span);
@@ -656,6 +835,12 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     let study = MappingStudy::new(net, cfg);
     rec.finish("mapping/routing_tables", span);
     let partition = study.map_obs(approach, &[], &flows, &mut rec);
+    // Post-pipeline audit: partition and routing tables, folded together
+    // with the trace findings for the run report's lint block.
+    let mut audit = massf_core::audit::audit_study(&study, &partition);
+    audit.merge(trace_diags);
+    audit.finish();
+    audit_gate(&mut audit, deny)?;
     let span = rec.start();
     let report = study.replay(&partition, &flows);
     rec.finish("engine/emulate", span);
@@ -676,6 +861,7 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
         );
         run_report.partition = Some(partition_info(&study.net, &partition));
         run_report.emulation = Some(emulation_info(&report));
+        run_report.lint = Some(lint_summary(&audit));
         std::fs::write(report_path, run_report.to_json())
             .map_err(|e| err(format!("cannot write {report_path}: {e}")))?;
     }

@@ -104,7 +104,8 @@ fn run_refuses_broken_scenario() {
 #[test]
 fn replay_refuses_broken_scenario() {
     // Record a trace on a healthy network, then replay it against the
-    // broken one: the preflight must reject before any emulation starts.
+    // broken one: the trace check (which validates the trace against the
+    // replay network) must reject before any emulation starts.
     let dir = std::env::temp_dir().join("massf_lint_diag_test");
     std::fs::create_dir_all(&dir).unwrap();
     let trace = dir.join("trace.txt");
@@ -128,7 +129,7 @@ fn replay_refuses_broken_scenario() {
         "2",
     ]))
     .expect_err("replay must refuse a disconnected network");
-    assert!(e.0.contains("preflight check failed"), "{}", e.0);
+    assert!(e.0.contains("trace check failed"), "{}", e.0);
     assert!(e.0.contains("MC001"), "{}", e.0);
 }
 
