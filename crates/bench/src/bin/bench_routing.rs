@@ -1,0 +1,162 @@
+//! Routing-table representation benchmark: dense `n × n` matrices vs the
+//! compressed interval rows (DESIGN.md §13) over the Table 1 scenarios
+//! plus the 200-router scale-up. Dumps `results/BENCH_routing.json`.
+//!
+//! For every topology the binary builds both representations, **asserts
+//! bit-identical routing** (next hop, next link, and latency on every
+//! (src, dst) pair), then records bytes per table and the compression
+//! ratio, the row/run shape (leaf / shared / unique rows, runs per row),
+//! build wall-clock, and lookup throughput (`next_link_raw` over all
+//! pairs — the forwarding hot-loop query).
+//!
+//! All size and shape cells are deterministic functions of the topology,
+//! so the `ratio ≥ 10×` acceptance check is flake-free by construction;
+//! only the timing cells vary run to run.
+//!
+//! Usage: `bench_routing [scale]` (scale is accepted for CLI uniformity
+//! but ignored — table size depends only on the topology) or
+//! `bench_routing --smoke` for the CI run: one timing rep plus a
+//! self-check that the dumped JSON parses and the equality/ratio
+//! assertions held.
+
+use massf_bench::dump_json;
+use massf_core::prelude::*;
+use massf_core::routing::RoutingTables;
+use massf_core::topology::NodeId;
+use massf_metrics::report::ResultTable;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock seconds for `f`.
+fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Every (src, dst) routing answer must agree between representations.
+fn assert_identical(net: &Network, dense: &RoutingTables, comp: &RoutingTables, row: &str) {
+    let n = net.node_count() as NodeId;
+    for a in 0..n {
+        for b in 0..n {
+            assert_eq!(
+                dense.next_hop(a, b),
+                comp.next_hop(a, b),
+                "{row}: next_hop diverges at {a}->{b}"
+            );
+            assert_eq!(
+                dense.next_link_raw(a, b),
+                comp.next_link_raw(a, b),
+                "{row}: next_link diverges at {a}->{b}"
+            );
+            assert_eq!(
+                dense.latency_us(a, b),
+                comp.latency_us(a, b),
+                "{row}: latency diverges at {a}->{b}"
+            );
+        }
+    }
+}
+
+/// All-pairs `next_link_raw` sweep; returns lookups per second.
+fn lookup_throughput(tables: &RoutingTables, reps: usize) -> f64 {
+    let n = tables.node_count() as NodeId;
+    let (secs, checksum) = time_best(reps, || {
+        let mut acc = 0u64;
+        for a in 0..n {
+            for b in 0..n {
+                acc = acc.wrapping_add(tables.next_link_raw(a, b).0 as u64);
+            }
+        }
+        acc
+    });
+    assert!(checksum > 0, "sweep must touch real links");
+    (n as f64 * n as f64) / secs.max(1e-9)
+}
+
+fn main() {
+    let smoke = std::env::args().nth(1).as_deref() == Some("--smoke");
+    let reps = if smoke { 1 } else { 3 };
+
+    let mut t = ResultTable::new(
+        "BENCH_routing",
+        "Routing tables: dense n\u{b2} matrices vs compressed interval rows \
+         (bit-identical routes asserted on every pair)",
+    );
+
+    let mut best_ratio = 0.0f64;
+    for topo in [
+        Topology::Campus,
+        Topology::TeraGrid,
+        Topology::Brite,
+        Topology::BriteScaleup,
+    ] {
+        let net = topo.build();
+        let row = topo.label();
+        let par = Parallelism::available();
+
+        let (dense_secs, dense) = time_best(reps, || {
+            RoutingTables::build_kind(&net, RoutingKind::Dense, par)
+        });
+        let (comp_secs, comp) = time_best(reps, || {
+            RoutingTables::build_kind(&net, RoutingKind::Compressed, par)
+        });
+        assert_identical(&net, &dense, &comp, row);
+
+        let ratio = dense.table_bytes() as f64 / comp.table_bytes().max(1) as f64;
+        best_ratio = best_ratio.max(ratio);
+        let stats = comp.run_stats().expect("compressed tables have run stats");
+
+        t.set(row, "nodes", net.node_count() as f64);
+        t.set(row, "dense-kb", dense.table_bytes() as f64 / 1024.0);
+        t.set(row, "comp-kb", comp.table_bytes() as f64 / 1024.0);
+        t.set(row, "ratio", ratio);
+        t.set(row, "rows-leaf", stats.leaf_rows as f64);
+        t.set(row, "rows-shared", stats.shared_rows as f64);
+        t.set(row, "rows-unique", stats.unique_rows as f64);
+        t.set(row, "runs-mean", stats.runs_mean_per_row);
+        t.set(row, "runs-max", stats.runs_max_per_row as f64);
+        t.set(row, "build-dense-ms", dense_secs * 1e3);
+        t.set(row, "build-comp-ms", comp_secs * 1e3);
+        t.set(
+            row,
+            "lookup-dense-M/s",
+            lookup_throughput(&dense, reps) / 1e6,
+        );
+        t.set(row, "lookup-comp-M/s", lookup_throughput(&comp, reps) / 1e6);
+    }
+
+    print!("{}", t.render(2));
+    for row in &t.rows {
+        if let (Some(r), Some(m)) = (t.get(row, "ratio"), t.get(row, "runs-mean")) {
+            println!("  {row}: {r:.1}x smaller, {m:.1} runs per unique row");
+        }
+    }
+    dump_json(&t);
+
+    // The tentpole acceptance bar: a ≥10× reduction on at least one
+    // shipped scenario. Byte counts are deterministic, so this cannot
+    // flake.
+    assert!(
+        best_ratio >= 10.0,
+        "expected a >=10x table-size reduction on some scenario, best was {best_ratio:.1}x"
+    );
+
+    if smoke {
+        let json = std::fs::read_to_string("results/BENCH_routing.json")
+            .expect("smoke: results/BENCH_routing.json written");
+        massf_core::obs::json::parse(&json).expect("smoke: dump is valid JSON");
+        for row in &t.rows {
+            for col in ["dense-kb", "comp-kb", "ratio", "runs-mean"] {
+                let v = t.get(row, col).expect("smoke: cell filled");
+                assert!(v > 0.0, "smoke: {row}/{col} must be positive");
+            }
+        }
+        println!("smoke ok: routes bit-identical, best ratio {best_ratio:.1}x");
+    }
+}

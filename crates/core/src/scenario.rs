@@ -1,6 +1,6 @@
 //! Experiment scenarios: the paper's topology × workload grid (§4.1).
 
-use massf_mapping::{MapperConfig, MappingStudy, Parallelism};
+use massf_mapping::{MapperConfig, MappingStudy, Parallelism, RoutingKind};
 use massf_topology::brite::{BriteConfig, BRITE_ENGINES, SCALEUP_ENGINES};
 use massf_topology::campus::{campus, CAMPUS_ENGINES};
 use massf_topology::teragrid::{teragrid, TERAGRID_ENGINES};
@@ -109,6 +109,9 @@ pub struct Scenario {
     /// partitioner restarts). Results are bit-identical at every setting;
     /// `Parallelism::serial()` runs the exact single-threaded paths.
     pub parallelism: Parallelism,
+    /// Routing-table representation (dense baseline vs compressed interval
+    /// rows). Both answer every routing query bit-identically.
+    pub routing: RoutingKind,
 }
 
 impl Scenario {
@@ -122,6 +125,7 @@ impl Scenario {
             scale: 1.0,
             seed: 0x5c2003,
             parallelism: Parallelism::available(),
+            routing: RoutingKind::default(),
         }
         .with_moderate_background()
     }
@@ -165,6 +169,12 @@ impl Scenario {
         self
     }
 
+    /// Selects the routing-table representation.
+    pub fn with_routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
+        self
+    }
+
     /// Instantiates the network, routing, placement, flow schedule, and
     /// PLACE predictions.
     pub fn build(&self) -> BuiltScenario {
@@ -201,7 +211,8 @@ impl Scenario {
 
         let cfg = MapperConfig::new(self.topology.engines())
             .with_seed(self.seed)
-            .with_parallelism(self.parallelism);
+            .with_parallelism(self.parallelism)
+            .with_routing(self.routing);
         BuiltScenario {
             scenario: self.clone(),
             study: MappingStudy::new(net, cfg),

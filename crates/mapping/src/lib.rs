@@ -48,6 +48,7 @@ pub mod weights;
 
 pub use dynamic::{run_dynamic, DynamicConfig, DynamicOutcome};
 pub use massf_par::Parallelism;
+pub use massf_routing::RoutingKind;
 pub use pipeline::{Approach, MappingStudy};
 
 /// Shared configuration of all mapping approaches.
@@ -80,6 +81,11 @@ pub struct MapperConfig {
     /// thread count, and `Parallelism::serial()` runs the exact
     /// single-threaded reference paths.
     pub parallelism: Parallelism,
+    /// Routing-table representation the pipeline builds. Dense and
+    /// compressed answer every query bit-identically, so this only moves
+    /// the memory/speed trade-off; compressed (the default) breaks the
+    /// O(n²) table wall.
+    pub routing: RoutingKind,
 }
 
 impl MapperConfig {
@@ -101,6 +107,7 @@ impl MapperConfig {
             min_bucket_events: 16,
             engine_capacities: None,
             parallelism: Parallelism::available(),
+            routing: RoutingKind::default(),
         }
     }
 
@@ -139,6 +146,12 @@ impl MapperConfig {
     /// Builder: set the pipeline parallelism directly.
     pub fn with_parallelism(mut self, par: Parallelism) -> Self {
         self.parallelism = par;
+        self
+    }
+
+    /// Builder: select the routing-table representation.
+    pub fn with_routing(mut self, routing: RoutingKind) -> Self {
+        self.routing = routing;
         self
     }
 

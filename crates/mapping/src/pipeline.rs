@@ -55,7 +55,7 @@ impl MappingStudy {
     /// Builds routing tables (threaded per `cfg.parallelism`) and wraps
     /// everything up.
     pub fn new(net: Network, cfg: MapperConfig) -> Self {
-        let tables = RoutingTables::build_with(&net, cfg.parallelism);
+        let tables = RoutingTables::build_kind(&net, cfg.routing, cfg.parallelism);
         Self {
             net,
             tables,

@@ -12,13 +12,19 @@
 //!   AS's egress gateway for the destination AS, crosses the inter-AS link,
 //!   and the next AS takes over — classic hot-potato forwarding.
 //!
-//! The result materializes into an ordinary [`RoutingTables`], so every
-//! consumer (engine, traceroute, mappers) works unchanged. Hierarchical
-//! paths can be *longer* than global SPF paths (the well-known path
-//! stretch of policy routing); [`path_stretch`] quantifies it.
+//! Rows are produced AS at a time from per-AS state that is only
+//! `O(Σ mᵢ²)` (`mᵢ` = AS size), and materialize into either
+//! representation of [`RoutingTables`]: the dense matrices, or — via
+//! [`build_hierarchical_kind`] with [`RoutingKind::Compressed`] — straight
+//! into interval-compressed rows *without ever allocating the dense
+//! matrix*. Every consumer (engine, traceroute, mappers) works unchanged.
+//! Hierarchical paths can be *longer* than global SPF paths (the
+//! well-known path stretch of policy routing); [`path_stretch`]
+//! quantifies it.
 
+use crate::compressed::{RowEncoder, Run};
 use crate::spf;
-use crate::tables::{RoutingTables, NO_LINK};
+use crate::tables::{link_toward, DenseTables, Repr, RoutingKind, RoutingTables, NO_LINK};
 use massf_topology::{LinkId, Network, NodeId};
 use std::collections::BTreeMap;
 
@@ -35,12 +41,24 @@ struct Border {
     latency_us: u64,
 }
 
-/// Builds two-level routing tables for `net`.
-///
-/// # Panics
-/// Panics if some AS is internally disconnected (every AS must be routable
-/// on its own, as in real networks).
-pub fn build_hierarchical(net: &Network) -> RoutingTables {
+/// The AS-level structure both materializers share: AS membership, every
+/// border link per AS pair, and AS-graph shortest-path next hops.
+struct HierPlan {
+    /// Number of distinct ASes.
+    nas: usize,
+    /// Dense AS index per node.
+    as_of: Vec<usize>,
+    /// Original AS ids, for diagnostics.
+    as_ids: Vec<u32>,
+    /// Node ids per AS index, ascending.
+    members: Vec<Vec<NodeId>>,
+    /// Border links per directed AS pair, sorted by `(latency, link id)`.
+    borders: BTreeMap<(usize, usize), Vec<Border>>,
+    /// `as_hop[a][b]` = next AS from `a` toward `b` on the AS graph.
+    as_hop: Vec<Vec<Option<usize>>>,
+}
+
+fn plan(net: &Network) -> HierPlan {
     let n = net.node_count();
 
     // Dense AS indexing.
@@ -53,6 +71,11 @@ pub fn build_hierarchical(net: &Network) -> RoutingTables {
     let as_index: BTreeMap<u32, usize> = as_ids.iter().enumerate().map(|(i, &a)| (a, i)).collect();
     let nas = as_ids.len();
     let as_of: Vec<usize> = net.nodes().iter().map(|nd| as_index[&nd.as_id]).collect();
+
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); nas];
+    for v in 0..n {
+        members[as_of[v]].push(v as NodeId);
+    }
 
     // *All* border links between AS pairs (real hot-potato picks the
     // nearest of several egress points), plus the cheapest per pair for the
@@ -81,7 +104,7 @@ pub fn build_hierarchical(net: &Network) -> RoutingTables {
     // weighted by its cheapest border). as_hop[a][b] = next AS from a
     // toward b.
     let mut as_hop: Vec<Vec<Option<usize>>> = vec![vec![None; nas]; nas];
-    for src_as in 0..nas {
+    for (src_as, row) in as_hop.iter_mut().enumerate() {
         let mut dist = vec![u64::MAX; nas];
         let mut first: Vec<Option<usize>> = vec![None; nas];
         let mut done = vec![false; nas];
@@ -103,108 +126,204 @@ pub fn build_hierarchical(net: &Network) -> RoutingTables {
                 }
             }
         }
-        as_hop[src_as] = first;
+        *row = first;
     }
 
-    // Intra-AS SPF trees over induced member subnetworks.
-    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); nas];
-    for v in 0..n {
-        members[as_of[v]].push(v as NodeId);
+    HierPlan {
+        nas,
+        as_of,
+        as_ids,
+        members,
+        borders,
+        as_hop,
     }
-    // intra_next[src][dst] defined only for same-AS pairs; intra_dist
-    // additionally feeds the hot-potato nearest-egress choice.
+}
+
+/// Intra-AS routing state for one AS, in member-local coordinates:
+/// `m × m` first hops, first links, and shortest-path distances. This is
+/// the only all-pairs state the hierarchical builder ever holds, and it is
+/// per-AS — the paper's `O(n²)`-per-AS bound, not global `O(n²)`.
+struct IntraAs {
+    /// Global node ids of the AS members, ascending.
+    members: Vec<NodeId>,
+    /// Member-local index per global node (`u32::MAX` for non-members).
+    local_of: Vec<u32>,
+    /// `first_hop[si * m + di]`: global id of the first hop from member
+    /// `si` toward member `di`; `NodeId::MAX` on the diagonal.
+    first_hop: Vec<NodeId>,
+    /// Link to that first hop.
+    first_link: Vec<LinkId>,
+    /// Intra-AS shortest-path latency between members.
+    dist: Vec<u64>,
+}
+
+/// Builds the intra-AS state for AS index `a` by running SPF over the
+/// induced member subnetwork.
+///
+/// # Panics
+/// Panics if the AS is internally disconnected (every AS must be routable
+/// on its own, as in real networks).
+fn intra_for(net: &Network, plan: &HierPlan, a: usize) -> IntraAs {
+    let mem = plan.members[a].clone();
+    let m = mem.len();
+    let mut local_of = vec![u32::MAX; net.node_count()];
+    for (i, &v) in mem.iter().enumerate() {
+        local_of[v as usize] = i as u32;
+    }
+
+    // Induced sub-network over the members; links resolve back through the
+    // full network when first hops are materialized.
+    let mut sub = Network::new();
+    for &v in &mem {
+        match net.node(v).kind {
+            massf_topology::NodeKind::Router => sub.add_router(net.node(v).name.clone(), 0),
+            massf_topology::NodeKind::Host => sub.add_host(net.node(v).name.clone(), 0),
+        };
+    }
+    for l in net.links() {
+        if local_of[l.a as usize] != u32::MAX && local_of[l.b as usize] != u32::MAX {
+            sub.add_link(
+                local_of[l.a as usize] as NodeId,
+                local_of[l.b as usize] as NodeId,
+                l.bandwidth_mbps,
+                l.latency_us,
+            );
+        }
+    }
+    assert!(
+        sub.is_connected(),
+        "AS {} is internally disconnected — hierarchical routing impossible",
+        plan.as_ids[a]
+    );
+
+    let mut first_hop = vec![NodeId::MAX; m * m];
+    let mut first_link = vec![NO_LINK; m * m];
+    let mut dist = vec![u64::MAX; m * m];
+    for (si, &sv) in mem.iter().enumerate() {
+        let tree = spf::shortest_paths(&sub, si as NodeId);
+        let first = tree.first_hops();
+        dist[si * m..(si + 1) * m].copy_from_slice(&tree.dist_us);
+        let mut memo: Vec<(NodeId, LinkId)> = Vec::new();
+        for di in 0..m {
+            let hop_local = first[di];
+            if hop_local == spf::NO_PREV {
+                continue; // the diagonal: the AS is connected
+            }
+            let hop = mem[hop_local as usize];
+            first_hop[si * m + di] = hop;
+            first_link[si * m + di] = link_toward(net, sv, hop, &mut memo);
+        }
+    }
+
+    IntraAs {
+        members: mem,
+        local_of,
+        first_hop,
+        first_link,
+        dist,
+    }
+}
+
+/// Fills the full next-hop/next-link row for `src` into `n`-length scratch
+/// slices (which the caller pre-reset to `NodeId::MAX` / [`NO_LINK`]):
+/// intra-AS destinations from the member SPF state, inter-AS destinations
+/// via one hot-potato border choice per destination AS.
+///
+/// Loop-free: the intra-AS distance to the nearest egress strictly
+/// decreases hop by hop, whichever egress each router individually
+/// prefers.
+fn fill_row(
+    plan: &HierPlan,
+    intra: &IntraAs,
+    src: NodeId,
+    hops: &mut [NodeId],
+    links: &mut [LinkId],
+) {
+    let sa = plan.as_of[src as usize];
+    let m = intra.members.len();
+    let si = intra.local_of[src as usize] as usize;
+
+    for di in 0..m {
+        if di == si {
+            continue;
+        }
+        let dv = intra.members[di] as usize;
+        hops[dv] = intra.first_hop[si * m + di];
+        links[dv] = intra.first_link[si * m + di];
+    }
+
+    for ta in 0..plan.nas {
+        if ta == sa {
+            continue;
+        }
+        let Some(next_as) = plan.as_hop[sa][ta] else {
+            continue; // unreachable AS: row entries stay sentinel
+        };
+        let candidates = &plan.borders[&(sa, next_as)];
+        let border = candidates
+            .iter()
+            .min_by_key(|b| {
+                let d = if b.egress == src {
+                    0
+                } else {
+                    intra.dist[si * m + intra.local_of[b.egress as usize] as usize]
+                };
+                (d, b.latency_us, b.link.0)
+            })
+            .expect("at least one border to the next AS");
+        let (hop, link) = if src == border.egress {
+            (border.ingress, border.link)
+        } else {
+            // Follow the intra-AS route toward the egress gateway.
+            let ei = intra.local_of[border.egress as usize] as usize;
+            (intra.first_hop[si * m + ei], intra.first_link[si * m + ei])
+        };
+        for &dv in &plan.members[ta] {
+            hops[dv as usize] = hop;
+            links[dv as usize] = link;
+        }
+    }
+}
+
+/// Builds two-level routing tables for `net` in the dense representation.
+/// Shorthand for [`build_hierarchical_kind`] with [`RoutingKind::Dense`].
+///
+/// # Panics
+/// Panics if some AS is internally disconnected.
+pub fn build_hierarchical(net: &Network) -> RoutingTables {
+    build_hierarchical_kind(net, RoutingKind::Dense)
+}
+
+/// Builds two-level routing tables for `net` in the representation `kind`
+/// selects. The compressed path streams rows AS at a time straight into
+/// the run encoder, so peak memory is the per-AS `O(m²)` state plus the
+/// compressed output — the dense `n × n` matrix is never allocated.
+///
+/// # Panics
+/// Panics if some AS is internally disconnected.
+pub fn build_hierarchical_kind(net: &Network, kind: RoutingKind) -> RoutingTables {
+    let p = plan(net);
+    match kind {
+        RoutingKind::Dense => materialize_dense(net, &p),
+        RoutingKind::Compressed => materialize_compressed(net, &p),
+    }
+}
+
+fn materialize_dense(net: &Network, plan: &HierPlan) -> RoutingTables {
+    let n = net.node_count();
     let mut next_hop = vec![NodeId::MAX; n * n];
     let mut next_link = vec![NO_LINK; n * n];
-    let mut intra_dist: BTreeMap<(NodeId, NodeId), u64> = BTreeMap::new();
-    for (a, mem) in members.iter().enumerate() {
-        let local_index: BTreeMap<NodeId, usize> =
-            mem.iter().enumerate().map(|(i, &v)| (v, i)).collect();
-        // Build an induced sub-Network preserving link identities via a map.
-        let mut sub = Network::new();
-        for &v in mem {
-            match net.node(v).kind {
-                massf_topology::NodeKind::Router => sub.add_router(net.node(v).name.clone(), 0),
-                massf_topology::NodeKind::Host => sub.add_host(net.node(v).name.clone(), 0),
-            };
-        }
-        let mut sub_link_to_real: Vec<LinkId> = Vec::new();
-        for (li, l) in net.links().iter().enumerate() {
-            if as_of[l.a as usize] == a && as_of[l.b as usize] == a {
-                sub.add_link(
-                    local_index[&l.a] as NodeId,
-                    local_index[&l.b] as NodeId,
-                    l.bandwidth_mbps,
-                    l.latency_us,
-                );
-                sub_link_to_real.push(LinkId(li as u32));
-            }
-        }
-        assert!(
-            sub.is_connected(),
-            "AS {} is internally disconnected — hierarchical routing impossible",
-            as_ids[a]
-        );
-        for (si, &sv) in mem.iter().enumerate() {
-            let tree = spf::shortest_paths(&sub, si as NodeId);
-            for (di, &dv) in mem.iter().enumerate() {
-                if si == di {
-                    continue;
-                }
-                intra_dist.insert((sv, dv), tree.dist_us[di]);
-                // First hop from si toward di in the subnetwork.
-                let mut cur = di as NodeId;
-                while tree.prev[cur as usize] != si as NodeId {
-                    cur = tree.prev[cur as usize];
-                }
-                let hop_local = cur;
-                let hop = mem[hop_local as usize];
-                let idx = sv as usize * n + dv as usize;
-                next_hop[idx] = hop;
-                next_link[idx] = net
-                    .link_between(sv, hop)
-                    .expect("intra-AS hop must be adjacent in the full network");
-            }
-        }
-    }
-
-    // Inter-AS entries: hot-potato — each node exits through its *nearest*
-    // egress among the borders to the AS-level next hop. Loop-free: the
-    // intra-AS distance to the nearest egress strictly decreases hop by
-    // hop, whichever egress each router individually prefers.
-    for src in 0..n {
-        let sa = as_of[src];
-        for dst in 0..n {
-            if src == dst || as_of[dst] == sa {
-                continue;
-            }
-            let Some(next_as) = as_hop[sa][as_of[dst]] else {
-                continue;
-            };
-            let candidates = &borders[&(sa, next_as)];
-            let border = candidates
-                .iter()
-                .min_by_key(|b| {
-                    let d = if b.egress as usize == src {
-                        0
-                    } else {
-                        intra_dist
-                            .get(&(src as NodeId, b.egress))
-                            .copied()
-                            .unwrap_or(u64::MAX)
-                    };
-                    (d, b.latency_us, b.link.0)
-                })
-                .expect("at least one border to the next AS");
-            let idx = src * n + dst;
-            if src as NodeId == border.egress {
-                next_hop[idx] = border.ingress;
-                next_link[idx] = border.link;
-            } else {
-                // Follow the intra-AS route toward the egress gateway.
-                let via = src * n + border.egress as usize;
-                next_hop[idx] = next_hop[via];
-                next_link[idx] = next_link[via];
-            }
+    for a in 0..plan.nas {
+        let intra = intra_for(net, plan, a);
+        for &src in &plan.members[a] {
+            let row = src as usize * n..(src as usize + 1) * n;
+            fill_row(
+                plan,
+                &intra,
+                src,
+                &mut next_hop[row.clone()],
+                &mut next_link[row],
+            );
         }
     }
 
@@ -239,9 +358,49 @@ pub fn build_hierarchical(net: &Network) -> RoutingTables {
 
     RoutingTables {
         n,
-        next_hop,
-        latency_us,
-        next_link,
+        repr: Repr::Dense(DenseTables {
+            next_hop,
+            latency_us,
+            next_link,
+        }),
+    }
+}
+
+fn materialize_compressed(net: &Network, plan: &HierPlan) -> RoutingTables {
+    let n = net.node_count();
+    let mut enc = RowEncoder::new(net);
+    let order: Vec<NodeId> = enc.order().to_vec();
+    // One scratch row, reset per source — never the n × n matrix.
+    let mut hops = vec![NodeId::MAX; n];
+    let mut links = vec![NO_LINK; n];
+    let mut runs: Vec<Run> = Vec::new();
+    for a in 0..plan.nas {
+        let intra = intra_for(net, plan, a);
+        for &src in &plan.members[a] {
+            hops.fill(NodeId::MAX);
+            links.fill(NO_LINK);
+            fill_row(plan, &intra, src, &mut hops, &mut links);
+            runs.clear();
+            for (pos, &dst) in order.iter().enumerate() {
+                if dst == src {
+                    continue;
+                }
+                let (h, l) = (hops[dst as usize], links[dst as usize]);
+                match runs.last() {
+                    Some(r) if r.hop == h && r.link == l => {}
+                    _ => runs.push(Run {
+                        start: pos as u32,
+                        hop: h,
+                        link: l,
+                    }),
+                }
+            }
+            enc.set_runs(src, &runs);
+        }
+    }
+    RoutingTables {
+        n,
+        repr: Repr::Compressed(enc.finish(net)),
     }
 }
 
@@ -345,5 +504,27 @@ mod tests {
             names.iter().any(|s| s.starts_with("hub-")),
             "no backbone hub in {names:?}"
         );
+    }
+
+    #[test]
+    fn hierarchical_compressed_equals_hierarchical_dense() {
+        for net in [campus(), teragrid()] {
+            let dense = build_hierarchical_kind(&net, RoutingKind::Dense);
+            let comp = build_hierarchical_kind(&net, RoutingKind::Compressed);
+            assert_eq!(dense.kind(), RoutingKind::Dense);
+            assert_eq!(comp.kind(), RoutingKind::Compressed);
+            let n = net.node_count() as NodeId;
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(dense.next_hop(a, b), comp.next_hop(a, b), "hop {a}->{b}");
+                    assert_eq!(dense.next_link(a, b), comp.next_link(a, b), "link {a}->{b}");
+                    assert_eq!(
+                        dense.latency_us(a, b),
+                        comp.latency_us(a, b),
+                        "latency {a}->{b}"
+                    );
+                }
+            }
+        }
     }
 }

@@ -7,12 +7,16 @@
 //! (`m = 10 + x²` for a router in an AS of `x` routers, §5).
 //!
 //! Routes are latency-weighted shortest paths (ties broken by hop count,
-//! then node id), computed by per-source Dijkstra and stored as dense
-//! next-hop tables — the same information a router's FIB would hold.
+//! then node id), computed by per-source Dijkstra. Two storage
+//! representations answer the same queries bit-identically
+//! ([`RoutingKind`]): dense `n × n` next-hop tables — the paper's
+//! memory model verbatim — and interval-compressed rows with shared
+//! host rows, which break the O(n²) wall (DESIGN.md §13).
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
+mod compressed;
 pub mod hierarchy;
 pub mod memory;
 pub mod probes;
@@ -20,4 +24,5 @@ pub mod spf;
 pub mod tables;
 pub mod traceroute;
 
-pub use tables::RoutingTables;
+pub use memory::RunStats;
+pub use tables::{RoutingKind, RoutingTables};

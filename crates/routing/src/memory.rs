@@ -5,7 +5,12 @@
 //! routers in an AS." And from §5: "we use m = 10 + x·x as the memory
 //! requirement for a router, where x is the size of an AS."
 
+use crate::tables::{Repr, RoutingTables};
 use massf_topology::{Network, NodeId, NodeKind};
+
+/// Bytes one dense `(src, dst)` entry occupies: a `u32` next hop, a `u64`
+/// latency, and a `u32` next link.
+pub const DENSE_ENTRY_BYTES: u64 = 16;
 
 /// Memory weight of a single router in an AS of `as_size` routers:
 /// `m = 10 + x²`.
@@ -53,9 +58,94 @@ pub fn total_memory(net: &Network, nodes: &[NodeId]) -> i64 {
         .sum()
 }
 
+/// Routing-table bytes the paper's model predicts for `net`: the summed
+/// per-node memory weights (`10 + x²` per router, `10` per host — table
+/// *entries* in the paper's units) times [`DENSE_ENTRY_BYTES`]. Reported
+/// next to [`RoutingTables::table_bytes`] in `massf report` so predicted
+/// and measured footprints sit side by side.
+pub fn predicted_table_bytes(net: &Network) -> u64 {
+    memory_weights(net).iter().sum::<i64>() as u64 * DENSE_ENTRY_BYTES
+}
+
+/// Row/run-shape statistics of a compressed table, surfaced in run
+/// reports and `bench_routing`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunStats {
+    /// Rows stored as a two-word leaf record (degree-1 nodes sharing
+    /// their uplink).
+    pub leaf_rows: usize,
+    /// Non-leaf rows that reference a canonical row first seen at another
+    /// source.
+    pub shared_rows: usize,
+    /// Canonical rows actually materialized in the run pool.
+    pub unique_rows: usize,
+    /// Total runs across all canonical rows.
+    pub runs_total: usize,
+    /// Largest run count of any canonical row.
+    pub runs_max_per_row: usize,
+    /// Mean run count per canonical row (0.0 when there are none).
+    pub runs_mean_per_row: f64,
+}
+
+impl RoutingTables {
+    /// Measured bytes of the table payload as actually stored — flat
+    /// matrices for dense ([`DENSE_ENTRY_BYTES`] per pair), rank + row
+    /// references + run pool + latency snapshot for compressed.
+    pub fn table_bytes(&self) -> u64 {
+        match &self.repr {
+            Repr::Dense(_) => self.dense_bytes(),
+            Repr::Compressed(c) => {
+                let row_ref = std::mem::size_of::<crate::compressed::RowRef>() as u64;
+                4 * c.rank.len() as u64
+                    + row_ref * c.rows.len() as u64
+                    + 12 * c.run_start.len() as u64
+                    + 4 * c.row_bounds.len() as u64
+                    + 8 * c.link_latency_us.len() as u64
+            }
+        }
+    }
+
+    /// Bytes the dense representation of these tables occupies (or would
+    /// occupy): `n² ×` [`DENSE_ENTRY_BYTES`]. The compression baseline.
+    pub fn dense_bytes(&self) -> u64 {
+        (self.n as u64) * (self.n as u64) * DENSE_ENTRY_BYTES
+    }
+
+    /// Row/run statistics; `None` for dense tables.
+    pub fn run_stats(&self) -> Option<RunStats> {
+        let Repr::Compressed(c) = &self.repr else {
+            return None;
+        };
+        let leaf_rows = c
+            .rows
+            .iter()
+            .filter(|r| matches!(r, crate::compressed::RowRef::Leaf { .. }))
+            .count();
+        let unique_rows = c.row_bounds.len() - 1;
+        let shared_rows = (c.rows.len() - leaf_rows).saturating_sub(unique_rows);
+        let runs_per_row = c.row_bounds.windows(2).map(|w| (w[1] - w[0]) as usize);
+        let runs_total = c.run_start.len();
+        let runs_max_per_row = runs_per_row.max().unwrap_or(0);
+        let runs_mean_per_row = if unique_rows == 0 {
+            0.0
+        } else {
+            runs_total as f64 / unique_rows as f64
+        };
+        Some(RunStats {
+            leaf_rows,
+            shared_rows,
+            unique_rows,
+            runs_total,
+            runs_max_per_row,
+            runs_mean_per_row,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use massf_topology::campus::campus;
     use massf_topology::teragrid::teragrid;
 
     #[test]
@@ -102,5 +192,46 @@ mod tests {
         let expect: i64 = subset.iter().map(|&n| w[n as usize]).sum();
         assert_eq!(total_memory(&net, &subset), expect);
         assert_eq!(total_memory(&net, &[]), 0);
+    }
+
+    #[test]
+    fn dense_bytes_match_the_matrix_size() {
+        let net = campus();
+        let t = RoutingTables::build(&net);
+        let n = net.node_count() as u64;
+        assert_eq!(t.table_bytes(), n * n * DENSE_ENTRY_BYTES);
+        assert_eq!(t.table_bytes(), t.dense_bytes());
+        assert_eq!(t.run_stats(), None);
+    }
+
+    #[test]
+    fn compressed_tables_beat_dense_bytes() {
+        for net in [campus(), teragrid()] {
+            let t = RoutingTables::build_compressed(&net);
+            assert!(
+                t.table_bytes() * 5 < t.dense_bytes(),
+                "only {}x reduction on {} nodes",
+                t.dense_bytes() / t.table_bytes().max(1),
+                net.node_count()
+            );
+            let s = t.run_stats().expect("compressed tables have run stats");
+            assert!(s.leaf_rows > 0, "both fixtures have degree-1 hosts");
+            assert_eq!(s.runs_total, s.runs_total.max(s.runs_max_per_row));
+            assert!(s.runs_mean_per_row >= 1.0);
+            assert!(
+                s.leaf_rows + s.shared_rows + s.unique_rows == net.node_count(),
+                "row classes must partition the sources"
+            );
+        }
+    }
+
+    #[test]
+    fn predicted_bytes_follow_the_paper_model() {
+        let net = teragrid();
+        let entries: i64 = memory_weights(&net).iter().sum();
+        assert_eq!(
+            predicted_table_bytes(&net),
+            entries as u64 * DENSE_ENTRY_BYTES
+        );
     }
 }

@@ -15,12 +15,25 @@
 //!   link load between engines. The audit surfaces how much of the route
 //!   set rests on tie-breaks.
 //!
+//! Both probes go through the public [`RoutingTables`] query API — never
+//! the storage internals — so artifact audits run identically over dense
+//! and compressed tables.
+//!
 //! Both probes collect at most a caller-given number of witnesses and
 //! return the exact total alongside, so lint reports stay bounded while
 //! the summary stays truthful.
 
 use crate::RoutingTables;
 use massf_topology::{Network, NodeId};
+
+/// Shortest-path latency via the public API, with unreachable/self folded
+/// to the dense sentinel convention the probes compare against.
+fn lat(tables: &RoutingTables, src: NodeId, dst: NodeId) -> u64 {
+    if src == dst {
+        return 0;
+    }
+    tables.latency_us(src, dst).unwrap_or(u64::MAX)
+}
 
 /// One src/dst pair whose two directions disagree on shortest-path
 /// latency.
@@ -41,19 +54,19 @@ pub struct AsymmetricPair {
 /// of asymmetric pairs. One-way reachability (one direction `u64::MAX`)
 /// counts as asymmetry.
 pub fn asymmetric_latencies(tables: &RoutingTables, cap: usize) -> (Vec<AsymmetricPair>, usize) {
-    let n = tables.n;
+    let n = tables.node_count();
     let mut out = Vec::new();
     let mut total = 0usize;
-    for a in 0..n {
-        for b in (a + 1)..n {
-            let ab = tables.latency_us[a * n + b];
-            let ba = tables.latency_us[b * n + a];
+    for a in 0..n as NodeId {
+        for b in (a + 1)..n as NodeId {
+            let ab = lat(tables, a, b);
+            let ba = lat(tables, b, a);
             if ab != ba {
                 total += 1;
                 if out.len() < cap {
                     out.push(AsymmetricPair {
-                        a: a as NodeId,
-                        b: b as NodeId,
+                        a,
+                        b,
                         ab_us: ab,
                         ba_us: ba,
                     });
@@ -83,21 +96,21 @@ pub struct EcmpSite {
 /// witness sites in ascending `(src, dst)` order plus the total count of
 /// ambiguous pairs.
 pub fn ecmp_sites(net: &Network, tables: &RoutingTables, cap: usize) -> (Vec<EcmpSite>, usize) {
-    let n = tables.n;
+    let n = tables.node_count();
     debug_assert_eq!(n, net.node_count());
     let mut out = Vec::new();
     let mut total = 0usize;
     let mut hops = Vec::new();
-    for src in 0..n {
-        for dst in 0..n {
-            let dist = tables.latency_us[src * n + dst];
+    for src in 0..n as NodeId {
+        for dst in 0..n as NodeId {
+            let dist = lat(tables, src, dst);
             if src == dst || dist == u64::MAX {
                 continue;
             }
             hops.clear();
-            for &(v, l) in net.neighbors(src as NodeId) {
+            for &(v, l) in net.neighbors(src) {
                 let via = net.link(l).latency_us;
-                let rest = tables.latency_us[v as usize * n + dst];
+                let rest = lat(tables, v, dst);
                 if rest != u64::MAX && via.saturating_add(rest) == dist {
                     hops.push(v);
                 }
@@ -107,8 +120,8 @@ pub fn ecmp_sites(net: &Network, tables: &RoutingTables, cap: usize) -> (Vec<Ecm
                 if out.len() < cap {
                     hops.sort_unstable();
                     out.push(EcmpSite {
-                        src: src as NodeId,
-                        dst: dst as NodeId,
+                        src,
+                        dst,
                         next_hops: hops.clone(),
                     });
                 }
@@ -121,6 +134,7 @@ pub fn ecmp_sites(net: &Network, tables: &RoutingTables, cap: usize) -> (Vec<Ecm
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tables::Repr;
     use massf_topology::Network;
 
     /// Square r0-r1-r2-r3-r0 with equal link latencies: two equal-cost
@@ -135,47 +149,59 @@ mod tests {
         net
     }
 
+    /// Direct mutable access to the dense latency matrix, for the
+    /// corruption tests (only dense tables can be hand-corrupted).
+    fn dense_lat(tables: &mut RoutingTables) -> &mut Vec<u64> {
+        match &mut tables.repr {
+            Repr::Dense(d) => &mut d.latency_us,
+            Repr::Compressed(_) => panic!("corruption tests require dense tables"),
+        }
+    }
+
     #[test]
-    fn intact_tables_are_symmetric() {
+    fn intact_tables_are_symmetric_in_both_representations() {
         let net = square();
-        let tables = RoutingTables::build(&net);
-        let (pairs, total) = asymmetric_latencies(&tables, 8);
-        assert!(pairs.is_empty(), "{pairs:?}");
-        assert_eq!(total, 0);
+        for tables in [
+            RoutingTables::build(&net),
+            RoutingTables::build_compressed(&net),
+        ] {
+            let (pairs, total) = asymmetric_latencies(&tables, 8);
+            assert!(pairs.is_empty(), "{pairs:?}");
+            assert_eq!(total, 0);
+        }
     }
 
     #[test]
     fn corrupted_direction_is_detected() {
         let net = square();
         let mut tables = RoutingTables::build(&net);
-        let n = tables.n;
         // Corrupt one direction of the 0→2 route.
-        tables.latency_us[2] += 7;
+        dense_lat(&mut tables)[2] += 7;
         let (pairs, total) = asymmetric_latencies(&tables, 8);
         assert_eq!(total, 1);
         assert_eq!(pairs.len(), 1);
         assert_eq!((pairs[0].a, pairs[0].b), (0, 2));
-        assert_eq!(pairs[0].ab_us, tables.latency_us[2]);
-        assert_eq!(pairs[0].ba_us, tables.latency_us[2 * n]);
+        assert_eq!(pairs[0].ab_us, tables.latency_us(0, 2).unwrap());
+        assert_eq!(pairs[0].ba_us, tables.latency_us(2, 0).unwrap());
     }
 
     #[test]
     fn one_way_reachability_counts_as_asymmetry() {
         let net = square();
         let mut tables = RoutingTables::build(&net);
-        tables.latency_us[3] = u64::MAX;
+        dense_lat(&mut tables)[3] = u64::MAX;
         let (pairs, total) = asymmetric_latencies(&tables, 8);
         assert_eq!(total, 1);
-        assert_eq!(pairs[0].ba_us, tables.latency_us[3 * tables.n]);
+        assert_eq!(pairs[0].ab_us, u64::MAX);
+        assert_eq!(pairs[0].ba_us, tables.latency_us(3, 0).unwrap());
     }
 
     #[test]
     fn cap_bounds_witnesses_but_not_the_total() {
         let net = square();
         let mut tables = RoutingTables::build(&net);
-        let n = tables.n;
         for dst in 1..4 {
-            tables.latency_us[dst] += 1;
+            dense_lat(&mut tables)[dst] += 1;
         }
         let (pairs, total) = asymmetric_latencies(&tables, 2);
         assert_eq!(total, 3);
@@ -183,21 +209,24 @@ mod tests {
         assert!(pairs
             .windows(2)
             .all(|w| (w[0].a, w[0].b) < (w[1].a, w[1].b)));
-        let _ = n;
     }
 
     #[test]
     fn square_has_ecmp_between_opposite_corners() {
         let net = square();
-        let tables = RoutingTables::build(&net);
-        let (sites, total) = ecmp_sites(&net, &tables, 32);
-        // 0↔2 and 1↔3 are ambiguous in both directions: 4 ordered pairs.
-        assert_eq!(total, 4);
-        let site = sites
-            .iter()
-            .find(|s| s.src == 0 && s.dst == 2)
-            .expect("0->2 is ambiguous");
-        assert_eq!(site.next_hops, vec![1, 3]);
+        for tables in [
+            RoutingTables::build(&net),
+            RoutingTables::build_compressed(&net),
+        ] {
+            let (sites, total) = ecmp_sites(&net, &tables, 32);
+            // 0↔2 and 1↔3 are ambiguous in both directions: 4 ordered pairs.
+            assert_eq!(total, 4);
+            let site = sites
+                .iter()
+                .find(|s| s.src == 0 && s.dst == 2)
+                .expect("0->2 is ambiguous");
+            assert_eq!(site.next_hops, vec![1, 3]);
+        }
     }
 
     #[test]
@@ -208,9 +237,13 @@ mod tests {
         let c = net.add_router("c", 0);
         net.add_link(a, b, 1000.0, 100);
         net.add_link(b, c, 1000.0, 150);
-        let tables = RoutingTables::build(&net);
-        let (sites, total) = ecmp_sites(&net, &tables, 32);
-        assert!(sites.is_empty());
-        assert_eq!(total, 0);
+        for tables in [
+            RoutingTables::build(&net),
+            RoutingTables::build_compressed(&net),
+        ] {
+            let (sites, total) = ecmp_sites(&net, &tables, 32);
+            assert!(sites.is_empty());
+            assert_eq!(total, 0);
+        }
     }
 }

@@ -66,6 +66,48 @@ pub fn shortest_paths(net: &Network, source: NodeId) -> SpfTree {
 }
 
 impl SpfTree {
+    /// The first hop out of the source toward every node, derived in one
+    /// amortized-O(n) pass over the predecessor forest: each predecessor
+    /// chain is climbed until it reaches the source (or an already-resolved
+    /// node) and the answer is written back to every node on the chain, so
+    /// no node is resolved twice. The per-destination `prev` re-walk this
+    /// replaces was O(path length) per destination — quadratic on long
+    /// paths.
+    ///
+    /// `NO_PREV` marks the source itself and unreachable nodes.
+    pub fn first_hops(&self) -> Vec<NodeId> {
+        let n = self.prev.len();
+        let mut first = vec![NO_PREV; n];
+        let mut chain: Vec<NodeId> = Vec::new();
+        for dst in 0..n as NodeId {
+            if dst == self.source
+                || self.dist_us[dst as usize] == u64::MAX
+                || first[dst as usize] != NO_PREV
+            {
+                continue;
+            }
+            // Climb until the node directly below the source, or a node
+            // whose first hop is already known.
+            let mut cur = dst;
+            while self.prev[cur as usize] != self.source && first[cur as usize] == NO_PREV {
+                chain.push(cur);
+                cur = self.prev[cur as usize];
+                debug_assert_ne!(cur, NO_PREV);
+            }
+            let hop = if self.prev[cur as usize] == self.source {
+                cur
+            } else {
+                first[cur as usize]
+            };
+            first[cur as usize] = hop;
+            for &v in &chain {
+                first[v as usize] = hop;
+            }
+            chain.clear();
+        }
+        first
+    }
+
     /// Reconstructs the node path `source → dst` (inclusive), or `None`
     /// when `dst` is unreachable.
     pub fn path_to(&self, dst: NodeId) -> Option<Vec<NodeId>> {
@@ -140,6 +182,37 @@ mod tests {
         let t = shortest_paths(&net, 0);
         assert_eq!(t.dist_us[3], 40);
         assert_eq!(t.path_to(3), Some(vec![0, 3]), "fewer hops must win ties");
+    }
+
+    #[test]
+    fn first_hops_match_per_destination_walks() {
+        for (net, src) in [
+            (diamond(), 0),
+            (diamond(), 2),
+            (massf_topology::teragrid::teragrid(), 0),
+            (massf_topology::teragrid::teragrid(), 33),
+        ] {
+            let t = shortest_paths(&net, src);
+            let first = t.first_hops();
+            for dst in 0..net.node_count() as NodeId {
+                let want = match t.path_to(dst) {
+                    Some(p) if p.len() >= 2 => p[1],
+                    _ => NO_PREV,
+                };
+                assert_eq!(first[dst as usize], want, "src {src} dst {dst}");
+            }
+        }
+    }
+
+    #[test]
+    fn first_hops_mark_source_and_unreachable() {
+        let mut net = diamond();
+        net.add_router("island", 0);
+        let t = shortest_paths(&net, 1);
+        let first = t.first_hops();
+        assert_eq!(first[1], NO_PREV, "source has no first hop");
+        assert_eq!(first[4], NO_PREV, "unreachable has no first hop");
+        assert_eq!(first[0], 0, "direct neighbour is its own first hop");
     }
 
     #[test]

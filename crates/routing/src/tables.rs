@@ -1,8 +1,47 @@
-//! Dense all-pairs next-hop routing tables.
+//! All-pairs next-hop routing tables: the dense baseline representation
+//! plus the dispatch over the compressed interval rows (DESIGN.md §13).
 
+use crate::compressed::CompressedTables;
 use crate::spf::{shortest_paths, NO_PREV};
 use massf_par::Parallelism;
 use massf_topology::{LinkId, Network, NodeId};
+
+/// Which routing-table representation to build. Selectable through
+/// `MapperConfig`, `Scenario`, and the CLI's `--routing` flag; both
+/// representations answer every query bit-identically (same hops, links,
+/// and latencies), which the equivalence suite and `bench_routing --smoke`
+/// assert on every shipped scenario.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoutingKind {
+    /// Flat `n × n` matrices — 16 bytes per (src, dst) pair. Kept as the
+    /// equivalence baseline and for tiny fixtures.
+    Dense,
+    /// Run-length/interval-encoded rows over a coalescing-friendly
+    /// destination renumbering, with degree-1 hosts sharing their access
+    /// router's uplink instead of materializing a row. The default: it is
+    /// what makes large topologies affordable (the paper's O(n²) wall).
+    #[default]
+    Compressed,
+}
+
+impl RoutingKind {
+    /// CLI / report label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            RoutingKind::Dense => "dense",
+            RoutingKind::Compressed => "compressed",
+        }
+    }
+
+    /// Parses a CLI label.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "dense" => Some(RoutingKind::Dense),
+            "compressed" => Some(RoutingKind::Compressed),
+            _ => None,
+        }
+    }
+}
 
 /// All-pairs routing state: for every `(src, dst)` the next hop out of
 /// `src`, plus path latencies. Built once per topology ("we instantiate the
@@ -13,6 +52,19 @@ use massf_topology::{LinkId, Network, NodeId};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RoutingTables {
     pub(crate) n: usize,
+    pub(crate) repr: Repr,
+}
+
+/// The concrete representation behind a [`RoutingTables`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum Repr {
+    Dense(DenseTables),
+    Compressed(CompressedTables),
+}
+
+/// The flat `n × n` matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct DenseTables {
     /// `next_hop[src * n + dst]`; `NodeId::MAX` when `src == dst` or
     /// unreachable.
     pub(crate) next_hop: Vec<NodeId>,
@@ -25,6 +77,26 @@ pub struct RoutingTables {
 /// Sentinel link id stored where no next hop exists.
 pub(crate) const NO_LINK: LinkId = LinkId(u32::MAX);
 
+/// Resolves the link `src → hop`, memoizing per distinct hop: one row's
+/// first hops are all neighbours of `src`, so the memo stays a handful of
+/// entries and the `link_between` scan runs once per neighbour instead of
+/// once per destination.
+pub(crate) fn link_toward(
+    net: &Network,
+    src: NodeId,
+    hop: NodeId,
+    memo: &mut Vec<(NodeId, LinkId)>,
+) -> LinkId {
+    if let Some(&(_, l)) = memo.iter().find(|(h, _)| *h == hop) {
+        return l;
+    }
+    let l = net
+        .link_between(src, hop)
+        .expect("next hop must be adjacent");
+    memo.push((hop, l));
+    l
+}
+
 /// Fills the `src` row of each table slice (`n` entries per slice) from
 /// one Dijkstra tree. Rows are independent, which is what makes the
 /// parallel build trivially deterministic: each worker writes a disjoint
@@ -36,35 +108,29 @@ fn fill_row(
     lats: &mut [u64],
     links: &mut [LinkId],
 ) {
-    let n = hops.len();
     let tree = shortest_paths(net, src);
-    for dst in 0..n as NodeId {
-        lats[dst as usize] = tree.dist_us[dst as usize];
-        if dst == src || tree.dist_us[dst as usize] == u64::MAX {
-            continue;
+    let first = tree.first_hops();
+    lats.copy_from_slice(&tree.dist_us);
+    let mut memo: Vec<(NodeId, LinkId)> = Vec::new();
+    for dst in 0..hops.len() {
+        let hop = first[dst];
+        if hop == NO_PREV {
+            continue; // src itself, or unreachable
         }
-        // Walk predecessors from dst back to the node after src.
-        let mut cur = dst;
-        while tree.prev[cur as usize] != src {
-            cur = tree.prev[cur as usize];
-            debug_assert_ne!(cur, NO_PREV);
-        }
-        hops[dst as usize] = cur;
-        links[dst as usize] = net
-            .link_between(src, cur)
-            .expect("next hop must be adjacent");
+        hops[dst] = hop;
+        links[dst] = link_toward(net, src, hop, &mut memo);
     }
 }
 
 impl RoutingTables {
-    /// Computes routing tables for the whole network (n Dijkstra runs) on
-    /// a single thread. Equivalent to
+    /// Computes dense routing tables for the whole network (n Dijkstra
+    /// runs) on a single thread. Equivalent to
     /// [`build_with`](Self::build_with)`(net, Parallelism::serial())`.
     pub fn build(net: &Network) -> Self {
         Self::build_with(net, Parallelism::serial())
     }
 
-    /// Computes routing tables with up to `par` worker threads, one
+    /// Computes dense routing tables with up to `par` worker threads, one
     /// Dijkstra source per work item.
     ///
     /// Each source's results occupy one row of the flat `n × n` tables,
@@ -79,9 +145,11 @@ impl RoutingTables {
         if n == 0 {
             return Self {
                 n,
-                next_hop,
-                latency_us,
-                next_link,
+                repr: Repr::Dense(DenseTables {
+                    next_hop,
+                    latency_us,
+                    next_link,
+                }),
             };
         }
 
@@ -113,9 +181,45 @@ impl RoutingTables {
         }
         Self {
             n,
-            next_hop,
-            latency_us,
-            next_link,
+            repr: Repr::Dense(DenseTables {
+                next_hop,
+                latency_us,
+                next_link,
+            }),
+        }
+    }
+
+    /// Computes compressed routing tables on a single thread. Equivalent
+    /// to [`build_compressed_with`](Self::build_compressed_with)`(net,
+    /// Parallelism::serial())`.
+    pub fn build_compressed(net: &Network) -> Self {
+        Self::build_compressed_with(net, Parallelism::serial())
+    }
+
+    /// Computes compressed routing tables with up to `par` worker threads.
+    /// Per-source run encoding parallelizes over disjoint row slots; the
+    /// canonical-row pool is folded serially in source order afterwards,
+    /// so the output is bit-identical for every thread count.
+    pub fn build_compressed_with(net: &Network, par: Parallelism) -> Self {
+        Self {
+            n: net.node_count(),
+            repr: Repr::Compressed(CompressedTables::build(net, par)),
+        }
+    }
+
+    /// Builds the representation `kind` selects.
+    pub fn build_kind(net: &Network, kind: RoutingKind, par: Parallelism) -> Self {
+        match kind {
+            RoutingKind::Dense => Self::build_with(net, par),
+            RoutingKind::Compressed => Self::build_compressed_with(net, par),
+        }
+    }
+
+    /// Which representation these tables use.
+    pub fn kind(&self) -> RoutingKind {
+        match &self.repr {
+            Repr::Dense(_) => RoutingKind::Dense,
+            Repr::Compressed(_) => RoutingKind::Compressed,
         }
     }
 
@@ -128,7 +232,10 @@ impl RoutingTables {
     /// unreachable.
     #[inline]
     pub fn next_hop(&self, src: NodeId, dst: NodeId) -> Option<NodeId> {
-        let h = self.next_hop[src as usize * self.n + dst as usize];
+        let h = match &self.repr {
+            Repr::Dense(d) => d.next_hop[src as usize * self.n + dst as usize],
+            Repr::Compressed(c) => c.entry(src, dst).0,
+        };
         (h != NodeId::MAX).then_some(h)
     }
 
@@ -145,17 +252,26 @@ impl RoutingTables {
 
     /// [`next_link`](Self::next_link) without the `Option` wrapper: returns
     /// [`NO_ROUTE`](Self::NO_ROUTE) instead. The forwarding hot loop calls
-    /// this once per hop; keeping the sentinel raw lets the common case be
-    /// a single load plus one well-predicted branch.
+    /// this once per hop; dense answers with a single load, compressed
+    /// with an O(log runs) binary search over the source's row.
     #[inline]
     pub fn next_link_raw(&self, src: NodeId, dst: NodeId) -> LinkId {
-        self.next_link[src as usize * self.n + dst as usize]
+        match &self.repr {
+            Repr::Dense(d) => d.next_link[src as usize * self.n + dst as usize],
+            Repr::Compressed(c) => c.entry(src, dst).1,
+        }
     }
 
     /// End-to-end latency (µs) of the routed path, `None` if unreachable.
+    ///
+    /// Dense stores the Dijkstra distance; compressed walks the next-hop
+    /// chain summing per-link latencies, which is the same integer sum.
     #[inline]
     pub fn latency_us(&self, src: NodeId, dst: NodeId) -> Option<u64> {
-        let l = self.latency_us[src as usize * self.n + dst as usize];
+        let l = match &self.repr {
+            Repr::Dense(d) => d.latency_us[src as usize * self.n + dst as usize],
+            Repr::Compressed(c) => c.latency_us(src, dst),
+        };
         (l != u64::MAX).then_some(l)
     }
 
@@ -179,20 +295,48 @@ impl RoutingTables {
             f(src, None);
             return true;
         }
-        if self.latency_us[src as usize * self.n + dst as usize] == u64::MAX {
-            return false;
+        match &self.repr {
+            Repr::Dense(d) => {
+                if d.latency_us[src as usize * self.n + dst as usize] == u64::MAX {
+                    return false;
+                }
+                let mut cur = src;
+                let mut hops = 0usize;
+                while cur != dst {
+                    let idx = cur as usize * self.n + dst as usize;
+                    f(cur, Some(d.next_link[idx]));
+                    cur = d.next_hop[idx];
+                    hops += 1;
+                    debug_assert!(hops <= self.n, "routing loop detected");
+                }
+                f(dst, None);
+                true
+            }
+            Repr::Compressed(c) => {
+                // A route's first hop exists iff the whole path does (both
+                // builders produce consistent prefix routes), so one lookup
+                // settles reachability and the walk mirrors the dense one.
+                let (mut hop, mut link) = c.entry(src, dst);
+                if hop == NodeId::MAX {
+                    return false;
+                }
+                let mut cur = src;
+                let mut hops = 0usize;
+                loop {
+                    f(cur, Some(link));
+                    cur = hop;
+                    hops += 1;
+                    debug_assert!(hops <= self.n, "routing loop detected");
+                    if cur == dst {
+                        break;
+                    }
+                    (hop, link) = c.entry(cur, dst);
+                    debug_assert_ne!(hop, NodeId::MAX, "route dead-ends mid-path");
+                }
+                f(dst, None);
+                true
+            }
         }
-        let mut cur = src;
-        let mut hops = 0usize;
-        while cur != dst {
-            let idx = cur as usize * self.n + dst as usize;
-            f(cur, Some(self.next_link[idx]));
-            cur = self.next_hop[idx];
-            hops += 1;
-            debug_assert!(hops <= self.n, "routing loop detected");
-        }
-        f(dst, None);
-        true
     }
 
     /// The full node path `src → dst` (inclusive), following next hops.
@@ -228,46 +372,58 @@ mod tests {
         net
     }
 
+    /// Both representations of the same network, for paired assertions.
+    fn both(net: &Network) -> [RoutingTables; 2] {
+        [
+            RoutingTables::build(net),
+            RoutingTables::build_compressed(net),
+        ]
+    }
+
     #[test]
     fn next_hops_follow_the_line() {
-        let t = RoutingTables::build(&line());
-        assert_eq!(t.next_hop(0, 3), Some(1));
-        assert_eq!(t.next_hop(1, 3), Some(2));
-        assert_eq!(t.next_hop(2, 3), Some(3));
-        assert_eq!(t.next_hop(3, 3), None);
+        for t in both(&line()) {
+            assert_eq!(t.next_hop(0, 3), Some(1), "{:?}", t.kind());
+            assert_eq!(t.next_hop(1, 3), Some(2));
+            assert_eq!(t.next_hop(2, 3), Some(3));
+            assert_eq!(t.next_hop(3, 3), None);
+        }
     }
 
     #[test]
     fn path_and_latency() {
-        let t = RoutingTables::build(&line());
-        assert_eq!(t.path(0, 3), Some(vec![0, 1, 2, 3]));
-        assert_eq!(t.latency_us(0, 3), Some(30));
-        assert_eq!(t.path(2, 0), Some(vec![2, 1, 0]));
+        for t in both(&line()) {
+            assert_eq!(t.path(0, 3), Some(vec![0, 1, 2, 3]), "{:?}", t.kind());
+            assert_eq!(t.latency_us(0, 3), Some(30));
+            assert_eq!(t.path(2, 0), Some(vec![2, 1, 0]));
+        }
     }
 
     #[test]
     fn path_links_match_path() {
         let net = line();
-        let t = RoutingTables::build(&net);
-        let links = t.path_links(0, 3).unwrap();
-        assert_eq!(links.len(), 3);
-        let path = t.path(0, 3).unwrap();
-        for (i, l) in links.iter().enumerate() {
-            let link = net.link(*l);
-            let (a, b) = (path[i], path[i + 1]);
-            assert!(
-                (link.a == a && link.b == b) || (link.a == b && link.b == a),
-                "link {i} does not join {a} and {b}"
-            );
+        for t in both(&net) {
+            let links = t.path_links(0, 3).unwrap();
+            assert_eq!(links.len(), 3);
+            let path = t.path(0, 3).unwrap();
+            for (i, l) in links.iter().enumerate() {
+                let link = net.link(*l);
+                let (a, b) = (path[i], path[i + 1]);
+                assert!(
+                    (link.a == a && link.b == b) || (link.a == b && link.b == a),
+                    "link {i} does not join {a} and {b}"
+                );
+            }
         }
     }
 
     #[test]
     fn self_path_is_singleton() {
-        let t = RoutingTables::build(&line());
-        assert_eq!(t.path(2, 2), Some(vec![2]));
-        assert_eq!(t.path_links(2, 2), Some(vec![]));
-        assert_eq!(t.latency_us(2, 2), Some(0));
+        for t in both(&line()) {
+            assert_eq!(t.path(2, 2), Some(vec![2]), "{:?}", t.kind());
+            assert_eq!(t.path_links(2, 2), Some(vec![]));
+            assert_eq!(t.latency_us(2, 2), Some(0));
+        }
     }
 
     #[test]
@@ -275,59 +431,99 @@ mod tests {
         let mut net = line();
         net.add_host("island", 0);
         // Can't add a link: host must stay isolated for this test.
-        let t = RoutingTables::build(&net);
-        assert_eq!(t.path(0, 4), None);
-        assert_eq!(t.latency_us(0, 4), None);
-        assert_eq!(t.next_hop(0, 4), None);
+        for t in both(&net) {
+            assert_eq!(t.path(0, 4), None, "{:?}", t.kind());
+            assert_eq!(t.latency_us(0, 4), None);
+            assert_eq!(t.next_hop(0, 4), None);
+            assert_eq!(t.path(4, 0), None);
+            assert_eq!(t.latency_us(4, 0), None);
+        }
     }
 
     #[test]
     fn parallel_build_matches_serial() {
         for net in [line(), campus()] {
-            let serial = RoutingTables::build_with(&net, Parallelism::serial());
-            for threads in [2, 3, 8] {
-                let par = RoutingTables::build_with(&net, Parallelism::new(threads));
-                assert_eq!(serial, par, "threads={threads}");
+            for kind in [RoutingKind::Dense, RoutingKind::Compressed] {
+                let serial = RoutingTables::build_kind(&net, kind, Parallelism::serial());
+                for threads in [2, 3, 8] {
+                    let par = RoutingTables::build_kind(&net, kind, Parallelism::new(threads));
+                    assert_eq!(serial, par, "{kind:?} threads={threads}");
+                }
             }
         }
     }
 
     #[test]
+    fn compressed_equals_dense_on_every_pair() {
+        for net in [line(), campus()] {
+            let dense = RoutingTables::build(&net);
+            let comp = RoutingTables::build_compressed(&net);
+            let n = net.node_count() as NodeId;
+            for a in 0..n {
+                for b in 0..n {
+                    assert_eq!(dense.next_hop(a, b), comp.next_hop(a, b), "hop {a}->{b}");
+                    assert_eq!(dense.next_link(a, b), comp.next_link(a, b), "link {a}->{b}");
+                    assert_eq!(
+                        dense.latency_us(a, b),
+                        comp.latency_us(a, b),
+                        "latency {a}->{b}"
+                    );
+                    assert_eq!(dense.path(a, b), comp.path(a, b), "path {a}->{b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn kind_round_trips_through_labels() {
+        for kind in [RoutingKind::Dense, RoutingKind::Compressed] {
+            assert_eq!(RoutingKind::parse(kind.label()), Some(kind));
+        }
+        assert_eq!(RoutingKind::parse("sparse"), None);
+        assert_eq!(RoutingKind::default(), RoutingKind::Compressed);
+        let t = RoutingTables::build_kind(&line(), RoutingKind::Dense, Parallelism::serial());
+        assert_eq!(t.kind(), RoutingKind::Dense);
+    }
+
+    #[test]
     fn for_each_hop_visits_path_and_links() {
         let net = line();
-        let t = RoutingTables::build(&net);
-        let mut nodes = Vec::new();
-        let mut links = Vec::new();
-        assert!(t.for_each_hop(0, 3, |n, l| {
-            nodes.push(n);
-            links.extend(l);
-        }));
-        assert_eq!(nodes, t.path(0, 3).unwrap());
-        assert_eq!(links, t.path_links(0, 3).unwrap());
-        assert_eq!(links.len(), nodes.len() - 1);
+        for t in both(&net) {
+            let mut nodes = Vec::new();
+            let mut links = Vec::new();
+            assert!(t.for_each_hop(0, 3, |n, l| {
+                nodes.push(n);
+                links.extend(l);
+            }));
+            assert_eq!(nodes, t.path(0, 3).unwrap());
+            assert_eq!(links, t.path_links(0, 3).unwrap());
+            assert_eq!(links.len(), nodes.len() - 1);
+        }
     }
 
     #[test]
     fn for_each_hop_self_and_unreachable() {
         let mut net = line();
         net.add_host("island", 0);
-        let t = RoutingTables::build(&net);
-        let mut visits = Vec::new();
-        assert!(t.for_each_hop(2, 2, |n, l| visits.push((n, l))));
-        assert_eq!(visits, vec![(2, None)]);
-        assert!(!t.for_each_hop(0, 4, |_, _| panic!("unreachable must not visit")));
+        for t in both(&net) {
+            let mut visits = Vec::new();
+            assert!(t.for_each_hop(2, 2, |n, l| visits.push((n, l))));
+            assert_eq!(visits, vec![(2, None)]);
+            assert!(!t.for_each_hop(0, 4, |_, _| panic!("unreachable must not visit")));
+        }
     }
 
     #[test]
     fn campus_all_pairs_reachable_and_symmetric_latency() {
         let net = campus();
-        let t = RoutingTables::build(&net);
-        let n = net.node_count() as NodeId;
-        for a in 0..n {
-            for b in 0..n {
-                let lat_ab = t.latency_us(a, b).expect("campus connected");
-                let lat_ba = t.latency_us(b, a).expect("campus connected");
-                assert_eq!(lat_ab, lat_ba, "latency asymmetry {a}<->{b}");
+        for t in both(&net) {
+            let n = net.node_count() as NodeId;
+            for a in 0..n {
+                for b in 0..n {
+                    let lat_ab = t.latency_us(a, b).expect("campus connected");
+                    let lat_ba = t.latency_us(b, a).expect("campus connected");
+                    assert_eq!(lat_ab, lat_ba, "latency asymmetry {a}<->{b}");
+                }
             }
         }
     }
@@ -339,17 +535,18 @@ mod tests {
         // Dijkstra tie-breaking; the emulator relies on it for hop-by-hop
         // forwarding.
         let net = campus();
-        let t = RoutingTables::build(&net);
-        let hosts = net.hosts();
-        for &a in hosts.iter().take(6) {
-            for &c in hosts.iter().rev().take(6) {
-                if a == c {
-                    continue;
-                }
-                let path = t.path(a, c).unwrap();
-                for (i, &b) in path.iter().enumerate() {
-                    let sub = t.path(b, c).unwrap();
-                    assert_eq!(&path[i..], &sub[..], "suffix mismatch at {b}");
+        for t in both(&net) {
+            let hosts = net.hosts();
+            for &a in hosts.iter().take(6) {
+                for &c in hosts.iter().rev().take(6) {
+                    if a == c {
+                        continue;
+                    }
+                    let path = t.path(a, c).unwrap();
+                    for (i, &b) in path.iter().enumerate() {
+                        let sub = t.path(b, c).unwrap();
+                        assert_eq!(&path[i..], &sub[..], "suffix mismatch at {b}");
+                    }
                 }
             }
         }

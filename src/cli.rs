@@ -62,6 +62,7 @@ USAGE:
   massf check <network.dml> [--engines K] [--traffic <spec.txt>]
               [--duration-s S] [--audit] [--capacities C1,C2,...]
               [--format human|json] [--deny-warnings] [--threads T]
+              [--routing dense|compressed]
   massf check <trace.txt> [--network <network.dml>] [--format human|json]
               [--deny-warnings]
       Statically lint the scenario: topology, partition request, traffic
@@ -84,7 +85,7 @@ USAGE:
 
   massf run <network.dml> [--engines K] [--traffic <spec.txt>] [--duration-s S]
             [--approach top|place|profile] [--replay] [--threads T]
-            [--deny-warnings] [--report <run.json>]
+            [--routing dense|compressed] [--deny-warnings] [--report <run.json>]
       Generate background traffic from the spec (a built-in CBR background
       when --traffic is omitted), map it with the chosen approach, emulate,
       and print the load-balance report. Defaults: 3 engines, 10 s,
@@ -104,7 +105,8 @@ USAGE:
 
   massf replay <network.dml> <trace.txt> --engines K
                [--approach top|place|profile] [--threads T]
-               [--deny-warnings] [--report <run.json>]
+               [--routing dense|compressed] [--deny-warnings]
+               [--report <run.json>]
       Replay a recorded trace as fast as possible (isolated network
       emulation, the paper's Figures 9/10 measurement). The trace is
       checked first (MC016 shape plus endpoint validity against the
@@ -119,6 +121,11 @@ USAGE:
                     tables, traffic accumulation, partitioner restarts).
                     Defaults to the machine's core count; results are
                     identical at any T.
+  --routing R       Routing-table representation: `compressed` (default;
+                    interval-encoded rows, breaks the O(n²) table wall)
+                    or `dense` (the flat baseline matrices). Routing
+                    answers are bit-identical either way; reports gain
+                    `routing.*` size statistics.
   --deny-warnings   Promote preflight Warn diagnostics to Errors.
 
   massf help
@@ -239,6 +246,7 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
             "--duration-s",
             "--format",
             "--threads",
+            "--routing",
             "--capacities",
             "--network",
         ],
@@ -332,6 +340,9 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
         let mut cfg = MapperConfig::new(engines_n);
         if let Some(par) = threads {
             cfg = cfg.with_parallelism(par);
+        }
+        if let Some(kind) = routing_flag(args)? {
+            cfg = cfg.with_routing(kind);
         }
         // A degenerate capacity vector never reaches the mapper (it
         // asserts on length); MC017 reports it on the audit side instead.
@@ -430,6 +441,45 @@ fn lint_summary(diags: &Diagnostics) -> LintSummary {
                 message: d.message.clone(),
             })
             .collect(),
+    }
+}
+
+/// Parses `--routing R` into a [`RoutingKind`]; `None` when absent (the
+/// `MapperConfig` default — compressed — applies).
+fn routing_flag(args: &[String]) -> Result<Option<RoutingKind>, CliError> {
+    match flag(args, "--routing") {
+        None if args.iter().any(|a| a == "--routing") => Err(err("--routing requires a value")),
+        None => Ok(None),
+        Some(label) => RoutingKind::parse(label)
+            .map(Some)
+            .ok_or_else(|| err(format!("--routing must be dense|compressed, got {label:?}"))),
+    }
+}
+
+/// Surfaces routing-table size statistics in the run report: measured vs
+/// paper-predicted bytes (the names sort adjacently in the counters
+/// block), the dense baseline, and — for compressed tables — the row and
+/// run shape. All values are deterministic functions of the topology, so
+/// they sit above the report's timing boundary.
+fn record_routing_stats(rec: &mut Recorder, study: &MappingStudy) {
+    let tables = &study.tables;
+    rec.add_counter("routing.bytes_dense_baseline", tables.dense_bytes());
+    rec.add_counter("routing.bytes_measured", tables.table_bytes());
+    rec.add_counter(
+        "routing.bytes_predicted",
+        massf_core::routing::memory::predicted_table_bytes(&study.net),
+    );
+    rec.set_gauge(
+        "routing.compression_x",
+        tables.dense_bytes() as f64 / tables.table_bytes().max(1) as f64,
+    );
+    if let Some(s) = tables.run_stats() {
+        rec.add_counter("routing.rows_leaf", s.leaf_rows as u64);
+        rec.add_counter("routing.rows_shared", s.shared_rows as u64);
+        rec.add_counter("routing.rows_unique", s.unique_rows as u64);
+        rec.add_counter("routing.runs_max_per_row", s.runs_max_per_row as u64);
+        rec.add_counter("routing.runs_total", s.runs_total as u64);
+        rec.set_gauge("routing.runs_mean_per_row", s.runs_mean_per_row);
     }
 }
 
@@ -584,6 +634,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             "--duration-s",
             "--approach",
             "--threads",
+            "--routing",
             "--report",
         ],
         &["--replay", "--deny-warnings"],
@@ -644,10 +695,14 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     if let Some(par) = threads_flag(args)? {
         cfg = cfg.with_parallelism(par);
     }
+    if let Some(kind) = routing_flag(args)? {
+        cfg = cfg.with_routing(kind);
+    }
     let threads = cfg.parallelism.get();
     let span = rec.start();
     let study = MappingStudy::new(net, cfg);
     rec.finish("mapping/routing_tables", span);
+    record_routing_stats(&mut rec, &study);
     let partition = study.map_obs(approach, &predicted, &flows, &mut rec);
     // Post-pipeline audit: the mapped partition plus the study's routing
     // tables must hold up before any emulation time is spent on them.
@@ -779,7 +834,13 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     validate_flags(
         "replay",
         rest,
-        &["--engines", "--approach", "--threads", "--report"],
+        &[
+            "--engines",
+            "--approach",
+            "--threads",
+            "--routing",
+            "--report",
+        ],
         &["--deny-warnings"],
     )?;
     let mut rec = Recorder::new();
@@ -830,10 +891,14 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     if let Some(par) = threads_flag(rest)? {
         cfg = cfg.with_parallelism(par);
     }
+    if let Some(kind) = routing_flag(rest)? {
+        cfg = cfg.with_routing(kind);
+    }
     let threads = cfg.parallelism.get();
     let span = rec.start();
     let study = MappingStudy::new(net, cfg);
     rec.finish("mapping/routing_tables", span);
+    record_routing_stats(&mut rec, &study);
     let partition = study.map_obs(approach, &[], &flows, &mut rec);
     // Post-pipeline audit: partition and routing tables, folded together
     // with the trace findings for the run report's lint block.

@@ -14,14 +14,16 @@ fn args(list: &[&str]) -> Vec<String> {
     list.iter().map(|s| s.to_string()).collect()
 }
 
-/// Runs the campus CBR scenario with `--report` and returns the JSON text.
-fn campus_report_json(threads: &str) -> String {
+/// Runs the campus CBR scenario with `--report` (plus `extra` CLI flags)
+/// and returns the JSON text.
+fn campus_report_json_with(threads: &str, extra: &[&str]) -> String {
     let path = std::env::temp_dir().join(format!(
-        "massf_run_report_{}_t{threads}.json",
-        std::process::id()
+        "massf_run_report_{}_t{threads}_{}.json",
+        std::process::id(),
+        extra.join("_").replace("--", "")
     ));
     let path_str = path.to_str().unwrap();
-    cli::run(&args(&[
+    let mut all = vec![
         "run",
         "examples/scenarios/campus.dml",
         "--engines",
@@ -34,11 +36,17 @@ fn campus_report_json(threads: &str) -> String {
         threads,
         "--report",
         path_str,
-    ]))
-    .expect("campus run must succeed");
+    ];
+    all.extend_from_slice(extra);
+    cli::run(&args(&all)).expect("campus run must succeed");
     let json = std::fs::read_to_string(&path).expect("report written");
     let _ = std::fs::remove_file(&path);
     json
+}
+
+/// Runs the campus CBR scenario with `--report` and returns the JSON text.
+fn campus_report_json(threads: &str) -> String {
+    campus_report_json_with(threads, &[])
 }
 
 /// Truncates a JSON report at the `timing` key — the non-deterministic
@@ -94,6 +102,59 @@ fn masked_report_is_byte_identical_across_threads() {
             mask_json(&other),
             "simulated quantities vary at --threads {threads}"
         );
+    }
+}
+
+#[test]
+fn masked_report_is_byte_identical_across_routing_kind_and_threads() {
+    // The routing representation may only change the `routing.*` size
+    // statistics — every simulated quantity (partition, emulation,
+    // counters, gauges) must be byte-identical because routing answers
+    // are. And each representation must itself be thread-invariant.
+    let strip_routing_lines = |masked: &str| -> String {
+        masked
+            .lines()
+            .filter(|l| !l.contains("\"routing."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let compressed = campus_report_json_with("1", &["--routing", "compressed"]);
+    let dense = campus_report_json_with("1", &["--routing", "dense"]);
+    assert_eq!(
+        strip_routing_lines(mask_json(&compressed)),
+        strip_routing_lines(mask_json(&dense)),
+        "simulated quantities vary with --routing"
+    );
+    assert_ne!(
+        mask_json(&compressed),
+        mask_json(&dense),
+        "routing.* size stats should differ between representations"
+    );
+    for threads in ["2", "4"] {
+        let other = campus_report_json_with(threads, &["--routing", "dense"]);
+        assert_eq!(
+            mask_json(&dense),
+            mask_json(&other),
+            "dense report varies at --threads {threads}"
+        );
+    }
+    // The default is the compressed representation.
+    assert_eq!(mask_json(&campus_report_json("1")), mask_json(&compressed));
+}
+
+#[test]
+fn report_carries_routing_size_counters() {
+    let json = campus_report_json("1");
+    for key in [
+        "\"routing.bytes_dense_baseline\"",
+        "\"routing.bytes_measured\"",
+        "\"routing.bytes_predicted\"",
+        "\"routing.rows_leaf\"",
+        "\"routing.runs_total\"",
+        "\"routing.compression_x\"",
+        "\"routing.runs_mean_per_row\"",
+    ] {
+        assert!(json.contains(key), "report missing {key}");
     }
 }
 
