@@ -1,0 +1,66 @@
+//! A deterministic 64-bit mixer for trace-prefix hashing.
+//!
+//! The explorer's visited set keys on hashes of *traces* (partial orders
+//! of shim operations), so the hash must be identical across processes,
+//! runs, and toolchains — `std::collections::hash_map::DefaultHasher`
+//! makes no such promise. This is a `splitmix64`-style chain: each mixed
+//! word is diffused through the full state, so structurally different
+//! op descriptors land far apart.
+
+/// Incremental deterministic mixer.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix(u64);
+
+impl Mix {
+    /// A fresh mixer with a fixed seed.
+    pub fn new() -> Self {
+        Mix(0x9e37_79b9_7f4a_7c15)
+    }
+
+    /// Absorbs one word.
+    #[inline]
+    pub fn mix(&mut self, x: u64) -> &mut Self {
+        let mut z = self.0 ^ x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        self.0 = z ^ (z >> 31);
+        self
+    }
+
+    /// The accumulated hash.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Mix {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Mix::new();
+        a.mix(1).mix(2);
+        let mut b = Mix::new();
+        b.mix(1).mix(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Mix::new();
+        c.mix(2).mix(1);
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn zero_is_not_a_fixed_point() {
+        let mut a = Mix::new();
+        let before = a.finish();
+        a.mix(0);
+        assert_ne!(a.finish(), before);
+    }
+}

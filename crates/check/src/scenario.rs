@@ -1,0 +1,168 @@
+//! Miniature emulation scenarios the checker explores exhaustively.
+//!
+//! Model checking pays per interleaving, so these are the smallest
+//! configurations that still exercise every protocol mechanism: multiple
+//! engines, cross-engine traffic in both directions, and several
+//! conservative rounds (so LBTS advances more than once and remote
+//! events span window boundaries).
+
+use massf_engine::engine::lookahead_us;
+use massf_engine::{run_sequential, EmulationConfig, EmulationReport};
+use massf_routing::RoutingTables;
+use massf_topology::Network;
+use massf_traffic::FlowSpec;
+
+/// One self-contained checking scenario: topology, routes, traffic, and
+/// the emulation configuration (whose `nengines` is the thread count).
+pub struct Scenario {
+    /// Short CLI-stable name.
+    pub name: &'static str,
+    /// The virtual network.
+    pub net: Network,
+    /// All-pairs routes over `net`.
+    pub tables: RoutingTables,
+    /// The flow schedule.
+    pub flows: Vec<FlowSpec>,
+    /// Run configuration (partition, engine count, cost model).
+    pub cfg: EmulationConfig,
+}
+
+impl Scenario {
+    /// Two engines across one cut link, one flow each direction.
+    ///
+    /// Topology `h0 — r0 —(cut)— r1 — h1`, partitioned `[0,0 | 1,1]`.
+    /// The 200 µs cut latency is the lookahead; the flows are timed so the
+    /// run takes a handful of rounds with events crossing the cut in both
+    /// directions.
+    pub fn two_cross() -> Scenario {
+        let mut net = Network::new();
+        let h0 = net.add_host("h0", 0);
+        let r0 = net.add_router("r0", 0);
+        let r1 = net.add_router("r1", 1);
+        let h1 = net.add_host("h1", 1);
+        net.add_link(h0, r0, 100.0, 30);
+        net.add_link(r0, r1, 100.0, 200);
+        net.add_link(r1, h1, 100.0, 30);
+        let tables = RoutingTables::build(&net);
+        let flows = vec![
+            FlowSpec {
+                src: h0,
+                dst: h1,
+                start_us: 0,
+                packets: 2,
+                bytes: 3_000,
+                packet_interval_us: 400,
+                window: None,
+            },
+            FlowSpec {
+                src: h1,
+                dst: h0,
+                start_us: 100,
+                packets: 1,
+                bytes: 1_500,
+                packet_interval_us: 400,
+                window: None,
+            },
+        ];
+        Scenario {
+            name: "two_cross",
+            net,
+            tables,
+            flows,
+            cfg: EmulationConfig::new(vec![0, 0, 1, 1], 2),
+        }
+    }
+
+    /// Three engines in a chain, traffic end to end.
+    ///
+    /// Topology `h0 — r0 —(cut)— r1 —(cut)— r2 — h2`, partitioned
+    /// `[0,0 | 1 | 2,2]`. Exercises an engine (the middle one) that only
+    /// forwards: it both receives and re-ships remote events.
+    pub fn three_chain() -> Scenario {
+        let mut net = Network::new();
+        let h0 = net.add_host("h0", 0);
+        let r0 = net.add_router("r0", 0);
+        let r1 = net.add_router("r1", 1);
+        let r2 = net.add_router("r2", 2);
+        let h2 = net.add_host("h2", 2);
+        net.add_link(h0, r0, 100.0, 30);
+        net.add_link(r0, r1, 100.0, 200);
+        net.add_link(r1, r2, 100.0, 200);
+        net.add_link(r2, h2, 100.0, 30);
+        let tables = RoutingTables::build(&net);
+        let flows = vec![
+            FlowSpec {
+                src: h0,
+                dst: h2,
+                start_us: 0,
+                packets: 1,
+                bytes: 1_500,
+                packet_interval_us: 400,
+                window: None,
+            },
+            FlowSpec {
+                src: h2,
+                dst: h0,
+                start_us: 50,
+                packets: 1,
+                bytes: 1_500,
+                packet_interval_us: 400,
+                window: None,
+            },
+        ];
+        Scenario {
+            name: "three_chain",
+            net,
+            tables,
+            flows,
+            cfg: EmulationConfig::new(vec![0, 0, 1, 2, 2], 3),
+        }
+    }
+
+    /// Every scenario, in CLI order.
+    pub fn all() -> Vec<Scenario> {
+        vec![Scenario::two_cross(), Scenario::three_chain()]
+    }
+
+    /// Looks a scenario up by its CLI name.
+    pub fn by_name(name: &str) -> Option<Scenario> {
+        Scenario::all().into_iter().find(|s| s.name == name)
+    }
+
+    /// The protocol lookahead for this scenario's partition.
+    pub fn lookahead(&self) -> u64 {
+        lookahead_us(&self.net, &self.cfg.partition)
+    }
+
+    /// The sequential-execution report every explored schedule must
+    /// reproduce bit-for-bit.
+    pub fn reference(&self) -> EmulationReport {
+        run_sequential(&self.net, &self.tables, &self.flows, &self.cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scenarios_are_small_but_nontrivial() {
+        for s in Scenario::all() {
+            let r = s.reference();
+            assert!(r.delivered > 0, "{}: nothing delivered", s.name);
+            assert!(r.remote_messages > 0, "{}: no cross-engine traffic", s.name);
+            assert!(
+                (2..=8).contains(&r.rounds),
+                "{}: {} rounds — retune the flows so exploration stays cheap",
+                s.name,
+                r.rounds
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(Scenario::by_name("two_cross").is_some());
+        assert!(Scenario::by_name("nope").is_none());
+    }
+}

@@ -1,0 +1,809 @@
+//! The cooperative scheduler: runs one schedule of the engine protocol.
+//!
+//! Engine threads are real OS threads, but every shared-state operation
+//! goes through the virtual shim, which parks the thread until the
+//! controller (on the caller's thread) *grants* the operation. Exactly one
+//! thread executes at a time, so a run is fully determined by the sequence
+//! of grant choices — the *schedule*. The controller:
+//!
+//! * maintains the version-vector instrumentation ([`crate::vv`]) and the
+//!   order-insensitive trace hash used for partial-order pruning;
+//! * checks the protocol's safety properties at every grant (published
+//!   minima never fall below the closed LBTS; no cross-engine event is
+//!   delivered into a closed window) and at completion (no event lost,
+//!   all participants agree, report equals the sequential reference);
+//! * optionally injects one seeded [`Fault`] — the checker's self-test
+//!   that it can actually see protocol bugs.
+//!
+//! Cancellation (pruned or violating runs) is panic-based: parked threads
+//! wake, observe the flag, and unwind with a private `Cancel` payload the
+//! thread wrapper swallows. A process-wide quiet panic hook keeps the
+//! expected unwinds out of stderr.
+
+use crate::hash::Mix;
+use crate::scenario::Scenario;
+use crate::vv::VersionVec;
+use massf_engine::engine::{Engine, Shared};
+use massf_engine::event::Event;
+use massf_engine::exec::finalize;
+use massf_engine::shim::{SlotArray, SyncShim};
+use massf_engine::{protocol_loop, ProtocolOutcome};
+use std::cell::Cell;
+use std::collections::{HashSet, VecDeque};
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::{Condvar, Mutex, Once};
+
+/// Panic payload used to unwind engine threads of an abandoned run.
+struct Cancel;
+
+/// Hard cap on grants per run: a schedule exceeding it is reported as
+/// [`ViolationKind::Divergence`] (the protocol loop should terminate in a
+/// handful of rounds on the miniature scenarios).
+pub const MAX_STEPS: usize = 200_000;
+
+/// A seeded protocol mutation, applied once per run at the shim level —
+/// no engine code is modified. Used by the checker's self-tests: a
+/// correct checker must find a counterexample schedule for each.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Thread `thread` sails through its `nth` (1-based) barrier arrival
+    /// without registering: the classic missed-synchronization bug, which
+    /// phase-shifts that thread against the rest of the fleet.
+    SkipBarrier {
+        /// The misbehaving thread.
+        thread: usize,
+        /// Which of its arrivals to skip (1-based).
+        nth: u64,
+    },
+    /// The `nth` (1-based) event consumed from channel `from → to` is
+    /// withheld and delivered at the receiver's *next* drain — a message
+    /// that misses its synchronization window.
+    DelayDelivery {
+        /// Sending engine.
+        from: usize,
+        /// Receiving engine.
+        to: usize,
+        /// Which consumed event to delay (1-based).
+        nth: u64,
+    },
+}
+
+impl Fault {
+    /// Parses the CLI spelling (`skip-barrier` / `delay-delivery`) into
+    /// the canonical seeded instance used by the self-tests.
+    pub fn from_name(name: &str) -> Option<Fault> {
+        match name {
+            "skip-barrier" => Some(Fault::SkipBarrier { thread: 0, nth: 1 }),
+            "delay-delivery" => Some(Fault::DelayDelivery {
+                from: 0,
+                to: 1,
+                nth: 1,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// What a run can end as.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// Ran to completion; every property held.
+    Complete,
+    /// Abandoned: the trace prefix reached an already-visited state.
+    Pruned,
+    /// A property failed.
+    Violation {
+        /// Which property.
+        kind: ViolationKind,
+        /// Human-readable specifics.
+        detail: String,
+    },
+}
+
+/// The safety properties the checker enforces on every schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ViolationKind {
+    /// No thread can make progress but not all have finished.
+    Deadlock,
+    /// An engine published a next-event time below the closed LBTS.
+    LbtsRegress,
+    /// A cross-engine event was delivered with a timestamp inside a
+    /// window that has already closed.
+    ClosedWindowDelivery,
+    /// Undelivered cross-engine events remained after completion.
+    LostEvents,
+    /// An engine thread panicked (a `debug_assert!` protocol invariant
+    /// fired inside the production loop).
+    EnginePanic,
+    /// Participants disagreed, or the final report differed from the
+    /// sequential reference.
+    ReportMismatch,
+    /// The run exceeded [`MAX_STEPS`] grants.
+    Divergence,
+}
+
+impl std::fmt::Display for ViolationKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            ViolationKind::Deadlock => "deadlock",
+            ViolationKind::LbtsRegress => "lbts-regress",
+            ViolationKind::ClosedWindowDelivery => "closed-window-delivery",
+            ViolationKind::LostEvents => "lost-events",
+            ViolationKind::EnginePanic => "engine-panic",
+            ViolationKind::ReportMismatch => "report-mismatch",
+            ViolationKind::Divergence => "divergence",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One scheduling decision: how many grants were enabled and which was
+/// taken. The `chosen` indices of a run's decisions *are* its schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Decision {
+    /// Number of enabled grants at this step.
+    pub nchoices: usize,
+    /// Index (into the enabled set, ordered by thread id) taken.
+    pub chosen: usize,
+}
+
+/// The full record of one executed schedule.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Every decision taken, in order (including forced single-choice
+    /// steps, so the list replays verbatim).
+    pub decisions: Vec<Decision>,
+    /// How the run ended.
+    pub outcome: RunOutcome,
+}
+
+impl RunResult {
+    /// The schedule as a plain choice list (replayable via
+    /// [`run_schedule`]).
+    pub fn schedule(&self) -> Vec<usize> {
+        self.decisions.iter().map(|d| d.chosen).collect()
+    }
+}
+
+/// A shim operation, as requested by a parked engine thread.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Publish {
+        array: SlotArray,
+        slot: usize,
+        value: u64,
+    },
+    Read {
+        array: SlotArray,
+        slot: usize,
+    },
+    Send {
+        from: usize,
+        to: usize,
+        event: Event,
+    },
+    Recv {
+        to: usize,
+    },
+    BarrierArrive,
+}
+
+/// Scheduler-visible thread state.
+#[derive(Debug, Clone, Copy)]
+enum TState {
+    /// Executing engine code; will request an op or finish.
+    Running,
+    /// Parked in the shim, waiting for this op to be granted.
+    Requesting(Op),
+    /// Arrived at the barrier; waiting for the release.
+    WaitingBarrier,
+    /// Barrier released; waiting for a resume grant.
+    Resumable,
+    /// Returned from the protocol loop (or unwound).
+    Finished,
+}
+
+/// Shared mutable state between the controller and the engine threads.
+struct Core {
+    states: Vec<TState>,
+    /// Return value of the last granted op (reads).
+    ret: Vec<u64>,
+    /// Events staged by the controller for a granted `Recv`.
+    inboxes: Vec<Vec<Event>>,
+    /// Non-`Cancel` panic messages, per thread.
+    panics: Vec<Option<String>>,
+    cancelled: bool,
+}
+
+struct Sched {
+    core: Mutex<Core>,
+    cv: Condvar,
+}
+
+/// `Mutex::lock` that shrugs off poisoning: a panicking engine thread is
+/// an *expected* experimental outcome here, not a reason to wedge the
+/// controller.
+fn lock(m: &Mutex<Core>) -> std::sync::MutexGuard<'_, Core> {
+    m.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+impl Sched {
+    fn new(n: usize) -> Self {
+        Sched {
+            core: Mutex::new(Core {
+                states: vec![TState::Running; n],
+                ret: vec![0; n],
+                inboxes: (0..n).map(|_| Vec::new()).collect(),
+                panics: (0..n).map(|_| None).collect(),
+                cancelled: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Parks thread `tid` until the controller grants `op`; returns the
+    /// staged result. Unwinds with [`Cancel`] if the run is abandoned.
+    fn yield_op(&self, tid: usize, op: Op) -> u64 {
+        let mut core = lock(&self.core);
+        core.states[tid] = TState::Requesting(op);
+        self.cv.notify_all();
+        loop {
+            if core.cancelled {
+                drop(core); // release before unwinding: never poison
+                panic::panic_any(Cancel);
+            }
+            if matches!(core.states[tid], TState::Running) {
+                return core.ret[tid];
+            }
+            core = self
+                .cv
+                .wait(core)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+    }
+}
+
+/// The checker's [`SyncShim`]: every operation is a scheduling point.
+struct VirtualShim<'a> {
+    sched: &'a Sched,
+    tid: usize,
+}
+
+impl SyncShim for VirtualShim<'_> {
+    fn barrier_wait(&self) {
+        self.sched.yield_op(self.tid, Op::BarrierArrive);
+    }
+
+    fn publish(&self, array: SlotArray, slot: usize, value: u64) {
+        self.sched
+            .yield_op(self.tid, Op::Publish { array, slot, value });
+    }
+
+    fn read(&self, array: SlotArray, slot: usize) -> u64 {
+        self.sched.yield_op(self.tid, Op::Read { array, slot })
+    }
+
+    fn send(&self, from: usize, to: usize, event: Event) {
+        self.sched.yield_op(self.tid, Op::Send { from, to, event });
+    }
+
+    fn recv_all(&self, to: usize, deliver: &mut dyn FnMut(Event)) {
+        self.sched.yield_op(self.tid, Op::Recv { to });
+        let staged = {
+            let mut core = lock(&self.sched.core);
+            std::mem::take(&mut core.inboxes[to])
+        };
+        for event in staged {
+            deliver(event);
+        }
+    }
+}
+
+thread_local! {
+    /// Set by engine threads so the quiet hook suppresses their panics
+    /// (both `Cancel` unwinds and invariant failures we catch ourselves).
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+static HOOK: Once = Once::new();
+
+/// Installs (once per process) a panic hook that stays silent for threads
+/// that opted in via [`QUIET`] and defers to the previous hook otherwise.
+fn install_quiet_hook() {
+    HOOK.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Version-vector and value state for every shared object, plus the
+/// running order-insensitive trace hash. Lives entirely on the
+/// controller's side — engine threads never see it.
+struct Instrument {
+    n: usize,
+    /// Per-thread clocks.
+    tvv: Vec<VersionVec>,
+    /// Last-write clock per slot (4 arrays × n slots).
+    wvv: Vec<VersionVec>,
+    /// Accumulated reader clocks per slot.
+    rvv: Vec<VersionVec>,
+    /// Clock per channel (n × n).
+    cvv: Vec<VersionVec>,
+    /// Join of the clocks that arrived at the in-flight barrier.
+    accum: VersionVec,
+    /// Release clock staged per thread at barrier release.
+    pending: Vec<VersionVec>,
+    /// Current slot values (what `Read` grants return).
+    slot_val: Vec<u64>,
+    /// XOR-accumulated trace hash: independent ops commute, dependent
+    /// ones don't (their clocks differ across orders).
+    trace_hash: u64,
+}
+
+impl Instrument {
+    fn new(n: usize) -> Self {
+        let slots = 4 * n;
+        let mut slot_val = vec![0u64; slots];
+        // Match the parallel executor's initial values: idle minima.
+        for s in 0..n {
+            slot_val[SlotArray::Mins.index() * n + s] = u64::MAX;
+        }
+        Instrument {
+            n,
+            tvv: (0..n).map(|_| VersionVec::new(n)).collect(),
+            wvv: (0..slots).map(|_| VersionVec::new(n)).collect(),
+            rvv: (0..slots).map(|_| VersionVec::new(n)).collect(),
+            cvv: (0..n * n).map(|_| VersionVec::new(n)).collect(),
+            accum: VersionVec::new(n),
+            pending: (0..n).map(|_| VersionVec::new(n)).collect(),
+            slot_val,
+            trace_hash: 0,
+        }
+    }
+
+    fn slot(&self, array: SlotArray, slot: usize) -> usize {
+        array.index() * self.n + slot
+    }
+
+    /// Folds one granted op into the trace hash: op descriptor + acting
+    /// thread + that thread's clock *after* the op. Because each clock
+    /// entry ticks exactly once per op, per-op hashes are unique, and two
+    /// schedules XOR to the same value exactly when they order every
+    /// dependent pair identically.
+    fn absorb(&mut self, tid: usize, words: &[u64]) {
+        let mut m = Mix::new();
+        for &w in words {
+            m.mix(w);
+        }
+        m.mix(tid as u64);
+        for &c in self.tvv[tid].components() {
+            m.mix(c);
+        }
+        self.trace_hash ^= m.finish();
+    }
+}
+
+/// Executes one schedule of `scenario` and checks every property.
+///
+/// `prefix` replays previously-taken choices; past its end the controller
+/// always takes choice 0 (first enabled thread), recording every decision
+/// so the run is replayable. When `visited` is given, trace-prefix hashes
+/// are consulted and recorded for partial-order pruning — new states are
+/// only inserted for steps at or beyond the last prefix entry (earlier
+/// steps are re-walks of an already-recorded trace). Pass `None` to
+/// replay a schedule without pruning (reproduction of a counterexample).
+///
+/// `reference` is the sequential-run report the final state must equal.
+pub fn run_schedule(
+    scenario: &Scenario,
+    prefix: &[usize],
+    fault: Option<Fault>,
+    mut visited: Option<&mut HashSet<u64>>,
+    reference: &massf_engine::EmulationReport,
+) -> RunResult {
+    install_quiet_hook();
+    let n = scenario.cfg.nengines;
+    let cfg = &scenario.cfg;
+    let shared = Shared {
+        net: &scenario.net,
+        tables: &scenario.tables,
+        flows: &scenario.flows,
+        partition: &cfg.partition,
+    };
+    let lookahead = scenario.lookahead();
+    let speeds: Vec<f64> = match &cfg.engine_speeds {
+        Some(v) => v.clone(),
+        None => vec![1.0; n],
+    };
+
+    let sched = Sched::new(n);
+    let mut ins = Instrument::new(n);
+    let mut chans: Vec<VecDeque<Event>> = (0..n * n).map(|_| VecDeque::new()).collect();
+
+    // Controller-side bookkeeping.
+    let mut decisions: Vec<Decision> = Vec::new();
+    let mut outcome = RunOutcome::Complete;
+    let mut cur_min = vec![u64::MAX; n];
+    let mut lbts_floor = 0u64;
+    let mut release_count = 0u64;
+    // Fault state.
+    let mut barrier_arrivals = vec![0u64; n];
+    let mut chan_consumed = vec![0u64; n * n];
+    let mut delayed: Option<(usize, Event)> = None; // (receiver, event)
+    let mut fault_done = false;
+    // States recorded for steps < replay_steps were inserted by the run
+    // that first walked this prefix; only the final prefix entry (the
+    // fresh sibling choice) and onward are new.
+    let replay_steps = prefix.len().saturating_sub(1);
+
+    let (ctl_violation, results) = std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(n);
+        for tid in 0..n {
+            let sched = &sched;
+            let shared = &shared;
+            let speeds = &speeds;
+            let flows = &scenario.flows[..];
+            handles.push(scope.spawn(move || {
+                QUIET.with(|q| q.set(true));
+                let run = panic::catch_unwind(AssertUnwindSafe(|| {
+                    let mut engines = vec![Engine::new(
+                        tid as u32,
+                        cfg.counter_window_us,
+                        cfg.netflow,
+                        cfg.scheduler,
+                    )];
+                    for (i, f) in flows.iter().enumerate() {
+                        engines[0].seed_flow(i as u32, f, shared);
+                    }
+                    let shim = VirtualShim { sched, tid };
+                    let out =
+                        protocol_loop(&mut engines, &shim, shared, lookahead, &cfg.cost, speeds);
+                    (engines.pop().expect("one engine per thread"), out)
+                }));
+                let mut core = lock(&sched.core);
+                let ret = match run {
+                    Ok(pair) => Some(pair),
+                    Err(payload) => {
+                        if payload.downcast_ref::<Cancel>().is_none() {
+                            let msg = payload
+                                .downcast_ref::<&str>()
+                                .map(|s| s.to_string())
+                                .or_else(|| payload.downcast_ref::<String>().cloned())
+                                .unwrap_or_else(|| "non-string panic payload".to_string());
+                            core.panics[tid] = Some(msg);
+                        }
+                        None
+                    }
+                };
+                core.states[tid] = TState::Finished;
+                sched.cv.notify_all();
+                drop(core);
+                ret
+            }));
+        }
+
+        // ---- Controller ----
+        let mut violation: Option<(ViolationKind, String)> = None;
+        let mut step = 0usize;
+        let mut core = lock(&sched.core);
+        'control: loop {
+            // Quiesce: exactly zero threads may be executing engine code
+            // before the next grant is chosen.
+            while core.states.iter().any(|s| matches!(s, TState::Running)) {
+                core = sched
+                    .cv
+                    .wait(core)
+                    .unwrap_or_else(|poisoned| poisoned.into_inner());
+            }
+            // An engine panic (tripped debug_assert) beats any further
+            // scheduling: report it as the counterexample.
+            if let Some((tid, msg)) = core
+                .panics
+                .iter()
+                .enumerate()
+                .find_map(|(t, p)| p.as_ref().map(|m| (t, m.clone())))
+            {
+                violation = Some((
+                    ViolationKind::EnginePanic,
+                    format!("engine thread {tid} panicked: {msg}"),
+                ));
+                break 'control;
+            }
+            if core.states.iter().all(|s| matches!(s, TState::Finished)) {
+                break 'control;
+            }
+            let enabled: Vec<usize> = (0..n)
+                .filter(|&t| matches!(core.states[t], TState::Requesting(_) | TState::Resumable))
+                .collect();
+            if enabled.is_empty() {
+                let stuck: Vec<usize> = (0..n)
+                    .filter(|&t| matches!(core.states[t], TState::WaitingBarrier))
+                    .collect();
+                violation = Some((
+                    ViolationKind::Deadlock,
+                    format!("no enabled thread; waiting at barrier: {stuck:?}"),
+                ));
+                break 'control;
+            }
+            if step >= MAX_STEPS {
+                violation = Some((
+                    ViolationKind::Divergence,
+                    format!("schedule exceeded {MAX_STEPS} steps"),
+                ));
+                break 'control;
+            }
+            let chosen = if step < prefix.len() {
+                assert!(
+                    prefix[step] < enabled.len(),
+                    "schedule replay diverged at step {step}: choice {} of {}",
+                    prefix[step],
+                    enabled.len()
+                );
+                prefix[step]
+            } else {
+                0
+            };
+            decisions.push(Decision {
+                nchoices: enabled.len(),
+                chosen,
+            });
+            let tid = enabled[chosen];
+
+            // ---- Apply the grant: values, clocks, properties. ----
+            match core.states[tid] {
+                TState::Resumable => {
+                    let pending = ins.pending[tid].clone();
+                    ins.tvv[tid].join(&pending);
+                    ins.tvv[tid].tick(tid);
+                    ins.absorb(tid, &[6]);
+                    core.states[tid] = TState::Running;
+                }
+                TState::Requesting(op) => match op {
+                    Op::Publish { array, slot, value } => {
+                        if array == SlotArray::Mins {
+                            if value < lbts_floor {
+                                violation = Some((
+                                    ViolationKind::LbtsRegress,
+                                    format!(
+                                        "engine {slot} published min {value} below the \
+                                         closed LBTS {lbts_floor}"
+                                    ),
+                                ));
+                                break 'control;
+                            }
+                            cur_min[slot] = value;
+                        }
+                        let o = ins.slot(array, slot);
+                        let (w, r) = (ins.wvv[o].clone(), ins.rvv[o].clone());
+                        ins.tvv[tid].join(&w);
+                        ins.tvv[tid].join(&r);
+                        ins.tvv[tid].tick(tid);
+                        ins.wvv[o] = ins.tvv[tid].clone();
+                        ins.slot_val[o] = value;
+                        ins.absorb(tid, &[1, array.index() as u64, slot as u64, value]);
+                        core.states[tid] = TState::Running;
+                    }
+                    Op::Read { array, slot } => {
+                        let o = ins.slot(array, slot);
+                        let w = ins.wvv[o].clone();
+                        ins.tvv[tid].join(&w);
+                        ins.tvv[tid].tick(tid);
+                        let t = ins.tvv[tid].clone();
+                        ins.rvv[o].join(&t);
+                        core.ret[tid] = ins.slot_val[o];
+                        ins.absorb(tid, &[2, array.index() as u64, slot as u64]);
+                        core.states[tid] = TState::Running;
+                    }
+                    Op::Send { from, to, event } => {
+                        let o = from * n + to;
+                        let c = ins.cvv[o].clone();
+                        ins.tvv[tid].join(&c);
+                        ins.tvv[tid].tick(tid);
+                        ins.cvv[o] = ins.tvv[tid].clone();
+                        chans[o].push_back(event);
+                        ins.absorb(
+                            tid,
+                            &[3, from as u64, to as u64, event.time_us, event.node as u64],
+                        );
+                        core.states[tid] = TState::Running;
+                    }
+                    Op::Recv { to } => {
+                        let mut staged: Vec<Event> = Vec::new();
+                        if delayed.as_ref().is_some_and(|d| d.0 == to) {
+                            staged.push(delayed.take().expect("checked above").1);
+                        }
+                        for from in 0..n {
+                            let o = from * n + to;
+                            while let Some(event) = chans[o].pop_front() {
+                                chan_consumed[o] += 1;
+                                let withhold = !fault_done
+                                    && fault
+                                        == Some(Fault::DelayDelivery {
+                                            from,
+                                            to,
+                                            nth: chan_consumed[o],
+                                        });
+                                if withhold {
+                                    fault_done = true;
+                                    delayed = Some((to, event));
+                                } else {
+                                    staged.push(event);
+                                }
+                            }
+                        }
+                        if let Some(bad) = staged.iter().find(|e| e.time_us < lbts_floor) {
+                            violation = Some((
+                                ViolationKind::ClosedWindowDelivery,
+                                format!(
+                                    "event at {} delivered to engine {to} inside the \
+                                     closed window below {lbts_floor}",
+                                    bad.time_us
+                                ),
+                            ));
+                            break 'control;
+                        }
+                        for from in 0..n {
+                            let c = ins.cvv[from * n + to].clone();
+                            ins.tvv[tid].join(&c);
+                        }
+                        ins.tvv[tid].tick(tid);
+                        for from in 0..n {
+                            let t = ins.tvv[tid].clone();
+                            ins.cvv[from * n + to].join(&t);
+                        }
+                        ins.absorb(tid, &[4, to as u64, staged.len() as u64]);
+                        core.inboxes[to] = staged;
+                        core.states[tid] = TState::Running;
+                    }
+                    Op::BarrierArrive => {
+                        barrier_arrivals[tid] += 1;
+                        let skip = !fault_done
+                            && fault
+                                == Some(Fault::SkipBarrier {
+                                    thread: tid,
+                                    nth: barrier_arrivals[tid],
+                                });
+                        ins.tvv[tid].tick(tid);
+                        ins.absorb(tid, &[5, u64::from(skip)]);
+                        if skip {
+                            fault_done = true;
+                            core.states[tid] = TState::Running; // sails through
+                        } else {
+                            let t = ins.tvv[tid].clone();
+                            ins.accum.join(&t);
+                            core.states[tid] = TState::WaitingBarrier;
+                            let arrived = core
+                                .states
+                                .iter()
+                                .filter(|s| matches!(s, TState::WaitingBarrier))
+                                .count();
+                            if arrived == n {
+                                for t in 0..n {
+                                    ins.pending[t] = ins.accum.clone();
+                                    core.states[t] = TState::Resumable;
+                                }
+                                ins.accum.clear();
+                                release_count += 1;
+                                // Releases cycle B1 (after min-publish),
+                                // B2 (after gmin-read), B3 (after sends):
+                                // at each B1 every min is in, so the
+                                // round's LBTS is determined.
+                                if release_count % 3 == 1 {
+                                    let gmin = cur_min.iter().copied().min().unwrap_or(u64::MAX);
+                                    if gmin != u64::MAX {
+                                        lbts_floor = gmin.saturating_add(lookahead);
+                                    }
+                                }
+                            }
+                        }
+                    }
+                },
+                _ => unreachable!("only requesting/resumable threads are enabled"),
+            }
+
+            // ---- Partial-order pruning on the trace-prefix hash. ----
+            if let Some(visited) = visited.as_deref_mut() {
+                if step >= replay_steps && !visited.insert(ins.trace_hash) {
+                    outcome = RunOutcome::Pruned;
+                    core.cancelled = true;
+                    sched.cv.notify_all();
+                    break 'control;
+                }
+            }
+
+            sched.cv.notify_all();
+            step += 1;
+        }
+
+        if violation.is_some() || matches!(outcome, RunOutcome::Pruned) {
+            core.cancelled = true;
+            sched.cv.notify_all();
+        }
+        while !core.states.iter().all(|s| matches!(s, TState::Finished)) {
+            core = sched
+                .cv
+                .wait(core)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+        }
+        drop(core);
+
+        let results: Vec<Option<(Engine, ProtocolOutcome)>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("engine wrapper never panics"))
+            .collect();
+        (violation, results)
+    });
+
+    if let Some((kind, detail)) = ctl_violation {
+        return RunResult {
+            decisions,
+            outcome: RunOutcome::Violation { kind, detail },
+        };
+    }
+    if matches!(outcome, RunOutcome::Pruned) {
+        return RunResult { decisions, outcome };
+    }
+
+    // ---- Completion properties. ----
+    if delayed.is_some() || chans.iter().any(|q| !q.is_empty()) {
+        let stuck: usize =
+            chans.iter().map(VecDeque::len).sum::<usize>() + usize::from(delayed.is_some());
+        return RunResult {
+            decisions,
+            outcome: RunOutcome::Violation {
+                kind: ViolationKind::LostEvents,
+                detail: format!("{stuck} cross-engine event(s) never delivered"),
+            },
+        };
+    }
+    let mut engines = Vec::with_capacity(n);
+    let mut outcomes = Vec::with_capacity(n);
+    for (tid, r) in results.into_iter().enumerate() {
+        match r {
+            Some((e, o)) => {
+                engines.push(e);
+                outcomes.push(o);
+            }
+            None => {
+                return RunResult {
+                    decisions,
+                    outcome: RunOutcome::Violation {
+                        kind: ViolationKind::EnginePanic,
+                        detail: format!("engine thread {tid} produced no result"),
+                    },
+                }
+            }
+        }
+    }
+    if outcomes.windows(2).any(|w| w[0] != w[1]) {
+        return RunResult {
+            decisions,
+            outcome: RunOutcome::Violation {
+                kind: ViolationKind::ReportMismatch,
+                detail: "participants disagree on the protocol outcome".to_string(),
+            },
+        };
+    }
+    let report = finalize(engines, cfg, outcomes[0].wall.clone(), outcomes[0].rounds);
+    if &report != reference {
+        return RunResult {
+            decisions,
+            outcome: RunOutcome::Violation {
+                kind: ViolationKind::ReportMismatch,
+                detail: format!(
+                    "schedule report differs from the sequential reference \
+                     (delivered {} vs {}, rounds {} vs {})",
+                    report.delivered, reference.delivered, report.rounds, reference.rounds
+                ),
+            },
+        };
+    }
+    RunResult {
+        decisions,
+        outcome: RunOutcome::Complete,
+    }
+}

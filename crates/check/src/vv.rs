@@ -1,0 +1,77 @@
+//! Version vectors: the happens-before machinery behind the explorer's
+//! partial-order reduction.
+//!
+//! Every engine thread carries a vector clock, ticked once per shim
+//! operation; every shared object carries the clocks of its last writes
+//! and reads. An operation's clock (after joining the object clocks it
+//! conflicts with) captures exactly its causal history, so two
+//! interleavings that only reorder *independent* operations produce
+//! identical sets of `(op, clock)` pairs — which is what the trace hash
+//! accumulates and the visited set deduplicates.
+
+/// A vector clock over the engine threads.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct VersionVec(Vec<u64>);
+
+impl VersionVec {
+    /// The zero clock for `n` threads.
+    pub fn new(n: usize) -> Self {
+        VersionVec(vec![0; n])
+    }
+
+    /// Advances thread `tid`'s component (one tick per operation).
+    #[inline]
+    pub fn tick(&mut self, tid: usize) {
+        self.0[tid] += 1;
+    }
+
+    /// Pointwise maximum: afterwards `self` dominates both inputs.
+    #[inline]
+    pub fn join(&mut self, other: &VersionVec) {
+        for (a, b) in self.0.iter_mut().zip(&other.0) {
+            *a = (*a).max(*b);
+        }
+    }
+
+    /// Resets every component to zero (reused between barrier rounds).
+    pub fn clear(&mut self) {
+        self.0.iter_mut().for_each(|x| *x = 0);
+    }
+
+    /// The components, for hashing.
+    #[inline]
+    pub fn components(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VersionVec::new(3);
+        a.tick(0);
+        a.tick(0);
+        let mut b = VersionVec::new(3);
+        b.tick(1);
+        a.join(&b);
+        assert_eq!(a.components(), &[2, 1, 0]);
+    }
+
+    #[test]
+    fn independent_ops_commute_under_join() {
+        // Two threads touching disjoint objects: the final joined clock is
+        // identical regardless of order — the pruning property.
+        let mut t0 = VersionVec::new(2);
+        let mut t1 = VersionVec::new(2);
+        t0.tick(0);
+        t1.tick(1);
+        let mut ab = t0.clone();
+        ab.join(&t1);
+        let mut ba = t1.clone();
+        ba.join(&t0);
+        assert_eq!(ab, ba);
+    }
+}

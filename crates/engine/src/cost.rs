@@ -105,7 +105,7 @@ impl CostModel {
 }
 
 /// Running wall-clock accumulator, fed once per window.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct WallClock {
     /// Total modeled wall time (µs).
     pub total_us: f64,

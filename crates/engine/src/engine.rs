@@ -117,6 +117,13 @@ impl Engine {
         into.append(&mut self.outbox);
     }
 
+    /// True when the cross-engine outbox is empty — a protocol invariant
+    /// at the end of every round (asserted by the executors and proved
+    /// over all interleavings by `massf-check`).
+    pub fn outbox_is_empty(&self) -> bool {
+        self.outbox.is_empty()
+    }
+
     /// Drains every pending event in ascending order (used when nodes
     /// migrate between engines: events follow their node).
     pub fn drain_events(&mut self) -> Vec<Event> {

@@ -5,13 +5,15 @@
 
 use crate::cost::{CostModel, WallClock};
 use crate::engine::{lookahead_us, Engine, RemoteEvent, Shared};
+use crate::event::Event;
 use crate::netflow::merge_dumps;
 use crate::report::EmulationReport;
 use crate::sched::SchedulerKind;
+use crate::shim::{SeqShim, SlotArray, StdShim, SyncShim};
 use massf_routing::RoutingTables;
 use massf_topology::Network;
 use massf_traffic::FlowSpec;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::AtomicU64;
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Barrier;
 
@@ -98,8 +100,158 @@ fn validate(net: &Network, cfg: &EmulationConfig) {
     );
 }
 
+/// What one protocol participant accumulates over a run: the modeled wall
+/// clock, the number of conservative rounds, and the final virtual time.
+/// Every participant of a parallel run computes identical values (each
+/// reads the same published window statistics), which is asserted by the
+/// model checker and exploited by [`finalize`] keeping only one copy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProtocolOutcome {
+    /// Modeled wall-clock accumulation over all windows.
+    pub wall: WallClock,
+    /// Conservative synchronization rounds executed.
+    pub rounds: u64,
+    /// Final virtual time (the last window's progress frontier).
+    pub virtual_now: u64,
+}
+
+/// The windowed conservative protocol, written exactly once over the
+/// [`SyncShim`] surface.
+///
+/// `engines` are the engines owned by this participant: all of them in
+/// the sequential executor, exactly one per OS thread in the parallel
+/// executor and in the `massf-check` model checker. `speeds` has one
+/// entry per engine in the whole run (its length is the engine count).
+///
+/// Each round runs three phases:
+///
+/// 1. publish every owned engine's next-event time, barrier, read all
+///    published minima to agree on `gmin` (and thus
+///    `LBTS = gmin + lookahead`), barrier (everyone has read before
+///    anyone rewrites);
+/// 2. process every owned engine's window below LBTS, ship cross-engine
+///    events, publish window statistics, barrier (all sends complete);
+/// 3. drain every owned engine's inbox, then account the window against
+///    the published statistics of *all* engines.
+///
+/// The `debug_assert!`s state the protocol invariants the model checker
+/// proves hold under every interleaving: LBTS never regresses, windows
+/// are fully drained before they close, outboxes empty at round end, and
+/// no cross-engine event lands inside a closed window.
+pub fn protocol_loop<S: SyncShim>(
+    engines: &mut [Engine],
+    shim: &S,
+    shared: &Shared<'_>,
+    lookahead: u64,
+    cost: &CostModel,
+    speeds: &[f64],
+) -> ProtocolOutcome {
+    let nengines = speeds.len();
+    let mut wall = WallClock::default();
+    let mut rounds = 0u64;
+    let mut virtual_now = 0u64;
+    let mut last_lbts = 0u64;
+    // Reused across rounds — no per-window outbox allocation.
+    let mut out_buf: Vec<RemoteEvent> = Vec::new();
+
+    loop {
+        // Phase 1: publish local minima, agree on LBTS.
+        for e in engines.iter() {
+            shim.publish(
+                SlotArray::Mins,
+                e.id as usize,
+                e.next_time().unwrap_or(u64::MAX),
+            );
+        }
+        shim.barrier_wait();
+        let mut gmin = u64::MAX;
+        for j in 0..nengines {
+            gmin = gmin.min(shim.read(SlotArray::Mins, j));
+        }
+        shim.barrier_wait(); // everyone has read before anyone rewrites
+        if gmin == u64::MAX {
+            break;
+        }
+        debug_assert!(
+            rounds == 0 || gmin >= last_lbts,
+            "LBTS regressed: gmin {gmin} fell below the closed window at {last_lbts}"
+        );
+        let lbts = gmin.saturating_add(lookahead);
+        last_lbts = lbts;
+        if rounds == 0 {
+            virtual_now = gmin;
+        }
+
+        // Phase 2: process the window, ship remote events, publish stats.
+        for e in engines.iter_mut() {
+            let id = e.id as usize;
+            let sent_before = e.remote_sent();
+            let events = e.process_window(lbts, shared);
+            if events == 0 {
+                e.counters.record_stall(gmin);
+            }
+            debug_assert!(
+                e.next_time().is_none_or(|t| t >= lbts),
+                "window not drained: an event below LBTS {lbts} survived processing"
+            );
+            let sent = e.remote_sent() - sent_before;
+            e.drain_outbox(&mut out_buf);
+            debug_assert!(e.outbox_is_empty(), "outbox not empty at round end");
+            for RemoteEvent { to_engine, event } in out_buf.drain(..) {
+                shim.send(id, to_engine as usize, event);
+            }
+            shim.publish(SlotArray::WinEvents, id, events);
+            shim.publish(SlotArray::WinRemote, id, sent);
+            // An idle engine's frontier is its last processed event, not
+            // lbts — with one engine the lookahead is effectively infinite
+            // and lbts would wreck the virtual clock.
+            let frontier = e.next_time().unwrap_or(e.counters.last_event_us);
+            shim.publish(SlotArray::WinProgress, id, frontier.min(lbts));
+        }
+        shim.barrier_wait(); // all sends complete
+
+        // Phase 3: drain inboxes, account the window.
+        for e in engines.iter_mut() {
+            shim.recv_all(e.id as usize, &mut |event: Event| {
+                debug_assert!(
+                    event.time_us >= lbts,
+                    "remote event at {} delivered into the closed window below {lbts}",
+                    event.time_us
+                );
+                e.counters.record_remote_recv(event.time_us);
+                e.enqueue(event);
+            });
+        }
+        let mut max_busy = 0.0f64;
+        for j in 0..nengines {
+            let ev = shim.read(SlotArray::WinEvents, j);
+            let rm = shim.read(SlotArray::WinRemote, j);
+            max_busy = max_busy.max(cost.engine_busy_us(ev, rm, speeds[j]));
+        }
+        // Virtual progress this round: the new global frontier, capped by
+        // lbts and never behind gmin.
+        let mut progress = lbts;
+        for j in 0..nengines {
+            progress = progress.min(shim.read(SlotArray::WinProgress, j));
+        }
+        let progress = progress.max(gmin);
+        let span = progress.saturating_sub(virtual_now);
+        virtual_now = virtual_now.max(progress);
+        wall.add_busy_window(cost, max_busy, span);
+        rounds += 1;
+    }
+
+    ProtocolOutcome {
+        wall,
+        rounds,
+        virtual_now,
+    }
+}
+
 /// Runs the emulation in a single thread, simulating the synchronous
-/// rounds. Deterministic; used by tests, sweeps, and benches.
+/// rounds. Deterministic; used by tests, sweeps, and benches. Runs the
+/// same [`protocol_loop`] as the parallel executor, owning every engine
+/// and synchronizing through the trivial single-threaded shim.
 pub fn run_sequential(
     net: &Network,
     tables: &RoutingTables,
@@ -122,58 +274,17 @@ pub fn run_sequential(
         engines[cfg.partition[f.src as usize] as usize].seed_flow(i as u32, f, &shared);
     }
 
-    let mut wall = WallClock::default();
-    let mut rounds = 0u64;
-    let mut virtual_now = 0u64;
-    // One delivery buffer for the whole run; its capacity is reused every
-    // round instead of reallocating per window.
-    let mut all_out: Vec<RemoteEvent> = Vec::new();
-
-    while let Some(gmin) = engines.iter().filter_map(Engine::next_time).min() {
-        let lbts = gmin.saturating_add(lookahead);
-        if rounds == 0 {
-            virtual_now = gmin;
-        }
-
-        let mut max_busy = 0.0f64;
-        let mut progress = lbts;
-        for (idx, e) in engines.iter_mut().enumerate() {
-            let sent_before = e.remote_sent();
-            let n = e.process_window(lbts, &shared);
-            if n == 0 {
-                e.counters.record_stall(gmin);
-            }
-            let sent = e.remote_sent() - sent_before;
-            max_busy = max_busy.max(cfg.cost.engine_busy_us(n, sent, cfg.speed(idx)));
-            // An idle engine's frontier is its last processed event, not
-            // lbts — with one engine the lookahead is effectively infinite
-            // and lbts would wreck the virtual clock.
-            let frontier = e.next_time().unwrap_or(e.counters.last_event_us);
-            progress = progress.min(frontier.min(lbts));
-            e.drain_outbox(&mut all_out);
-        }
-        // Virtual progress this round: the new global frontier, capped by
-        // lbts and never behind gmin (matches the parallel executor).
-        let progress = progress.max(gmin);
-        let span = progress.saturating_sub(virtual_now);
-        virtual_now = virtual_now.max(progress);
-        wall.add_busy_window(&cfg.cost, max_busy, span);
-        rounds += 1;
-
-        for RemoteEvent { to_engine, event } in all_out.drain(..) {
-            let dest = &mut engines[to_engine as usize];
-            dest.counters.record_remote_recv(event.time_us);
-            dest.enqueue(event);
-        }
-    }
-
-    let _ = virtual_now;
-    finalize(engines, cfg, wall, rounds)
+    let speeds: Vec<f64> = (0..cfg.nengines).map(|e| cfg.speed(e)).collect();
+    let shim = SeqShim::new(cfg.nengines);
+    let out = protocol_loop(&mut engines, &shim, &shared, lookahead, &cfg.cost, &speeds);
+    finalize(engines, cfg, out.wall, out.rounds)
 }
 
 /// Runs the emulation with one OS thread per engine, exchanging events over
 /// `mpsc` channels under the synchronous conservative protocol. Produces
-/// the same report as [`run_sequential`] for the same inputs.
+/// the same report as [`run_sequential`] for the same inputs: both run the
+/// identical [`protocol_loop`], differing only in the [`SyncShim`]
+/// instantiation.
 pub fn run_parallel(
     net: &Network,
     tables: &RoutingTables,
@@ -189,8 +300,8 @@ pub fn run_parallel(
     let lookahead = lookahead_us(net, &cfg.partition);
 
     // n×n channel mesh: mesh[i][j] carries events from engine i to j.
-    let mut senders: Vec<Vec<Sender<RemoteEvent>>> = vec![Vec::with_capacity(n); n];
-    let mut receivers: Vec<Vec<Receiver<RemoteEvent>>> = (0..n).map(|_| Vec::new()).collect();
+    let mut senders: Vec<Vec<Sender<Event>>> = vec![Vec::with_capacity(n); n];
+    let mut receivers: Vec<Vec<Receiver<Event>>> = (0..n).map(|_| Vec::new()).collect();
     for i in 0..n {
         for j in 0..n {
             let (tx, rx) = channel();
@@ -206,7 +317,7 @@ pub fn run_parallel(
     let win_progress: Vec<AtomicU64> = (0..n).map(|_| AtomicU64::new(0)).collect();
     let barrier = Barrier::new(n);
 
-    let results: Vec<(Engine, WallClock, u64, u64)> = std::thread::scope(|scope| {
+    let results: Vec<(Engine, ProtocolOutcome)> = std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(n);
         for (id, (my_senders, my_receivers)) in
             senders.drain(..).zip(receivers.drain(..)).enumerate()
@@ -226,79 +337,24 @@ pub fn run_parallel(
                     flows,
                     partition,
                 };
-                let mut engine =
-                    Engine::new(id as u32, cfg.counter_window_us, cfg.netflow, cfg.scheduler);
+                let mut engines = vec![Engine::new(
+                    id as u32,
+                    cfg.counter_window_us,
+                    cfg.netflow,
+                    cfg.scheduler,
+                )];
                 for (i, f) in flows.iter().enumerate() {
-                    engine.seed_flow(i as u32, f, &shared);
+                    engines[0].seed_flow(i as u32, f, &shared);
                 }
-                let mut wall = WallClock::default();
-                let mut rounds = 0u64;
-                let mut virtual_now = 0u64;
-                // Reused across rounds — no per-window outbox allocation.
-                let mut out_buf: Vec<RemoteEvent> = Vec::new();
-
-                loop {
-                    // Phase 1: publish local min, agree on LBTS.
-                    mins[id].store(engine.next_time().unwrap_or(u64::MAX), Ordering::SeqCst);
-                    barrier.wait();
-                    let gmin = mins
-                        .iter()
-                        .map(|m| m.load(Ordering::SeqCst))
-                        .min()
-                        .expect("n >= 1");
-                    barrier.wait(); // everyone has read before anyone rewrites
-                    if gmin == u64::MAX {
-                        break;
-                    }
-                    let lbts = gmin.saturating_add(lookahead);
-                    if rounds == 0 {
-                        virtual_now = gmin;
-                    }
-
-                    // Phase 2: process the window and ship remote events.
-                    let sent_before = engine.remote_sent();
-                    let events = engine.process_window(lbts, &shared);
-                    if events == 0 {
-                        engine.counters.record_stall(gmin);
-                    }
-                    let sent = engine.remote_sent() - sent_before;
-                    engine.drain_outbox(&mut out_buf);
-                    for RemoteEvent { to_engine, event } in out_buf.drain(..) {
-                        my_senders[to_engine as usize]
-                            .send(RemoteEvent { to_engine, event })
-                            .expect("peer thread alive");
-                    }
-                    win_events[id].store(events, Ordering::SeqCst);
-                    win_remote[id].store(sent, Ordering::SeqCst);
-                    let frontier = engine.next_time().unwrap_or(engine.counters.last_event_us);
-                    win_progress[id].store(frontier.min(lbts), Ordering::SeqCst);
-                    barrier.wait(); // all sends complete
-
-                    // Phase 3: drain inbox, account the window.
-                    for rx in &my_receivers {
-                        for remote in rx.try_iter() {
-                            engine.counters.record_remote_recv(remote.event.time_us);
-                            engine.enqueue(remote.event);
-                        }
-                    }
-                    let mut max_busy = 0.0f64;
-                    for e in 0..n {
-                        let ev = win_events[e].load(Ordering::SeqCst);
-                        let rm = win_remote[e].load(Ordering::SeqCst);
-                        max_busy = max_busy.max(cost.engine_busy_us(ev, rm, speeds[e]));
-                    }
-                    let progress = win_progress
-                        .iter()
-                        .map(|x| x.load(Ordering::SeqCst))
-                        .min()
-                        .unwrap_or(lbts)
-                        .max(gmin);
-                    let span = progress.saturating_sub(virtual_now);
-                    virtual_now = virtual_now.max(progress);
-                    wall.add_busy_window(&cost, max_busy, span);
-                    rounds += 1;
-                }
-                (engine, wall, rounds, virtual_now)
+                let shim = StdShim::new(
+                    id,
+                    barrier,
+                    [mins, win_events, win_remote, win_progress],
+                    my_senders,
+                    my_receivers,
+                );
+                let out = protocol_loop(&mut engines, &shim, &shared, lookahead, &cost, speeds);
+                (engines.pop().expect("one engine per thread"), out)
             });
             handles.push(handle);
         }
@@ -311,19 +367,20 @@ pub fn run_parallel(
     let mut engines = Vec::with_capacity(n);
     let mut wall = WallClock::default();
     let mut rounds = 0;
-    for (i, (e, w, r, _virtual_now)) in results.into_iter().enumerate() {
+    for (i, (e, out)) in results.into_iter().enumerate() {
         if i == 0 {
-            wall = w;
-            rounds = r;
+            wall = out.wall;
+            rounds = out.rounds;
         }
         engines.push(e);
     }
     finalize(engines, cfg, wall, rounds)
 }
 
-/// Merges per-engine state into the final report. Also used by the
-/// steppable executor so both paths report identically.
-pub(crate) fn finalize(
+/// Merges per-engine state into the final report. Used by every executor
+/// — sequential, parallel, steppable, and the `massf-check` model checker
+/// — so all paths report identically.
+pub fn finalize(
     engines: Vec<Engine>,
     cfg: &EmulationConfig,
     wall: WallClock,

@@ -87,11 +87,13 @@ pub mod netflow;
 pub mod probe;
 pub mod report;
 pub mod sched;
+pub mod shim;
 pub mod stepping;
 pub mod trace;
 
 pub use cost::CostModel;
-pub use exec::{run_parallel, run_sequential, EmulationConfig};
+pub use exec::{protocol_loop, run_parallel, run_sequential, EmulationConfig, ProtocolOutcome};
 pub use report::EmulationReport;
 pub use sched::{SchedStats, SchedulerKind};
+pub use shim::{SlotArray, SyncShim};
 pub use stepping::{MigrationCost, SteppableEmulation};

@@ -11,7 +11,13 @@ use crate::cost::WallClock;
 use crate::netflow::FlowRecord;
 
 /// Everything a mapping study needs from one emulation run.
-#[derive(Debug, Clone)]
+///
+/// Derives `PartialEq` so executors can be checked against each other
+/// field-for-field: the determinism guarantee is that sequential,
+/// parallel, and every model-checked interleaving produce `==` reports
+/// (the `wall` floats are computed by the identical instruction sequence
+/// in all executors, so even they compare bit-equal).
+#[derive(Debug, Clone, PartialEq)]
 pub struct EmulationReport {
     /// Number of simulation engines.
     pub nengines: usize,
