@@ -23,6 +23,7 @@
 //! | `ablate_topology_model` | §5 — BA vs Waxman BRITE growth models |
 //! | `ablate_hetero` | extension — heterogeneous engine capacities |
 //! | `ablate_dynamic` | extension — dynamic remapping (§6 future work) |
+//! | `ablate_online` | extension — incremental vs global online repartitioning |
 //! | `ablate_transport` | extension — paced vs window/ACK transport |
 //! | `bench_pipeline` | mapping-pipeline thread-scaling wall-clock |
 //! | `bench_engine` | event-core throughput: calendar queue vs heap baseline |
@@ -42,12 +43,14 @@
 use massf_core::prelude::*;
 use massf_metrics::report::ResultTable;
 
-/// Parses the scale argument (first CLI arg, default 1.0).
+/// Parses the scale argument (first CLI arg, default 1.0). `--smoke` is
+/// shorthand for a quick quarter-scale run, matching the CI smoke steps.
 pub fn scale_from_args() -> f64 {
-    let scale = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse::<f64>().ok())
-        .unwrap_or(1.0);
+    let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--smoke") {
+        return 0.25;
+    }
+    let scale = arg.and_then(|s| s.parse::<f64>().ok()).unwrap_or(1.0);
     assert!(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
     scale
 }

@@ -1,5 +1,5 @@
 //! Post-pipeline artifact audits: thin entry points over `massf-lint`'s
-//! artifact-pass registry (MC013–MC018).
+//! artifact-pass registry (MC013–MC020).
 //!
 //! The request preflight ([`crate::scenario::BuiltScenario::lint`]) judges
 //! what was asked for; these helpers judge what the pipeline produced — a
@@ -24,6 +24,29 @@ pub fn audit_study(study: &MappingStudy, partition: &Partitioning) -> Diagnostic
         .with_ubfactor(study.cfg.ubfactor)
         .with_partition(partition)
         .with_tables(&study.tables);
+    if let Some(caps) = &study.cfg.engine_capacities {
+        input.engine_capacities = Some(caps);
+    }
+    massf_lint::lint_artifacts(&input)
+}
+
+/// [`audit_study`] extended with the online-rebalancer's load evidence:
+/// `predicted_engine_loads` (PLACE's plan, summed per engine) and
+/// `epoch_engine_loads` (what NetFlow measured per epoch) additionally
+/// feed the MC019/MC020 drift passes, which skip in the plain audit.
+pub fn audit_study_online(
+    study: &MappingStudy,
+    partition: &Partitioning,
+    predicted_engine_loads: &[f64],
+    epoch_engine_loads: &[Vec<u64>],
+) -> Diagnostics {
+    let mut input = ArtifactInput::new(&study.net)
+        .with_engines(study.cfg.engines)
+        .with_ubfactor(study.cfg.ubfactor)
+        .with_partition(partition)
+        .with_tables(&study.tables)
+        .with_predicted_loads(predicted_engine_loads)
+        .with_epoch_loads(epoch_engine_loads);
     if let Some(caps) = &study.cfg.engine_capacities {
         input.engine_capacities = Some(caps);
     }
@@ -79,6 +102,22 @@ mod tests {
             d.passes_run(),
             massf_lint::artifact::artifact_registry().len()
         );
+    }
+
+    #[test]
+    fn online_audit_surfaces_measured_drift() {
+        let study = MappingStudy::new(campus(), MapperConfig::new(3));
+        let p = study.map(Approach::Top, &[], &[]);
+        // Load that flips engines between epochs: MC020 must fire.
+        let epochs = vec![vec![100, 0, 0], vec![0, 100, 0]];
+        let predicted = vec![34.0, 33.0, 33.0];
+        let d = audit_study_online(&study, &p, &predicted, &epochs);
+        assert!(d.iter().any(|x| x.code.as_str() == "MC020"), "{d:?}");
+        // A steady, well-predicted run stays drift-clean.
+        let quiet = vec![vec![34, 33, 33], vec![34, 33, 33]];
+        let d = audit_study_online(&study, &p, &predicted, &quiet);
+        assert!(!d.iter().any(|x| x.code.as_str() == "MC019"));
+        assert!(!d.iter().any(|x| x.code.as_str() == "MC020"));
     }
 
     #[test]

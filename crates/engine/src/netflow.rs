@@ -116,6 +116,66 @@ pub fn merge_dumps(dumps: Vec<Vec<FlowRecord>>) -> Vec<FlowRecord> {
     all
 }
 
+/// Combines duplicate `(router, flow)` keys in a sorted record list into
+/// one record each (packets/bytes sum, sighting window widens). Live node
+/// migration splits a router's observations across engines, so a merged
+/// dump taken mid-run may carry the same key twice.
+pub fn coalesce_records(records: &[FlowRecord]) -> Vec<FlowRecord> {
+    let mut out: Vec<FlowRecord> = Vec::with_capacity(records.len());
+    for r in records {
+        match out.last_mut() {
+            Some(last) if (last.router, last.flow) == (r.router, r.flow) => {
+                last.packets += r.packets;
+                last.bytes += r.bytes;
+                last.first_us = last.first_us.min(r.first_us);
+                last.last_us = last.last_us.max(r.last_us);
+            }
+            _ => out.push(r.clone()),
+        }
+    }
+    out
+}
+
+/// The traffic of one epoch: the per-key delta between two *cumulative*
+/// snapshots (both sorted by `(router, flow)`, as [`NetFlowCollector::
+/// snapshot`] and [`merge_dumps`] produce; duplicate keys from migrated
+/// nodes are coalesced first).
+///
+/// The collector accumulates from emulation start, so an epoch's own
+/// traffic is `cur − prev` per `(router, flow)` key. Keys whose packet
+/// count did not grow are dropped — they carried nothing this epoch. For
+/// a key already present in `prev`, the delta's `first_us` is `prev`'s
+/// `last_us` (the flow was mid-flight at the boundary); a new key keeps
+/// its own `first_us`. Both inputs are functions of virtual time only, so
+/// the slice is identical however the epoch was executed.
+pub fn epoch_slice(prev: &[FlowRecord], cur: &[FlowRecord]) -> Vec<FlowRecord> {
+    let (prev, cur) = (coalesce_records(prev), coalesce_records(cur));
+    let mut out = Vec::new();
+    let mut pi = 0usize;
+    for c in &cur {
+        while pi < prev.len() && (prev[pi].router, prev[pi].flow) < (c.router, c.flow) {
+            pi += 1;
+        }
+        let base = (pi < prev.len() && (prev[pi].router, prev[pi].flow) == (c.router, c.flow))
+            .then(|| &prev[pi]);
+        let (packets0, bytes0, first) = match base {
+            Some(p) => (p.packets, p.bytes, p.last_us),
+            None => (0, 0, c.first_us),
+        };
+        debug_assert!(c.packets >= packets0, "cumulative snapshots only grow");
+        if c.packets > packets0 {
+            out.push(FlowRecord {
+                first_us: first,
+                last_us: c.last_us,
+                packets: c.packets - packets0,
+                bytes: c.bytes - bytes0,
+                ..*c
+            });
+        }
+    }
+    out
+}
+
 /// Aggregated per-router packet totals from merged records.
 pub fn packets_per_router(records: &[FlowRecord], node_count: usize) -> Vec<u64> {
     let mut out = vec![0u64; node_count];
@@ -183,6 +243,94 @@ mod tests {
             last_us: 5,
         };
         assert_eq!(r.duration_us(), 1);
+    }
+
+    #[test]
+    fn epoch_slice_is_the_per_key_delta() {
+        let mut c = NetFlowCollector::new(true);
+        c.record(5, &pkt(0, 0, 1500), 100);
+        c.record(5, &pkt(1, 0, 500), 150);
+        let prev = c.snapshot();
+        c.record(5, &pkt(0, 1, 1500), 400);
+        c.record(6, &pkt(0, 0, 1500), 500);
+        let cur = c.snapshot();
+
+        let delta = epoch_slice(&prev, &cur);
+        // (5,1) saw no new packets and is dropped; (5,0) grew by one
+        // packet; (6,0) is entirely new.
+        assert_eq!(delta.len(), 2);
+        assert_eq!(
+            (
+                delta[0].router,
+                delta[0].flow,
+                delta[0].packets,
+                delta[0].bytes
+            ),
+            (5, 0, 1, 1500)
+        );
+        // Continuing key: the epoch starts where the previous snapshot
+        // last saw the flow.
+        assert_eq!((delta[0].first_us, delta[0].last_us), (100, 400));
+        // New key keeps its own first sighting.
+        assert_eq!(
+            (delta[1].router, delta[1].packets, delta[1].first_us),
+            (6, 1, 500)
+        );
+    }
+
+    #[test]
+    fn epoch_slices_sum_back_to_the_cumulative_dump() {
+        let mut c = NetFlowCollector::new(true);
+        let mut boundaries = Vec::new();
+        for t in 0..30u64 {
+            c.record((t % 3) as NodeId, &pkt((t % 2) as u32, t, 1000), t * 10);
+            if t % 7 == 6 {
+                boundaries.push(c.snapshot());
+            }
+        }
+        boundaries.push(c.snapshot());
+        let mut total = 0u64;
+        let mut prev: Vec<FlowRecord> = Vec::new();
+        for b in &boundaries {
+            total += epoch_slice(&prev, b).iter().map(|r| r.packets).sum::<u64>();
+            prev = b.clone();
+        }
+        let cumulative: u64 = c.snapshot().iter().map(|r| r.packets).sum();
+        assert_eq!(total, cumulative, "deltas partition the cumulative count");
+    }
+
+    #[test]
+    fn coalesce_merges_split_observations() {
+        // One router's flow observed on two engines (post-migration dump).
+        let rec = |packets, first, last| FlowRecord {
+            router: 4,
+            flow: 2,
+            src: 0,
+            dst: 9,
+            packets,
+            bytes: packets * 1000,
+            first_us: first,
+            last_us: last,
+        };
+        let merged = merge_dumps(vec![vec![rec(3, 100, 400)], vec![rec(2, 500, 900)]]);
+        let co = coalesce_records(&merged);
+        assert_eq!(co.len(), 1);
+        assert_eq!((co[0].packets, co[0].bytes), (5, 5000));
+        assert_eq!((co[0].first_us, co[0].last_us), (100, 900));
+        // epoch_slice over split snapshots sees the combined count.
+        let delta = epoch_slice(&[rec(3, 100, 400)], &merged);
+        assert_eq!(delta.len(), 1);
+        assert_eq!(delta[0].packets, 2);
+    }
+
+    #[test]
+    fn epoch_slice_from_empty_prev_is_identity() {
+        let mut c = NetFlowCollector::new(true);
+        c.record(5, &pkt(0, 0, 1500), 100);
+        c.record(6, &pkt(1, 0, 700), 200);
+        let cur = c.snapshot();
+        assert_eq!(epoch_slice(&[], &cur), cur);
+        assert!(epoch_slice(&cur, &cur).is_empty(), "quiet epoch is empty");
     }
 
     #[test]

@@ -54,6 +54,8 @@ pub struct SteppableEmulation<'a> {
     rounds: u64,
     virtual_now: u64,
     started: bool,
+    /// Cumulative NetFlow state at the last epoch-slice call.
+    epoch_mark: Vec<FlowRecord>,
     /// Total virtual nodes migrated across all remaps.
     pub migrated_nodes: usize,
     /// Number of remap operations performed.
@@ -100,6 +102,7 @@ impl<'a> SteppableEmulation<'a> {
             rounds: 0,
             virtual_now: 0,
             started: false,
+            epoch_mark: Vec::new(),
             migrated_nodes: 0,
             remaps: 0,
         }
@@ -188,6 +191,20 @@ impl<'a> SteppableEmulation<'a> {
     /// Live merged NetFlow dump (empty unless profiling is enabled).
     pub fn netflow_snapshot(&self) -> Vec<FlowRecord> {
         merge_dumps(self.engines.iter().map(Engine::netflow_snapshot).collect())
+    }
+
+    /// The engine-side epoch feed: NetFlow records for the traffic seen
+    /// *since the previous call* (the first call covers everything so
+    /// far). The collectors accumulate cumulatively, so this takes a live
+    /// dump and returns its [`crate::netflow::epoch_slice`] against the
+    /// previous call's dump. The records are a function of virtual time
+    /// only — the same epoch boundary always yields the same slice, no
+    /// matter how execution was scheduled.
+    pub fn netflow_epoch_slice(&mut self) -> Vec<FlowRecord> {
+        let cur = self.netflow_snapshot();
+        let delta = crate::netflow::epoch_slice(&self.epoch_mark, &cur);
+        self.epoch_mark = cur;
+        delta
     }
 
     /// Installs a new node→engine assignment, migrating pending events and
@@ -408,6 +425,33 @@ mod tests {
         assert_eq!(step.repartition(part, MigrationCost::default()), 0);
         assert_eq!(step.migrated_nodes, 0);
         assert_eq!(step.remaps, 1);
+    }
+
+    #[test]
+    fn epoch_slices_partition_the_netflow_dump() {
+        let (net, flows) = net_and_flows();
+        let tables = RoutingTables::build(&net);
+        let part = partition_by_router(&net);
+        let cfg = EmulationConfig::new(part, 2).with_netflow();
+        let mut step = SteppableEmulation::new(&net, &tables, &flows, cfg);
+        let mut sliced = 0u64;
+        let mut t = 2_000;
+        while !step.finished() {
+            step.run_until(t);
+            sliced += step
+                .netflow_epoch_slice()
+                .iter()
+                .map(|r| r.packets)
+                .sum::<u64>();
+            t += 2_000;
+        }
+        let cumulative: u64 = step.netflow_snapshot().iter().map(|r| r.packets).sum();
+        assert!(cumulative > 0);
+        assert_eq!(sliced, cumulative, "epoch slices must partition the dump");
+        assert!(
+            step.netflow_epoch_slice().is_empty(),
+            "nothing ran since the last slice"
+        );
     }
 
     #[test]

@@ -8,8 +8,10 @@
 //! balance, and a recorded trace is only replayable if it is internally
 //! consistent.
 //!
-//! Codes MC013–MC018 live here (MC019/MC020 are reserved for the
-//! PLACE-predicted vs. PROFILE-measured drift comparison). Entry points:
+//! Codes MC013–MC020 live here; MC019/MC020 are the load-drift passes
+//! (PLACE-predicted vs. NetFlow-measured per-engine load, and measured
+//! load across epochs) that trigger the incremental rebalancer
+//! (DESIGN.md §15). Entry points:
 //!
 //! * [`lint_artifacts`] — run every artifact pass over an
 //!   [`ArtifactInput`]; passes whose artifact is absent still count as run
@@ -51,6 +53,13 @@ pub struct ArtifactInput<'a> {
     pub tables: Option<&'a RoutingTables>,
     /// A parsed trace file — or its parse failure — to lint (MC016).
     pub trace: Option<&'a Result<Trace, TraceError>>,
+    /// PLACE-predicted per-engine loads, for the drift comparison
+    /// against measured loads (MC019).
+    pub predicted_engine_loads: Option<&'a [f64]>,
+    /// Measured per-engine loads, one vector per emulation epoch
+    /// (MC019 compares their total against the prediction; MC020 checks
+    /// epoch-over-epoch stability).
+    pub epoch_engine_loads: Option<&'a [Vec<u64>]>,
 }
 
 impl<'a> ArtifactInput<'a> {
@@ -64,6 +73,8 @@ impl<'a> ArtifactInput<'a> {
             partition: None,
             tables: None,
             trace: None,
+            predicted_engine_loads: None,
+            epoch_engine_loads: None,
         }
     }
 
@@ -102,6 +113,19 @@ impl<'a> ArtifactInput<'a> {
         self.trace = Some(t);
         self
     }
+
+    /// Builder: sets the PLACE-predicted per-engine loads (MC019).
+    pub fn with_predicted_loads(mut self, loads: &'a [f64]) -> Self {
+        self.predicted_engine_loads = Some(loads);
+        self
+    }
+
+    /// Builder: sets the per-epoch measured per-engine loads
+    /// (MC019/MC020).
+    pub fn with_epoch_loads(mut self, epochs: &'a [Vec<u64>]) -> Self {
+        self.epoch_engine_loads = Some(epochs);
+        self
+    }
 }
 
 /// One artifact pass: a stable code and its runner.
@@ -112,7 +136,7 @@ pub struct ArtifactPass {
     pub run: fn(&ArtifactInput<'_>, &mut Diagnostics),
 }
 
-static ARTIFACT_REGISTRY: [ArtifactPass; 6] = [
+static ARTIFACT_REGISTRY: [ArtifactPass; 8] = [
     ArtifactPass {
         code: Code::Mc013,
         run: partition_shape,
@@ -137,9 +161,17 @@ static ARTIFACT_REGISTRY: [ArtifactPass; 6] = [
         code: Code::Mc018,
         run: cross_as_lookahead,
     },
+    ArtifactPass {
+        code: Code::Mc019,
+        run: predicted_load_drift,
+    },
+    ArtifactPass {
+        code: Code::Mc020,
+        run: measured_load_drift,
+    },
 ];
 
-/// The artifact passes, in catalog order (MC013–MC018).
+/// The artifact passes, in catalog order (MC013–MC020).
 pub fn artifact_registry() -> &'static [ArtifactPass] {
     &ARTIFACT_REGISTRY
 }
@@ -535,6 +567,122 @@ fn cross_as_lookahead(input: &ArtifactInput<'_>, diags: &mut Diagnostics) {
     }
 }
 
+/// Drift above this total-variation distance is worth a warning: a
+/// quarter of the load sits on different engines than expected, the
+/// regime where the paper measures 2–3× imbalance.
+pub const DRIFT_WARN: f64 = 0.25;
+
+/// Drift above this is a note — visible movement, not yet pathological.
+/// Matches the incremental rebalancer's quiet-epoch threshold scale
+/// (DESIGN.md §15).
+pub const DRIFT_NOTE: f64 = 0.10;
+
+fn drift_severity(drift: f64) -> Option<Severity> {
+    if drift > DRIFT_WARN {
+        Some(Severity::Warn)
+    } else if drift > DRIFT_NOTE {
+        Some(Severity::Note)
+    } else {
+        None
+    }
+}
+
+/// MC019 — PLACE-predicted vs. NetFlow-measured per-engine load drift.
+/// Large drift means the placement prediction mis-modeled the traffic:
+/// the partition was optimized for loads that never materialized, and a
+/// PROFILE (or online) remap is due.
+fn predicted_load_drift(input: &ArtifactInput<'_>, diags: &mut Diagnostics) {
+    let (Some(predicted), Some(epochs)) = (input.predicted_engine_loads, input.epoch_engine_loads)
+    else {
+        return;
+    };
+    let Some(first) = epochs.first() else {
+        return;
+    };
+    if predicted.len() != first.len() {
+        diags.push(
+            Code::Mc019,
+            Severity::Error,
+            Location::Field("predicted_loads"),
+            format!(
+                "prediction covers {} engines but {} were measured; the artifacts \
+                 do not belong to the same run",
+                predicted.len(),
+                first.len()
+            ),
+        );
+        return;
+    }
+    // Whole-run measured load: the element-wise sum over epochs.
+    let mut measured = vec![0.0f64; first.len()];
+    for epoch in epochs {
+        for (m, &l) in measured.iter_mut().zip(epoch) {
+            *m += l as f64;
+        }
+    }
+    if predicted.iter().sum::<f64>() <= 0.0 || measured.iter().sum::<f64>() <= 0.0 {
+        return; // no prediction or an idle run: nothing to compare
+    }
+    let drift = massf_metrics::load_drift(predicted, &measured);
+    if let Some(severity) = drift_severity(drift) {
+        diags.push(
+            Code::Mc019,
+            severity,
+            Location::Field("predicted_loads"),
+            format!(
+                "measured per-engine load drifted {:.0} % from the PLACE prediction \
+                 (total-variation {drift:.3}); the partition was balanced for traffic \
+                 that did not materialize",
+                drift * 100.0
+            ),
+        );
+    }
+}
+
+/// MC020 — measured per-engine load drift across epochs. Consecutive
+/// epochs whose load shares move sharply mean no static partition fits
+/// the whole run — the §6 regime where "dynamic remapping … is the only
+/// solution", and the trigger condition of the incremental rebalancer.
+fn measured_load_drift(input: &ArtifactInput<'_>, diags: &mut Diagnostics) {
+    let Some(epochs) = input.epoch_engine_loads else {
+        return;
+    };
+    for (i, pair) in epochs.windows(2).enumerate() {
+        if pair[0].len() != pair[1].len() {
+            diags.push(
+                Code::Mc020,
+                Severity::Error,
+                Location::Field("epoch_loads"),
+                format!(
+                    "epoch {} measured {} engines but epoch {} measured {}; epoch \
+                     vectors must agree",
+                    i + 1,
+                    pair[0].len(),
+                    i + 2,
+                    pair[1].len()
+                ),
+            );
+            return;
+        }
+        let drift = massf_metrics::load_drift_u64(&pair[0], &pair[1]);
+        if let Some(severity) = drift_severity(drift) {
+            diags.push(
+                Code::Mc020,
+                severity,
+                Location::Field("epoch_loads"),
+                format!(
+                    "{:.0} % of the measured load changed engines between epoch {} and \
+                     epoch {} (total-variation {drift:.3}); traffic this dynamic wants \
+                     online rebalancing (`--rebalance incremental`)",
+                    drift * 100.0,
+                    i + 1,
+                    i + 2
+                ),
+            );
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -770,6 +918,79 @@ mod tests {
                 .with_ubfactor(1.05),
         );
         assert!(!d.iter().any(|x| x.code == Code::Mc017), "{d:?}");
+    }
+
+    #[test]
+    fn predicted_load_drift_severity_scales() {
+        let net = line_net();
+        let predicted = [100.0, 100.0, 100.0];
+        // Measured matches the prediction: clean.
+        let matching = vec![vec![50u64, 50, 50], vec![50, 50, 50]];
+        let d = lint_artifacts(
+            &ArtifactInput::new(&net)
+                .with_predicted_loads(&predicted)
+                .with_epoch_loads(&matching),
+        );
+        assert!(!d.iter().any(|x| x.code == Code::Mc019), "{d:?}");
+        assert_eq!(d.passes_run(), artifact_registry().len());
+
+        // All measured load on one engine: shares (1,0,0) vs (⅓,⅓,⅓)
+        // drift by ⅔ > DRIFT_WARN.
+        let skewed = vec![vec![300u64, 0, 0]];
+        let d = lint_artifacts(
+            &ArtifactInput::new(&net)
+                .with_predicted_loads(&predicted)
+                .with_epoch_loads(&skewed),
+        );
+        assert!(d.iter().any(|x| x.code == Code::Mc019
+            && x.severity == Severity::Warn
+            && x.message.contains("did not materialize")));
+    }
+
+    #[test]
+    fn predicted_load_drift_length_mismatch_is_an_error() {
+        let net = line_net();
+        let predicted = [100.0, 100.0];
+        let epochs = vec![vec![10u64, 10, 10]];
+        let d = lint_artifacts(
+            &ArtifactInput::new(&net)
+                .with_predicted_loads(&predicted)
+                .with_epoch_loads(&epochs),
+        );
+        assert!(d
+            .iter()
+            .any(|x| x.code == Code::Mc019 && x.severity == Severity::Error));
+    }
+
+    #[test]
+    fn measured_load_drift_flags_the_shifting_boundary() {
+        let net = line_net();
+        // Stable, stable, then the hotspot jumps engines.
+        let epochs = vec![
+            vec![100u64, 100, 100],
+            vec![110u64, 100, 95],
+            vec![10u64, 400, 10],
+        ];
+        let d = lint_artifacts(&ArtifactInput::new(&net).with_epoch_loads(&epochs));
+        let findings: Vec<_> = d.iter().filter(|x| x.code == Code::Mc020).collect();
+        assert_eq!(findings.len(), 1, "{findings:?}");
+        assert_eq!(findings[0].severity, Severity::Warn);
+        assert!(findings[0].message.contains("between epoch 2 and epoch 3"));
+
+        // A single epoch has no boundaries: silent.
+        let one = vec![vec![1u64, 2, 3]];
+        let d = lint_artifacts(&ArtifactInput::new(&net).with_epoch_loads(&one));
+        assert!(!d.iter().any(|x| x.code == Code::Mc020), "{d:?}");
+    }
+
+    #[test]
+    fn drift_passes_skip_when_artifacts_absent() {
+        let net = line_net();
+        let d = lint_artifacts(&ArtifactInput::new(&net));
+        assert!(!d
+            .iter()
+            .any(|x| matches!(x.code, Code::Mc019 | Code::Mc020)));
+        assert_eq!(d.passes_run(), artifact_registry().len());
     }
 
     #[test]

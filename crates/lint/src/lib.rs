@@ -127,9 +127,9 @@ pub enum Code {
     /// Cross-AS aggregate lookahead: an AS reachable only through
     /// low-latency links (the aggregate form of MC003).
     Mc018,
-    /// Reserved: PLACE predicted-weight vs. measured-load drift.
+    /// PLACE-predicted vs. NetFlow-measured per-engine load drift.
     Mc019,
-    /// Reserved: PROFILE NetFlow-aggregate vs. partition-weight drift.
+    /// Measured per-engine load drift across emulation epochs.
     Mc020,
 }
 
@@ -246,18 +246,20 @@ impl Code {
                 "an AS reachable only through low-latency links collapses lookahead when isolated"
             }
             Code::Mc019 => {
-                "reserved: drift between PLACE predicted weights and measured engine load"
+                "the PLACE-predicted per-engine load must track what NetFlow measured"
             }
             Code::Mc020 => {
-                "reserved: drift between PROFILE NetFlow aggregates and partition weights"
+                "measured per-engine load must stay stable across epochs, or remapping is due"
             }
         }
     }
 
-    /// True for codes reserved in the catalog but not yet backed by a pass
-    /// (MC019/MC020 await the PLACE-vs-PROFILE drift comparison).
+    /// True for codes reserved in the catalog but not yet backed by a
+    /// pass. Every code is currently implemented (MC019/MC020 landed with
+    /// the online-rebalancing work); the method stays so future appends
+    /// can reserve again.
     pub fn is_reserved(self) -> bool {
-        matches!(self, Code::Mc019 | Code::Mc020)
+        false
     }
 }
 
@@ -599,7 +601,7 @@ mod tests {
             .filter(|c| c.is_reserved())
             .map(|c| c.as_str())
             .collect();
-        assert_eq!(reserved, vec!["MC019", "MC020"]);
+        assert!(reserved.is_empty(), "every cataloged code has a pass");
     }
 
     #[test]

@@ -10,6 +10,33 @@
 //! boundary the accumulated profile feeds the ordinary PROFILE mapper and
 //! the emulation migrates to the new partition, paying a modeled
 //! checkpoint/transfer cost per moved node.
+//!
+//! This is the *global* remap policy: the partitioner rebuilds the whole
+//! assignment from the measured profile, with no loyalty to the incumbent
+//! partition, so a boundary may migrate a large fraction of the network.
+//! [`crate::incremental`] is the migration-frugal alternative (budgeted
+//! diffusive single-node moves, drift-triggered — DESIGN.md §15);
+//! [`crate::incremental::run_online`] drives either policy through one
+//! comparable epoch loop, which is how the `ablate_online` bench and the
+//! CLI's `--rebalance global|incremental` flag compare them.
+//!
+//! ```
+//! use massf_mapping::dynamic::{run_dynamic, DynamicConfig};
+//! use massf_mapping::{MapperConfig, MappingStudy};
+//! use massf_topology::campus::campus;
+//! use massf_traffic::gridnpb::{self, GridNpbConfig};
+//!
+//! let study = MappingStudy::new(campus(), MapperConfig::new(3));
+//! let hosts = study.net.hosts();
+//! let placement: Vec<_> = hosts.iter().step_by(4).take(9).copied().collect();
+//! let cfg = GridNpbConfig { base_bytes: 200_000, ..Default::default() };
+//! let flows = gridnpb::flows(&cfg, &gridnpb::paper_suite(&cfg), &placement);
+//!
+//! let out = run_dynamic(&study, &flows, &DynamicConfig::default());
+//! // One partition per epoch; boundaries that remapped migrated nodes.
+//! assert_eq!(out.epoch_partitions.len(), DynamicConfig::default().epochs);
+//! assert!(out.remaps_applied <= DynamicConfig::default().epochs - 1);
+//! ```
 
 use crate::profile::map_profile;
 use crate::top::map_top;

@@ -1,0 +1,692 @@
+//! Incremental (diffusive) repartitioning — local rebalancing at epoch
+//! boundaries without a global partitioner pass.
+//!
+//! [`crate::dynamic`] answers the paper's §6 call for dynamic remapping by
+//! repeating the *global* PROFILE round every epoch: re-weight the whole
+//! graph, re-run the multilevel partitioner, migrate whatever changed.
+//! That recovers balance but moves many nodes (the partitioner has no
+//! loyalty to the incumbent assignment) and re-runs METIS-scale work
+//! mid-emulation. This module implements the local alternative from the
+//! ROADMAP's online-repartitioning item: **diffusive vertex migration**
+//! (Kurve et al.) with migrations charged against the imbalance they save
+//! (Räcke/Schmid/Zabrodin) — see PAPERS.md.
+//!
+//! ## The algorithm (DESIGN.md §15)
+//!
+//! At each epoch boundary the engine-side feed
+//! ([`massf_engine::stepping::SteppableEmulation::netflow_epoch_slice`])
+//! yields the epoch's own NetFlow records; [`crate::weights::
+//! accumulate_measured_with`] converts them into per-node measured loads
+//! and per-link (cut) traffic. [`diffusive_sweep`] then walks *boundary*
+//! nodes — nodes with a neighbor on another engine — in ascending node-id
+//! order. Each boundary node evaluates moving to each neighboring engine
+//! (ascending engine id) and computes the local gain
+//!
+//! ```text
+//! gain = Δimbalance − λ · migration_cost
+//! ```
+//!
+//! where `Δimbalance` is the drop in the coefficient-of-variation load
+//! imbalance if the node moved, and `λ · migration_cost` expresses the
+//! per-node migration stall as a fraction of the epoch it disrupts. The
+//! best strictly positive gain is applied immediately (ties break to the
+//! lowest engine id) and the sweep repeats until a full pass applies no
+//! move or the per-epoch migration budget is exhausted. A move is only
+//! applied when `Δimbalance > λ·cost ≥ 0`, so **an epoch's rebalance can
+//! never increase the measured imbalance** — the property the proptests
+//! pin down.
+//!
+//! The delta-partition is handed to the existing [`SteppableEmulation::
+//! repartition`] migration path; no METIS-style restart ever runs
+//! mid-emulation.
+//!
+//! ## The drift trigger (MC019 / MC020)
+//!
+//! Rebalancing is *triggered*, not unconditional. Every epoch computes
+//! the [`massf_metrics::drift`] total-variation distance of its measured
+//! per-engine load shares against the previous epoch's (the MC020
+//! metric; the first epoch compares against the balanced target shares)
+//! and against the PLACE-predicted shares (the MC019 metric, recorded
+//! for the run report and the lint passes). A quiet epoch — measured
+//! drift under [`IncrementalConfig::drift_threshold`] — skips the
+//! rebalance entirely: the traffic shape did not move, so the incumbent
+//! partition is as good as it was when it was last fixed.
+//!
+//! ## Determinism
+//!
+//! Epoch loads are functions of virtual time only: the NetFlow slices,
+//! the blocked accumulation, and the fixed-order sweep are all
+//! bit-identical at every `--threads` setting, so a run report's epoch
+//! block is byte-identical across thread counts (pinned by the golden
+//! tests).
+//!
+//! ```
+//! use massf_mapping::incremental::{run_incremental, IncrementalConfig};
+//! use massf_mapping::{MapperConfig, MappingStudy};
+//! use massf_topology::campus::campus;
+//! use massf_traffic::gridnpb::{self, GridNpbConfig};
+//!
+//! // GridNPB's staged DAGs shift load between host groups over time.
+//! let study = MappingStudy::new(campus(), MapperConfig::new(3));
+//! let hosts = study.net.hosts();
+//! let placement: Vec<_> = hosts.iter().step_by(4).take(9).copied().collect();
+//! let cfg = GridNpbConfig { base_bytes: 200_000, ..Default::default() };
+//! let flows = gridnpb::flows(&cfg, &gridnpb::paper_suite(&cfg), &placement);
+//!
+//! let out = run_incremental(&study, &flows, &[], &IncrementalConfig::default());
+//! assert_eq!(out.epoch_stats.len(), IncrementalConfig::default().epochs);
+//! for e in &out.epoch_stats {
+//!     // A rebalanced epoch never ends worse than it started.
+//!     assert!(e.imbalance_after <= e.imbalance_before + 1e-12);
+//! }
+//! ```
+
+use crate::profile::map_profile;
+use crate::top::map_top;
+use crate::weights;
+use crate::MappingStudy;
+use massf_engine::netflow::{merge_dumps, FlowRecord};
+use massf_engine::stepping::{MigrationCost, SteppableEmulation};
+use massf_engine::{CostModel, EmulationConfig, EmulationReport};
+use massf_metrics::drift::{load_drift, load_drift_u64};
+use massf_metrics::load_imbalance;
+use massf_partition::Partitioning;
+use massf_topology::{Network, NodeId};
+use massf_traffic::flow::horizon_us;
+use massf_traffic::{FlowSpec, PredictedFlow};
+
+/// How (and whether) an epoch boundary rebalances the partition.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RebalanceMode {
+    /// Measure drift at every boundary but never move a node.
+    Off,
+    /// Full PROFILE remap per boundary ([`crate::dynamic`]'s strategy).
+    Global,
+    /// Local diffusive boundary-node migration ([`diffusive_sweep`]).
+    Incremental,
+}
+
+impl RebalanceMode {
+    /// Parses the CLI spelling (`off` / `global` / `incremental`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "off" => Some(RebalanceMode::Off),
+            "global" => Some(RebalanceMode::Global),
+            "incremental" => Some(RebalanceMode::Incremental),
+            _ => None,
+        }
+    }
+
+    /// The stable lower-case label (also the CLI spelling).
+    pub fn label(&self) -> &'static str {
+        match self {
+            RebalanceMode::Off => "off",
+            RebalanceMode::Global => "global",
+            RebalanceMode::Incremental => "incremental",
+        }
+    }
+}
+
+/// Configuration of an online-rebalancing run.
+#[derive(Debug, Clone)]
+pub struct IncrementalConfig {
+    /// Number of epochs (1 = static, no boundaries to rebalance at).
+    pub epochs: usize,
+    /// Wall-clock cost charged per remap.
+    pub migration: MigrationCost,
+    /// Cost model for the emulation itself.
+    pub cost: CostModel,
+    /// Migration-cost weight λ in the gain `Δimbalance − λ·cost`: the
+    /// per-node migration stall, expressed as a fraction of the epoch
+    /// length, scaled by λ before it is charged against imbalance saved.
+    pub lambda: f64,
+    /// Per-epoch migration budget: the diffusive sweep stops after moving
+    /// this many nodes, bounding the stall any single boundary can cause.
+    pub budget: usize,
+    /// Quiet-epoch trigger: when the measured per-engine load drift
+    /// (total-variation, [`massf_metrics::drift`]) stays under this
+    /// threshold, the boundary skips rebalancing entirely.
+    pub drift_threshold: f64,
+    /// Global mode only: skip a remap whose new partition moves fewer
+    /// nodes than this (mirrors [`crate::dynamic::DynamicConfig`]).
+    pub min_moved_nodes: usize,
+}
+
+impl Default for IncrementalConfig {
+    fn default() -> Self {
+        Self {
+            epochs: 4,
+            migration: MigrationCost::default(),
+            cost: CostModel::live_application(),
+            lambda: 0.5,
+            budget: 8,
+            drift_threshold: 0.02,
+            min_moved_nodes: 2,
+        }
+    }
+}
+
+/// What one epoch measured and decided — the run report's epoch block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochStats {
+    /// Epoch index (1-based; epoch 1 ends at the first boundary).
+    pub epoch: usize,
+    /// Virtual end time of the epoch (µs).
+    pub end_us: u64,
+    /// Measured per-engine load (kernel events attributed via NetFlow)
+    /// during this epoch, under the partition in force while it ran.
+    pub engine_loads: Vec<u64>,
+    /// Packets that crossed engine boundaries this epoch (per-edge cut
+    /// traffic summed over cut links).
+    pub cut_packets: u64,
+    /// MC020 metric: total-variation drift of this epoch's load shares
+    /// vs. the previous epoch's (epoch 1: vs. the balanced target).
+    pub drift_measured: f64,
+    /// MC019 metric: total-variation drift of this epoch's load shares
+    /// vs. the PLACE-predicted shares under the current partition.
+    pub drift_predicted: f64,
+    /// True when this boundary migrated nodes.
+    pub applied: bool,
+    /// True when this boundary evaluated a rebalance and declined (quiet
+    /// drift, no positive-gain move, or below the global-mode gate). The
+    /// final epoch has no boundary: both flags stay false.
+    pub skipped: bool,
+    /// Nodes migrated at this boundary.
+    pub moves: usize,
+    /// Wall-clock migration cost charged (µs).
+    pub cost_us: f64,
+    /// Imbalance of this epoch's measured loads before the rebalance.
+    pub imbalance_before: f64,
+    /// Imbalance of the same loads re-summed under the new partition
+    /// (equals `imbalance_before` when nothing moved).
+    pub imbalance_after: f64,
+}
+
+/// Outcome of an online-rebalancing run.
+#[derive(Debug)]
+pub struct IncrementalOutcome {
+    /// The final emulation report (covers the whole run).
+    pub report: EmulationReport,
+    /// Per-epoch measurements and decisions, in epoch order.
+    pub epoch_stats: Vec<EpochStats>,
+    /// Partition in force during each epoch.
+    pub epoch_partitions: Vec<Partitioning>,
+    /// Total nodes migrated.
+    pub migrated_nodes: usize,
+    /// Remaps actually applied (skipped boundaries excluded).
+    pub remaps_applied: usize,
+}
+
+/// One deterministic diffusive pass over `partition` in place: boundary
+/// nodes (ascending node id) evaluate moving to each neighboring engine
+/// (ascending engine id); the best gain `Δimbalance − lambda_cost` is
+/// applied immediately when strictly positive; sweeps repeat until a full
+/// pass applies nothing or `budget` nodes have moved. A source engine is
+/// never emptied. Returns the applied moves as `(node, from, to)`.
+///
+/// Pure and engine-free: callable on any load vector, which is what the
+/// property tests exploit.
+pub fn diffusive_sweep(
+    net: &Network,
+    partition: &mut [u32],
+    nengines: usize,
+    node_loads: &[u64],
+    lambda_cost: f64,
+    budget: usize,
+) -> Vec<(NodeId, u32, u32)> {
+    let n = net.node_count();
+    assert_eq!(partition.len(), n, "partition length mismatch");
+    assert_eq!(node_loads.len(), n, "load length mismatch");
+    assert!(lambda_cost >= 0.0);
+    let mut engine_loads = vec![0u64; nengines];
+    let mut engine_sizes = vec![0usize; nengines];
+    for v in 0..n {
+        engine_loads[partition[v] as usize] += node_loads[v];
+        engine_sizes[partition[v] as usize] += 1;
+    }
+    let mut moves = Vec::new();
+    let mut candidates: Vec<u32> = Vec::new();
+    loop {
+        let mut moved_this_pass = false;
+        for v in 0..n {
+            if moves.len() >= budget {
+                return moves;
+            }
+            let from = partition[v] as usize;
+            if engine_sizes[from] <= 1 {
+                continue; // never empty an engine
+            }
+            candidates.clear();
+            candidates.extend(
+                net.neighbors(v as NodeId)
+                    .iter()
+                    .map(|&(nb, _)| partition[nb as usize])
+                    .filter(|&e| e as usize != from),
+            );
+            if candidates.is_empty() {
+                continue; // interior node
+            }
+            candidates.sort_unstable();
+            candidates.dedup();
+            let cur = load_imbalance(&engine_loads);
+            let mut best: Option<(f64, u32)> = None;
+            for &to in &candidates {
+                engine_loads[from] -= node_loads[v];
+                engine_loads[to as usize] += node_loads[v];
+                let moved = load_imbalance(&engine_loads);
+                engine_loads[to as usize] -= node_loads[v];
+                engine_loads[from] += node_loads[v];
+                let gain = (cur - moved) - lambda_cost;
+                // Strict `>` twice: only positive gains move, and a tie
+                // keeps the earlier (lowest-id) target engine.
+                if gain > 0.0 && best.is_none_or(|(b, _)| gain > b) {
+                    best = Some((gain, to));
+                }
+            }
+            if let Some((_, to)) = best {
+                engine_loads[from] -= node_loads[v];
+                engine_loads[to as usize] += node_loads[v];
+                engine_sizes[from] -= 1;
+                engine_sizes[to as usize] += 1;
+                partition[v] = to;
+                moves.push((v as NodeId, from as u32, to));
+                moved_this_pass = true;
+            }
+        }
+        if !moved_this_pass {
+            return moves;
+        }
+    }
+}
+
+/// Runs `flows` with online rebalancing in `mode`. The initial epoch uses
+/// the TOP partition (nothing has been measured yet); every boundary
+/// measures the epoch's NetFlow slice, computes the MC019/MC020 drift
+/// values, and — unless the epoch was quiet — rebalances per `mode`.
+/// `predicted` feeds the MC019 comparison (PLACE's prediction); pass
+/// `&[]` when no prediction exists and the predicted drift reads 0.
+pub fn run_online(
+    study: &MappingStudy,
+    flows: &[FlowSpec],
+    predicted: &[PredictedFlow],
+    cfg: &IncrementalConfig,
+    mode: RebalanceMode,
+) -> IncrementalOutcome {
+    assert!(cfg.epochs >= 1);
+    let n = study.net.node_count();
+    let initial = map_top(&study.net, &study.cfg);
+    let horizon = horizon_us(flows).saturating_add(1);
+    let epoch_len = (horizon / cfg.epochs as u64).max(1);
+
+    // PLACE's predicted per-node loads, the MC019 baseline. An empty
+    // prediction accumulates to all zeros, which drifts by 0 from
+    // everything (an absent prediction cannot be wrong).
+    let (_, predicted_node) = weights::accumulate_predicted_with(
+        &study.net,
+        &study.tables,
+        predicted,
+        study.cfg.parallelism,
+    );
+
+    let emu_cfg = EmulationConfig {
+        partition: initial.part.clone(),
+        nengines: initial.nparts,
+        counter_window_us: study.counter_window_us,
+        netflow: true, // live profiling is what enables rebalancing
+        cost: cfg.cost,
+        engine_speeds: study.cfg.engine_capacities.clone(),
+        scheduler: massf_engine::SchedulerKind::default(),
+    };
+    let mut emu = SteppableEmulation::new(&study.net, &study.tables, flows, emu_cfg);
+
+    let lambda_cost = cfg.lambda * (cfg.migration.per_node_us / epoch_len as f64);
+    let mut epoch_partitions = vec![initial.clone()];
+    let mut current = initial;
+    let mut epoch_stats: Vec<EpochStats> = Vec::new();
+    let mut prev_engine_loads: Option<Vec<u64>> = None;
+    // Epoch slices kept for the global mode's two-epoch lookback (the
+    // same recency filter crate::dynamic uses).
+    let mut slice_history: Vec<Vec<FlowRecord>> = Vec::new();
+    for epoch in 1..=cfg.epochs as u64 {
+        let now = epoch * epoch_len;
+        emu.run_until(now);
+        let records = emu.netflow_epoch_slice();
+        let (per_link, per_node) = weights::accumulate_measured_with(
+            &study.net,
+            &study.tables,
+            &records,
+            study.cfg.parallelism,
+        );
+
+        let mut engine_loads = vec![0u64; current.nparts];
+        for v in 0..n {
+            engine_loads[current.part[v] as usize] += per_node[v];
+        }
+        let cut_packets: u64 = study
+            .net
+            .links()
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| current.part[l.a as usize] != current.part[l.b as usize])
+            .map(|(i, _)| per_link[i])
+            .sum();
+        let measured_f: Vec<f64> = engine_loads.iter().map(|&l| l as f64).collect();
+        let drift_measured = match &prev_engine_loads {
+            Some(prev) => load_drift_u64(prev, &engine_loads),
+            // Epoch 1 has no history: drift vs. the balanced target
+            // shares (capacity-proportional; uniform by default), i.e.
+            // "how far from balanced did the first epoch land".
+            None => {
+                let target: Vec<f64> = study
+                    .cfg
+                    .engine_capacities
+                    .clone()
+                    .unwrap_or_else(|| vec![1.0; current.nparts]);
+                load_drift(&target, &measured_f)
+            }
+        };
+        let mut predicted_engine = vec![0.0f64; current.nparts];
+        for v in 0..n {
+            predicted_engine[current.part[v] as usize] += predicted_node[v];
+        }
+        let drift_predicted = load_drift(&predicted_engine, &measured_f);
+
+        let imbalance_before = load_imbalance(&engine_loads);
+        let mut st = EpochStats {
+            epoch: epoch as usize,
+            end_us: now.min(horizon),
+            engine_loads: engine_loads.clone(),
+            cut_packets,
+            drift_measured,
+            drift_predicted,
+            applied: false,
+            skipped: false,
+            moves: 0,
+            cost_us: 0.0,
+            imbalance_before,
+            imbalance_after: imbalance_before,
+        };
+
+        slice_history.push(records);
+        let boundary = epoch < cfg.epochs as u64 && !emu.finished();
+        if boundary && mode != RebalanceMode::Off {
+            let candidate: Option<Vec<u32>> = if drift_measured < cfg.drift_threshold {
+                None // quiet epoch: the traffic shape did not move
+            } else {
+                match mode {
+                    RebalanceMode::Incremental => {
+                        let mut part = current.part.clone();
+                        let moves = diffusive_sweep(
+                            &study.net,
+                            &mut part,
+                            current.nparts,
+                            &per_node,
+                            lambda_cost,
+                            cfg.budget,
+                        );
+                        (!moves.is_empty()).then_some(part)
+                    }
+                    RebalanceMode::Global => {
+                        let lookback = slice_history.len().saturating_sub(2);
+                        let recent = merge_dumps(slice_history[lookback..].to_vec());
+                        let cand = map_profile(&study.net, &study.tables, &recent, &study.cfg);
+                        let moved = current
+                            .part
+                            .iter()
+                            .zip(&cand.part)
+                            .filter(|(a, b)| a != b)
+                            .count();
+                        (moved >= cfg.min_moved_nodes).then_some(cand.part)
+                    }
+                    RebalanceMode::Off => unreachable!(),
+                }
+            };
+            match candidate {
+                Some(part) => {
+                    let moved = emu.repartition(part.clone(), cfg.migration);
+                    st.applied = true;
+                    st.moves = moved;
+                    st.cost_us = cfg.migration.fixed_us + moved as f64 * cfg.migration.per_node_us;
+                    current = Partitioning {
+                        part,
+                        nparts: current.nparts,
+                    };
+                    let mut after = vec![0u64; current.nparts];
+                    for v in 0..n {
+                        after[current.part[v] as usize] += per_node[v];
+                    }
+                    st.imbalance_after = load_imbalance(&after);
+                }
+                None => st.skipped = true,
+            }
+        }
+        prev_engine_loads = Some(engine_loads);
+        epoch_stats.push(st);
+        if epoch < cfg.epochs as u64 {
+            epoch_partitions.push(current.clone());
+        }
+    }
+    emu.run_to_completion();
+    let migrated_nodes = emu.migrated_nodes;
+    let remaps_applied = emu.remaps;
+    IncrementalOutcome {
+        report: emu.finish(),
+        epoch_stats,
+        epoch_partitions,
+        migrated_nodes,
+        remaps_applied,
+    }
+}
+
+/// [`run_online`] in [`RebalanceMode::Incremental`] — the diffusive
+/// rebalancer this module exists for.
+pub fn run_incremental(
+    study: &MappingStudy,
+    flows: &[FlowSpec],
+    predicted: &[PredictedFlow],
+    cfg: &IncrementalConfig,
+) -> IncrementalOutcome {
+    run_online(study, flows, predicted, cfg, RebalanceMode::Incremental)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MapperConfig;
+    use massf_topology::campus::campus;
+    use massf_traffic::gridnpb::{self, GridNpbConfig};
+
+    fn study() -> MappingStudy {
+        MappingStudy::new(campus(), MapperConfig::new(3))
+    }
+
+    fn phase_shifting_flows(study: &MappingStudy) -> Vec<FlowSpec> {
+        // GridNPB's staged DAGs shift load between host groups over time.
+        let hosts = study.net.hosts();
+        let placement: Vec<_> = hosts.iter().step_by(4).take(9).copied().collect();
+        let cfg = GridNpbConfig {
+            base_bytes: 400_000,
+            ..Default::default()
+        };
+        gridnpb::flows(&cfg, &gridnpb::paper_suite(&cfg), &placement)
+    }
+
+    #[test]
+    fn incremental_run_conserves_packets() {
+        let s = study();
+        let flows = phase_shifting_flows(&s);
+        let injected: u64 = flows.iter().map(|f| f.packets).sum();
+        let out = run_incremental(&s, &flows, &[], &IncrementalConfig::default());
+        assert_eq!(out.report.delivered, injected);
+        assert_eq!(out.report.dropped, 0);
+        assert_eq!(out.epoch_stats.len(), 4);
+    }
+
+    #[test]
+    fn epochs_never_increase_measured_imbalance() {
+        let s = study();
+        let flows = phase_shifting_flows(&s);
+        let out = run_incremental(&s, &flows, &[], &IncrementalConfig::default());
+        for e in &out.epoch_stats {
+            assert!(
+                e.imbalance_after <= e.imbalance_before + 1e-12,
+                "epoch {} went {:.4} -> {:.4}",
+                e.epoch,
+                e.imbalance_before,
+                e.imbalance_after
+            );
+            if e.applied {
+                assert!(e.moves > 0);
+                assert!(e.cost_us > 0.0);
+                assert!(!e.skipped);
+            } else {
+                assert_eq!(e.moves, 0);
+                assert_eq!(e.cost_us, 0.0);
+                assert_eq!(e.imbalance_after, e.imbalance_before);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_bounds_per_epoch_moves() {
+        let s = study();
+        let flows = phase_shifting_flows(&s);
+        let cfg = IncrementalConfig {
+            budget: 3,
+            ..Default::default()
+        };
+        let out = run_incremental(&s, &flows, &[], &cfg);
+        for e in &out.epoch_stats {
+            assert!(e.moves <= 3, "epoch {} moved {}", e.epoch, e.moves);
+        }
+        assert!(out.migrated_nodes <= 3 * (cfg.epochs - 1));
+    }
+
+    #[test]
+    fn off_mode_measures_but_never_moves() {
+        let s = study();
+        let flows = phase_shifting_flows(&s);
+        let out = run_online(
+            &s,
+            &flows,
+            &[],
+            &IncrementalConfig::default(),
+            RebalanceMode::Off,
+        );
+        assert_eq!(out.migrated_nodes, 0);
+        assert_eq!(out.remaps_applied, 0);
+        assert!(out.epoch_stats.iter().all(|e| !e.applied && !e.skipped));
+        // Drift is still measured: shifting traffic must register.
+        assert!(out.epoch_stats.iter().any(|e| e.drift_measured > 0.0));
+    }
+
+    #[test]
+    fn high_threshold_skips_every_boundary() {
+        let s = study();
+        let flows = phase_shifting_flows(&s);
+        let cfg = IncrementalConfig {
+            drift_threshold: 2.0, // TV distance is ≤ 1: everything is quiet
+            ..Default::default()
+        };
+        let out = run_incremental(&s, &flows, &[], &cfg);
+        assert_eq!(out.migrated_nodes, 0);
+        assert_eq!(out.remaps_applied, 0);
+        let skips = out.epoch_stats.iter().filter(|e| e.skipped).count();
+        assert_eq!(skips, cfg.epochs - 1, "every boundary skipped as quiet");
+        // The emulation itself is untouched by skipped boundaries: same
+        // events as a static TOP run.
+        let top = s.map(crate::Approach::Top, &[], &flows);
+        let st = s.evaluate(&top, &flows, CostModel::live_application());
+        assert_eq!(out.report.total_events(), st.total_events());
+    }
+
+    #[test]
+    fn incremental_moves_fewer_nodes_than_global() {
+        let s = study();
+        let flows = phase_shifting_flows(&s);
+        let cfg = IncrementalConfig::default();
+        let inc = run_online(&s, &flows, &[], &cfg, RebalanceMode::Incremental);
+        let glo = run_online(&s, &flows, &[], &cfg, RebalanceMode::Global);
+        if glo.migrated_nodes > 0 {
+            assert!(
+                inc.migrated_nodes < glo.migrated_nodes,
+                "incremental {} vs global {}",
+                inc.migrated_nodes,
+                glo.migrated_nodes
+            );
+        }
+        assert!(inc.migrated_nodes <= cfg.budget * (cfg.epochs - 1));
+    }
+
+    #[test]
+    fn sweep_is_deterministic_and_gain_positive() {
+        let s = study();
+        // A deliberately skewed synthetic load: everything on engine 0.
+        let n = s.net.node_count();
+        let nengines = 3;
+        let base: Vec<u32> = (0..n).map(|v| (v % nengines) as u32).collect();
+        let loads: Vec<u64> = (0..n).map(|v| if base[v] == 0 { 100 } else { 1 }).collect();
+        let before = {
+            let mut el = vec![0u64; nengines];
+            for v in 0..n {
+                el[base[v] as usize] += loads[v];
+            }
+            load_imbalance(&el)
+        };
+        let mut a = base.clone();
+        let mut b = base.clone();
+        let moves_a = diffusive_sweep(&s.net, &mut a, nengines, &loads, 0.0, 16);
+        let moves_b = diffusive_sweep(&s.net, &mut b, nengines, &loads, 0.0, 16);
+        assert_eq!(a, b, "fixed sweep order is deterministic");
+        assert_eq!(moves_a, moves_b);
+        assert!(!moves_a.is_empty(), "skewed load must yield moves");
+        let after = {
+            let mut el = vec![0u64; nengines];
+            for v in 0..n {
+                el[a[v] as usize] += loads[v];
+            }
+            load_imbalance(&el)
+        };
+        assert!(
+            after < before,
+            "sweep must reduce imbalance: {before} -> {after}"
+        );
+        // No engine was emptied.
+        for e in 0..nengines {
+            assert!(a.iter().any(|&p| p as usize == e));
+        }
+    }
+
+    #[test]
+    fn infinite_lambda_cost_freezes_the_sweep() {
+        let s = study();
+        let n = s.net.node_count();
+        let mut part: Vec<u32> = (0..n).map(|v| (v % 3) as u32).collect();
+        let loads: Vec<u64> = (0..n as u64).collect();
+        let moves = diffusive_sweep(&s.net, &mut part, 3, &loads, f64::INFINITY, 16);
+        assert!(moves.is_empty(), "no gain can beat an infinite cost");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let s = study();
+        let flows = phase_shifting_flows(&s);
+        let a = run_incremental(&s, &flows, &[], &IncrementalConfig::default());
+        let b = run_incremental(&s, &flows, &[], &IncrementalConfig::default());
+        assert_eq!(a.report.engine_events, b.report.engine_events);
+        assert_eq!(a.epoch_stats, b.epoch_stats);
+        assert_eq!(a.epoch_partitions, b.epoch_partitions);
+    }
+
+    #[test]
+    fn mode_labels_round_trip() {
+        for m in [
+            RebalanceMode::Off,
+            RebalanceMode::Global,
+            RebalanceMode::Incremental,
+        ] {
+            assert_eq!(RebalanceMode::parse(m.label()), Some(m));
+        }
+        assert_eq!(RebalanceMode::parse("metis"), None);
+    }
+}

@@ -39,6 +39,7 @@
 #![allow(clippy::needless_range_loop)]
 
 pub mod dynamic;
+pub mod incremental;
 pub mod pipeline;
 pub mod place;
 pub mod profile;
@@ -47,6 +48,10 @@ pub mod top;
 pub mod weights;
 
 pub use dynamic::{run_dynamic, DynamicConfig, DynamicOutcome};
+pub use incremental::{
+    diffusive_sweep, run_incremental, run_online, EpochStats, IncrementalConfig,
+    IncrementalOutcome, RebalanceMode,
+};
 pub use massf_par::Parallelism;
 pub use massf_routing::RoutingKind;
 pub use pipeline::{Approach, MappingStudy};

@@ -4,6 +4,9 @@
 //!
 //! * [`imbalance`] — the paper's load-imbalance metric: the normalized
 //!   standard deviation of per-engine kernel event rates;
+//! * [`drift`] — total-variation distance between per-engine load
+//!   distributions (the MC019/MC020 drift metric and the incremental
+//!   rebalancer's skip trigger);
 //! * [`timeseries`] — fine-grained per-interval imbalance series
 //!   (Figures 2 and 8);
 //! * [`report`] — table/figure text rendering and JSON export for the
@@ -15,8 +18,10 @@
 // iterator rewrites clippy suggests are less clear there.
 #![allow(clippy::needless_range_loop)]
 
+pub mod drift;
 pub mod imbalance;
 pub mod report;
 pub mod timeseries;
 
+pub use drift::{load_drift, load_drift_u64, load_shares, load_shares_u64};
 pub use imbalance::{improvement_pct, load_imbalance};

@@ -96,6 +96,53 @@ pub struct EmulationInfo {
     pub engines: Vec<EngineLoad>,
 }
 
+/// One emulation epoch as observed by the online rebalancer: the measured
+/// per-engine load, both drift diagnostics, and what the boundary decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRow {
+    /// 1-based epoch index.
+    pub epoch: u64,
+    /// Virtual time at which the epoch ended, µs.
+    pub end_us: u64,
+    /// NetFlow-measured per-engine load (packet observations), engine order.
+    pub engine_loads: Vec<u64>,
+    /// Packets that crossed a cut link during the epoch.
+    pub cut_packets: u64,
+    /// Total-variation drift of this epoch's load shares vs. the previous
+    /// epoch (epoch 1: vs. the balanced target shares).
+    pub drift_measured: f64,
+    /// Total-variation drift of measured load shares vs. the PLACE
+    /// prediction under the partition in force.
+    pub drift_predicted: f64,
+    /// A repartition was applied at this epoch's boundary.
+    pub applied: bool,
+    /// The boundary was skipped because the drift stayed under threshold.
+    pub skipped: bool,
+    /// Nodes migrated at the boundary (0 when nothing was applied).
+    pub moves: u64,
+    /// Migration stall charged for the boundary, µs.
+    pub cost_us: f64,
+    /// Measured load imbalance before the boundary decision.
+    pub imbalance_before: f64,
+    /// Measured load imbalance under the post-boundary partition.
+    pub imbalance_after: f64,
+}
+
+/// Summary of the online rebalancer (`--epochs`/`--rebalance`): one row per
+/// epoch plus migration totals. Epoch loads are functions of virtual time,
+/// so this block is byte-identical across `--threads`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RebalanceInfo {
+    /// Rebalance mode label (`off`, `global`, `incremental`).
+    pub mode: String,
+    /// Total nodes migrated across all boundaries.
+    pub migrated_nodes: u64,
+    /// Boundaries at which a repartition was applied.
+    pub remaps_applied: u64,
+    /// Per-epoch measurements and decisions, in epoch order.
+    pub epochs: Vec<EpochRow>,
+}
+
 /// One post-pipeline lint finding carried in the report. Plain strings:
 /// `massf-obs` sits below `massf-lint` in the crate graph (lint depends on
 /// the mapping pipeline, which records through obs), so the audit's typed
@@ -158,6 +205,10 @@ pub struct RunReport {
     pub gauges: BTreeMap<String, f64>,
     /// Emulation outcome, when an emulation ran.
     pub emulation: Option<EmulationInfo>,
+    /// Online-rebalancer epochs, when `--epochs` split the run. The JSON
+    /// key is omitted entirely when absent, so pre-epoch documents and
+    /// goldens are unchanged byte-for-byte.
+    pub rebalance: Option<RebalanceInfo>,
     /// Post-pipeline artifact-audit summary, when an audit ran.
     pub lint: Option<LintSummary>,
     /// Wall-clock spans and thread count (masked by golden tests).
@@ -178,6 +229,7 @@ impl RunReport {
             counters,
             gauges,
             emulation: None,
+            rebalance: None,
             lint: None,
             timing: Timing {
                 threads: threads as u64,
@@ -364,6 +416,56 @@ impl RunReport {
                 }
                 out.push_str("  },\n");
             }
+        }
+
+        // The key is omitted (not null) when absent: documents written
+        // before the rebalancer existed stay byte-identical.
+        if let Some(r) = &self.rebalance {
+            out.push_str("  \"rebalance\": {\n");
+            out.push_str(&format!("    \"mode\": {},\n", quote(&r.mode)));
+            out.push_str(&format!("    \"migrated_nodes\": {},\n", r.migrated_nodes));
+            out.push_str(&format!("    \"remaps_applied\": {},\n", r.remaps_applied));
+            if r.epochs.is_empty() {
+                out.push_str("    \"epochs\": []\n");
+            } else {
+                out.push_str("    \"epochs\": [\n");
+                for (i, ep) in r.epochs.iter().enumerate() {
+                    out.push_str("      {\n");
+                    out.push_str(&format!("        \"epoch\": {},\n", ep.epoch));
+                    out.push_str(&format!("        \"end_us\": {},\n", ep.end_us));
+                    out.push_str(&format!(
+                        "        \"engine_loads\": [{}],\n",
+                        join_u64(&ep.engine_loads)
+                    ));
+                    out.push_str(&format!("        \"cut_packets\": {},\n", ep.cut_packets));
+                    out.push_str(&format!(
+                        "        \"drift_measured\": {},\n",
+                        fmt_f64(ep.drift_measured)
+                    ));
+                    out.push_str(&format!(
+                        "        \"drift_predicted\": {},\n",
+                        fmt_f64(ep.drift_predicted)
+                    ));
+                    out.push_str(&format!("        \"applied\": {},\n", ep.applied));
+                    out.push_str(&format!("        \"skipped\": {},\n", ep.skipped));
+                    out.push_str(&format!("        \"moves\": {},\n", ep.moves));
+                    out.push_str(&format!("        \"cost_us\": {},\n", fmt_f64(ep.cost_us)));
+                    out.push_str(&format!(
+                        "        \"imbalance_before\": {},\n",
+                        fmt_f64(ep.imbalance_before)
+                    ));
+                    out.push_str(&format!(
+                        "        \"imbalance_after\": {}\n",
+                        fmt_f64(ep.imbalance_after)
+                    ));
+                    out.push_str(&format!(
+                        "      }}{}\n",
+                        if i + 1 < r.epochs.len() { "," } else { "" }
+                    ));
+                }
+                out.push_str("    ]\n");
+            }
+            out.push_str("  },\n");
         }
 
         match &self.lint {
@@ -570,6 +672,36 @@ impl RunReport {
             }
         };
 
+        // Absent key (pre-epoch documents) parses as `None`, like `lint`.
+        let rebalance = match root.get("rebalance") {
+            None | Some(Value::Null) => None,
+            Some(r) => {
+                let mut epochs = Vec::new();
+                for ep in req_array(r, "epochs")? {
+                    epochs.push(EpochRow {
+                        epoch: req_u64(ep, "epoch")?,
+                        end_us: req_u64(ep, "end_us")?,
+                        engine_loads: req_u64_list(ep, "engine_loads")?,
+                        cut_packets: req_u64(ep, "cut_packets")?,
+                        drift_measured: req_f64(ep, "drift_measured")?,
+                        drift_predicted: req_f64(ep, "drift_predicted")?,
+                        applied: req_bool(ep, "applied")?,
+                        skipped: req_bool(ep, "skipped")?,
+                        moves: req_u64(ep, "moves")?,
+                        cost_us: req_f64(ep, "cost_us")?,
+                        imbalance_before: req_f64(ep, "imbalance_before")?,
+                        imbalance_after: req_f64(ep, "imbalance_after")?,
+                    });
+                }
+                Some(RebalanceInfo {
+                    mode: req_str(r, "mode")?.to_string(),
+                    migrated_nodes: req_u64(r, "migrated_nodes")?,
+                    remaps_applied: req_u64(r, "remaps_applied")?,
+                    epochs,
+                })
+            }
+        };
+
         let lint = match root.get("lint") {
             None | Some(Value::Null) => None,
             Some(l) => {
@@ -614,6 +746,7 @@ impl RunReport {
             counters,
             gauges,
             emulation,
+            rebalance,
             lint,
             timing,
         })
@@ -746,6 +879,35 @@ impl RunReport {
             }
         }
 
+        if let Some(r) = &self.rebalance {
+            out.push_str(&format!(
+                "\nrebalance ({}): {} node(s) migrated over {} remap(s)\n",
+                r.mode, r.migrated_nodes, r.remaps_applied
+            ));
+            for ep in &r.epochs {
+                let decision = if ep.applied {
+                    format!("moved {} (cost {} us)", ep.moves, fmt_f64(ep.cost_us))
+                } else if ep.skipped {
+                    "quiet, skipped".to_string()
+                } else {
+                    "final epoch".to_string()
+                };
+                out.push_str(&format!(
+                    "  epoch {} @ {} us  loads [{}]  cut {}  drift {} (pred {})  \
+                     imbalance {} -> {}  {}\n",
+                    ep.epoch,
+                    ep.end_us,
+                    join_u64(&ep.engine_loads),
+                    ep.cut_packets,
+                    fmt_f64(ep.drift_measured),
+                    fmt_f64(ep.drift_predicted),
+                    fmt_f64(ep.imbalance_before),
+                    fmt_f64(ep.imbalance_after),
+                    decision
+                ));
+            }
+        }
+
         if !self.counters.is_empty() {
             out.push_str("\ncounters\n");
             for (k, v) in &self.counters {
@@ -834,6 +996,18 @@ fn req_str<'v>(v: &'v Value, key: &str) -> Result<&'v str, String> {
 fn req_u64(v: &Value, key: &str) -> Result<u64, String> {
     v.get(key)
         .and_then(Value::as_u64)
+        .ok_or_else(|| format!("missing key \"{key}\""))
+}
+
+fn req_f64(v: &Value, key: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(Value::as_f64)
+        .ok_or_else(|| format!("missing key \"{key}\""))
+}
+
+fn req_bool(v: &Value, key: &str) -> Result<bool, String> {
+    v.get(key)
+        .and_then(Value::as_bool)
         .ok_or_else(|| format!("missing key \"{key}\""))
 }
 
@@ -973,6 +1147,46 @@ mod tests {
         report
     }
 
+    fn sample_with_rebalance() -> RunReport {
+        let mut report = sample();
+        report.rebalance = Some(RebalanceInfo {
+            mode: "incremental".into(),
+            migrated_nodes: 3,
+            remaps_applied: 1,
+            epochs: vec![
+                EpochRow {
+                    epoch: 1,
+                    end_us: 2000,
+                    engine_loads: vec![70, 30],
+                    cut_packets: 12,
+                    drift_measured: 0.2,
+                    drift_predicted: 0.05,
+                    applied: true,
+                    skipped: false,
+                    moves: 3,
+                    cost_us: 26000.0,
+                    imbalance_before: 0.4,
+                    imbalance_after: 0.1,
+                },
+                EpochRow {
+                    epoch: 2,
+                    end_us: 4000,
+                    engine_loads: vec![52, 48],
+                    cut_packets: 9,
+                    drift_measured: 0.01,
+                    drift_predicted: 0.04,
+                    applied: false,
+                    skipped: false,
+                    moves: 0,
+                    cost_us: 0.0,
+                    imbalance_before: 0.04,
+                    imbalance_after: 0.04,
+                },
+            ],
+        });
+        report
+    }
+
     #[test]
     fn json_round_trip_preserves_everything() {
         let report = sample();
@@ -1065,6 +1279,39 @@ mod tests {
         assert!(!text.contains("emulation\n"));
         assert!(!text.contains("lint audit\n"));
         assert!(text.contains("timing (wall-clock"));
+    }
+
+    #[test]
+    fn rebalance_block_round_trips_and_sits_above_timing() {
+        let report = sample_with_rebalance();
+        let json = report.to_json();
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back, report);
+        // Fixed key order: emulation, rebalance, lint, timing.
+        let emu_at = json.find("  \"emulation\": {").unwrap();
+        let reb_at = json.find("  \"rebalance\": {").unwrap();
+        let lint_at = json.find("  \"lint\": {").unwrap();
+        let timing_at = json.find("  \"timing\": {").unwrap();
+        assert!(emu_at < reb_at && reb_at < lint_at && lint_at < timing_at);
+        // And the human rendering keeps the epoch rows above the mask.
+        let text = report.render_human();
+        let reb_line = text.find("rebalance (incremental)").unwrap();
+        let mask = text.find("timing (wall-clock").unwrap();
+        assert!(reb_line < mask);
+        assert!(text.contains("epoch 1 @ 2000 us"));
+        assert!(text.contains("moved 3 (cost 26000.000000 us)"));
+    }
+
+    #[test]
+    fn reports_without_a_rebalance_key_are_unchanged() {
+        // A report with no rebalance data must not emit the key at all —
+        // pre-epoch documents and goldens stay byte-identical — and
+        // documents missing the key must parse as `rebalance: None`.
+        let report = sample();
+        let json = report.to_json();
+        assert!(!json.contains("\"rebalance\""));
+        let back = RunReport::from_json(&json).unwrap();
+        assert_eq!(back.rebalance, None);
     }
 
     #[test]

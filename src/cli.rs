@@ -25,7 +25,8 @@
 use massf_core::engine::engine::lookahead_us;
 use massf_core::engine::probe;
 use massf_core::obs::report::{
-    EmulationInfo, EngineLoad, LintFinding, LintSummary, PartitionInfo, ScenarioInfo,
+    EmulationInfo, EngineLoad, EpochRow, LintFinding, LintSummary, PartitionInfo, RebalanceInfo,
+    ScenarioInfo,
 };
 use massf_core::prelude::*;
 use massf_core::routing::RoutingTables;
@@ -86,6 +87,7 @@ USAGE:
   massf run <network.dml> [--engines K] [--traffic <spec.txt>] [--duration-s S]
             [--approach top|place|profile] [--replay] [--threads T]
             [--routing dense|compressed] [--deny-warnings] [--report <run.json>]
+            [--epochs E] [--rebalance off|global|incremental]
       Generate background traffic from the spec (a built-in CBR background
       when --traffic is omitted), map it with the chosen approach, emulate,
       and print the load-balance report. Defaults: 3 engines, 10 s,
@@ -93,6 +95,16 @@ USAGE:
       audited (MC013..MC018) before emulating; Errors refuse. --report
       also writes the versioned JSON run report (see `massf report`),
       including the audit as its `lint` block.
+
+      --epochs E splits the emulation into E epochs; each boundary turns
+      the epoch's NetFlow slice into measured per-engine loads and drift
+      values (surfaced in the report's `rebalance` block and audited as
+      MC019/MC020). --rebalance picks what a boundary does when the drift
+      is loud enough: `incremental` migrates boundary nodes locally,
+      `global` recomputes a full PROFILE partition, `off` (default) only
+      measures. The first epoch is mapped traffic-blind with TOP (nothing
+      has been measured yet), so --approach must be top or omitted;
+      --replay is incompatible. `--rebalance` alone implies 4 epochs.
 
   massf ping <network.dml> <src-name> <dst-name>
       Emulate an ICMP echo through the discrete-event engine.
@@ -624,6 +636,34 @@ fn emulation_info(report: &EmulationReport) -> EmulationInfo {
     }
 }
 
+/// Digests an online-rebalancing outcome into the run report's
+/// `rebalance` block.
+fn rebalance_info(mode: RebalanceMode, outcome: &IncrementalOutcome) -> RebalanceInfo {
+    RebalanceInfo {
+        mode: mode.label().to_string(),
+        migrated_nodes: outcome.migrated_nodes as u64,
+        remaps_applied: outcome.remaps_applied as u64,
+        epochs: outcome
+            .epoch_stats
+            .iter()
+            .map(|e| EpochRow {
+                epoch: e.epoch as u64,
+                end_us: e.end_us,
+                engine_loads: e.engine_loads.clone(),
+                cut_packets: e.cut_packets,
+                drift_measured: e.drift_measured,
+                drift_predicted: e.drift_predicted,
+                applied: e.applied,
+                skipped: e.skipped,
+                moves: e.moves as u64,
+                cost_us: e.cost_us,
+                imbalance_before: e.imbalance_before,
+                imbalance_after: e.imbalance_after,
+            })
+            .collect(),
+    }
+}
+
 fn cmd_run(args: &[String]) -> Result<String, CliError> {
     validate_flags(
         "run",
@@ -636,6 +676,8 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             "--threads",
             "--routing",
             "--report",
+            "--epochs",
+            "--rebalance",
         ],
         &["--replay", "--deny-warnings"],
     )?;
@@ -674,6 +716,42 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     };
     let replay = args.iter().any(|a| a == "--replay");
     let deny = args.iter().any(|a| a == "--deny-warnings");
+    let mode = match flag(args, "--rebalance") {
+        Some(m) => RebalanceMode::parse(m).ok_or_else(|| {
+            err(format!(
+                "--rebalance must be off|global|incremental, got {m:?}"
+            ))
+        })?,
+        None => RebalanceMode::Off,
+    };
+    let epochs: usize = match flag(args, "--epochs") {
+        Some(e) => {
+            let n = e.parse().map_err(|_| err("--epochs must be a number"))?;
+            if n == 0 {
+                return Err(err("--epochs must be at least 1"));
+            }
+            n
+        }
+        // `--rebalance` without `--epochs` implies the default epoch count
+        // (`off` included: it measures epochs without ever migrating).
+        None if flag(args, "--rebalance").is_some() => IncrementalConfig::default().epochs,
+        None => 1,
+    };
+    let online = epochs > 1;
+    if online {
+        if replay {
+            return Err(err("--replay cannot be combined with --epochs"));
+        }
+        // The online run starts traffic-blind: epoch 1 is mapped with TOP
+        // and later boundaries adapt from measurements, so a predicted or
+        // profiled initial approach has nothing to contribute.
+        if !matches!(flag(args, "--approach"), None | Some("top")) {
+            return Err(err(
+                "--epochs maps the first epoch with TOP; use --approach top or omit it",
+            ));
+        }
+    }
+    let approach = if online { Approach::Top } else { approach };
 
     // Stage 1: static preflight; flow generation is only safe on a clean
     // base (generators assert on degenerate host sets).
@@ -704,19 +782,66 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
     rec.finish("mapping/routing_tables", span);
     record_routing_stats(&mut rec, &study);
     let partition = study.map_obs(approach, &predicted, &flows, &mut rec);
-    // Post-pipeline audit: the mapped partition plus the study's routing
-    // tables must hold up before any emulation time is spent on them.
-    let span = rec.start();
-    let mut audit = massf_core::audit::audit_study(&study, &partition);
-    rec.finish("cli/audit", span);
-    audit_gate(&mut audit, deny)?;
-    let span = rec.start();
-    let report = if replay {
-        study.replay(&partition, &flows)
+    let (report, rebalance, mut audit, final_partition) = if online {
+        // Online path: the audit runs once, after the emulation, when the
+        // MC019/MC020 drift evidence exists — same refusal contract.
+        let inc_cfg = IncrementalConfig {
+            epochs,
+            ..IncrementalConfig::default()
+        };
+        let span = rec.start();
+        let outcome = massf_core::mapping::run_online(&study, &flows, &predicted, &inc_cfg, mode);
+        rec.finish("engine/emulate", span);
+        // PLACE's plan summed per engine under the initial partition: the
+        // MC019 baseline the measured epochs are compared against.
+        let (_, predicted_node) = massf_core::mapping::weights::accumulate_predicted_with(
+            &study.net,
+            &study.tables,
+            &predicted,
+            study.cfg.parallelism,
+        );
+        let mut predicted_engine = vec![0.0f64; engines];
+        for (v, w) in predicted_node.iter().enumerate() {
+            predicted_engine[partition.part[v] as usize] += w;
+        }
+        let epoch_loads: Vec<Vec<u64>> = outcome
+            .epoch_stats
+            .iter()
+            .map(|e| e.engine_loads.clone())
+            .collect();
+        let span = rec.start();
+        let audit = massf_core::audit::audit_study_online(
+            &study,
+            &partition,
+            &predicted_engine,
+            &epoch_loads,
+        );
+        rec.finish("cli/audit", span);
+        let info = rebalance_info(mode, &outcome);
+        let final_partition = outcome
+            .epoch_partitions
+            .last()
+            .cloned()
+            .unwrap_or_else(|| partition.clone());
+        (outcome.report, Some(info), audit, final_partition)
     } else {
-        study.evaluate(&partition, &flows, CostModel::live_application())
+        // Post-pipeline audit: the mapped partition plus the study's
+        // routing tables must hold up before any emulation time is spent
+        // on them.
+        let span = rec.start();
+        let mut audit = massf_core::audit::audit_study(&study, &partition);
+        rec.finish("cli/audit", span);
+        audit_gate(&mut audit, deny)?;
+        let span = rec.start();
+        let report = if replay {
+            study.replay(&partition, &flows)
+        } else {
+            study.evaluate(&partition, &flows, CostModel::live_application())
+        };
+        rec.finish("engine/emulate", span);
+        (report, None, audit, partition.clone())
     };
-    rec.finish("engine/emulate", span);
+    audit_gate(&mut audit, deny)?;
 
     let mut out = String::new();
     out.push_str(&format!("network      : {}\n", study.net.summary()));
@@ -738,6 +863,33 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         report.remote_messages
     ));
     out.push_str(&format!("{}\n", report.balance_line()));
+    if let Some(r) = &rebalance {
+        out.push_str(&format!(
+            "rebalance    : {} — {} node(s) migrated over {} remap(s) in {} epochs\n",
+            r.mode,
+            r.migrated_nodes,
+            r.remaps_applied,
+            r.epochs.len()
+        ));
+        for ep in &r.epochs {
+            let decision = if ep.applied {
+                format!("moved {}", ep.moves)
+            } else if ep.skipped {
+                "skipped".to_string()
+            } else {
+                "final".to_string()
+            };
+            out.push_str(&format!(
+                "  epoch {}: drift {:.3} (pred {:.3})  imbalance {:.3} -> {:.3}  {}\n",
+                ep.epoch,
+                ep.drift_measured,
+                ep.drift_predicted,
+                ep.imbalance_before,
+                ep.imbalance_after,
+                decision
+            ));
+        }
+    }
 
     if let Some(report_path) = flag(args, "--report") {
         let mut run_report = RunReport::new(
@@ -752,8 +904,11 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
             rec,
             threads,
         );
-        run_report.partition = Some(partition_info(&study.net, &partition));
+        // The online path reports the partition actually in force at the
+        // end of the run (after any boundary migrations).
+        run_report.partition = Some(partition_info(&study.net, &final_partition));
         run_report.emulation = Some(emulation_info(&report));
+        run_report.rebalance = rebalance.clone();
         run_report.lint = Some(lint_summary(&audit));
         std::fs::write(report_path, run_report.to_json())
             .map_err(|e| err(format!("cannot write {report_path}: {e}")))?;
@@ -1214,6 +1369,72 @@ mod tests {
         assert!(rendered.contains("engine load"), "{rendered}");
         assert!(rendered.contains("partitioner restarts"), "{rendered}");
         assert!(rendered.contains("timing (wall-clock"), "{rendered}");
+    }
+
+    #[test]
+    fn run_with_epochs_reports_the_rebalance_block() {
+        let net_file = write_campus();
+        let report = tempfile_path::write("massf_cli_epochs_report.json", "");
+        let out = run(&args(&[
+            "run",
+            net_file.as_str(),
+            "--duration-s",
+            "2",
+            "--epochs",
+            "3",
+            "--rebalance",
+            "incremental",
+            "--report",
+            report.as_str(),
+        ]))
+        .unwrap();
+        assert!(out.contains("rebalance    : incremental"), "{out}");
+        assert!(out.contains("epoch 1:"), "{out}");
+        let parsed =
+            RunReport::from_json(&std::fs::read_to_string(report.0.as_path()).unwrap()).unwrap();
+        let reb = parsed.rebalance.expect("rebalance block");
+        assert_eq!(reb.mode, "incremental");
+        assert_eq!(reb.epochs.len(), 3);
+        assert_eq!(
+            parsed.scenario.approach, "TOP",
+            "online runs start with TOP"
+        );
+    }
+
+    #[test]
+    fn rebalance_alone_implies_default_epochs() {
+        let net_file = write_campus();
+        let out = run(&args(&[
+            "run",
+            net_file.as_str(),
+            "--duration-s",
+            "2",
+            "--rebalance",
+            "off",
+        ]))
+        .unwrap();
+        assert!(out.contains("in 4 epochs"), "{out}");
+    }
+
+    #[test]
+    fn epoch_flags_reject_bad_combinations() {
+        let f = write_campus();
+        let e = run(&args(&["run", f.as_str(), "--epochs", "0"])).unwrap_err();
+        assert!(e.0.contains("--epochs must be at least 1"), "{e}");
+        let e = run(&args(&["run", f.as_str(), "--rebalance", "sideways"])).unwrap_err();
+        assert!(e.0.contains("off|global|incremental"), "{e}");
+        let e = run(&args(&["run", f.as_str(), "--epochs", "2", "--replay"])).unwrap_err();
+        assert!(e.0.contains("--replay cannot be combined"), "{e}");
+        let e = run(&args(&[
+            "run",
+            f.as_str(),
+            "--epochs",
+            "2",
+            "--approach",
+            "profile",
+        ]))
+        .unwrap_err();
+        assert!(e.0.contains("TOP"), "{e}");
     }
 
     #[test]

@@ -149,7 +149,7 @@ fn check_audits_a_capacity_vector() {
     .expect_err("a 2-entry vector for 3 engines must fail the audit");
     assert!(e.0.contains("MC017"), "{}", e.0);
     // A well-formed vector audits clean of errors (and implies --audit:
-    // the artifact passes run, so the report shows all 18 passes).
+    // the artifact passes run, so the report shows all 20 passes).
     let ok = cli::run(&args(&[
         "check",
         "examples/scenarios/campus.dml",
@@ -159,7 +159,7 @@ fn check_audits_a_capacity_vector() {
         "1.0,1.0,2.0",
     ]))
     .expect("a feasible vector must pass");
-    assert!(ok.contains("18 passes run"), "{ok}");
+    assert!(ok.contains("20 passes run"), "{ok}");
 }
 
 #[test]

@@ -66,6 +66,18 @@ fn mask_human(text: &str) -> &str {
     &text[..at]
 }
 
+/// Compares `actual` against the golden at `path`, rewriting the golden
+/// instead when `MASSF_BLESS=1` is set.
+fn assert_golden(actual: &str, path: &str) {
+    if std::env::var_os("MASSF_BLESS").is_some_and(|v| v == "1") {
+        std::fs::write(path, actual).unwrap_or_else(|e| panic!("cannot bless {path}: {e}"));
+        return;
+    }
+    let golden =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    assert_eq!(actual, golden, "output drifted from {path}");
+}
+
 #[test]
 fn campus_json_report_matches_golden() {
     let json = campus_report_json("1");
@@ -155,6 +167,48 @@ fn report_carries_routing_size_counters() {
         "\"routing.runs_mean_per_row\"",
     ] {
         assert!(json.contains(key), "report missing {key}");
+    }
+}
+
+const EPOCH_FLAGS: &[&str] = &["--epochs", "4", "--rebalance", "incremental"];
+
+#[test]
+fn campus_epoch_report_matches_golden() {
+    // The online run: 4 epochs, incremental rebalancing. The `rebalance`
+    // block (per-epoch measured loads, drift values, boundary decisions)
+    // sits between `emulation` and `lint`, above the timing mask.
+    // Regenerate with `MASSF_BLESS=1 cargo test --test run_report`.
+    let json = campus_report_json_with("1", EPOCH_FLAGS);
+    assert!(json.contains("\"rebalance\": {"), "{json}");
+    assert_golden(
+        mask_json(&json),
+        "tests/golden/campus_run_report_epochs.json",
+    );
+
+    let path = std::env::temp_dir().join(format!("massf_run_report_{}_e.json", std::process::id()));
+    std::fs::write(&path, &json).unwrap();
+    let text = cli::run(&args(&["report", path.to_str().unwrap()])).expect("report renders");
+    let _ = std::fs::remove_file(&path);
+    assert!(text.contains("rebalance (incremental)"), "{text}");
+    assert_golden(
+        mask_human(&text),
+        "tests/golden/campus_run_report_epochs.txt",
+    );
+}
+
+#[test]
+fn epoch_report_is_byte_identical_across_threads() {
+    // Epoch loads, drift values, and boundary decisions are functions of
+    // virtual time, never of scheduling, so the whole deterministic
+    // prefix — rebalance block included — must not move with --threads.
+    let base = campus_report_json_with("1", EPOCH_FLAGS);
+    for threads in ["2", "4"] {
+        let other = campus_report_json_with(threads, EPOCH_FLAGS);
+        assert_eq!(
+            mask_json(&base),
+            mask_json(&other),
+            "epoch block varies at --threads {threads}"
+        );
     }
 }
 
