@@ -35,6 +35,20 @@ impl Scenario {
     /// run takes a handful of rounds with events crossing the cut in both
     /// directions.
     pub fn two_cross() -> Scenario {
+        Self::two_cross_with("two_cross", RoutingTables::build)
+    }
+
+    /// [`two_cross`](Self::two_cross) over lazy on-demand routing tables:
+    /// the checker proves that racing engines materializing rows through
+    /// the shared once-cells still reproduce the sequential reference
+    /// bit-for-bit — including the per-engine residency block, which is
+    /// structural (the demanded row set) and therefore identical across
+    /// every interleaving.
+    pub fn two_cross_lazy() -> Scenario {
+        Self::two_cross_with("two_cross_lazy", RoutingTables::build_lazy)
+    }
+
+    fn two_cross_with(name: &'static str, build: fn(&Network) -> RoutingTables) -> Scenario {
         let mut net = Network::new();
         let h0 = net.add_host("h0", 0);
         let r0 = net.add_router("r0", 0);
@@ -43,7 +57,7 @@ impl Scenario {
         net.add_link(h0, r0, 100.0, 30);
         net.add_link(r0, r1, 100.0, 200);
         net.add_link(r1, h1, 100.0, 30);
-        let tables = RoutingTables::build(&net);
+        let tables = build(&net);
         let flows = vec![
             FlowSpec {
                 src: h0,
@@ -65,7 +79,7 @@ impl Scenario {
             },
         ];
         Scenario {
-            name: "two_cross",
+            name,
             net,
             tables,
             flows,
@@ -121,7 +135,11 @@ impl Scenario {
 
     /// Every scenario, in CLI order.
     pub fn all() -> Vec<Scenario> {
-        vec![Scenario::two_cross(), Scenario::three_chain()]
+        vec![
+            Scenario::two_cross(),
+            Scenario::three_chain(),
+            Scenario::two_cross_lazy(),
+        ]
     }
 
     /// Looks a scenario up by its CLI name.

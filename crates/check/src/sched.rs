@@ -788,7 +788,13 @@ pub fn run_schedule(
             },
         };
     }
-    let report = finalize(engines, cfg, outcomes[0].wall.clone(), outcomes[0].rounds);
+    let report = finalize(
+        engines,
+        cfg,
+        &scenario.tables,
+        outcomes[0].wall.clone(),
+        outcomes[0].rounds,
+    );
     if &report != reference {
         return RunResult {
             decisions,

@@ -211,6 +211,14 @@ impl Engine {
     /// Transmits `pkt` from `node` toward its destination, producing the
     /// arrival event locally or in the outbox.
     fn forward(&mut self, pkt: Packet, node: NodeId, now_us: u64, shared: &Shared<'_>) {
+        // The emulation's only routing query, and it is always for an
+        // engine-owned source: under lazy tables each engine therefore
+        // materializes only its own slice of the rows (DESIGN.md §16).
+        debug_assert_eq!(
+            shared.partition[node as usize], self.id,
+            "engine {} forwarded for node {node} it does not own",
+            self.id
+        );
         let link_id = shared.tables.next_link_raw(node, pkt.dst);
         if link_id == RoutingTables::NO_ROUTE {
             // Unreachable destination (or src == dst): account and drop.

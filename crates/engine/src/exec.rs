@@ -277,7 +277,7 @@ pub fn run_sequential(
     let speeds: Vec<f64> = (0..cfg.nengines).map(|e| cfg.speed(e)).collect();
     let shim = SeqShim::new(cfg.nengines);
     let out = protocol_loop(&mut engines, &shim, &shared, lookahead, &cfg.cost, &speeds);
-    finalize(engines, cfg, out.wall, out.rounds)
+    finalize(engines, cfg, tables, out.wall, out.rounds)
 }
 
 /// Runs the emulation with one OS thread per engine, exchanging events over
@@ -374,15 +374,17 @@ pub fn run_parallel(
         }
         engines.push(e);
     }
-    finalize(engines, cfg, wall, rounds)
+    finalize(engines, cfg, tables, wall, rounds)
 }
 
 /// Merges per-engine state into the final report. Used by every executor
 /// — sequential, parallel, steppable, and the `massf-check` model checker
-/// — so all paths report identically.
+/// — so all paths report identically. `tables` is sampled for the lazy
+/// per-engine residency block (`None` for the eager representations).
 pub fn finalize(
     engines: Vec<Engine>,
     cfg: &EmulationConfig,
+    tables: &RoutingTables,
     wall: WallClock,
     rounds: u64,
 ) -> EmulationReport {
@@ -459,6 +461,7 @@ pub fn finalize(
         stall_series: pad(raw_stalls),
         recv_series: pad(raw_recvs),
         netflow: merge_dumps(dumps),
+        routing_slices: tables.slice_residency(&cfg.partition, nengines),
         wall,
     }
 }
@@ -547,6 +550,32 @@ mod tests {
             assert_eq!(seq.window_series, par.window_series);
             assert!((seq.wall.total_us - par.wall.total_us).abs() < 1e-6);
         }
+    }
+
+    #[test]
+    fn lazy_slices_follow_engine_ownership() {
+        let net = star();
+        let tables = RoutingTables::build_lazy(&net);
+        let cfg = EmulationConfig::new(vec![0, 0, 0, 1, 1], 2);
+        let seq = run_sequential(&net, &tables, &flows_star(), &cfg);
+        let slices = seq
+            .routing_slices
+            .as_ref()
+            .expect("lazy run reports slices");
+        assert_eq!(slices.len(), 2);
+        assert_eq!(slices.iter().map(|s| s.sources).sum::<usize>(), 5);
+        assert!(
+            slices.iter().map(|s| s.rows_materialized).sum::<usize>() > 0,
+            "forwarding must have materialized at least the router's row"
+        );
+        // A second run over the same shared tables demands the same rows:
+        // the materialized set is idempotent, so the whole report — slice
+        // block included — stays equal across executors.
+        let par = run_parallel(&net, &tables, &flows_star(), &cfg);
+        assert_eq!(seq, par);
+        // Eager runs carry no slice block.
+        let dense = run_sequential(&net, &RoutingTables::build(&net), &flows_star(), &cfg);
+        assert_eq!(dense.routing_slices, None);
     }
 
     #[test]

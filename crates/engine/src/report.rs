@@ -9,6 +9,7 @@
 
 use crate::cost::WallClock;
 use crate::netflow::FlowRecord;
+use massf_routing::SliceResidency;
 
 /// Everything a mapping study needs from one emulation run.
 ///
@@ -64,6 +65,15 @@ pub struct EmulationReport {
     pub recv_series: Vec<Vec<u64>>,
     /// Merged NetFlow records (empty unless profiling was enabled).
     pub netflow: Vec<FlowRecord>,
+    /// Per-engine lazy routing-row residency under the run's partition;
+    /// `None` unless the run used lazy tables. Structural facts only
+    /// (materialized set, resident bytes): the set is a pure function of
+    /// the demanded (src, dst) pairs, so it is identical across thread
+    /// counts and model-checked interleavings — cumulative lookup
+    /// counters are deliberately *not* here (they would differ when the
+    /// same shared tables serve several runs) and surface through
+    /// `massf_routing::RoutingTables::slice_stats` instead.
+    pub routing_slices: Option<Vec<SliceResidency>>,
     /// Modeled wall-clock accounting.
     pub wall: WallClock,
 }
@@ -126,6 +136,7 @@ mod tests {
             stall_series: vec![vec![0, 0], vec![1, 1]],
             recv_series: vec![vec![1, 0], vec![0, 1]],
             netflow: vec![],
+            routing_slices: None,
             wall: WallClock {
                 total_us: 2_000_000.0,
                 busy_us: 100.0,

@@ -252,8 +252,12 @@ impl<'a> SteppableEmulation<'a> {
     }
 
     /// Finalizes into a report (same shape as the batch executors').
+    /// Under lazy tables the residency block is keyed by the *final*
+    /// partition: rows of nodes moved by [`repartition`](Self::repartition)
+    /// are charged to their destination engine — the migration ownership
+    /// rule (DESIGN.md §16) falls out of sampling the current assignment.
     pub fn finish(self) -> EmulationReport {
-        crate::exec::finalize(self.engines, &self.cfg, self.wall, self.rounds)
+        crate::exec::finalize(self.engines, &self.cfg, self.tables, self.wall, self.rounds)
     }
 }
 
@@ -381,6 +385,26 @@ mod tests {
         let part = partition_by_router(net);
         let cfg = EmulationConfig::new(part, 2);
         run_sequential(net, tables, flows, &cfg).total_events()
+    }
+
+    #[test]
+    fn migrated_rows_are_charged_to_the_destination_engine() {
+        let (net, flows) = net_and_flows();
+        let tables = RoutingTables::build_lazy(&net);
+        let part = partition_by_router(&net);
+        let cfg = EmulationConfig::new(part.clone(), 2);
+        let mut step = SteppableEmulation::new(&net, &tables, &flows, cfg);
+        step.run_until(3_000);
+        let swapped: Vec<u32> = part.iter().map(|&p| 1 - p).collect();
+        step.repartition(swapped.clone(), MigrationCost::default());
+        step.run_to_completion();
+        let report = step.finish();
+        let slices = report.routing_slices.expect("lazy run reports slices");
+        // Ownership transferred with the nodes: the residency block is
+        // exactly the table's slicing under the *final* assignment.
+        assert_eq!(slices, tables.slice_residency(&swapped, 2).unwrap());
+        let total: usize = slices.iter().map(|s| s.rows_materialized).sum();
+        assert!(total > 0, "the run must have materialized rows");
     }
 
     #[test]

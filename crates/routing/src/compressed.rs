@@ -27,7 +27,7 @@
 //! as the dense build: per-source encoding writes disjoint slots, and the
 //! canonical pool is folded serially in source order afterwards.
 
-use crate::spf::{shortest_paths, NO_PREV};
+use crate::spf::{SpfScratch, NO_PREV};
 use crate::tables::{link_toward, NO_LINK};
 use massf_par::Parallelism;
 use massf_topology::{LinkId, Network, NodeId};
@@ -150,11 +150,20 @@ fn push_run(out: &mut Vec<Run>, pos: usize, hop: NodeId, link: LinkId) {
     }
 }
 
-/// Encodes the full-SPF row for `src`: one Dijkstra run, first hops in one
-/// pass, then run-length encoding over `order`.
-fn encode_spf_row(net: &Network, src: NodeId, order: &[NodeId], out: &mut Vec<Run>) {
-    let tree = shortest_paths(net, src);
-    let first = tree.first_hops();
+/// Encodes the full-SPF row for `src`: one Dijkstra run into the caller's
+/// reusable `scratch`, first hops in one pass, then run-length encoding
+/// over `order`. Shared by the eager parallel build (one scratch per
+/// worker) and the lazy on-demand materializer — which is what makes lazy
+/// rows bit-identical to eager ones.
+pub(crate) fn encode_spf_row(
+    net: &Network,
+    src: NodeId,
+    order: &[NodeId],
+    out: &mut Vec<Run>,
+    scratch: &mut SpfScratch,
+) {
+    scratch.run(net, src);
+    let first = scratch.first_hops();
     let mut memo: Vec<(NodeId, LinkId)> = Vec::new();
     for (pos, &dst) in order.iter().enumerate() {
         if dst == src {
@@ -289,18 +298,26 @@ impl CompressedTables {
                 .collect();
             let order = enc.order();
             if n == 0 || par.capped(n).get() <= 1 {
+                let mut scratch = SpfScratch::new();
                 for (src, out) in work {
-                    encode_spf_row(net, src as NodeId, order, out);
+                    encode_spf_row(net, src as NodeId, order, out, &mut scratch);
                 }
             } else {
                 let queue = std::sync::Mutex::new(work);
                 std::thread::scope(|scope| {
                     for _ in 0..par.capped(n).get() {
-                        scope.spawn(|| loop {
-                            let item = queue.lock().expect("row queue").pop();
-                            match item {
-                                Some((src, out)) => encode_spf_row(net, src as NodeId, order, out),
-                                None => break,
+                        scope.spawn(|| {
+                            // One scratch per worker, reused across every
+                            // source this worker encodes.
+                            let mut scratch = SpfScratch::new();
+                            loop {
+                                let item = queue.lock().expect("row queue").pop();
+                                match item {
+                                    Some((src, out)) => {
+                                        encode_spf_row(net, src as NodeId, order, out, &mut scratch)
+                                    }
+                                    None => break,
+                                }
                             }
                         });
                     }

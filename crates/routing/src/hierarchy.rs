@@ -23,7 +23,7 @@
 //! quantifies it.
 
 use crate::compressed::{RowEncoder, Run};
-use crate::spf;
+use crate::spf::{self, SpfScratch};
 use crate::tables::{link_toward, DenseTables, Repr, RoutingKind, RoutingTables, NO_LINK};
 use massf_topology::{LinkId, Network, NodeId};
 use std::collections::BTreeMap;
@@ -163,7 +163,7 @@ struct IntraAs {
 /// # Panics
 /// Panics if the AS is internally disconnected (every AS must be routable
 /// on its own, as in real networks).
-fn intra_for(net: &Network, plan: &HierPlan, a: usize) -> IntraAs {
+fn intra_for(net: &Network, plan: &HierPlan, a: usize, scratch: &mut SpfScratch) -> IntraAs {
     let mem = plan.members[a].clone();
     let m = mem.len();
     let mut local_of = vec![u32::MAX; net.node_count()];
@@ -200,9 +200,11 @@ fn intra_for(net: &Network, plan: &HierPlan, a: usize) -> IntraAs {
     let mut first_link = vec![NO_LINK; m * m];
     let mut dist = vec![u64::MAX; m * m];
     for (si, &sv) in mem.iter().enumerate() {
-        let tree = spf::shortest_paths(&sub, si as NodeId);
-        let first = tree.first_hops();
-        dist[si * m..(si + 1) * m].copy_from_slice(&tree.dist_us);
+        // One caller-owned scratch across every member of every AS —
+        // distances are copied out before `first_hops` reborrows it.
+        scratch.run(&sub, si as NodeId);
+        dist[si * m..(si + 1) * m].copy_from_slice(scratch.dist_us());
+        let first = scratch.first_hops();
         let mut memo: Vec<(NodeId, LinkId)> = Vec::new();
         for di in 0..m {
             let hop_local = first[di];
@@ -305,7 +307,10 @@ pub fn build_hierarchical_kind(net: &Network, kind: RoutingKind) -> RoutingTable
     let p = plan(net);
     match kind {
         RoutingKind::Dense => materialize_dense(net, &p),
-        RoutingKind::Compressed => materialize_compressed(net, &p),
+        // Hierarchical rows already stream AS-at-a-time with per-AS peak
+        // memory, so there is nothing to defer: Lazy falls back to the
+        // eager compressed materialization (documented in DESIGN.md §16).
+        RoutingKind::Compressed | RoutingKind::Lazy => materialize_compressed(net, &p),
     }
 }
 
@@ -313,8 +318,9 @@ fn materialize_dense(net: &Network, plan: &HierPlan) -> RoutingTables {
     let n = net.node_count();
     let mut next_hop = vec![NodeId::MAX; n * n];
     let mut next_link = vec![NO_LINK; n * n];
+    let mut scratch = SpfScratch::new();
     for a in 0..plan.nas {
-        let intra = intra_for(net, plan, a);
+        let intra = intra_for(net, plan, a, &mut scratch);
         for &src in &plan.members[a] {
             let row = src as usize * n..(src as usize + 1) * n;
             fill_row(
@@ -374,8 +380,9 @@ fn materialize_compressed(net: &Network, plan: &HierPlan) -> RoutingTables {
     let mut hops = vec![NodeId::MAX; n];
     let mut links = vec![NO_LINK; n];
     let mut runs: Vec<Run> = Vec::new();
+    let mut scratch = SpfScratch::new();
     for a in 0..plan.nas {
-        let intra = intra_for(net, plan, a);
+        let intra = intra_for(net, plan, a, &mut scratch);
         for &src in &plan.members[a] {
             hops.fill(NodeId::MAX);
             links.fill(NO_LINK);

@@ -18,11 +18,12 @@
 
 mod compressed;
 pub mod hierarchy;
+mod lazy;
 pub mod memory;
 pub mod probes;
 pub mod spf;
 pub mod tables;
 pub mod traceroute;
 
-pub use memory::RunStats;
+pub use memory::{LazyStats, RunStats, SliceResidency, SliceStats};
 pub use tables::{RoutingKind, RoutingTables};

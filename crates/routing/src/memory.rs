@@ -87,10 +87,85 @@ pub struct RunStats {
     pub runs_mean_per_row: f64,
 }
 
+/// Demand-side statistics of a lazy table: what has actually been
+/// materialized so far, and the hit/miss split of the lookups that drove
+/// it. All values are monotone over a run; the run report samples them
+/// once, after the emulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LazyStats {
+    /// Rows encoded on demand so far.
+    pub rows_materialized: usize,
+    /// Sources stored as two-word leaf records (never materialize).
+    pub rows_leaf: usize,
+    /// Non-leaf sources whose row has not been demanded yet.
+    pub rows_pending: usize,
+    /// Total runs across all materialized rows.
+    pub runs_resident: usize,
+    /// Resident bytes — [`RoutingTables::table_bytes`] at sampling time.
+    pub resident_bytes: u64,
+    /// Row lookups answered (every non-diagonal `entry`, including leaf
+    /// delegations).
+    pub lookups: u64,
+    /// Lookups that had to materialize a row first — exactly
+    /// `rows_materialized`, since each slot initializes once.
+    pub demand_misses: u64,
+    /// Lookups served from an already-resident (or leaf) row.
+    pub demand_hits: u64,
+}
+
+/// One engine's share of a lazy table: the structural residency facts.
+/// Deliberately excludes cumulative counters so the emulation report can
+/// carry it and stay schedule-replay-stable (the model checker re-runs
+/// interleavings against shared tables and compares reports bit-for-bit;
+/// the materialized *set* converges under identical demand, lookup
+/// *counts* accumulate).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceResidency {
+    /// Engine index.
+    pub engine: usize,
+    /// Sources the partition assigns to this engine.
+    pub sources: usize,
+    /// Of those, rows materialized on demand.
+    pub rows_materialized: usize,
+    /// Bytes resident for this slice: the per-source fixed share of the
+    /// base arrays plus this slice's materialized run bytes.
+    pub resident_bytes: u64,
+}
+
+/// [`SliceResidency`] plus the demand counters — the CLI/bench-level view,
+/// kept out of the emulation report (see [`SliceResidency`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceStats {
+    /// The structural residency facts.
+    pub residency: SliceResidency,
+    /// Row lookups charged to this slice's sources.
+    pub lookups: u64,
+    /// Lookups that materialized a row (== `residency.rows_materialized`).
+    pub demand_misses: u64,
+    /// Lookups served without encoding work.
+    pub demand_hits: u64,
+}
+
+/// Fixed per-source bytes of the lazy base arrays: rank + order slot +
+/// leaf record + row once-cell + lookup counter. The topology snapshot is
+/// excluded from routing-byte accounting throughout — it is emulation
+/// state every representation's build reads, not routing structure.
+fn lazy_base_bytes_per_source() -> u64 {
+    use crate::compressed::Run;
+    use massf_topology::LinkId;
+    use std::sync::{atomic::AtomicU64, OnceLock};
+    (4 + 4
+        + std::mem::size_of::<Option<(NodeId, LinkId)>>()
+        + std::mem::size_of::<OnceLock<Box<[Run]>>>()
+        + std::mem::size_of::<AtomicU64>()) as u64
+}
+
 impl RoutingTables {
-    /// Measured bytes of the table payload as actually stored — flat
+    /// Measured bytes of the table payload as actually *resident* — flat
     /// matrices for dense ([`DENSE_ENTRY_BYTES`] per pair), rank + row
-    /// references + run pool + latency snapshot for compressed.
+    /// references + run pool + latency snapshot for compressed, and for
+    /// lazy the base arrays plus only the runs materialized so far (the
+    /// honest demand-driven footprint, DESIGN.md §16).
     pub fn table_bytes(&self) -> u64 {
         match &self.repr {
             Repr::Dense(_) => self.dense_bytes(),
@@ -101,6 +176,15 @@ impl RoutingTables {
                     + 12 * c.run_start.len() as u64
                     + 4 * c.row_bounds.len() as u64
                     + 8 * c.link_latency_us.len() as u64
+            }
+            Repr::Lazy(l) => {
+                let run = std::mem::size_of::<crate::compressed::Run>() as u64;
+                let resident_runs: u64 = (0..l.rows.len())
+                    .map(|v| l.resident_runs_for(v as NodeId) as u64)
+                    .sum();
+                lazy_base_bytes_per_source() * l.rows.len() as u64
+                    + 8 * l.link_latency_us.len() as u64
+                    + run * resident_runs
             }
         }
     }
@@ -139,6 +223,91 @@ impl RoutingTables {
             runs_max_per_row,
             runs_mean_per_row,
         })
+    }
+
+    /// Demand statistics; `None` unless the tables are lazy.
+    pub fn lazy_stats(&self) -> Option<LazyStats> {
+        let Repr::Lazy(l) = &self.repr else {
+            return None;
+        };
+        let n = l.rows.len();
+        let mut rows_materialized = 0;
+        let mut rows_leaf = 0;
+        let mut runs_resident = 0;
+        for v in 0..n as NodeId {
+            if l.is_leaf(v) {
+                rows_leaf += 1;
+            } else if l.is_materialized(v) {
+                rows_materialized += 1;
+                runs_resident += l.resident_runs_for(v);
+            }
+        }
+        let lookups = l.lookup_total();
+        let demand_misses = rows_materialized as u64;
+        Some(LazyStats {
+            rows_materialized,
+            rows_leaf,
+            rows_pending: n - rows_materialized - rows_leaf,
+            runs_resident,
+            resident_bytes: self.table_bytes(),
+            lookups,
+            demand_misses,
+            demand_hits: lookups.saturating_sub(demand_misses),
+        })
+    }
+
+    /// Per-engine residency of a lazy table under `assignment`
+    /// (`assignment[node]` = owning engine, `< nengines`); `None` unless
+    /// the tables are lazy. Accounting keys off the *current* partition,
+    /// so after a live migration the moved nodes' rows are charged to
+    /// their destination engine — the invalidate-or-transfer ownership
+    /// rule falls out of re-sampling (DESIGN.md §16).
+    pub fn slice_residency(
+        &self,
+        assignment: &[u32],
+        nengines: usize,
+    ) -> Option<Vec<SliceResidency>> {
+        self.slice_stats(assignment, nengines)
+            .map(|s| s.into_iter().map(|e| e.residency).collect())
+    }
+
+    /// [`slice_residency`](Self::slice_residency) plus per-slice demand
+    /// counters; `None` unless the tables are lazy.
+    pub fn slice_stats(&self, assignment: &[u32], nengines: usize) -> Option<Vec<SliceStats>> {
+        let Repr::Lazy(l) = &self.repr else {
+            return None;
+        };
+        debug_assert_eq!(assignment.len(), l.rows.len());
+        let base = lazy_base_bytes_per_source();
+        let run = std::mem::size_of::<crate::compressed::Run>() as u64;
+        let mut out: Vec<SliceStats> = (0..nengines)
+            .map(|engine| SliceStats {
+                residency: SliceResidency {
+                    engine,
+                    sources: 0,
+                    rows_materialized: 0,
+                    resident_bytes: 0,
+                },
+                lookups: 0,
+                demand_misses: 0,
+                demand_hits: 0,
+            })
+            .collect();
+        for (v, &e) in assignment.iter().enumerate() {
+            let s = &mut out[e as usize];
+            s.residency.sources += 1;
+            s.residency.resident_bytes += base;
+            if l.is_materialized(v as NodeId) {
+                s.residency.rows_materialized += 1;
+                s.residency.resident_bytes += run * l.resident_runs_for(v as NodeId) as u64;
+            }
+            s.lookups += l.lookups_for(v as NodeId);
+        }
+        for s in &mut out {
+            s.demand_misses = s.residency.rows_materialized as u64;
+            s.demand_hits = s.lookups.saturating_sub(s.demand_misses);
+        }
+        Some(out)
     }
 }
 
@@ -223,6 +392,72 @@ mod tests {
                 "row classes must partition the sources"
             );
         }
+    }
+
+    #[test]
+    fn lazy_resident_bytes_grow_with_demand() {
+        let net = teragrid();
+        let t = RoutingTables::build_lazy(&net);
+        let empty = t.table_bytes();
+        let s0 = t.lazy_stats().expect("lazy tables have lazy stats");
+        assert_eq!(s0.rows_materialized, 0);
+        assert_eq!(s0.lookups, 0);
+        assert_eq!(s0.resident_bytes, empty);
+        assert_eq!(t.run_stats(), None, "pool stats are an eager concept");
+
+        let dst = net.node_count() as u32 - 1;
+        let _ = t.path(0, dst).expect("teragrid connected");
+        let s1 = t.lazy_stats().unwrap();
+        assert!(s1.rows_materialized > 0);
+        assert!(s1.resident_bytes > empty, "demand must grow residency");
+        assert_eq!(s1.demand_misses, s1.rows_materialized as u64);
+        assert_eq!(s1.demand_hits, s1.lookups - s1.demand_misses);
+        assert!(
+            s1.resident_bytes < RoutingTables::build_compressed(&net).table_bytes() + empty,
+            "a few rows must stay far below the full eager pool plus base"
+        );
+        assert_eq!(
+            s1.rows_materialized + s1.rows_leaf + s1.rows_pending,
+            net.node_count()
+        );
+    }
+
+    #[test]
+    fn slice_stats_partition_the_total() {
+        let net = campus();
+        let t = RoutingTables::build_lazy(&net);
+        // Exercise some demand from a few sources.
+        let hosts = net.hosts();
+        for &h in hosts.iter().take(4) {
+            let _ = t.path(h, hosts[hosts.len() - 1]);
+        }
+        // Split nodes across 3 engines round-robin.
+        let assignment: Vec<u32> = (0..net.node_count() as u32).map(|v| v % 3).collect();
+        let slices = t.slice_stats(&assignment, 3).expect("lazy slices");
+        let total = t.lazy_stats().unwrap();
+        assert_eq!(slices.len(), 3);
+        assert_eq!(
+            slices.iter().map(|s| s.residency.sources).sum::<usize>(),
+            net.node_count()
+        );
+        assert_eq!(
+            slices
+                .iter()
+                .map(|s| s.residency.rows_materialized)
+                .sum::<usize>(),
+            total.rows_materialized
+        );
+        assert_eq!(slices.iter().map(|s| s.lookups).sum::<u64>(), total.lookups);
+        // Per-slice resident bytes sum to the table total minus the
+        // latency snapshot (shared, charged to no single engine).
+        let sliced: u64 = slices.iter().map(|s| s.residency.resident_bytes).sum();
+        assert_eq!(sliced + 8 * net.links().len() as u64, t.table_bytes());
+        assert_eq!(
+            t.slice_residency(&assignment, 3).unwrap(),
+            slices.iter().map(|s| s.residency).collect::<Vec<_>>()
+        );
+        // Dense tables have no slices.
+        assert_eq!(RoutingTables::build(&net).slice_stats(&assignment, 3), None);
     }
 
     #[test]

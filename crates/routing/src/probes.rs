@@ -154,7 +154,7 @@ mod tests {
     fn dense_lat(tables: &mut RoutingTables) -> &mut Vec<u64> {
         match &mut tables.repr {
             Repr::Dense(d) => &mut d.latency_us,
-            Repr::Compressed(_) => panic!("corruption tests require dense tables"),
+            _ => panic!("corruption tests require dense tables"),
         }
     }
 
@@ -164,6 +164,7 @@ mod tests {
         for tables in [
             RoutingTables::build(&net),
             RoutingTables::build_compressed(&net),
+            RoutingTables::build_lazy(&net),
         ] {
             let (pairs, total) = asymmetric_latencies(&tables, 8);
             assert!(pairs.is_empty(), "{pairs:?}");
@@ -217,6 +218,7 @@ mod tests {
         for tables in [
             RoutingTables::build(&net),
             RoutingTables::build_compressed(&net),
+            RoutingTables::build_lazy(&net),
         ] {
             let (sites, total) = ecmp_sites(&net, &tables, 32);
             // 0↔2 and 1↔3 are ambiguous in both directions: 4 ordered pairs.
@@ -240,6 +242,7 @@ mod tests {
         for tables in [
             RoutingTables::build(&net),
             RoutingTables::build_compressed(&net),
+            RoutingTables::build_lazy(&net),
         ] {
             let (sites, total) = ecmp_sites(&net, &tables, 32);
             assert!(sites.is_empty());

@@ -20,48 +20,168 @@ pub struct SpfTree {
 /// Sentinel for "no predecessor".
 pub const NO_PREV: NodeId = NodeId::MAX;
 
-/// Runs Dijkstra from `source` with latency cost, deterministic
-/// tie-breaking by `(latency, hops, node id)`.
-pub fn shortest_paths(net: &Network, source: NodeId) -> SpfTree {
-    let n = net.node_count();
-    let mut dist_us = vec![u64::MAX; n];
-    let mut hops = vec![u32::MAX; n];
-    let mut prev = vec![NO_PREV; n];
-    let mut done = vec![false; n];
+/// Heap allocations one standalone SPF run performs that [`SpfScratch`]
+/// amortizes away: the four node-indexed working vectors, the binary heap,
+/// and the two first-hop buffers. `bench_slice` multiplies this by the
+/// reused-run count to report allocations saved by scratch reuse.
+pub const SPF_RUN_ALLOCS: u64 = 7;
 
-    let mut heap: BinaryHeap<Reverse<(u64, u32, NodeId)>> = BinaryHeap::new();
-    dist_us[source as usize] = 0;
-    hops[source as usize] = 0;
-    heap.push(Reverse((0, 0, source)));
+/// Reusable working state for repeated SPF runs.
+///
+/// The eager table builders run one Dijkstra per source; allocating the
+/// working vectors and heap per source is pure churn. A scratch is owned
+/// by one worker, reused across every source that worker encodes, and
+/// resized (cheaply, after the first run) when the network changes — the
+/// hierarchical builder reuses one scratch across every per-AS
+/// subnetwork. Results are bit-identical to [`shortest_paths`]: the only
+/// difference is where the buffers live.
+#[derive(Debug, Default)]
+pub struct SpfScratch {
+    source: NodeId,
+    dist_us: Vec<u64>,
+    hops: Vec<u32>,
+    prev: Vec<NodeId>,
+    done: Vec<bool>,
+    heap: BinaryHeap<Reverse<(u64, u32, NodeId)>>,
+    first: Vec<NodeId>,
+    chain: Vec<NodeId>,
+    runs: u64,
+}
 
-    while let Some(Reverse((d, h, v))) = heap.pop() {
-        if done[v as usize] {
-            continue;
-        }
-        done[v as usize] = true;
-        for &(u, l) in net.neighbors(v) {
-            if done[u as usize] {
+impl SpfScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs Dijkstra from `source`, reusing this scratch's buffers. The
+    /// results stay readable through [`dist_us`](Self::dist_us) and
+    /// [`first_hops`](Self::first_hops) until the next `run`.
+    pub fn run(&mut self, net: &Network, source: NodeId) {
+        let n = net.node_count();
+        self.runs += 1;
+        self.source = source;
+        self.dist_us.clear();
+        self.dist_us.resize(n, u64::MAX);
+        self.hops.clear();
+        self.hops.resize(n, u32::MAX);
+        self.prev.clear();
+        self.prev.resize(n, NO_PREV);
+        self.done.clear();
+        self.done.resize(n, false);
+        self.heap.clear();
+
+        self.dist_us[source as usize] = 0;
+        self.hops[source as usize] = 0;
+        self.heap.push(Reverse((0, 0, source)));
+
+        while let Some(Reverse((d, h, v))) = self.heap.pop() {
+            if self.done[v as usize] {
                 continue;
             }
-            let link = net.link(l);
-            let nd = d + link.latency_us;
-            let nh = h + 1;
-            let better = nd < dist_us[u as usize]
-                || (nd == dist_us[u as usize]
-                    && (nh < hops[u as usize] || (nh == hops[u as usize] && v < prev[u as usize])));
-            if better {
-                dist_us[u as usize] = nd;
-                hops[u as usize] = nh;
-                prev[u as usize] = v;
-                heap.push(Reverse((nd, nh, u)));
+            self.done[v as usize] = true;
+            for &(u, l) in net.neighbors(v) {
+                if self.done[u as usize] {
+                    continue;
+                }
+                let link = net.link(l);
+                let nd = d + link.latency_us;
+                let nh = h + 1;
+                let better = nd < self.dist_us[u as usize]
+                    || (nd == self.dist_us[u as usize]
+                        && (nh < self.hops[u as usize]
+                            || (nh == self.hops[u as usize] && v < self.prev[u as usize])));
+                if better {
+                    self.dist_us[u as usize] = nd;
+                    self.hops[u as usize] = nh;
+                    self.prev[u as usize] = v;
+                    self.heap.push(Reverse((nd, nh, u)));
+                }
             }
         }
     }
+
+    /// Distances of the last [`run`](Self::run); `u64::MAX` = unreachable.
+    pub fn dist_us(&self) -> &[u64] {
+        &self.dist_us
+    }
+
+    /// First hops of the last [`run`](Self::run), computed into the
+    /// scratch's own buffer (see [`SpfTree::first_hops`] for the
+    /// algorithm). `NO_PREV` marks the source and unreachable nodes.
+    pub fn first_hops(&mut self) -> &[NodeId] {
+        first_hops_into(
+            self.source,
+            &self.dist_us,
+            &self.prev,
+            &mut self.first,
+            &mut self.chain,
+        );
+        &self.first
+    }
+
+    /// How many SPF runs this scratch has served.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Heap allocations avoided so far by reusing this scratch instead of
+    /// allocating per run: [`SPF_RUN_ALLOCS`] for every run after the
+    /// first.
+    pub fn allocs_saved(&self) -> u64 {
+        self.runs.saturating_sub(1) * SPF_RUN_ALLOCS
+    }
+}
+
+/// Runs Dijkstra from `source` with latency cost, deterministic
+/// tie-breaking by `(latency, hops, node id)`.
+pub fn shortest_paths(net: &Network, source: NodeId) -> SpfTree {
+    let mut scratch = SpfScratch::new();
+    scratch.run(net, source);
     SpfTree {
         source,
-        dist_us,
-        hops,
-        prev,
+        dist_us: std::mem::take(&mut scratch.dist_us),
+        hops: std::mem::take(&mut scratch.hops),
+        prev: std::mem::take(&mut scratch.prev),
+    }
+}
+
+/// The shared chain-climbing first-hop pass behind [`SpfTree::first_hops`]
+/// and [`SpfScratch::first_hops`]: `first` is reset and filled, `chain` is
+/// the reusable climb stack.
+fn first_hops_into(
+    source: NodeId,
+    dist_us: &[u64],
+    prev: &[NodeId],
+    first: &mut Vec<NodeId>,
+    chain: &mut Vec<NodeId>,
+) {
+    let n = prev.len();
+    first.clear();
+    first.resize(n, NO_PREV);
+    chain.clear();
+    for dst in 0..n as NodeId {
+        if dst == source || dist_us[dst as usize] == u64::MAX || first[dst as usize] != NO_PREV {
+            continue;
+        }
+        // Climb until the node directly below the source, or a node
+        // whose first hop is already known.
+        let mut cur = dst;
+        while prev[cur as usize] != source && first[cur as usize] == NO_PREV {
+            chain.push(cur);
+            cur = prev[cur as usize];
+            debug_assert_ne!(cur, NO_PREV);
+        }
+        let hop = if prev[cur as usize] == source {
+            cur
+        } else {
+            first[cur as usize]
+        };
+        first[cur as usize] = hop;
+        for &v in chain.iter() {
+            first[v as usize] = hop;
+        }
+        chain.clear();
     }
 }
 
@@ -76,35 +196,15 @@ impl SpfTree {
     ///
     /// `NO_PREV` marks the source itself and unreachable nodes.
     pub fn first_hops(&self) -> Vec<NodeId> {
-        let n = self.prev.len();
-        let mut first = vec![NO_PREV; n];
-        let mut chain: Vec<NodeId> = Vec::new();
-        for dst in 0..n as NodeId {
-            if dst == self.source
-                || self.dist_us[dst as usize] == u64::MAX
-                || first[dst as usize] != NO_PREV
-            {
-                continue;
-            }
-            // Climb until the node directly below the source, or a node
-            // whose first hop is already known.
-            let mut cur = dst;
-            while self.prev[cur as usize] != self.source && first[cur as usize] == NO_PREV {
-                chain.push(cur);
-                cur = self.prev[cur as usize];
-                debug_assert_ne!(cur, NO_PREV);
-            }
-            let hop = if self.prev[cur as usize] == self.source {
-                cur
-            } else {
-                first[cur as usize]
-            };
-            first[cur as usize] = hop;
-            for &v in &chain {
-                first[v as usize] = hop;
-            }
-            chain.clear();
-        }
+        let mut first = Vec::new();
+        let mut chain = Vec::new();
+        first_hops_into(
+            self.source,
+            &self.dist_us,
+            &self.prev,
+            &mut first,
+            &mut chain,
+        );
         first
     }
 
@@ -213,6 +313,29 @@ mod tests {
         assert_eq!(first[1], NO_PREV, "source has no first hop");
         assert_eq!(first[4], NO_PREV, "unreachable has no first hop");
         assert_eq!(first[0], 0, "direct neighbour is its own first hop");
+    }
+
+    #[test]
+    fn scratch_reuse_matches_standalone_runs() {
+        // One scratch across different sources *and* different networks
+        // (the hierarchical builder's reuse pattern) must reproduce the
+        // allocating path bit for bit.
+        let mut scratch = SpfScratch::new();
+        let nets = [diamond(), massf_topology::teragrid::teragrid(), diamond()];
+        for (i, net) in nets.iter().enumerate() {
+            for src in [0, (net.node_count() as NodeId - 1) / 2] {
+                let tree = shortest_paths(net, src);
+                scratch.run(net, src);
+                assert_eq!(scratch.dist_us(), &tree.dist_us[..], "net {i} src {src}");
+                assert_eq!(
+                    scratch.first_hops(),
+                    &tree.first_hops()[..],
+                    "net {i} src {src}"
+                );
+            }
+        }
+        assert_eq!(scratch.runs(), 6);
+        assert_eq!(scratch.allocs_saved(), 5 * SPF_RUN_ALLOCS);
     }
 
     #[test]

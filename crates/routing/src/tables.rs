@@ -2,15 +2,16 @@
 //! plus the dispatch over the compressed interval rows (DESIGN.md §13).
 
 use crate::compressed::CompressedTables;
-use crate::spf::{shortest_paths, NO_PREV};
+use crate::lazy::LazyTables;
+use crate::spf::{SpfScratch, NO_PREV};
 use massf_par::Parallelism;
 use massf_topology::{LinkId, Network, NodeId};
 
 /// Which routing-table representation to build. Selectable through
-/// `MapperConfig`, `Scenario`, and the CLI's `--routing` flag; both
-/// representations answer every query bit-identically (same hops, links,
+/// `MapperConfig`, `Scenario`, and the CLI's `--routing` flag; every
+/// representation answers every query bit-identically (same hops, links,
 /// and latencies), which the equivalence suite and `bench_routing --smoke`
-/// assert on every shipped scenario.
+/// / `bench_slice --smoke` assert on every shipped scenario.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RoutingKind {
     /// Flat `n × n` matrices — 16 bytes per (src, dst) pair. Kept as the
@@ -22,6 +23,13 @@ pub enum RoutingKind {
     /// what makes large topologies affordable (the paper's O(n²) wall).
     #[default]
     Compressed,
+    /// Compressed rows materialized on demand: the build keeps only the
+    /// O(n + links) inputs (renumbering, leaf records, link-latency
+    /// snapshot, topology snapshot) and encodes a source's row on its
+    /// first lookup. With a partitioned emulation each engine only ever
+    /// queries its own sources, so resident bytes follow the engine's
+    /// slice of the network, not all n rows (DESIGN.md §16).
+    Lazy,
 }
 
 impl RoutingKind {
@@ -30,6 +38,7 @@ impl RoutingKind {
         match self {
             RoutingKind::Dense => "dense",
             RoutingKind::Compressed => "compressed",
+            RoutingKind::Lazy => "lazy",
         }
     }
 
@@ -38,6 +47,7 @@ impl RoutingKind {
         match s {
             "dense" => Some(RoutingKind::Dense),
             "compressed" => Some(RoutingKind::Compressed),
+            "lazy" => Some(RoutingKind::Lazy),
             _ => None,
         }
     }
@@ -60,6 +70,7 @@ pub struct RoutingTables {
 pub(crate) enum Repr {
     Dense(DenseTables),
     Compressed(CompressedTables),
+    Lazy(LazyTables),
 }
 
 /// The flat `n × n` matrices.
@@ -107,10 +118,11 @@ fn fill_row(
     hops: &mut [NodeId],
     lats: &mut [u64],
     links: &mut [LinkId],
+    scratch: &mut SpfScratch,
 ) {
-    let tree = shortest_paths(net, src);
-    let first = tree.first_hops();
-    lats.copy_from_slice(&tree.dist_us);
+    scratch.run(net, src);
+    lats.copy_from_slice(scratch.dist_us());
+    let first = scratch.first_hops();
     let mut memo: Vec<(NodeId, LinkId)> = Vec::new();
     for dst in 0..hops.len() {
         let hop = first[dst];
@@ -159,21 +171,26 @@ impl RoutingTables {
             .zip(next_link.chunks_mut(n))
             .enumerate();
         if par.capped(n).get() <= 1 {
+            let mut scratch = SpfScratch::new();
             for (src, ((hops, lats), links)) in rows {
-                fill_row(net, src as NodeId, hops, lats, links);
+                fill_row(net, src as NodeId, hops, lats, links, &mut scratch);
             }
         } else {
             let work: Vec<_> = rows.collect();
             let queue = std::sync::Mutex::new(work);
             std::thread::scope(|scope| {
                 for _ in 0..par.capped(n).get() {
-                    scope.spawn(|| loop {
-                        let item = queue.lock().expect("row queue").pop();
-                        match item {
-                            Some((src, ((hops, lats), links))) => {
-                                fill_row(net, src as NodeId, hops, lats, links)
+                    scope.spawn(|| {
+                        // One scratch per worker, reused across its rows.
+                        let mut scratch = SpfScratch::new();
+                        loop {
+                            let item = queue.lock().expect("row queue").pop();
+                            match item {
+                                Some((src, ((hops, lats), links))) => {
+                                    fill_row(net, src as NodeId, hops, lats, links, &mut scratch)
+                                }
+                                None => break,
                             }
-                            None => break,
                         }
                     });
                 }
@@ -207,11 +224,25 @@ impl RoutingTables {
         }
     }
 
+    /// Builds lazy on-demand tables: only the O(n + links) inputs are
+    /// computed here (renumbering, leaf records, latency snapshot); rows
+    /// materialize on first lookup, bit-identical to the eager compressed
+    /// encoding regardless of lookup order or thread count. The build is
+    /// already sub-linear in total row work, so there is no parallel
+    /// variant — `build_kind` accepts (and ignores) the parallelism knob.
+    pub fn build_lazy(net: &Network) -> Self {
+        Self {
+            n: net.node_count(),
+            repr: Repr::Lazy(LazyTables::build(net)),
+        }
+    }
+
     /// Builds the representation `kind` selects.
     pub fn build_kind(net: &Network, kind: RoutingKind, par: Parallelism) -> Self {
         match kind {
             RoutingKind::Dense => Self::build_with(net, par),
             RoutingKind::Compressed => Self::build_compressed_with(net, par),
+            RoutingKind::Lazy => Self::build_lazy(net),
         }
     }
 
@@ -220,6 +251,7 @@ impl RoutingTables {
         match &self.repr {
             Repr::Dense(_) => RoutingKind::Dense,
             Repr::Compressed(_) => RoutingKind::Compressed,
+            Repr::Lazy(_) => RoutingKind::Lazy,
         }
     }
 
@@ -235,6 +267,7 @@ impl RoutingTables {
         let h = match &self.repr {
             Repr::Dense(d) => d.next_hop[src as usize * self.n + dst as usize],
             Repr::Compressed(c) => c.entry(src, dst).0,
+            Repr::Lazy(l) => l.entry(src, dst).0,
         };
         (h != NodeId::MAX).then_some(h)
     }
@@ -259,6 +292,7 @@ impl RoutingTables {
         match &self.repr {
             Repr::Dense(d) => d.next_link[src as usize * self.n + dst as usize],
             Repr::Compressed(c) => c.entry(src, dst).1,
+            Repr::Lazy(l) => l.entry(src, dst).1,
         }
     }
 
@@ -271,6 +305,7 @@ impl RoutingTables {
         let l = match &self.repr {
             Repr::Dense(d) => d.latency_us[src as usize * self.n + dst as usize],
             Repr::Compressed(c) => c.latency_us(src, dst),
+            Repr::Lazy(l) => l.latency_us(src, dst),
         };
         (l != u64::MAX).then_some(l)
     }
@@ -312,30 +347,19 @@ impl RoutingTables {
                 f(dst, None);
                 true
             }
-            Repr::Compressed(c) => {
-                // A route's first hop exists iff the whole path does (both
-                // builders produce consistent prefix routes), so one lookup
-                // settles reachability and the walk mirrors the dense one.
-                let (mut hop, mut link) = c.entry(src, dst);
-                if hop == NodeId::MAX {
-                    return false;
-                }
-                let mut cur = src;
-                let mut hops = 0usize;
-                loop {
-                    f(cur, Some(link));
-                    cur = hop;
-                    hops += 1;
-                    debug_assert!(hops <= self.n, "routing loop detected");
-                    if cur == dst {
-                        break;
-                    }
-                    (hop, link) = c.entry(cur, dst);
-                    debug_assert_ne!(hop, NodeId::MAX, "route dead-ends mid-path");
-                }
-                f(dst, None);
-                true
-            }
+            Repr::Compressed(c) => walk_chain(self.n, src, dst, |s, d| c.entry(s, d), f),
+            Repr::Lazy(l) => walk_chain(self.n, src, dst, |s, d| l.entry(s, d), f),
+        }
+    }
+
+    /// Total lookups the tables have answered, when the representation
+    /// counts them (`None` for the precomputed kinds). Lazy tables count
+    /// every row access — the demand side of the hit/miss statistics in
+    /// [`lazy_stats`](Self::lazy_stats).
+    pub fn lookup_count(&self) -> Option<u64> {
+        match &self.repr {
+            Repr::Lazy(l) => Some(l.lookup_total()),
+            _ => None,
         }
     }
 
@@ -355,6 +379,38 @@ impl RoutingTables {
     }
 }
 
+/// The hop-by-hop walk shared by the compressed and lazy `for_each_hop`
+/// arms: a route's first hop exists iff the whole path does (every builder
+/// produces consistent prefix routes), so one lookup settles reachability
+/// and the walk mirrors the dense one.
+fn walk_chain<F: FnMut(NodeId, Option<LinkId>)>(
+    n: usize,
+    src: NodeId,
+    dst: NodeId,
+    entry: impl Fn(NodeId, NodeId) -> (NodeId, LinkId),
+    mut f: F,
+) -> bool {
+    let (mut hop, mut link) = entry(src, dst);
+    if hop == NodeId::MAX {
+        return false;
+    }
+    let mut cur = src;
+    let mut hops = 0usize;
+    loop {
+        f(cur, Some(link));
+        cur = hop;
+        hops += 1;
+        debug_assert!(hops <= n, "routing loop detected");
+        if cur == dst {
+            break;
+        }
+        (hop, link) = entry(cur, dst);
+        debug_assert_ne!(hop, NodeId::MAX, "route dead-ends mid-path");
+    }
+    f(dst, None);
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -372,11 +428,12 @@ mod tests {
         net
     }
 
-    /// Both representations of the same network, for paired assertions.
-    fn both(net: &Network) -> [RoutingTables; 2] {
+    /// Every representation of the same network, for paired assertions.
+    fn both(net: &Network) -> [RoutingTables; 3] {
         [
             RoutingTables::build(net),
             RoutingTables::build_compressed(net),
+            RoutingTables::build_lazy(net),
         ]
     }
 
@@ -443,7 +500,11 @@ mod tests {
     #[test]
     fn parallel_build_matches_serial() {
         for net in [line(), campus()] {
-            for kind in [RoutingKind::Dense, RoutingKind::Compressed] {
+            for kind in [
+                RoutingKind::Dense,
+                RoutingKind::Compressed,
+                RoutingKind::Lazy,
+            ] {
                 let serial = RoutingTables::build_kind(&net, kind, Parallelism::serial());
                 for threads in [2, 3, 8] {
                     let par = RoutingTables::build_kind(&net, kind, Parallelism::new(threads));
@@ -476,13 +537,17 @@ mod tests {
 
     #[test]
     fn kind_round_trips_through_labels() {
-        for kind in [RoutingKind::Dense, RoutingKind::Compressed] {
+        for kind in [
+            RoutingKind::Dense,
+            RoutingKind::Compressed,
+            RoutingKind::Lazy,
+        ] {
             assert_eq!(RoutingKind::parse(kind.label()), Some(kind));
+            let t = RoutingTables::build_kind(&line(), kind, Parallelism::serial());
+            assert_eq!(t.kind(), kind);
         }
         assert_eq!(RoutingKind::parse("sparse"), None);
         assert_eq!(RoutingKind::default(), RoutingKind::Compressed);
-        let t = RoutingTables::build_kind(&line(), RoutingKind::Dense, Parallelism::serial());
-        assert_eq!(t.kind(), RoutingKind::Dense);
     }
 
     #[test]

@@ -1,0 +1,170 @@
+//! Property tests for lazy on-demand row materialization (DESIGN.md
+//! §16): on arbitrary generated Waxman/Barabási–Albert networks the lazy
+//! tables must answer **every** routing query bit-identically to both
+//! precomputed representations, the materialized structure must be
+//! independent of the demand order (including concurrent demand), and
+//! the per-engine slice accounting must partition the total resident
+//! footprint exactly under any assignment.
+
+use massf_routing::{RoutingKind, RoutingTables};
+use massf_topology::brite::{generate, BriteConfig, GrowthModel};
+use massf_topology::campus::campus;
+use massf_topology::{Network, NodeId};
+use proptest::prelude::*;
+
+/// Arbitrary small BRITE-like network.
+fn arb_network() -> impl Strategy<Value = Network> {
+    (5usize..20, 0usize..12, any::<u64>(), prop::bool::ANY).prop_map(
+        |(routers, hosts, seed, waxman)| {
+            let model = if waxman {
+                GrowthModel::Waxman {
+                    alpha: 0.2,
+                    beta: 0.15,
+                }
+            } else {
+                GrowthModel::BarabasiAlbert { m: 2 }
+            };
+            generate(&BriteConfig {
+                routers,
+                hosts,
+                model,
+                seed,
+                ..BriteConfig::paper_brite()
+            })
+        },
+    )
+}
+
+/// Every query of the public API must agree on every pair.
+fn assert_equivalent(net: &Network, a: &RoutingTables, b: &RoutingTables) {
+    let n = net.node_count() as NodeId;
+    for s in 0..n {
+        for d in 0..n {
+            assert_eq!(a.next_hop(s, d), b.next_hop(s, d), "hop {s}->{d}");
+            assert_eq!(
+                a.next_link_raw(s, d),
+                b.next_link_raw(s, d),
+                "link {s}->{d}"
+            );
+            assert_eq!(a.latency_us(s, d), b.latency_us(s, d), "latency {s}->{d}");
+            let mut av = Vec::new();
+            let mut bv = Vec::new();
+            let ar = a.for_each_hop(s, d, |node, link| av.push((node, link)));
+            let br = b.for_each_hop(s, d, |node, link| bv.push((node, link)));
+            assert_eq!(ar, br, "reachability {s}->{d}");
+            assert_eq!(av, bv, "visit order {s}->{d}");
+        }
+    }
+}
+
+/// All (src, dst) pairs of `net`, permuted by a seeded Fisher–Yates so
+/// two demand orders over the same pair set can be compared.
+fn shuffled_pairs(net: &Network, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let n = net.node_count() as NodeId;
+    let mut pairs: Vec<(NodeId, NodeId)> =
+        (0..n).flat_map(|s| (0..n).map(move |d| (s, d))).collect();
+    let mut state = seed | 1;
+    for i in (1..pairs.len()).rev() {
+        // Deterministic splitmix-style step; quality is irrelevant here,
+        // only that different seeds give different orders.
+        state = state.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(seed);
+        pairs.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+    pairs
+}
+
+#[test]
+fn lazy_equals_both_precomputed_kinds_on_campus() {
+    let net = campus();
+    let dense = RoutingTables::build(&net);
+    let comp = RoutingTables::build_compressed(&net);
+    let lazy = RoutingTables::build_lazy(&net);
+    assert_equivalent(&net, &dense, &lazy);
+    assert_equivalent(&net, &comp, &lazy);
+}
+
+#[test]
+fn concurrent_demand_is_bit_identical_to_serial() {
+    let net = campus();
+    let serial = RoutingTables::build_lazy(&net);
+    let pairs = shuffled_pairs(&net, 7);
+    for &(s, d) in &pairs {
+        serial.latency_us(s, d);
+    }
+
+    let racy = RoutingTables::build_lazy(&net);
+    std::thread::scope(|scope| {
+        for chunk in pairs.chunks(pairs.len().div_ceil(4)) {
+            let racy = &racy;
+            scope.spawn(move || {
+                for &(s, d) in chunk {
+                    racy.latency_us(s, d);
+                }
+            });
+        }
+    });
+    // Rows materialize through shared once-cells; whichever thread wins
+    // the race must install the same structure the serial demand did.
+    assert_eq!(serial, racy);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn lazy_equals_eager_on_generated_networks(net in arb_network()) {
+        let comp = RoutingTables::build_kind(
+            &net, RoutingKind::Compressed, massf_par::Parallelism::serial());
+        let lazy = RoutingTables::build_lazy(&net);
+        assert_equivalent(&net, &comp, &lazy);
+    }
+
+    #[test]
+    fn materialization_order_never_changes_the_structure(
+        net in arb_network(),
+        seed_a in any::<u64>(),
+        seed_b in any::<u64>(),
+    ) {
+        let a = RoutingTables::build_lazy(&net);
+        let b = RoutingTables::build_lazy(&net);
+        for (s, d) in shuffled_pairs(&net, seed_a) {
+            a.latency_us(s, d);
+        }
+        for (s, d) in shuffled_pairs(&net, seed_b) {
+            b.latency_us(s, d);
+        }
+        // Same demanded pair set, arbitrary orders: every row is a pure
+        // function of (network, source), so the tables compare equal.
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn slices_partition_the_resident_footprint(
+        net in arb_network(),
+        nengines in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        let lazy = RoutingTables::build_lazy(&net);
+        // Demand a pseudo-random half of all pairs.
+        for (i, (s, d)) in shuffled_pairs(&net, seed).into_iter().enumerate() {
+            if i % 2 == 0 {
+                lazy.latency_us(s, d);
+            }
+        }
+        let n = net.node_count();
+        let assignment: Vec<u32> = (0..n).map(|v| (v * nengines / n) as u32).collect();
+        let slices = lazy.slice_stats(&assignment, nengines).expect("lazy has slices");
+        let stats = lazy.lazy_stats().expect("lazy has stats");
+
+        prop_assert_eq!(slices.len(), nengines);
+        let sources: usize = slices.iter().map(|s| s.residency.sources).sum();
+        prop_assert_eq!(sources, n);
+        let rows: usize = slices.iter().map(|s| s.residency.rows_materialized).sum();
+        prop_assert_eq!(rows, stats.rows_materialized);
+        let bytes: u64 = slices.iter().map(|s| s.residency.resident_bytes).sum();
+        // Slices exclude only the shared link-latency snapshot.
+        prop_assert_eq!(bytes + 8 * net.links().len() as u64, lazy.table_bytes());
+        let lookups: u64 = slices.iter().map(|s| s.lookups).sum();
+        prop_assert_eq!(lookups, stats.lookups);
+    }
+}

@@ -63,7 +63,7 @@ USAGE:
   massf check <network.dml> [--engines K] [--traffic <spec.txt>]
               [--duration-s S] [--audit] [--capacities C1,C2,...]
               [--format human|json] [--deny-warnings] [--threads T]
-              [--routing dense|compressed]
+              [--routing dense|compressed|lazy]
   massf check <trace.txt> [--network <network.dml>] [--format human|json]
               [--deny-warnings]
       Statically lint the scenario: topology, partition request, traffic
@@ -86,7 +86,7 @@ USAGE:
 
   massf run <network.dml> [--engines K] [--traffic <spec.txt>] [--duration-s S]
             [--approach top|place|profile] [--replay] [--threads T]
-            [--routing dense|compressed] [--deny-warnings] [--report <run.json>]
+            [--routing dense|compressed|lazy] [--deny-warnings] [--report <run.json>]
             [--epochs E] [--rebalance off|global|incremental]
       Generate background traffic from the spec (a built-in CBR background
       when --traffic is omitted), map it with the chosen approach, emulate,
@@ -117,7 +117,7 @@ USAGE:
 
   massf replay <network.dml> <trace.txt> --engines K
                [--approach top|place|profile] [--threads T]
-               [--routing dense|compressed] [--deny-warnings]
+               [--routing dense|compressed|lazy] [--deny-warnings]
                [--report <run.json>]
       Replay a recorded trace as fast as possible (isolated network
       emulation, the paper's Figures 9/10 measurement). The trace is
@@ -134,10 +134,14 @@ USAGE:
                     Defaults to the machine's core count; results are
                     identical at any T.
   --routing R       Routing-table representation: `compressed` (default;
-                    interval-encoded rows, breaks the O(n²) table wall)
-                    or `dense` (the flat baseline matrices). Routing
-                    answers are bit-identical either way; reports gain
-                    `routing.*` size statistics.
+                    interval-encoded rows, breaks the O(n²) table wall),
+                    `dense` (the flat baseline matrices), or `lazy`
+                    (compressed rows materialized on first lookup, so
+                    resident bytes follow each engine's own traffic).
+                    Routing answers are bit-identical in all three;
+                    reports gain `routing.*` size statistics, and lazy
+                    runs add demand/residency lines sampled after the
+                    emulation.
   --deny-warnings   Promote preflight Warn diagnostics to Errors.
 
   massf help
@@ -462,9 +466,11 @@ fn routing_flag(args: &[String]) -> Result<Option<RoutingKind>, CliError> {
     match flag(args, "--routing") {
         None if args.iter().any(|a| a == "--routing") => Err(err("--routing requires a value")),
         None => Ok(None),
-        Some(label) => RoutingKind::parse(label)
-            .map(Some)
-            .ok_or_else(|| err(format!("--routing must be dense|compressed, got {label:?}"))),
+        Some(label) => RoutingKind::parse(label).map(Some).ok_or_else(|| {
+            err(format!(
+                "--routing must be dense|compressed|lazy, got {label:?}"
+            ))
+        }),
     }
 }
 
@@ -492,6 +498,46 @@ fn record_routing_stats(rec: &mut Recorder, study: &MappingStudy) {
         rec.add_counter("routing.runs_max_per_row", s.runs_max_per_row as u64);
         rec.add_counter("routing.runs_total", s.runs_total as u64);
         rec.set_gauge("routing.runs_mean_per_row", s.runs_mean_per_row);
+    }
+}
+
+/// Surfaces lazy-table demand statistics after the emulation: what the run
+/// actually materialized, the lookup hit/miss split, and each engine's
+/// resident share under the final partition. A no-op for the eager
+/// representations. Every value is a function of the topology and the flow
+/// schedule — not of the thread count or interleaving — so these counters
+/// land above the report's timing mask and stay byte-identical across
+/// `--threads`.
+fn record_lazy_run_stats(rec: &mut Recorder, study: &MappingStudy, assignment: &[u32]) {
+    let tables = &study.tables;
+    let Some(s) = tables.lazy_stats() else {
+        return;
+    };
+    rec.add_counter("routing.lazy_demand_hits", s.demand_hits);
+    rec.add_counter("routing.lazy_demand_misses", s.demand_misses);
+    rec.add_counter("routing.lazy_lookups", s.lookups);
+    rec.add_counter("routing.lazy_resident_bytes", s.resident_bytes);
+    rec.add_counter("routing.lazy_rows_leaf", s.rows_leaf as u64);
+    rec.add_counter("routing.lazy_rows_materialized", s.rows_materialized as u64);
+    rec.add_counter("routing.lazy_rows_pending", s.rows_pending as u64);
+    rec.add_counter("routing.lazy_runs_resident", s.runs_resident as u64);
+    let nengines = assignment
+        .iter()
+        .map(|&p| p as usize + 1)
+        .max()
+        .unwrap_or(1);
+    if let Some(slices) = tables.slice_stats(assignment, nengines) {
+        for sl in &slices {
+            let e = sl.residency.engine;
+            rec.add_counter(
+                &format!("routing.lazy_slice{e}_resident_bytes"),
+                sl.residency.resident_bytes,
+            );
+            rec.add_counter(
+                &format!("routing.lazy_slice{e}_rows"),
+                sl.residency.rows_materialized as u64,
+            );
+        }
     }
 }
 
@@ -842,6 +888,7 @@ fn cmd_run(args: &[String]) -> Result<String, CliError> {
         (report, None, audit, partition.clone())
     };
     audit_gate(&mut audit, deny)?;
+    record_lazy_run_stats(&mut rec, &study, &final_partition.part);
 
     let mut out = String::new();
     out.push_str(&format!("network      : {}\n", study.net.summary()));
@@ -1064,6 +1111,7 @@ fn cmd_replay(args: &[String]) -> Result<String, CliError> {
     let span = rec.start();
     let report = study.replay(&partition, &flows);
     rec.finish("engine/emulate", span);
+    record_lazy_run_stats(&mut rec, &study, &partition.part);
     if let Some(report_path) = flag(rest, "--report") {
         let mut run_report = RunReport::new(
             "replay",

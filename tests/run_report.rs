@@ -155,6 +155,61 @@ fn masked_report_is_byte_identical_across_routing_kind_and_threads() {
 }
 
 #[test]
+fn masked_report_is_byte_identical_across_lazy_and_threads() {
+    // Lazy on-demand tables answer every query bit-identically, so the
+    // simulated quantities must match the eager representations exactly;
+    // only the self-describing `routing.*` lines (size stats for eager,
+    // demand/residency stats for lazy) may differ. The lazy demand
+    // counters themselves are thread-invariant: the demanded row set is
+    // a function of the flow schedule, not of engine scheduling.
+    let strip_routing_lines = |masked: &str| -> String {
+        masked
+            .lines()
+            .filter(|l| !l.contains("\"routing."))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let lazy = campus_report_json_with("1", &["--routing", "lazy"]);
+    let compressed = campus_report_json_with("1", &["--routing", "compressed"]);
+    assert_eq!(
+        strip_routing_lines(mask_json(&lazy)),
+        strip_routing_lines(mask_json(&compressed)),
+        "simulated quantities vary between lazy and compressed routing"
+    );
+    for threads in ["2", "4"] {
+        let other = campus_report_json_with(threads, &["--routing", "lazy"]);
+        assert_eq!(
+            mask_json(&lazy),
+            mask_json(&other),
+            "lazy report varies at --threads {threads}"
+        );
+    }
+}
+
+#[test]
+fn lazy_report_carries_demand_and_slice_counters() {
+    let json = campus_report_json_with("1", &["--routing", "lazy"]);
+    for key in [
+        "\"routing.lazy_demand_hits\"",
+        "\"routing.lazy_demand_misses\"",
+        "\"routing.lazy_lookups\"",
+        "\"routing.lazy_resident_bytes\"",
+        "\"routing.lazy_rows_materialized\"",
+        "\"routing.lazy_rows_pending\"",
+        "\"routing.lazy_slice0_resident_bytes\"",
+        "\"routing.lazy_slice0_rows\"",
+    ] {
+        assert!(json.contains(key), "lazy report missing {key}");
+    }
+    // Eager runs must not grow demand lines.
+    let eager = campus_report_json_with("1", &["--routing", "compressed"]);
+    assert!(
+        !eager.contains("\"routing.lazy_"),
+        "eager report has lazy keys"
+    );
+}
+
+#[test]
 fn report_carries_routing_size_counters() {
     let json = campus_report_json("1");
     for key in [
