@@ -25,7 +25,7 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..reps {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // srclint: allow(SA002) — benchmark wall-clock is the measurement itself
         let r = f();
         best = best.min(t0.elapsed().as_secs_f64());
         out = Some(r);
@@ -48,7 +48,7 @@ fn fingerprint(r: &EmulationReport) -> Fingerprint {
 }
 
 fn main() {
-    let arg = std::env::args().nth(1);
+    let arg = std::env::args().nth(1); // srclint: allow(SA004) — bench binaries read their own flags
     let smoke = arg.as_deref() == Some("--smoke");
     let scale = if smoke {
         0.08

@@ -24,7 +24,7 @@ fn time_best<R>(mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..REPS {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // srclint: allow(SA002) — benchmark wall-clock is the measurement itself
         let r = f();
         best = best.min(t0.elapsed().as_secs_f64());
         out = Some(r);
@@ -75,7 +75,7 @@ fn main() {
     }
 
     print!("{}", t.render(4));
-    let cores = std::thread::available_parallelism()
+    let cores = std::thread::available_parallelism() // srclint: allow(SA006) — sizing the bench sweep to the machine
         .map(|n| n.get())
         .unwrap_or(1);
     for row in &t.rows {

@@ -31,7 +31,7 @@ fn time_best<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
     let mut best = f64::INFINITY;
     let mut out = None;
     for _ in 0..reps {
-        let t0 = Instant::now();
+        let t0 = Instant::now(); // srclint: allow(SA002) — benchmark wall-clock is the measurement itself
         let r = f();
         best = best.min(t0.elapsed().as_secs_f64());
         out = Some(r);
@@ -80,7 +80,7 @@ fn lookup_throughput(tables: &RoutingTables, reps: usize) -> f64 {
 }
 
 fn main() {
-    let smoke = std::env::args().nth(1).as_deref() == Some("--smoke");
+    let smoke = std::env::args().nth(1).as_deref() == Some("--smoke"); // srclint: allow(SA004) — bench binaries read their own flags
     let reps = if smoke { 1 } else { 3 };
 
     let mut t = ResultTable::new(

@@ -48,7 +48,7 @@ use massf_metrics::report::ResultTable;
 /// Parses the scale argument (first CLI arg, default 1.0). `--smoke` is
 /// shorthand for a quick quarter-scale run, matching the CI smoke steps.
 pub fn scale_from_args() -> f64 {
-    let arg = std::env::args().nth(1);
+    let arg = std::env::args().nth(1); // srclint: allow(SA004) — shared flag parsing for the bench binaries
     if arg.as_deref() == Some("--smoke") {
         return 0.25;
     }
@@ -88,16 +88,18 @@ pub fn grid_table(
 /// Prints the table and the improvement summary the paper quotes
 /// (PROFILE vs TOP, per row).
 pub fn print_with_improvements(table: &ResultTable, precision: usize) {
+    // srclint: allow(SA005) — bench output helper shared by the bin targets
     print!("{}", table.render(precision));
     for row in &table.rows {
         if let (Some(top), Some(profile)) = (table.get(row, "TOP"), table.get(row, "PROFILE")) {
+            // srclint: allow(SA005) — bench output helper shared by the bin targets
             println!(
                 "  {row}: PROFILE improves on TOP by {:.0}%",
                 massf_metrics::improvement_pct(top, profile)
             );
         }
     }
-    println!();
+    println!(); // srclint: allow(SA005) — bench output helper shared by the bin targets
 }
 
 /// Writes a table's JSON next to the binary outputs (under `results/`).
@@ -106,9 +108,9 @@ pub fn dump_json(table: &ResultTable) {
     if std::fs::create_dir_all(dir).is_ok() {
         let path = dir.join(format!("{}.json", table.id));
         if let Err(e) = std::fs::write(&path, table.to_json()) {
-            eprintln!("warning: could not write {}: {e}", path.display());
+            eprintln!("warning: could not write {}: {e}", path.display()); // srclint: allow(SA005) — bench output helper shared by the bin targets
         } else {
-            println!("(wrote {})", path.display());
+            println!("(wrote {})", path.display()); // srclint: allow(SA005) — bench output helper shared by the bin targets
         }
     }
 }

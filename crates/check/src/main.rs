@@ -23,7 +23,7 @@ fn main() -> ExitCode {
     let mut max_schedules: Option<u64> = None;
     let mut fault: Option<Fault> = None;
 
-    let mut args = std::env::args().skip(1);
+    let mut args = std::env::args().skip(1); // srclint: allow(SA004) — the model-checker binary parses its own flags
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--list" => {

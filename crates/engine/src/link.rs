@@ -2,7 +2,7 @@
 //! propagation, with per-direction busy tracking.
 
 use massf_topology::{Link, LinkId};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Serialization time of `bytes` at `bandwidth_mbps`, in whole microseconds
 /// (≥ 1). `bits / Mbps` is exactly microseconds.
@@ -20,7 +20,10 @@ pub fn tx_time_us(bytes: u32, bandwidth_mbps: f64) -> u64 {
 /// each direction's state has exactly one writer and needs no locking.
 #[derive(Debug, Default)]
 pub struct LinkOccupancy {
-    next_free_us: HashMap<(LinkId, bool), u64>,
+    // BTreeMap so drain_all() hands migration state over in key order —
+    // the receiving engine's insert order (and any future serialization
+    // of it) is then schedule-independent (srclint SA001).
+    next_free_us: BTreeMap<(LinkId, bool), u64>,
 }
 
 /// Outcome of scheduling one packet onto a link.
@@ -67,7 +70,7 @@ impl LinkOccupancy {
     /// Removes and returns all occupancy entries (node migration hands the
     /// sending-side state to the node's new engine).
     pub fn drain_all(&mut self) -> Vec<((LinkId, bool), u64)> {
-        self.next_free_us.drain().collect()
+        std::mem::take(&mut self.next_free_us).into_iter().collect()
     }
 
     /// Inserts an occupancy entry, keeping the later busy-until time if the

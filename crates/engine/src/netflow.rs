@@ -10,7 +10,7 @@
 
 use crate::event::Packet;
 use massf_topology::NodeId;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One flow record at one router — a NetFlow dump line.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -48,7 +48,10 @@ impl FlowRecord {
 /// Per-engine NetFlow collector.
 #[derive(Debug, Default)]
 pub struct NetFlowCollector {
-    records: HashMap<(NodeId, u32), FlowRecord>,
+    // BTreeMap, not a hash map: the iteration order in snapshot() and
+    // into_records() is then the (router, flow) sort the dump format
+    // promises, with no hasher in the loop (srclint SA001).
+    records: BTreeMap<(NodeId, u32), FlowRecord>,
     enabled: bool,
 }
 
@@ -57,7 +60,7 @@ impl NetFlowCollector {
     /// is only turned on for PROFILE's initial run).
     pub fn new(enabled: bool) -> Self {
         Self {
-            records: HashMap::new(),
+            records: BTreeMap::new(),
             enabled,
         }
     }
@@ -95,16 +98,13 @@ impl NetFlowCollector {
     /// Clones the records accumulated so far (a live dump, used by the
     /// dynamic-remapping driver at epoch boundaries).
     pub fn snapshot(&self) -> Vec<FlowRecord> {
-        let mut v: Vec<FlowRecord> = self.records.values().cloned().collect();
-        v.sort_by_key(|r| (r.router, r.flow));
-        v
+        // BTreeMap iteration is already the (router, flow) key order.
+        self.records.values().cloned().collect()
     }
 
     /// Drains this collector's records (the per-router "dump files").
     pub fn into_records(self) -> Vec<FlowRecord> {
-        let mut v: Vec<FlowRecord> = self.records.into_values().collect();
-        v.sort_by_key(|r| (r.router, r.flow));
-        v
+        self.records.into_values().collect()
     }
 }
 

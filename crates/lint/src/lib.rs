@@ -261,6 +261,18 @@ impl Code {
     pub fn is_reserved(self) -> bool {
         false
     }
+
+    /// The worst severity this pass can emit, as reported by the
+    /// `massf check --list-passes` catalog. Append-only like the codes
+    /// themselves: a pass may gain milder findings, but its worst
+    /// severity is part of the stable catalog contract.
+    pub fn worst_severity(self) -> Severity {
+        match self {
+            Code::Mc003 | Code::Mc004 | Code::Mc008 | Code::Mc011 | Code::Mc018 => Severity::Warn,
+            Code::Mc015 => Severity::Note,
+            _ => Severity::Error,
+        }
+    }
 }
 
 /// Where a diagnostic points.

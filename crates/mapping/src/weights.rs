@@ -20,7 +20,7 @@ use massf_par::{par_indexed_map, Parallelism};
 use massf_routing::RoutingTables;
 use massf_topology::{Network, NodeId, NodeKind};
 use massf_traffic::{FlowSpec, PredictedFlow};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Flows per work block when fanning accumulation over threads.
 ///
@@ -208,7 +208,10 @@ pub struct FlowAggregate {
 /// Groups NetFlow records by flow id into per-flow aggregates, sorted
 /// deterministically (by `(src, dst, packets, first_us, last_us)`).
 pub fn aggregate_flows(records: &[FlowRecord]) -> Vec<FlowAggregate> {
-    let mut per_flow: HashMap<u32, FlowAggregate> = HashMap::new();
+    // BTreeMap: into_values() below then yields flow-id order before the
+    // final sort, so ties in the aggregate ordering cannot be broken by
+    // hasher order (srclint SA001).
+    let mut per_flow: BTreeMap<u32, FlowAggregate> = BTreeMap::new();
     for r in records {
         let e = per_flow.entry(r.flow).or_insert(FlowAggregate {
             src: r.src,

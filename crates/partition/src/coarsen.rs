@@ -3,7 +3,7 @@
 use massf_graph::{CsrGraph, VertexId, Weight};
 use rand::seq::SliceRandom;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// One coarsening level: the coarse graph plus the projection map.
 #[derive(Debug, Clone)]
@@ -80,8 +80,10 @@ pub fn heavy_edge_matching<R: Rng>(g: &CsrGraph, rng: &mut R) -> CoarseLevel {
         }
     }
 
-    // Coarse edges: accumulate into per-source maps.
-    let mut maps: Vec<HashMap<VertexId, Weight>> = vec![HashMap::new(); cn];
+    // Coarse edges: accumulate into per-source maps. BTreeMap so the
+    // add_edge order below is the neighbor order, not a hasher's — the
+    // built CSR is then identical across runs (srclint SA001).
+    let mut maps: Vec<BTreeMap<VertexId, Weight>> = vec![BTreeMap::new(); cn];
     for v in 0..n as VertexId {
         let cv = coarse_of[v as usize];
         for (u, w) in g.edges(v) {

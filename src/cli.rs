@@ -76,7 +76,21 @@ USAGE:
       instead (MC016), plus endpoint validity when --network names the
       topology it was recorded on. Exits 0 when no Error-level
       diagnostics are found, 1 otherwise; the report is printed either
-      way.
+      way. --list-passes instead prints the full stable-code catalog
+      (MC001..MC020 scenario/artifact passes + SA000..SA007 source
+      passes) with severities; machine-readable under --format json.
+
+  massf srclint [<dir>] [--format human|json] [--deny-warnings]
+      Source-level determinism lint over the workspace rooted at <dir>
+      (default: the current directory): a comment/string-aware scan of
+      src/, crates/, and tests/ for byte-determinism hazards — unordered
+      HashMap iteration, wall-clock reads outside the massf-obs
+      quarantine, entropy-seeded randomness, environment access, direct
+      printing in libraries, thread-identity probes, and floating-point
+      accumulation in thread::scope (stable codes SA000..SA007).
+      Legitimate sites carry `srclint: allow(SA00x) - reason` comments;
+      a stale allow is itself an Error. Exits 0 when no Error-level
+      finding survives, 1 otherwise.
 
   massf partition <network.dml> --engines K [--seed N] [--threads T]
                   [--deny-warnings]
@@ -158,6 +172,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         None | Some("help") | Some("--help") | Some("-h") => Ok(USAGE.to_string()),
         Some("topology") => cmd_topology(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("srclint") => cmd_srclint(&args[1..]),
         Some("partition") => cmd_partition(&args[1..]),
         Some("run") => cmd_run(&args[1..]),
         Some("ping") => cmd_ping(&args[1..]),
@@ -266,16 +281,19 @@ fn cmd_check(args: &[String]) -> Result<String, CliError> {
             "--capacities",
             "--network",
         ],
-        &["--deny-warnings", "--audit", "--partition"],
+        &["--deny-warnings", "--audit", "--partition", "--list-passes"],
     )?;
-    let path = args.first().ok_or_else(|| {
-        err("usage: massf check <network.dml|trace.txt> [--engines K] [--traffic <spec>]")
-    })?;
     let json = match flag(args, "--format").unwrap_or("human") {
         "human" => false,
         "json" => true,
         other => return Err(err(format!("unknown format {other:?} (human|json)"))),
     };
+    if args.iter().any(|a| a == "--list-passes") {
+        return Ok(list_passes(json));
+    }
+    let path = args.first().ok_or_else(|| {
+        err("usage: massf check <network.dml|trace.txt> [--engines K] [--traffic <spec>]")
+    })?;
     let deny = args.iter().any(|a| a == "--deny-warnings");
     // Validated here, consumed by the audit stage below; every lint stage
     // is byte-identical at any thread count.
@@ -418,6 +436,140 @@ fn check_trace(text: &str, args: &[String], json: bool, deny: bool) -> Result<St
         Err(CliError(report))
     } else {
         Ok(report)
+    }
+}
+
+/// The full stable-code catalog for `massf check --list-passes`: every
+/// scenario/artifact pass (MC001..MC020, from `massf-lint`) and every
+/// source pass (SA000..SA007, from `massf-srclint`) with its worst
+/// severity and one-line description. Machine-readable under
+/// `--format json` with byte-deterministic output.
+fn list_passes(json: bool) -> String {
+    // (code, family, severity label, name, summary) rows in catalog order.
+    let mut rows: Vec<(&str, &str, &str, &str, &str)> = Vec::new();
+    for code in massf_lint::Code::ALL {
+        rows.push((
+            code.as_str(),
+            "scenario",
+            code.worst_severity().label(),
+            code.name(),
+            code.summary(),
+        ));
+    }
+    for code in massf_srclint::SaCode::ALL {
+        rows.push((
+            code.as_str(),
+            "source",
+            code.severity().label(),
+            code.name(),
+            code.summary(),
+        ));
+    }
+    if json {
+        let mut out = String::new();
+        out.push_str("{\n  \"tool\": \"massf-check\",\n  \"format\": 1,\n  \"passes\": [");
+        for (i, (code, family, sev, name, summary)) in rows.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\n      \"code\": {},\n      \"family\": {},\n      \
+                 \"severity\": {},\n      \"name\": {},\n      \"summary\": {}\n    }}",
+                json_str(code),
+                json_str(family),
+                json_str(sev),
+                json_str(name),
+                json_str(summary)
+            ));
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    } else {
+        let mut out = String::new();
+        for (code, family, sev, name, summary) in &rows {
+            out.push_str(&format!(
+                "{code}  {sev:<7}  {name:<24}  {summary}  [{family}]\n"
+            ));
+        }
+        out.push_str(&format!(
+            "{} scenario/artifact passes (MC), {} source passes (SA)\n",
+            massf_lint::Code::ALL.len(),
+            massf_srclint::SaCode::ALL.len()
+        ));
+        out
+    }
+}
+
+/// Minimal JSON string quoting for the catalog renderer (static strings;
+/// the full escape set still applied for safety).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// `massf srclint [<dir>] [--format human|json] [--deny-warnings]` — the
+/// source-level determinism lint (stable codes SA000..SA007) over the
+/// workspace rooted at `<dir>` (default: the current directory). Mirrors
+/// the `massf check` contract: the report is printed either way, and the
+/// command fails when any Error-level finding (or any Warn under
+/// `--deny-warnings`) survives the allow annotations.
+fn cmd_srclint(args: &[String]) -> Result<String, CliError> {
+    validate_flags("srclint", args, &["--format"], &["--deny-warnings"])?;
+    let json = match flag(args, "--format").unwrap_or("human") {
+        "human" => false,
+        "json" => true,
+        other => return Err(err(format!("unknown format {other:?} (human|json)"))),
+    };
+    let deny = args.iter().any(|a| a == "--deny-warnings");
+    // Positional root, skipping flag values.
+    let mut positionals = Vec::new();
+    let mut i = 0;
+    while i < args.len() {
+        let a = args[i].as_str();
+        if a == "--format" {
+            i += 2;
+            continue;
+        }
+        if a.starts_with("--") {
+            i += 1;
+            continue;
+        }
+        positionals.push(a);
+        i += 1;
+    }
+    if positionals.len() > 1 {
+        return Err(err(
+            "usage: massf srclint [<dir>] [--format human|json] [--deny-warnings]",
+        ));
+    }
+    let root = positionals.first().copied().unwrap_or(".");
+    let mut report = massf_srclint::lint_workspace(std::path::Path::new(root))
+        .map_err(|e| err(format!("srclint: cannot scan {root}: {e}")))?;
+    if deny {
+        report.deny_warnings();
+    }
+    let text = if json {
+        massf_srclint::render::render_json(&report)
+    } else {
+        massf_srclint::render::render_human(&report)
+    };
+    if report.has_errors() {
+        Err(CliError(text))
+    } else {
+        Ok(text)
     }
 }
 
